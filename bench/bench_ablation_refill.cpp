@@ -1,0 +1,86 @@
+// Ablation A3: refill strategy — the paper's periodic house-keeping refill
+// (§III-C: "a house-keeping thread, which refills the leaky buckets ...
+// with predefined intervals") vs our default lazy on-access refill.
+// A coarse refill tick makes admission bursty: requests arriving between
+// ticks see a stale water level and are denied even though credit has
+// logically accrued. We measure admitted/ideal for a 100/s rule offered
+// 200/s, on virtual time.
+#include <cstdio>
+
+#include "core/admission.hpp"
+
+using namespace janus;
+
+namespace {
+
+class FixedSource final : public core::RuleSource {
+ public:
+  std::optional<core::QosRule> fetch(std::string_view key) override {
+    return core::QosRule{.key = std::string(key), .capacity = 10.0,
+                         .refill_per_sec = 100.0,
+                         .initial_credit = 0.0};
+  }
+};
+
+struct Outcome {
+  std::int64_t admitted = 0;
+  std::int64_t ideal = 0;
+};
+
+Outcome run(core::RefillMode mode, Duration refill_interval) {
+  ManualClock clock;
+  FixedSource source;
+  core::AdmissionConfig cfg;
+  cfg.refill_mode = mode;
+  core::AdmissionController admission(clock, source, cfg);
+
+  constexpr Duration kHorizon = seconds(60);
+  const Duration arrival_gap = micros(5000);  // 200/s offered
+  TimePoint next_refill = refill_interval;
+
+  Outcome out;
+  out.ideal = 100 * (kHorizon.count() / seconds(1).count());
+  for (TimePoint t = arrival_gap; t <= kHorizon; t += arrival_gap) {
+    if (mode == core::RefillMode::kPeriodic) {
+      while (next_refill <= t) {
+        clock.advance_to(next_refill);
+        admission.refill_all();
+        next_refill += refill_interval;
+      }
+    }
+    clock.advance_to(t);
+    if (admission.check("tenant").allowed) ++out.admitted;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION A3: refill granularity (100/s rule offered 200/s "
+              "for 60 virtual seconds; bucket capacity 10)\n\n");
+  std::printf("%-24s %10s %10s %10s\n", "strategy", "admitted", "ideal",
+              "error");
+
+  Outcome lazy = run(core::RefillMode::kOnAccess, Duration{0});
+  std::printf("%-24s %10lld %10lld %9.2f%%\n", "on-access (lazy)",
+              static_cast<long long>(lazy.admitted),
+              static_cast<long long>(lazy.ideal),
+              100.0 * (lazy.ideal - lazy.admitted) / lazy.ideal);
+
+  for (Duration interval : {millis(1), millis(10), millis(100), seconds(1),
+                            seconds(5)}) {
+    Outcome o = run(core::RefillMode::kPeriodic, interval);
+    char label[64];
+    std::snprintf(label, sizeof(label), "periodic @ %lld ms",
+                  static_cast<long long>(interval.count() / 1'000'000));
+    std::printf("%-24s %10lld %10lld %9.2f%%\n", label,
+                static_cast<long long>(o.admitted),
+                static_cast<long long>(o.ideal),
+                100.0 * (o.ideal - o.admitted) / o.ideal);
+  }
+  std::printf("\nexpectation: lazy refill tracks the ideal exactly; periodic "
+              "refill under-admits once the tick exceeds the bucket's "
+              "capacity/rate horizon (10/100 = 100 ms here)\n");
+  return 0;
+}

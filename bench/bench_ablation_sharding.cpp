@@ -1,0 +1,92 @@
+// Ablation A2: QoS-table sharding vs the paper's single synchronized map.
+// §V-C attributes QoS-server CPU under-utilization to "the implementation
+// of the locking mechanism being used to manage the QoS rules in the local
+// QoS table. This can be further optimized in our future work." — this
+// bench quantifies that optimization: real threads hammer a real
+// AdmissionController at shard counts 1 (the paper) through 64.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
+
+using namespace janus;
+
+namespace {
+
+class PrefetchedSource final : public core::RuleSource {
+ public:
+  std::optional<core::QosRule> fetch(std::string_view key) override {
+    return core::QosRule{.key = std::string(key), .capacity = 1e15,
+                         .refill_per_sec = 1e9, .initial_credit = std::nullopt};
+  }
+};
+
+double run(std::size_t shards, int threads, int keys_per_thread) {
+  SteadyClock clock;
+  PrefetchedSource source;
+  core::AdmissionConfig cfg;
+  cfg.table_shards = shards;
+  core::AdmissionController admission(clock, source, cfg);
+
+  // Pre-warm the table so the measurement is pure decision throughput.
+  for (int t = 0; t < threads; ++t) {
+    for (int k = 0; k < keys_per_thread; ++k) {
+      admission.check("t" + std::to_string(t) + "-k" + std::to_string(k));
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> decisions{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::vector<std::string> keys;
+      for (int k = 0; k < keys_per_thread; ++k) {
+        keys.push_back("t" + std::to_string(t) + "-k" + std::to_string(k));
+      }
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::int64_t local = 0;
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        admission.check(keys[i++ % keys.size()]);
+        ++local;
+      }
+      decisions.fetch_add(local);
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  stop.store(true);
+  for (auto& th : pool) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(decisions.load()) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION A2: QoS-table shard count vs decision throughput\n");
+  const int threads =
+      std::max(2u, std::thread::hardware_concurrency());
+  std::printf("(%d worker threads, distinct keys per thread, real wall "
+              "clock)\n\n", threads);
+  std::printf("%8s %18s %10s\n", "shards", "decisions/sec", "vs 1 shard");
+  double base = 0.0;
+  for (std::size_t shards : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double rate = run(shards, threads, 64);
+    if (shards == 1) base = rate;
+    std::printf("%8zu %18.0f %9.2fx\n", shards, rate, rate / base);
+  }
+  std::printf("\nshards=1 reproduces the paper's single synchronized map; "
+              "higher shard counts are the §V-C 'future work' fix. On "
+              "single-core hosts the contention effect is muted.\n");
+  return 0;
+}

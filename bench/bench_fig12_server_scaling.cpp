@@ -1,0 +1,66 @@
+// Fig. 12: vertical vs horizontal scalability of the QoS server at equal
+// vCPU counts. Paper: "Janus achieves slightly higher throughput when
+// vertical scaling is used. However, vertical scaling cannot scale
+// indefinitely ... horizontal scaling can achieve higher throughput than
+// vertically scaling to the biggest instance type."
+#include "figlib.hpp"
+
+using namespace janus;
+
+namespace {
+
+double run(const std::string& instance, int nodes,
+           const bench::CorpusWorkload& workload) {
+  sim::DeploymentConfig cfg;
+  cfg.router_instance = "c3.8xlarge";
+  cfg.router_nodes = 5;
+  cfg.server_instance = instance;
+  cfg.server_nodes = nodes;
+  return bench::measure(cfg, workload).best_throughput;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "FIG 12: Vertical vs horizontal scalability of the QoS Server");
+  bench::CorpusWorkload workload(5000);
+
+  struct Point {
+    int vcpus;
+    const char* vertical_type;  // nullptr: beyond the biggest instance
+    int horizontal_nodes;       // of c3.xlarge
+  };
+  const Point points[] = {
+      {4, "c3.xlarge", 1},   {8, "c3.2xlarge", 2}, {16, "c3.4xlarge", 4},
+      {32, "c3.8xlarge", 8}, {40, nullptr, 10},
+  };
+
+  std::printf("%6s %22s %26s\n", "vCPUs", "vertical (krps)",
+              "horizontal (krps)");
+  double vertical_max = 0.0, horizontal_max = 0.0;
+  for (const auto& p : points) {
+    double v = -1.0;
+    if (p.vertical_type) {
+      v = run(p.vertical_type, 1, workload);
+      vertical_max = std::max(vertical_max, v);
+    }
+    const double h = run("c3.xlarge", p.horizontal_nodes, workload);
+    horizontal_max = std::max(horizontal_max, h);
+    if (p.vertical_type) {
+      std::printf("%6d %15.1f (%s) %17.1f (%dx c3.xlarge)\n", p.vcpus,
+                  v / 1000.0, p.vertical_type, h / 1000.0,
+                  p.horizontal_nodes);
+    } else {
+      std::printf("%6d %15s %19.1f (%dx c3.xlarge)\n", p.vcpus,
+                  "(no instance)", h / 1000.0, p.horizontal_nodes);
+    }
+  }
+  std::printf("\ncrossover check: horizontal max %.1f krps vs vertical max "
+              "%.1f krps -> %s\n",
+              horizontal_max / 1000.0, vertical_max / 1000.0,
+              horizontal_max > vertical_max
+                  ? "horizontal surpasses the biggest instance (paper shape)"
+                  : "UNEXPECTED");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Fig. 13: application-integration evaluation (§V-D). The photo-sharing app
+// (5 app servers + session cache + MySQL model) is wrapped with the Janus
+// qos_check() using the client IP as the QoS key; a test client drives
+// ~130 rps with added noise.
+//
+//   (a) accepted/rejected request rates over time, for a custom rule
+//       (refill=100/s, capacity=1000) and the default rule (refill=10/s,
+//       capacity=100): the full bucket sustains the 130 rps burst until it
+//       drains, then admission settles at the refill rate.
+//   (b) round-trip latency (Average/P90/P99/P99.9) for No-QoS, both refill
+//       rates, and rejected requests. Paper: P90 27 ms without QoS, 30 ms
+//       with, rejects throttled in 3 ms.
+#include <cstdio>
+#include <vector>
+
+#include "app/photo_service.hpp"
+#include "common/histogram.hpp"
+#include "figlib.hpp"
+
+using namespace janus;
+
+namespace {
+
+constexpr double kClientRate = 130.0;
+constexpr int kRunSeconds = 100;
+constexpr int kBinSeconds = 5;
+
+struct ScenarioResult {
+  std::vector<int> accepted_per_bin;
+  std::vector<int> rejected_per_bin;
+  Histogram accepted_latency;
+  Histogram rejected_latency;
+};
+
+/// Drive the photo app at ~130 rps for kRunSeconds. qos == nullptr runs the
+/// Fig. 4a no-QoS baseline.
+ScenarioResult run_scenario(sim::Simulation& sim, app::PhotoServiceSim& app,
+                            const std::string& client_ip) {
+  ScenarioResult result;
+  result.accepted_per_bin.assign(kRunSeconds / kBinSeconds, 0);
+  result.rejected_per_bin.assign(kRunSeconds / kBinSeconds, 0);
+
+  Rng rng(2024);
+  const TimePoint start = sim.now();
+  std::function<void()> arrive = [&] {
+    app.submit(client_ip, [&, at = sim.now()](const app::AppResult& r) {
+      const auto bin = static_cast<std::size_t>(
+          to_seconds(at - start) / kBinSeconds);
+      if (bin >= result.accepted_per_bin.size()) return;
+      if (r.served) {
+        ++result.accepted_per_bin[bin];
+        result.accepted_latency.record(r.latency);
+      } else {
+        ++result.rejected_per_bin[bin];
+        result.rejected_latency.record(r.latency);
+      }
+    });
+    const double gap = (1.0 / kClientRate) * rng.lognormal(1.0, 0.1);
+    if (sim.now() - start < seconds(kRunSeconds)) {
+      sim.schedule_after(from_seconds(gap), arrive);
+    }
+  };
+  sim.schedule_at(start, arrive);
+  sim.run_until(start + seconds(kRunSeconds + 2));
+  return result;
+}
+
+void print_timeline(const char* label, const ScenarioResult& r) {
+  std::printf("\n%s\n", label);
+  std::printf("%8s %14s %14s\n", "time(s)", "accepted(rps)", "rejected(rps)");
+  for (std::size_t bin = 0; bin < r.accepted_per_bin.size(); ++bin) {
+    std::printf("%5zu-%-3zu %14.1f %14.1f\n", bin * kBinSeconds,
+                (bin + 1) * kBinSeconds,
+                static_cast<double>(r.accepted_per_bin[bin]) / kBinSeconds,
+                static_cast<double>(r.rejected_per_bin[bin]) / kBinSeconds);
+  }
+}
+
+void print_latency_row(const char* label, const Histogram& h) {
+  if (h.count() == 0) {
+    std::printf("%-18s %s\n", label, "(no samples)");
+    return;
+  }
+  std::printf("%-18s %9.1f %9.1f %9.1f %9.1f   (n=%llu)\n", label,
+              h.mean() / 1e6, h.percentile(0.90) / 1e6,
+              h.percentile(0.99) / 1e6, h.percentile(0.999) / 1e6,
+              static_cast<unsigned long long>(h.count()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("FIG 13: Application integration (photo-sharing app)");
+
+  // --- Baseline: no QoS (Fig. 4a). ---------------------------------------
+  Histogram no_qos_latency;
+  {
+    sim::Simulation sim;
+    app::PhotoServiceSim app(sim, app::PhotoAppConfig{}, nullptr);
+    auto result = run_scenario(sim, app, "10.1.1.1");
+    no_qos_latency = result.accepted_latency;
+  }
+
+  // --- Custom rule: refill 100/s, capacity 1000 (known IP). --------------
+  ScenarioResult custom;
+  {
+    sim::Simulation sim;
+    sim::DeploymentConfig jcfg;
+    jcfg.router_nodes = 2;
+    jcfg.server_nodes = 2;
+    sim::SimDeployment janus_dep(sim, jcfg);
+    (void)janus_dep.rules().put({.key = "10.1.1.1", .refill_per_sec = 100,
+                                 .capacity = 1000, .credit = 1000});
+    app::PhotoServiceSim app(sim, app::PhotoAppConfig{}, &janus_dep);
+    custom = run_scenario(sim, app, "10.1.1.1");
+  }
+
+  // --- Default rule: refill 10/s, capacity 100 (unknown IP, §II-D). ------
+  ScenarioResult fallback;
+  {
+    sim::Simulation sim;
+    sim::DeploymentConfig jcfg;
+    jcfg.router_nodes = 2;
+    jcfg.server_nodes = 2;
+    jcfg.admission.default_rule = core::limited_access_default(100.0, 10.0);
+    sim::SimDeployment janus_dep(sim, jcfg);
+    app::PhotoServiceSim app(sim, app::PhotoAppConfig{}, &janus_dep);
+    fallback = run_scenario(sim, app, "203.0.113.77");
+  }
+
+  print_timeline("FIG 13a-1: custom rule (refill=100, capacity=1000), "
+                 "client at ~130 rps", custom);
+  print_timeline("FIG 13a-2: default rule (refill=10, capacity=100), "
+                 "client at ~130 rps", fallback);
+  std::printf("\npaper shape: full bucket sustains 130 rps until depletion "
+              "(1000/(130-100) ~ 33 s; 100/(130-10) ~ 1 s), then admission "
+              "settles at the refill rate\n");
+
+  std::printf("\nFIG 13b: round-trip latency (ms)\n");
+  std::printf("%-18s %9s %9s %9s %9s\n", "", "Average", "P90", "P99",
+              "P99.9");
+  print_latency_row("No QoS", no_qos_latency);
+  print_latency_row("Refill=10 (ok)", fallback.accepted_latency);
+  print_latency_row("Refill=100 (ok)", custom.accepted_latency);
+  Histogram rejected = custom.rejected_latency;
+  rejected.merge(fallback.rejected_latency);
+  print_latency_row("Rejected", rejected);
+
+  const double rejected_p90_ms = rejected.percentile(0.90) / 1e6;
+  std::printf("\nheadline check: 90%% of admission-control rejections in "
+              "%.1f ms (paper: 3 ms) -> %s\n", rejected_p90_ms,
+              rejected_p90_ms < 5.0 ? "REPRODUCED" : "NOT reproduced");
+  std::printf("paper: No-QoS P90 27 ms; with QoS 30 ms; rejects 3 ms\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 8: horizontal scalability of the request router — 1..10 c3.xlarge
+// router nodes against a fixed 1x c3.8xlarge QoS server.
+//
+// Paper shape: linear growth that stops at ~8 nodes, where the single QoS
+// server saturates (the Fig. 7 max and Fig. 8 max nearly coincide); per-node
+// router CPU falls as nodes are added while server CPU climbs.
+#include "figlib.hpp"
+
+using namespace janus;
+
+int main() {
+  bench::print_header("FIG 8: Horizontal scalability of the Request Router");
+  bench::CorpusWorkload workload(5000);
+
+  for (int nodes = 1; nodes <= 10; ++nodes) {
+    sim::DeploymentConfig cfg;
+    cfg.router_instance = "c3.xlarge";
+    cfg.router_nodes = nodes;
+    cfg.server_instance = "c3.8xlarge";
+    cfg.server_nodes = 1;
+    auto result = bench::measure(cfg, workload);
+    bench::print_scaling_row(std::to_string(nodes) + " node(s)",
+                             result.best_throughput,
+                             result.metrics.router_cpu,
+                             result.metrics.server_cpu,
+                             result.best_concurrency);
+  }
+  std::printf("\npaper shape: linear until ~8 nodes, then the lone QoS "
+              "server is the bottleneck\n");
+  return 0;
+}

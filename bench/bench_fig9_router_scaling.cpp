@@ -1,0 +1,51 @@
+// Fig. 9: vertical vs horizontal scalability of the request router at equal
+// vCPU counts. Paper: "With the same amount of vCPU cores in the request
+// router layer, Janus achieves approximately the same throughput,
+// regardless of the scaling technique being used."
+#include "figlib.hpp"
+
+using namespace janus;
+
+namespace {
+
+double run(const std::string& instance, int nodes,
+           const bench::CorpusWorkload& workload) {
+  sim::DeploymentConfig cfg;
+  cfg.router_instance = instance;
+  cfg.router_nodes = nodes;
+  cfg.server_instance = "c3.8xlarge";
+  cfg.server_nodes = 1;
+  return bench::measure(cfg, workload).best_throughput;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "FIG 9: Vertical vs horizontal scalability of the Request Router");
+  bench::CorpusWorkload workload(5000);
+
+  struct Point {
+    int vcpus;
+    const char* vertical_type;
+    int horizontal_nodes;  // of c3.xlarge (4 vCPUs each)
+  };
+  const Point points[] = {
+      {4, "c3.xlarge", 1},
+      {8, "c3.2xlarge", 2},
+      {16, "c3.4xlarge", 4},
+      {32, "c3.8xlarge", 8},
+  };
+
+  std::printf("%6s %22s %22s\n", "vCPUs", "vertical (krps)",
+              "horizontal (krps)");
+  for (const auto& p : points) {
+    const double v = run(p.vertical_type, 1, workload);
+    const double h = run("c3.xlarge", p.horizontal_nodes, workload);
+    std::printf("%6d %15.1f (%s) %15.1f (%dx c3.xlarge)\n", p.vcpus,
+                v / 1000.0, p.vertical_type, h / 1000.0, p.horizontal_nodes);
+  }
+  std::printf("\npaper shape: the two curves coincide — same cores, same "
+              "throughput, either scaling direction\n");
+  return 0;
+}

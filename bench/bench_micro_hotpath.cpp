@@ -1,0 +1,112 @@
+// A4: google-benchmark microbenchmarks of the per-request hot path — the
+// operations every QoS decision pays: CRC32 partitioning, wire codec,
+// leaky-bucket update, QoS-table lookup, and the listener->worker FIFO.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.hpp"
+#include "common/histogram.hpp"
+#include "common/mpmc_queue.hpp"
+#include "core/admission.hpp"
+#include "core/key_router.hpp"
+#include "wire/codec.hpp"
+
+namespace {
+
+using namespace janus;
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(key));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(8)->Arg(36)->Arg(128)->Arg(1024);
+
+void BM_KeyRouterIndex(benchmark::State& state) {
+  core::KeyRouter router(20);
+  const std::string key = "tenant-12345/photos";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.index_for(key));
+  }
+}
+BENCHMARK(BM_KeyRouterIndex);
+
+void BM_WireEncodeRequest(benchmark::State& state) {
+  wire::QosRequest req;
+  req.request_id = 42;
+  req.key = "tenant-12345/photos";
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    wire::encode_to(req, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_WireEncodeRequest);
+
+void BM_WireDecodeRequest(benchmark::State& state) {
+  wire::QosRequest req;
+  req.request_id = 42;
+  req.key = "tenant-12345/photos";
+  const auto bytes = wire::encode(req);
+  for (auto _ : state) {
+    auto decoded = wire::decode_request(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_WireDecodeRequest);
+
+void BM_LeakyBucketConsume(benchmark::State& state) {
+  core::LeakyBucket bucket(1e12, 1e9, kTimeZero);
+  TimePoint t = kTimeZero;
+  for (auto _ : state) {
+    t += nanos(100);
+    benchmark::DoNotOptimize(bucket.try_consume(1, t));
+  }
+}
+BENCHMARK(BM_LeakyBucketConsume);
+
+class WarmSource final : public core::RuleSource {
+ public:
+  std::optional<core::QosRule> fetch(std::string_view key) override {
+    return core::QosRule{.key = std::string(key), .capacity = 1e12,
+                         .refill_per_sec = 1e9,
+                         .initial_credit = std::nullopt};
+  }
+};
+
+void BM_AdmissionCheckCached(benchmark::State& state) {
+  SteadyClock clock;
+  WarmSource source;
+  core::AdmissionConfig cfg;
+  cfg.table_shards = static_cast<std::size_t>(state.range(0));
+  core::AdmissionController admission(clock, source, cfg);
+  admission.check("hot-key");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(admission.check("hot-key").allowed);
+  }
+}
+BENCHMARK(BM_AdmissionCheckCached)->Arg(1)->Arg(16);
+
+void BM_MpmcQueuePingPong(benchmark::State& state) {
+  MpmcQueue<int> queue(1024);
+  for (auto _ : state) {
+    queue.try_push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+}
+BENCHMARK(BM_MpmcQueuePingPong);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 1103515245 + 12345) & 0xFFFFFF;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

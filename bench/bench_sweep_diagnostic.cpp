@@ -1,0 +1,45 @@
+// Diagnostic: per-concurrency behaviour of one deployment around its
+// saturation knee — shows the retry/default-reply congestion-collapse
+// mechanics that the measure_saturation quality bar guards against.
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace janus;
+
+int main(int argc, char** argv) {
+  sim::DeploymentConfig cfg;
+  cfg.router_instance = "c3.8xlarge";
+  cfg.router_nodes = 5;
+  cfg.server_instance = "c3.8xlarge";
+  cfg.server_nodes = 1;
+  if (argc > 1) cfg.server_instance = argv[1];
+
+  bench::CorpusWorkload workload(5000);
+  bench::print_header("sweep diagnostic: 5x c3.8xlarge routers -> 1x " +
+                      cfg.server_instance + " server");
+  std::printf("%6s %10s %10s %9s %9s %9s %8s %8s %9s %9s\n", "conc",
+              "completed", "decided", "defaults", "retries", "dropped",
+              "rtrCPU%", "srvCPU%", "p50(us)", "p99(us)");
+  for (std::size_t c : {10, 20, 40, 60, 80, 100, 120, 150, 200}) {
+    sim::Simulation sim;
+    sim::SimDeployment dep(sim, cfg);
+    workload.provision(dep.rules());
+    workload.warm(dep);
+    sim::ClosedLoopDriver driver(dep, c, 10, workload.picker(), 1);
+    driver.start();
+    sim.run_until(millis(800));
+    dep.mark_window();
+    sim.run_until(millis(800) + millis(1200));
+    sim::WindowMetrics m = dep.mark_window();
+    driver.stop();
+    std::printf("%6zu %10.0f %10.0f %9llu %9llu %9llu %8.1f %8.1f %9lld %9lld\n",
+                c, m.completed_throughput(), m.decided_throughput(),
+                (unsigned long long)m.default_replies,
+                (unsigned long long)m.udp_retries,
+                (unsigned long long)m.fifo_dropped, m.router_cpu * 100,
+                m.server_cpu * 100, (long long)(m.latency.percentile(0.5) / 1000),
+                (long long)(m.latency.percentile(0.99) / 1000));
+  }
+  return 0;
+}

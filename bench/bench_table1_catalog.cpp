@@ -1,0 +1,15 @@
+// Table I: EC2 instance types used throughout the evaluation.
+#include <cstdio>
+
+#include "sim/instance.hpp"
+
+int main() {
+  std::printf("TABLE I: EC2 instance types\n");
+  std::printf("%-12s %6s %12s %10s %12s\n", "type", "vCPU", "Memory(GB)",
+              "Net(Mbps)", "USD/hr");
+  for (const auto& t : janus::sim::instance_catalog()) {
+    std::printf("%-12s %6d %12.2f %10d %12.3f\n", t.name.c_str(), t.vcpus,
+                t.memory_gb, t.network_mbps, t.price_usd_hr);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared harness for the figure-reproduction benches: capacity-aware
+// concurrency sweeps, rule provisioning, and paper-style table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/drivers.hpp"
+#include "sim/janus_model.hpp"
+#include "workload/key_generator.hpp"
+#include "workload/rule_corpus.hpp"
+
+namespace janus::bench {
+
+/// Estimated decided-throughput capacity (rps) of a deployment — used to
+/// center the closed-loop concurrency sweep.
+inline double estimate_capacity(const sim::DeploymentConfig& cfg) {
+  const auto router = sim::find_instance(cfg.router_instance).value();
+  const auto server = sim::find_instance(cfg.server_instance).value();
+  const sim::CostModel& c = cfg.costs;
+
+  const double router_cap =
+      cfg.router_nodes * (router.vcpus - c.router_background_cores) /
+      to_seconds(c.router_cpu_pre + c.router_cpu_post);
+  const double server_cpu_cap =
+      cfg.server_nodes * (server.vcpus - c.server_background_cores) /
+      to_seconds(c.server_cpu_worker + c.server_cpu_overhead);
+  const double server_lock_cap =
+      cfg.server_nodes / to_seconds(c.server_lock);
+  return std::min({router_cap, server_cpu_cap, server_lock_cap});
+}
+
+/// Concurrency sweep bracketing the capacity-latency product.
+inline std::vector<std::size_t> sweep_for(const sim::DeploymentConfig& cfg,
+                                          double path_latency_sec = 1.1e-3) {
+  const double cstar = estimate_capacity(cfg) * path_latency_sec;
+  std::vector<std::size_t> out;
+  // Finer steps near capacity: the stable peak sits just below the point
+  // where server sojourn crosses the UDP retry window.
+  for (double f : {0.5, 0.7, 0.85, 1.0, 1.15, 1.35}) {
+    out.push_back(std::max<std::size_t>(4, static_cast<std::size_t>(cstar * f)));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Provision `n` rules over sequential keys and return a uniform key picker.
+struct CorpusWorkload {
+  workload::SequentialKeys keys;
+  workload::RuleCorpusConfig corpus;
+
+  explicit CorpusWorkload(std::uint64_t n) {
+    corpus.rule_count = n;
+    // Generous quotas: scalability figures measure capacity, not throttling.
+    corpus.min_rate = 1e6;
+    corpus.max_rate = 1e7;
+    corpus.burst_seconds = 100.0;
+  }
+
+  void provision(db::RuleStore& store) const {
+    workload::provision_rules(store, keys, corpus);
+  }
+
+  /// Pull every key into its server's local table: the cached steady state
+  /// (first-touch cost is studied in the sweep diagnostic and A1).
+  void warm(sim::SimDeployment& dep) const {
+    for (std::uint64_t i = 0; i < corpus.rule_count; ++i) {
+      dep.warm_key(keys.key(i));
+    }
+  }
+
+  sim::KeyFn picker() const {
+    const auto* self = this;
+    return [self](Rng& rng) {
+      return self->keys.key(rng.next_below(self->corpus.rule_count));
+    };
+  }
+};
+
+/// One saturation measurement of a deployment config.
+inline sim::SaturationResult measure(const sim::DeploymentConfig& cfg,
+                                     const CorpusWorkload& workload,
+                                     Duration warmup = millis(400),
+                                     Duration window = millis(1200)) {
+  return sim::measure_saturation(
+      cfg, workload.picker(), sweep_for(cfg), warmup, window,
+      [&](db::RuleStore& store) { workload.provision(store); },
+      [&](sim::SimDeployment& dep) { workload.warm(dep); });
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_scaling_row(const std::string& label, double rps,
+                              double router_cpu, double server_cpu,
+                              std::size_t concurrency) {
+  std::printf("%-14s  throughput=%8.1f krps  routerCPU=%5.1f%%  "
+              "serverCPU=%5.1f%%  (best c=%zu)\n",
+              label.c_str(), rps / 1000.0, router_cpu * 100.0,
+              server_cpu * 100.0, concurrency);
+}
+
+}  // namespace janus::bench

@@ -1,0 +1,73 @@
+// Quickstart: embed Janus admission control in a process.
+//
+// This is the smallest useful integration — no sockets, no cluster: a rules
+// database, an AdmissionController, and allow/deny decisions. Run it:
+//
+//   ./build/examples/example_quickstart
+//
+// It walks through the §II-C credit model: a tenant with a 5 req/s quota and
+// a burst bucket of 20, first exhausting the burst, then being throttled to
+// the sustained rate, then banking credit while idle.
+#include <cstdio>
+#include <string>
+
+#include "core/admission.hpp"
+#include "core/db_rule_adapter.hpp"
+#include "db/rule_store.hpp"
+
+using namespace janus;
+
+int main() {
+  // 1. The database layer: an embedded store holding qos_rules rows
+  //    (key, refill rate, bucket capacity, check-pointed credit).
+  db::Database database;
+  db::RuleStore rules(database);
+  (void)rules.put({.key = "tenant-42",
+                   .refill_per_sec = 5.0,   // purchased rate: 5 req/s
+                   .capacity = 20.0,        // burst allowance
+                   .credit = 20.0});        // provisioned full
+
+  // 2. The QoS server brain: a clock, the DB adapter, and the controller.
+  //    Unknown keys fall back to a default rule — here: deny everything.
+  ManualClock clock;  // swap in SteadyClock for wall-clock time
+  core::DbRuleSource source(rules);
+  core::AdmissionConfig config;
+  config.default_rule = core::deny_all_default();
+  core::AdmissionController admission(clock, source, config);
+
+  // 3. Make decisions. The first call on a key fetches its rule from the
+  //    database and creates the leaky bucket; later calls are pure memory.
+  std::printf("burst phase: 25 immediate requests against capacity 20\n");
+  int allowed = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (admission.check("tenant-42").allowed) ++allowed;
+  }
+  std::printf("  -> %d allowed, %d throttled\n\n", allowed, 25 - allowed);
+
+  std::printf("sustained phase: 10 req/s offered against a 5 req/s quota\n");
+  allowed = 0;
+  for (int i = 0; i < 50; ++i) {
+    clock.advance(millis(100));  // 10 requests per second
+    if (admission.check("tenant-42").allowed) ++allowed;
+  }
+  std::printf("  -> %d of 50 allowed over 5 s (quota: 5/s -> ~25)\n\n",
+              allowed);
+
+  std::printf("idle banking: 4 s of silence refills up to the capacity\n");
+  clock.advance(seconds(4));
+  auto decision = admission.probe("tenant-42");
+  std::printf("  -> bucket holds %.1f credits (max 20)\n\n",
+              decision.remaining_millicredits / 1000.0);
+
+  std::printf("unknown keys use the default rule (deny-all here)\n");
+  std::printf("  -> check(\"stranger\") = %s\n",
+              admission.check("stranger").allowed ? "TRUE" : "FALSE");
+
+  // 4. Check-point credits back to the database so a restart resumes from
+  //    the same water levels (§II-D).
+  core::DbRuleSink sink(rules);
+  admission.checkpoint_now(sink);
+  std::printf("\ncheck-pointed credit in the database: %.1f\n",
+              rules.get("tenant-42")->credit);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "app/photo_service.hpp"
+
+#include <stdexcept>
+
+namespace janus::app {
+
+struct PhotoServiceSim::PageLoad {
+  std::string client_ip;
+  TimePoint t0{kTimeZero};
+  sim::SimNode* node = nullptr;
+  std::function<void(const AppResult&)> on_done;
+};
+
+PhotoServiceSim::PhotoServiceSim(sim::Simulation& sim, PhotoAppConfig config,
+                                 sim::SimDeployment* janus)
+    : sim_(sim), config_(std::move(config)), janus_(janus),
+      rng_(config_.seed) {
+  auto type = sim::find_instance(config_.app_instance);
+  if (!type) throw std::invalid_argument("unknown app instance type");
+  for (int i = 0; i < config_.app_servers; ++i) {
+    nodes_.push_back(std::make_unique<sim::SimNode>(
+        sim_, "app-" + std::to_string(i), *type,
+        sim::NodeOptions{.background_cores = 0.1}));
+  }
+}
+
+void PhotoServiceSim::submit(const std::string& client_ip,
+                             std::function<void(const AppResult&)> on_done) {
+  auto load = std::make_shared<PageLoad>();
+  load->client_ip = client_ip;
+  load->t0 = sim_.now();
+  load->node = nodes_[rr_next_++ % nodes_.size()].get();
+  load->on_done = std::move(on_done);
+
+  const Duration inbound =
+      config_.client_net.sample(rng_) + config_.lb_hop.sample(rng_);
+  sim_.schedule_after(inbound, [this, load] { app_receive(load); });
+}
+
+void PhotoServiceSim::app_receive(std::shared_ptr<PageLoad> load) {
+  // (a) obtain the caller's IP + request parsing.
+  load->node->submit(config_.parse_cpu, [this, load] {
+    if (!janus_) {
+      serve_page(load);  // Fig. 4a: no QoS, straight to the engine
+      return;
+    }
+    // Fig. 4b: qos_check($_SERVER['REMOTE_ADDR']) before any real work.
+    janus_->submit(0, load->client_ip,
+                   [this, load](const sim::SimQosResult& verdict) {
+                     if (verdict.allowed) {
+                       serve_page(load);
+                     } else {
+                       // header("HTTP/1.1 403 Forbidden")
+                       respond(load, /*served=*/false,
+                               verdict.status !=
+                                   wire::ResponseStatus::kOk);
+                     }
+                   });
+  });
+}
+
+void PhotoServiceSim::serve_page(std::shared_ptr<PageLoad> load) {
+  // (b) Memcached session fetch -> (c) MySQL latest-N query -> (d) render.
+  const Duration cache_wait = config_.memcached.sample(rng_);
+  sim_.schedule_after(cache_wait, [this, load] {
+    const Duration db_wait = config_.mysql.sample(rng_);
+    sim_.schedule_after(db_wait, [this, load] {
+      load->node->submit(config_.render_cpu, [this, load] {
+        respond(load, /*served=*/true, /*qos_default=*/false);
+      });
+    });
+  });
+}
+
+void PhotoServiceSim::respond(std::shared_ptr<PageLoad> load, bool served,
+                              bool qos_default) {
+  const Duration outbound =
+      config_.client_net.sample(rng_) + config_.lb_hop.sample(rng_);
+  sim_.schedule_after(outbound, [this, load, served, qos_default] {
+    AppResult result{served, qos_default, sim_.now() - load->t0};
+    if (load->on_done) load->on_done(result);
+  });
+}
+
+}  // namespace janus::app

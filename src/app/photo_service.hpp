@@ -1,0 +1,63 @@
+// The photo-sharing web application of §IV/§V-D — the integration testbed.
+// Its index page (a) takes the caller's IP, (b) hits a session cache
+// (Memcached), (c) queries MySQL for the latest uploads, (d) renders HTML.
+// With QoS enabled the handler first calls Janus with the IP as the QoS key
+// and throttles with an immediate 403 when the verdict is FALSE — the exact
+// wrapper of the paper's PHP snippet (Fig. 4b).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/janus_model.hpp"
+#include "sim/node.hpp"
+
+namespace janus::app {
+
+struct PhotoAppConfig {
+  int app_servers = 5;                       // c3.xlarge fleet behind an ELB
+  std::string app_instance = "c3.xlarge";
+  Duration parse_cpu = micros(500);          // request parsing / routing
+  Duration render_cpu = millis(3);           // HTML generation
+  sim::LatencyModel memcached{micros(300), 0.20};   // session fetch
+  sim::LatencyModel mysql{millis(12), 0.50};         // latest-N query
+  sim::LatencyModel client_net{micros(250), 0.25};  // one-way client <-> ELB
+  sim::LatencyModel lb_hop{micros(200), 0.25};      // ELB <-> app node
+  std::uint64_t seed = 1234;
+};
+
+struct AppResult {
+  bool served = false;     // true: 200 with page; false: 403 throttle
+  bool qos_default = false;
+  Duration latency{0};
+};
+
+/// The simulated application. Pass a SimDeployment to enable QoS (Fig. 4b);
+/// pass nullptr for the unprotected baseline (Fig. 4a).
+class PhotoServiceSim {
+ public:
+  PhotoServiceSim(sim::Simulation& sim, PhotoAppConfig config,
+                  sim::SimDeployment* janus);
+
+  /// One page load from `client_ip` (which doubles as the QoS key).
+  void submit(const std::string& client_ip,
+              std::function<void(const AppResult&)> on_done);
+
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  struct PageLoad;
+  void app_receive(std::shared_ptr<PageLoad> load);
+  void serve_page(std::shared_ptr<PageLoad> load);
+  void respond(std::shared_ptr<PageLoad> load, bool served, bool qos_default);
+
+  sim::Simulation& sim_;
+  PhotoAppConfig config_;
+  sim::SimDeployment* janus_;  // nullable
+  Rng rng_;
+  std::vector<std::unique_ptr<sim::SimNode>> nodes_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace janus::app

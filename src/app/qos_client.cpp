@@ -1,0 +1,33 @@
+#include "app/qos_client.hpp"
+
+#include "wire/http_codec.hpp"
+#include "wire/message.hpp"
+
+namespace janus::app {
+
+QosClient::QosClient(net::SockAddr janus_endpoint, QosClientOptions options)
+    : options_(options), client_(std::move(janus_endpoint), options.timeout) {}
+
+bool QosClient::call(const std::string& key, std::uint32_t cost, bool probe) {
+  wire::QosRequest req;
+  req.key = key;
+  req.cost = cost;
+  if (probe) req.type = wire::RequestType::kProbe;
+
+  auto resp = client_.get(wire::format_qos_target(req));
+  if (!resp.ok() || resp.value().status != 200) {
+    ++transport_errors_;
+    return options_.allow_on_error;
+  }
+  return resp.value().body == "TRUE";
+}
+
+bool QosClient::qos_check(const std::string& key, std::uint32_t cost) {
+  return call(key, cost, /*probe=*/false);
+}
+
+bool QosClient::qos_probe(const std::string& key, std::uint32_t cost) {
+  return call(key, cost, /*probe=*/true);
+}
+
+}  // namespace janus::app

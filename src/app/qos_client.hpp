@@ -1,0 +1,45 @@
+// The application-side integration wrapper — the C++ analogue of the paper's
+// qos_client.php (§IV):
+//
+//   $qos = qos_check($_SERVER['REMOTE_ADDR']);
+//   if ($qos) { include("original_index.php"); }
+//   else      { header("HTTP/1.1 403 Forbidden"); }
+//
+// One object per worker; wraps an HttpClient to the Janus endpoint (router
+// node or gateway balancer). Fail-open/fail-closed on transport errors is a
+// policy choice (§II-D default rules) and is configurable.
+#pragma once
+
+#include <string>
+
+#include "net/http.hpp"
+
+namespace janus::app {
+
+struct QosClientOptions {
+  Duration timeout = millis(200);
+  bool allow_on_error = false;  // verdict when Janus itself is unreachable
+};
+
+class QosClient {
+ public:
+  explicit QosClient(net::SockAddr janus_endpoint,
+                     QosClientOptions options = {});
+
+  /// The paper's qos_check(): TRUE = let the request through.
+  bool qos_check(const std::string& key, std::uint32_t cost = 1);
+
+  /// Non-consuming variant.
+  bool qos_probe(const std::string& key, std::uint32_t cost = 1);
+
+  std::uint64_t transport_errors() const { return transport_errors_; }
+
+ private:
+  bool call(const std::string& key, std::uint32_t cost, bool probe);
+
+  QosClientOptions options_;
+  net::HttpClient client_;
+  std::uint64_t transport_errors_ = 0;
+};
+
+}  // namespace janus::app

@@ -1,0 +1,23 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace janus {
+
+SteadyClock::SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint SteadyClock::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() -
+                                              epoch_);
+}
+
+void SteadyClock::sleep_until(TimePoint deadline) {
+  std::this_thread::sleep_until(epoch_ + deadline);
+}
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace janus

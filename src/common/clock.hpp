@@ -1,0 +1,91 @@
+// Clock abstraction. All Janus components take a Clock& so that the same
+// admission-control logic runs on real time (runtime driver) and on virtual
+// time (simulator / unit tests). Time points are nanoseconds since an
+// arbitrary per-clock epoch; only differences are meaningful.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace janus {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;  // nanoseconds since clock epoch
+
+inline constexpr TimePoint kTimeZero{0};
+
+/// Abstract monotonic clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time. Monotonically non-decreasing.
+  virtual TimePoint now() const = 0;
+
+  /// Blocks (or virtually advances) until `now() >= deadline`.
+  virtual void sleep_until(TimePoint deadline) = 0;
+
+  void sleep_for(Duration d) { sleep_until(now() + d); }
+};
+
+/// Wall-clock-backed monotonic clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  TimePoint now() const override;
+  void sleep_until(TimePoint deadline) override;
+
+  /// Process-wide shared instance (convenience for entry points).
+  static SteadyClock& instance();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock for tests and the discrete-event simulator.
+/// Thread-safe: now() may be read concurrently with advance().
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = kTimeZero) : now_(start.count()) {}
+
+  TimePoint now() const override {
+    return TimePoint{now_.load(std::memory_order_acquire)};
+  }
+
+  /// sleep_until on a manual clock simply jumps time forward; it never
+  /// blocks. Sleeping into the past is a no-op (monotonicity).
+  void sleep_until(TimePoint deadline) override { advance_to(deadline); }
+
+  void advance(Duration d) {
+    now_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  void advance_to(TimePoint t) {
+    std::int64_t cur = now_.load(std::memory_order_acquire);
+    while (t.count() > cur &&
+           !now_.compare_exchange_weak(cur, t.count(),
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// Convenience literals-ish helpers.
+constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+constexpr Duration micros(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration millis(std::int64_t n) { return Duration{n * 1000000}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000000000}; }
+
+/// Duration from a floating-point number of seconds (workload generators).
+inline Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+inline double to_seconds(Duration d) { return static_cast<double>(d.count()) / 1e9; }
+inline double to_millis(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+inline double to_micros(Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+}  // namespace janus

@@ -1,0 +1,84 @@
+#include "common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace janus {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t lineno = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++lineno;
+    // Strip comments.
+    std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error("config line " + std::to_string(lineno) +
+                   ": expected key=value");
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Error("config line " + std::to_string(lineno) + ": empty key");
+    }
+    cfg.entries_[std::string(key)] = std::string(value);
+  }
+  return cfg;
+}
+
+Result<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::get_int(std::string_view key, std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  auto parsed = parse_i64(*v);
+  return parsed ? *parsed : fallback;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  auto parsed = parse_double(*v);
+  return parsed ? *parsed : fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (iequals(*v, "true") || *v == "1" || iequals(*v, "yes") || iequals(*v, "on")) return true;
+  if (iequals(*v, "false") || *v == "0" || iequals(*v, "no") || iequals(*v, "off")) return false;
+  return fallback;
+}
+
+}  // namespace janus

@@ -1,0 +1,43 @@
+// key=value configuration with typed getters. Janus daemons (router, server,
+// balancer) take their tunables — timeouts, retry counts, sync intervals —
+// from a Config so experiments can sweep them without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace janus {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(std::string_view text);
+  /// Load from a file path.
+  static Result<Config> load(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  bool contains(std::string_view key) const;
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::string get_or(std::string_view key, std::string fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace janus

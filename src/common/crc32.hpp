@@ -1,0 +1,37 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the hash the Janus
+// request router uses to partition QoS keys across QoS servers (paper §II-B,
+// Fig. 2). Table-driven, one table generated at compile time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace janus {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC-32. `seed` is a previous crc32() result for chaining.
+constexpr std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace janus

@@ -1,0 +1,150 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace janus {
+
+Histogram::Histogram(std::int64_t max_value, int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(std::int64_t{1} << (sub_bucket_bits + 1)),
+      sub_bucket_half_(std::int64_t{1} << sub_bucket_bits),
+      max_value_(max_value),
+      min_(std::numeric_limits<std::int64_t>::max()) {
+  if (max_value <= 0 || sub_bucket_bits < 1 || sub_bucket_bits > 20) {
+    throw std::invalid_argument("Histogram: bad geometry");
+  }
+  // Number of power-of-two ranges needed to cover max_value.
+  int ranges = 1;
+  std::int64_t top = sub_bucket_count_ - 1;
+  while (top < max_value_) {
+    top = top * 2 + 1;
+    ++ranges;
+  }
+  counts_.assign(static_cast<std::size_t>(ranges) *
+                     static_cast<std::size_t>(sub_bucket_half_) +
+                 static_cast<std::size_t>(sub_bucket_half_),
+                 0);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  if (value < 0) value = 0;
+  if (value > max_value_) value = max_value_;
+  // Range = position of highest bit beyond the base sub-bucket resolution.
+  const std::uint64_t v = static_cast<std::uint64_t>(value) | 1u;
+  int msb = 63 - std::countl_zero(v);
+  int range = std::max(0, msb - sub_bucket_bits_);
+  // Within a range, values map to sub_bucket_half_..sub_bucket_count_-1
+  // (except range 0 which covers 0..sub_bucket_count_-1 exactly).
+  std::int64_t sub = value >> range;
+  std::size_t base = static_cast<std::size_t>(range) *
+                     static_cast<std::size_t>(sub_bucket_half_);
+  std::size_t idx = base + static_cast<std::size_t>(sub);
+  return std::min(idx, counts_.size() - 1);
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t index) const {
+  // Invert bucket_index: find range and sub-bucket.
+  std::size_t half = static_cast<std::size_t>(sub_bucket_half_);
+  if (index < static_cast<std::size_t>(sub_bucket_count_)) {
+    return static_cast<std::int64_t>(index);  // range 0: exact
+  }
+  // Range r >= 1 stores sub-buckets [half, 2*half) at indices
+  // [(r+1)*half, (r+2)*half), see bucket_index.
+  std::size_t range = index / half - 1;
+  std::size_t sub = index - range * half;
+  return ((static_cast<std::int64_t>(sub) + 1) << range) - 1;
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  counts_[bucket_index(value)]++;
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() ||
+      other.sub_bucket_bits_ != sub_bucket_bits_) {
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+std::int64_t Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target && counts_[i] > 0) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+namespace {
+std::string format_summary(const Histogram& h, double scale,
+                           const char* unit) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "avg=%.1f%s p50=%.1f%s p90=%.1f%s p99=%.1f%s p99.9=%.1f%s "
+                "max=%.1f%s n=%llu",
+                h.mean() / scale, unit,
+                static_cast<double>(h.percentile(0.50)) / scale, unit,
+                static_cast<double>(h.percentile(0.90)) / scale, unit,
+                static_cast<double>(h.percentile(0.99)) / scale, unit,
+                static_cast<double>(h.percentile(0.999)) / scale, unit,
+                static_cast<double>(h.max()) / scale, unit,
+                static_cast<unsigned long long>(h.count()));
+  return buf;
+}
+}  // namespace
+
+std::string Histogram::summary_us() const {
+  return format_summary(*this, 1e3, "us");
+}
+
+std::string Histogram::summary_ms() const {
+  return format_summary(*this, 1e6, "ms");
+}
+
+}  // namespace janus

@@ -1,0 +1,62 @@
+// Fixed-memory log-linear latency histogram (HDR-histogram style): values are
+// bucketed with bounded relative error, so P99.9 over millions of samples
+// costs O(1) memory. Used by the workload clients, the simulator, and the
+// benches to report the paper's Avg/P90/P99/P99.9 rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace janus {
+
+class Histogram {
+ public:
+  /// Records values in [0, max_value] (values above are clamped) with
+  /// `sub_bucket_bits` of precision per power-of-two range (relative error
+  /// <= 2^-sub_bucket_bits).
+  explicit Histogram(std::int64_t max_value = 3'600'000'000'000ll /* 1h ns */,
+                     int sub_bucket_bits = 7);
+
+  void record(std::int64_t value);
+  void record(Duration d) { record(d.count()); }
+
+  /// Merge another histogram (same geometry) into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Value at quantile q in [0,1]; e.g. 0.90 -> P90. Returns the upper edge
+  /// of the containing bucket (pessimistic, like HdrHistogram).
+  std::int64_t percentile(double q) const;
+
+  void reset();
+
+  /// "avg=1140us p90=1410us p99=...", scaled to microseconds.
+  std::string summary_us() const;
+  /// Same but scaled to milliseconds (application-level latencies).
+  std::string summary_ms() const;
+
+ private:
+  std::size_t bucket_index(std::int64_t value) const;
+  std::int64_t bucket_upper(std::size_t index) const;
+
+  int sub_bucket_bits_;
+  std::int64_t sub_bucket_count_;   // 2^(bits+1)
+  std::int64_t sub_bucket_half_;    // 2^bits
+  std::int64_t max_value_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace janus

@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+namespace janus {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::logf(LogLevel level, const char* file, int line, const char* fmt,
+                  ...) {
+  static std::mutex mu;
+  static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  std::lock_guard lock(mu);
+  std::fprintf(sink_, "[%lld.%03lld %s %s:%d] %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000),
+               names[static_cast<int>(level) & 3], base, line, msg);
+  std::fflush(sink_);
+}
+
+}  // namespace janus

@@ -1,0 +1,53 @@
+// Minimal thread-safe leveled logger. Components log through JLOG_* macros;
+// tests silence output by lowering the global level. No allocation happens
+// when the level is filtered out.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace janus {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirect output (default stderr). Not owned.
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+
+  void logf(LogLevel level, const char* file, int line, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6)));
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::FILE* sink_ = stderr;
+};
+
+}  // namespace janus
+
+#define JLOG(level, ...)                                                   \
+  do {                                                                     \
+    if (::janus::Logger::instance().enabled(level)) {                      \
+      ::janus::Logger::instance().logf(level, __FILE__, __LINE__,          \
+                                       __VA_ARGS__);                       \
+    }                                                                      \
+  } while (0)
+
+#define JLOG_DEBUG(...) JLOG(::janus::LogLevel::kDebug, __VA_ARGS__)
+#define JLOG_INFO(...) JLOG(::janus::LogLevel::kInfo, __VA_ARGS__)
+#define JLOG_WARN(...) JLOG(::janus::LogLevel::kWarn, __VA_ARGS__)
+#define JLOG_ERROR(...) JLOG(::janus::LogLevel::kError, __VA_ARGS__)

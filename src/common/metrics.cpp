@@ -1,0 +1,33 @@
+#include "common/metrics.hpp"
+
+namespace janus {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0);
+}
+
+}  // namespace janus

@@ -1,0 +1,58 @@
+// Process-local metrics: relaxed atomic counters and gauges grouped in a
+// registry. The router and QoS server export request/timeout/retry counts
+// through this; integration tests assert on them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Named counters/gauges. Lookup is lock-protected and intended for setup
+/// paths; callers hold the returned reference for hot-path updates.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Snapshot of all metric values (name -> value), for reporting.
+  std::map<std::string, std::int64_t> snapshot() const;
+
+  void reset_all();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace janus

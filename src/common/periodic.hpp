@@ -1,0 +1,62 @@
+// A stoppable periodic background task — the shape of every maintenance
+// thread in the QoS server (house-keeping refill, DB sync, check-pointing,
+// HA replication; paper §III-C). Runs on real time; the simulator schedules
+// the same callbacks as events instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace janus {
+
+class PeriodicTask {
+ public:
+  /// Starts a thread that invokes `fn` every `interval` until stop().
+  /// The first invocation happens after one full interval.
+  PeriodicTask(Duration interval, std::function<void()> fn)
+      : interval_(interval), fn_(std::move(fn)), thread_([this] { run(); }) {}
+
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stop and join. Idempotent. A callback in flight completes first.
+  void stop() {
+    {
+      std::lock_guard lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Run the callback immediately on the caller's thread (tests, flush).
+  void trigger_now() { fn_(); }
+
+ private:
+  void run() {
+    std::unique_lock lock(mu_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stopped_; })) break;
+      lock.unlock();
+      fn_();
+      lock.lock();
+    }
+  }
+
+  Duration interval_;
+  std::function<void()> fn_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace janus

@@ -1,0 +1,69 @@
+// Lightweight Result<T> error handling for recoverable failures (parse
+// errors, I/O timeouts, missing rows). Unrecoverable programmer errors still
+// throw. Modeled on std::expected (not yet available in this toolchain).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace janus {
+
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : value_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(value_));
+  }
+
+  const Error& error() const {
+    return std::get<Error>(value_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+/// Result<void> specialization-equivalent.
+class Status {
+ public:
+  Status() = default;                                    // ok
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return *error_; }
+  static Status success() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace janus

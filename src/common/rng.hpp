@@ -1,0 +1,104 @@
+// Deterministic random number generation. Janus experiments must be
+// reproducible run-to-run, so every component that needs randomness takes an
+// explicit Rng seeded from the experiment config — never a global generator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace janus {
+
+/// SplitMix64 — used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality PRNG for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6A616E7573ull /* "janus" */) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation (biased < 2^-64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (inter-arrival times, service noise).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Normal via Box–Muller (latency jitter).
+  double normal(double mean, double stddev) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 1e-18;
+    return mean + stddev * std::sqrt(-2.0 * std::log(u1)) *
+                      std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Log-normal parameterized by the *target* median and sigma of the
+  /// underlying normal — heavy-tailed service times.
+  double lognormal(double median, double sigma) {
+    return median * std::exp(sigma * normal(0.0, 1.0));
+  }
+
+  /// Derive an independent child stream (per node / per client).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace janus

@@ -1,0 +1,37 @@
+// Small string helpers shared by the wire codecs, HTTP parser, and config
+// loader. All functions are allocation-conscious: split/trim return views
+// into the input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace janus {
+
+/// Split on a single-character delimiter. Empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on delimiter, at most `max_fields` pieces (last piece keeps rest).
+std::vector<std::string_view> split_n(std::string_view s, char delim,
+                                      std::size_t max_fields);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool iequals(std::string_view a, std::string_view b);
+
+std::optional<std::int64_t> parse_i64(std::string_view s);
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+/// Percent-encode for URL query values (RFC 3986 unreserved set kept).
+std::string url_encode(std::string_view s);
+/// Percent-decode; returns nullopt on malformed escapes.
+std::optional<std::string> url_decode(std::string_view s);
+
+}  // namespace janus

@@ -1,0 +1,30 @@
+#include "common/thread_pool.hpp"
+
+namespace janus {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.try_push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  tasks_.shutdown();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace janus

@@ -1,0 +1,36 @@
+// The request-routing algorithm (paper Fig. 2):
+//
+//   seed = CRC32(QoS key);  n = seed mod N
+//
+// With a fixed number of QoS servers, requests with the same key always land
+// on the same server regardless of which router node computed the hash —
+// that property is what removes all intra-layer communication.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/crc32.hpp"
+
+namespace janus::core {
+
+class KeyRouter {
+ public:
+  explicit KeyRouter(std::size_t backend_count) : count_(backend_count) {
+    if (backend_count == 0) {
+      throw std::invalid_argument("KeyRouter: need at least one backend");
+    }
+  }
+
+  std::size_t backend_count() const { return count_; }
+
+  std::size_t index_for(std::string_view key) const {
+    return crc32(key) % count_;
+  }
+
+ private:
+  std::size_t count_;
+};
+
+}  // namespace janus::core

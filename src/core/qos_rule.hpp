@@ -1,0 +1,36 @@
+// A QoS rule: the quota a tenant purchased for one QoS key (paper §II-C —
+// "a QoS rule includes the QoS key, the capacity of the leaky bucket, the
+// refill rate, and the current credit").
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace janus::core {
+
+struct QosRule {
+  std::string key;
+  double capacity = 0.0;        // bucket size (burst allowance)
+  double refill_per_sec = 0.0;  // purchased sustained rate
+  /// Starting credit; unset means "start full" (§II-C). Set when recovering
+  /// from a check-point.
+  std::optional<double> initial_credit;
+
+  bool operator==(const QosRule&) const = default;
+};
+
+/// Default rules applied to unknown keys (§II-D): "a combination of zero
+/// capacity and zero refill rate to deny access, or a combination of a small
+/// capacity and a small refill rate to grant limited access".
+inline QosRule deny_all_default() {
+  return QosRule{.key = {}, .capacity = 0.0, .refill_per_sec = 0.0,
+                 .initial_credit = std::nullopt};
+}
+
+inline QosRule limited_access_default(double capacity, double refill_per_sec) {
+  return QosRule{.key = {}, .capacity = capacity,
+                 .refill_per_sec = refill_per_sec,
+                 .initial_credit = std::nullopt};
+}
+
+}  // namespace janus::core

@@ -1,0 +1,75 @@
+#include "core/qos_table.hpp"
+
+#include <stdexcept>
+
+namespace janus::core {
+
+ShardedQosTable::ShardedQosTable(std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("ShardedQosTable: shard_count must be >= 1");
+  }
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedQosTable::contains(std::string_view key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  return shard.entries.find(std::string(key)) != shard.entries.end();
+}
+
+bool ShardedQosTable::erase(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  return shard.entries.erase(std::string(key)) > 0;
+}
+
+std::size_t ShardedQosTable::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+void ShardedQosTable::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->entries.clear();
+  }
+}
+
+void ShardedQosTable::for_each(
+    const std::function<void(const std::string&, QosEntry&)>& fn) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto& [key, entry] : shard->entries) fn(key, entry);
+  }
+}
+
+std::vector<std::pair<std::string, QosEntry>> ShardedQosTable::snapshot()
+    const {
+  std::vector<std::pair<std::string, QosEntry>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      out.emplace_back(key, entry);
+    }
+  }
+  return out;
+}
+
+void ShardedQosTable::restore(
+    std::vector<std::pair<std::string, QosEntry>> entries) {
+  clear();
+  for (auto& [key, entry] : entries) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    shard.entries.insert_or_assign(key, std::move(entry));
+  }
+}
+
+}  // namespace janus::core

@@ -1,0 +1,98 @@
+// Multi-table database facade. All mutations flow through the Database so
+// they are (a) WAL-logged when durability is enabled and (b) announced to
+// observers — the replication stream for the Multi-AZ-style standby.
+//
+// Schemas are code, not data: callers re-create tables on startup and then
+// recover() replays the WAL into them, mirroring how Janus provisions its
+// qos_rules table (§III-D).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/serialize.hpp"
+#include "db/table.hpp"
+#include "db/wal.hpp"
+
+namespace janus::db {
+
+class Database {
+ public:
+  /// In-memory database (no durability).
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Enable write-ahead logging to `path`. Call before the first mutation.
+  Status enable_wal(const std::string& path);
+
+  /// Replay an existing WAL file into the (already created) tables.
+  /// Typically paired with enable_wal on the same path.
+  Result<std::size_t> recover(const std::string& path);
+
+  Status create_table(const std::string& name, Schema schema);
+  bool has_table(const std::string& name) const;
+  /// Read access to a table. Throws if absent (programmer error).
+  const Table& table(const std::string& name) const;
+
+  // -- Mutations (logged + replicated) --------------------------------------
+  Status upsert(const std::string& table, Row row);
+  Status remove(const std::string& table, std::string_view pk);
+  /// Single-column update, logged as a full-row upsert.
+  Status update_column(const std::string& table, std::string_view pk,
+                       std::string_view column, Value value);
+
+  // -- Reads ----------------------------------------------------------------
+  std::optional<Row> get(const std::string& table, std::string_view pk) const;
+  void scan(const std::string& table,
+            const std::function<void(const Row&)>& fn) const;
+  std::size_t table_size(const std::string& table) const;
+
+  /// Current log sequence number (monotonic; 0 = no mutations yet).
+  std::uint64_t lsn() const { return lsn_.load(std::memory_order_acquire); }
+
+  /// Observers see every applied mutation, in commit order, synchronously.
+  using Observer = std::function<void(const LogRecord&)>;
+  void add_observer(Observer obs);
+
+  /// Apply a replicated record (standby side). Does not re-log by default.
+  Status apply(const LogRecord& rec);
+
+  // -- Snapshot / WAL compaction ---------------------------------------------
+  // The check-pointing threads rewrite credits every few seconds (§II-D), so
+  // the WAL grows without bound. snapshot_to() writes a point-in-time copy
+  // of every table; compact_wal() additionally truncates the log, after
+  // which recovery = load_snapshot() + recover(wal).
+
+  /// Write all tables (names, schemas implied by caller, rows) to `path`.
+  Status snapshot_to(const std::string& path) const;
+
+  /// Replace the contents of already-created tables from a snapshot file.
+  /// Tables present in the snapshot but not in this database are an error.
+  Status load_snapshot(const std::string& path);
+
+  /// snapshot_to(path) then truncate and reopen the WAL (requires WAL on).
+  Status compact_wal(const std::string& snapshot_path);
+
+ private:
+  Table* find_table(const std::string& name);
+  const Table* find_table(const std::string& name) const;
+  Status commit(LogRecord rec);
+  Status snapshot_locked(const std::string& path) const;  // commit_mu_ held
+
+  mutable std::mutex commit_mu_;  // serializes the WAL/observer sequence
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::unique_ptr<Wal> wal_;
+  std::vector<Observer> observers_;
+  std::atomic<std::uint64_t> lsn_{0};
+};
+
+}  // namespace janus::db

@@ -1,0 +1,60 @@
+#include "db/replication.hpp"
+
+namespace janus::db {
+
+Replicator::Replicator(Database& master, Database& standby,
+                       std::size_t queue_capacity)
+    : standby_(standby),
+      queue_(std::make_shared<BlockingQueue<LogRecord>>(queue_capacity)),
+      active_(std::make_shared<bool>(true)) {
+  // The observer holds weak copies of the queue/flag so a destroyed or
+  // promoted Replicator silently stops capturing.
+  std::weak_ptr<BlockingQueue<LogRecord>> wq = queue_;
+  std::weak_ptr<bool> wactive = active_;
+  master.add_observer([wq, wactive](const LogRecord& rec) {
+    auto q = wq.lock();
+    auto active = wactive.lock();
+    if (!q || !active || !*active) return;
+    q->try_push(rec);  // drop counted on the pump side via size mismatch
+  });
+}
+
+std::size_t Replicator::pump(std::size_t max_records) {
+  std::size_t applied = 0;
+  while (applied < max_records) {
+    auto rec = queue_->try_pop();
+    if (!rec) break;
+    if (standby_.apply(*rec).ok()) {
+      ++applied;
+    } else {
+      ++dropped_;
+    }
+  }
+  return applied;
+}
+
+void Replicator::promote() {
+  pump();
+  *active_ = false;
+  promoted_ = true;
+}
+
+Status seed_standby(const Database& master, Database& standby,
+                    const std::vector<std::string>& tables) {
+  for (const auto& name : tables) {
+    std::vector<Row> rows = master.table(name).dump();
+    for (auto& row : rows) {
+      if (auto s = standby.apply(LogRecord{.lsn = master.lsn(),
+                                           .op = LogRecord::Op::kUpsert,
+                                           .table = name,
+                                           .row = std::move(row),
+                                           .pk = {}});
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace janus::db

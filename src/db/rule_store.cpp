@@ -1,0 +1,67 @@
+#include "db/rule_store.hpp"
+
+namespace janus::db {
+
+RuleStore::RuleStore(Database& db) : db_(db) {
+  if (!db_.has_table(kTableName)) {
+    // Creation cannot fail here: we just checked absence and hold no lock
+    // races on setup paths (RuleStore construction is a setup-time act).
+    (void)db_.create_table(kTableName, schema());
+  }
+}
+
+Schema RuleStore::schema() {
+  return Schema{{
+      {"key", ColumnType::kString},
+      {"refill_per_sec", ColumnType::kDouble},
+      {"capacity", ColumnType::kDouble},
+      {"credit", ColumnType::kDouble},
+  }};
+}
+
+Row RuleStore::to_row(const RuleRow& rule) {
+  return Row{rule.key, rule.refill_per_sec, rule.capacity, rule.credit};
+}
+
+RuleRow RuleStore::from_row(const Row& row) {
+  return RuleRow{
+      .key = std::get<std::string>(row[0]),
+      .refill_per_sec = std::get<double>(row[1]),
+      .capacity = std::get<double>(row[2]),
+      .credit = std::get<double>(row[3]),
+  };
+}
+
+std::optional<RuleRow> RuleStore::get(std::string_view key) const {
+  auto row = db_.get(kTableName, key);
+  if (!row) return std::nullopt;
+  return from_row(*row);
+}
+
+Status RuleStore::put(const RuleRow& rule) {
+  if (rule.key.empty()) return Error("rule: empty key");
+  if (rule.capacity < 0 || rule.refill_per_sec < 0) {
+    return Error("rule: negative capacity or refill rate");
+  }
+  if (rule.credit < 0 || rule.credit > rule.capacity) {
+    return Error("rule: credit outside [0, capacity]");
+  }
+  return db_.upsert(kTableName, to_row(rule));
+}
+
+Status RuleStore::checkpoint_credit(std::string_view key, double credit) {
+  return db_.update_column(kTableName, key, "credit", credit);
+}
+
+bool RuleStore::remove(std::string_view key) {
+  if (!db_.get(kTableName, key)) return false;
+  return db_.remove(kTableName, key).ok();
+}
+
+void RuleStore::scan(const std::function<void(const RuleRow&)>& fn) const {
+  db_.scan(kTableName, [&](const Row& row) { fn(from_row(row)); });
+}
+
+std::size_t RuleStore::size() const { return db_.table_size(kTableName); }
+
+}  // namespace janus::db

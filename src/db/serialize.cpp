@@ -1,0 +1,167 @@
+#include "db/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/crc32.hpp"
+
+namespace janus::db {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::value(const Value& v) {
+  u8(static_cast<std::uint8_t>(type_of(v)));
+  switch (type_of(v)) {
+    case ColumnType::kInt64:
+      u64(static_cast<std::uint64_t>(std::get<std::int64_t>(v)));
+      break;
+    case ColumnType::kDouble:
+      f64(std::get<double>(v));
+      break;
+    case ColumnType::kString:
+      str(std::get<std::string>(v));
+      break;
+  }
+}
+
+void ByteWriter::row(const Row& r) {
+  u32(static_cast<std::uint32_t>(r.size()));
+  for (const auto& v : r) value(v);
+}
+
+bool ByteReader::u8(std::uint8_t& out) {
+  if (pos_ + 1 > data_.size()) return false;
+  out = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t& out) {
+  if (pos_ + 4 > data_.size()) return false;
+  out = 0;
+  for (int i = 0; i < 4; ++i) out |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t& out) {
+  if (pos_ + 8 > data_.size()) return false;
+  out = 0;
+  for (int i = 0; i < 8; ++i) out |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::f64(double& out) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ByteReader::str(std::string& out) {
+  std::uint32_t len = 0;
+  if (!u32(len)) return false;
+  if (pos_ + len > data_.size()) return false;
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::value(Value& out) {
+  std::uint8_t tag = 0;
+  if (!u8(tag)) return false;
+  switch (static_cast<ColumnType>(tag)) {
+    case ColumnType::kInt64: {
+      std::uint64_t v = 0;
+      if (!u64(v)) return false;
+      out = static_cast<std::int64_t>(v);
+      return true;
+    }
+    case ColumnType::kDouble: {
+      double v = 0;
+      if (!f64(v)) return false;
+      out = v;
+      return true;
+    }
+    case ColumnType::kString: {
+      std::string v;
+      if (!str(v)) return false;
+      out = std::move(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ByteReader::row(Row& out) {
+  std::uint32_t n = 0;
+  if (!u32(n)) return false;
+  if (n > remaining()) return false;  // each value needs >= 1 byte
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!value(v)) return false;
+    out.push_back(std::move(v));
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_record(const LogRecord& rec) {
+  ByteWriter payload;
+  payload.u64(rec.lsn);
+  payload.u8(static_cast<std::uint8_t>(rec.op));
+  payload.str(rec.table);
+  if (rec.op == LogRecord::Op::kUpsert) {
+    payload.row(rec.row);
+  } else {
+    payload.str(rec.pk);
+  }
+
+  const auto& body = payload.bytes();
+  std::uint32_t crc = crc32(std::string_view(
+      reinterpret_cast<const char*>(body.data()), body.size()));
+
+  ByteWriter framed;
+  framed.u32(static_cast<std::uint32_t>(body.size()));
+  framed.u32(crc);
+  std::vector<std::uint8_t> out = framed.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<LogRecord> decode_record_payload(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LogRecord rec;
+  std::uint8_t op = 0;
+  if (!r.u64(rec.lsn)) return Error("record: truncated lsn");
+  if (!r.u8(op) || op > static_cast<std::uint8_t>(LogRecord::Op::kRemove)) {
+    return Error("record: bad op");
+  }
+  rec.op = static_cast<LogRecord::Op>(op);
+  if (!r.str(rec.table)) return Error("record: truncated table name");
+  if (rec.op == LogRecord::Op::kUpsert) {
+    if (!r.row(rec.row)) return Error("record: truncated row");
+  } else {
+    if (!r.str(rec.pk)) return Error("record: truncated pk");
+  }
+  if (!r.at_end()) return Error("record: trailing bytes");
+  return rec;
+}
+
+}  // namespace janus::db

@@ -1,0 +1,96 @@
+#include "db/table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace janus::db {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  if (schema_.columns.empty() ||
+      schema_.columns[0].type != ColumnType::kString) {
+    throw std::invalid_argument(
+        "table " + name_ + ": column 0 must be a string primary key");
+  }
+}
+
+Status Table::insert(Row row) {
+  if (!schema_.matches(row)) return Error("insert: row does not match schema");
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = rows_.try_emplace(pk_of(row), std::move(row));
+  if (!inserted) return Error("insert: duplicate primary key '" + it->first + "'");
+  return Status::success();
+}
+
+Status Table::upsert(Row row) {
+  if (!schema_.matches(row)) return Error("upsert: row does not match schema");
+  std::unique_lock lock(mu_);
+  rows_[pk_of(row)] = std::move(row);
+  return Status::success();
+}
+
+std::optional<Row> Table::get(std::string_view pk) const {
+  std::shared_lock lock(mu_);
+  auto it = rows_.find(std::string(pk));
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Table::update_column(std::string_view pk, std::string_view column,
+                            Value value) {
+  std::size_t col;
+  try {
+    col = schema_.column_index(column);
+  } catch (const std::out_of_range&) {
+    return Error("update: unknown column '" + std::string(column) + "'");
+  }
+  if (col == 0) return Error("update: cannot modify the primary key");
+  if (type_of(value) != schema_.columns[col].type) {
+    return Error("update: type mismatch for column '" + std::string(column) + "'");
+  }
+  std::unique_lock lock(mu_);
+  auto it = rows_.find(std::string(pk));
+  if (it == rows_.end()) {
+    return Error("update: no row with key '" + std::string(pk) + "'");
+  }
+  it->second[col] = std::move(value);
+  return Status::success();
+}
+
+bool Table::remove(std::string_view pk) {
+  std::unique_lock lock(mu_);
+  return rows_.erase(std::string(pk)) > 0;
+}
+
+void Table::scan(const std::function<void(const Row&)>& fn) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [pk, row] : rows_) fn(row);
+}
+
+std::size_t Table::size() const {
+  std::shared_lock lock(mu_);
+  return rows_.size();
+}
+
+std::vector<Row> Table::dump() const {
+  std::shared_lock lock(mu_);
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [pk, row] : rows_) out.push_back(row);
+  return out;
+}
+
+Status Table::load(std::vector<Row> rows) {
+  for (const auto& row : rows) {
+    if (!schema_.matches(row)) return Error("load: row does not match schema");
+  }
+  std::unique_lock lock(mu_);
+  rows_.clear();
+  for (auto& row : rows) {
+    std::string pk = pk_of(row);
+    rows_[std::move(pk)] = std::move(row);
+  }
+  return Status::success();
+}
+
+}  // namespace janus::db

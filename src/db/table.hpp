@@ -1,0 +1,68 @@
+// In-memory table with a hash primary-key index. Thread-safe: a shared_mutex
+// allows concurrent point reads (the QoS servers' first-touch lookups) while
+// writes (rule edits, check-points) take the exclusive lock. Matches the
+// paper's observation that the DB sees only a light workload (§V intro).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/value.hpp"
+
+namespace janus::db {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Insert a new row. Fails if the PK already exists or the row does not
+  /// match the schema.
+  Status insert(Row row);
+
+  /// Insert or overwrite by PK.
+  Status upsert(Row row);
+
+  /// Point lookup by primary key.
+  std::optional<Row> get(std::string_view pk) const;
+
+  /// Update a single column of an existing row. Fails on missing row,
+  /// unknown column, or type mismatch. This is the check-pointing operation
+  /// ("UPDATE qos_rules SET credit=? WHERE key=?").
+  Status update_column(std::string_view pk, std::string_view column,
+                       Value value);
+
+  /// Delete by PK; returns false if the row did not exist.
+  bool remove(std::string_view pk);
+
+  /// Full scan ("SELECT * FROM qos_rules"); visits rows in unspecified order.
+  /// The callback must not call back into the table.
+  void scan(const std::function<void(const Row&)>& fn) const;
+
+  std::size_t size() const;
+
+  /// Copy out all rows (snapshot support).
+  std::vector<Row> dump() const;
+
+  /// Replace contents wholesale (snapshot restore). Rows must match schema.
+  Status load(std::vector<Row> rows);
+
+ private:
+  std::string pk_of(const Row& row) const {
+    return std::get<std::string>(row[0]);
+  }
+
+  std::string name_;
+  Schema schema_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Row> rows_;
+};
+
+}  // namespace janus::db

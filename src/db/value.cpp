@@ -1,0 +1,22 @@
+#include "db/value.hpp"
+
+#include <stdexcept>
+
+namespace janus::db {
+
+std::size_t Schema::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  throw std::out_of_range("schema: no column named " + std::string(name));
+}
+
+bool Schema::matches(const std::vector<Value>& row) const {
+  if (row.size() != columns.size()) return false;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (type_of(row[i]) != columns[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace janus::db

@@ -1,0 +1,42 @@
+// Typed values and schemas for the embedded relational store that plays the
+// role of RDS MySQL in the paper (§II-D / §III-D). The store is deliberately
+// small — typed rows, a hash primary-key index, WAL, snapshots, replication —
+// because that is the entire surface Janus uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace janus::db {
+
+enum class ColumnType : std::uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+inline ColumnType type_of(const Value& v) {
+  return static_cast<ColumnType>(v.index());
+}
+
+struct Column {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// Table schema. Column 0 is always the primary key and must be kString
+/// (QoS keys are strings end-to-end).
+struct Schema {
+  std::vector<Column> columns;
+
+  bool operator==(const Schema&) const = default;
+
+  std::size_t column_index(std::string_view name) const;
+  bool matches(const std::vector<Value>& row) const;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace janus::db

@@ -1,0 +1,95 @@
+#include "db/wal.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace janus::db {
+
+Result<Wal> Wal::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return Error("wal: cannot open " + path + ": " + std::strerror(errno));
+  return Wal(path, f);
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (file_) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (file_) std::fclose(file_);
+}
+
+Status Wal::append(const LogRecord& rec) {
+  const std::vector<std::uint8_t> framed = encode_record(rec);
+  std::lock_guard lock(mu_);
+  if (!file_) return Error("wal: closed");
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    return Error("wal: short write");
+  }
+  if (std::fflush(file_) != 0) return Error("wal: flush failed");
+  return Status::success();
+}
+
+Status Wal::sync() {
+  std::lock_guard lock(mu_);
+  if (!file_) return Error("wal: closed");
+  if (std::fflush(file_) != 0) return Error("wal: flush failed");
+  if (::fsync(::fileno(file_)) != 0) return Error("wal: fsync failed");
+  return Status::success();
+}
+
+Result<std::size_t> Wal::replay(
+    const std::string& path,
+    const std::function<void(const LogRecord&)>& apply) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::size_t{0};  // no log yet: empty database
+  std::size_t applied = 0;
+  for (;;) {
+    std::uint8_t header[8];
+    std::size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean end
+    if (got < sizeof(header)) break;  // torn header at tail: stop
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) len |= std::uint32_t{header[i]} << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= std::uint32_t{header[4 + i]} << (8 * i);
+    if (len > (64u << 20)) {
+      std::fclose(f);
+      return Error("wal: implausible record length (corrupt log)");
+    }
+    std::vector<std::uint8_t> payload(len);
+    if (std::fread(payload.data(), 1, len, f) < len) break;  // torn tail
+    std::uint32_t actual = crc32(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
+    if (actual != crc) {
+      std::fclose(f);
+      return Error("wal: CRC mismatch at record " + std::to_string(applied));
+    }
+    auto rec = decode_record_payload(payload);
+    if (!rec.ok()) {
+      std::fclose(f);
+      return Error("wal: undecodable record: " + rec.error().message);
+    }
+    apply(rec.value());
+    ++applied;
+  }
+  std::fclose(f);
+  return applied;
+}
+
+}  // namespace janus::db

@@ -1,0 +1,123 @@
+// DNS load balancing (paper §II-A / §III-A): a DNS service whose A records
+// hold the request-router addresses; every query permutes the address list
+// (round robin), and clients cache the answer for the record's TTL — which
+// is exactly the skew mechanism Fig. 5's discussion analyzes. Also provides
+// the Route53-style health-check + master/slave failover used for QoS-server
+// and database HA (§III-C/D).
+//
+// This is an in-process model of Route53 rather than a wire-format DNS
+// server: Janus only needs resolution semantics (permutation, TTL, failover),
+// not RFC 1035 framing. See DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/socket.hpp"
+#include "router/router_node.hpp"
+
+namespace janus::lb {
+
+struct DnsAnswer {
+  std::vector<net::SockAddr> addrs;  // permuted per query
+  Duration ttl = seconds(30);
+};
+
+/// Health of one failover target. Probes are pluggable: the runtime uses a
+/// TCP connect probe; tests and the simulator inject outcomes directly.
+using HealthProbe = std::function<bool(const net::SockAddr&)>;
+
+class DnsBalancer {
+ public:
+  explicit DnsBalancer(Duration default_ttl = seconds(30))
+      : default_ttl_(default_ttl) {}
+
+  /// A simple multi-address record (the request-router fleet).
+  void set_record(const std::string& name, std::vector<net::SockAddr> addrs);
+
+  /// A failover record (§III-C): resolves to `primary` while healthy,
+  /// otherwise to `secondary`. Health is updated by run_health_checks().
+  void set_failover_record(const std::string& name, net::SockAddr primary,
+                           net::SockAddr secondary);
+
+  /// Resolve. Round-robin records rotate one step per query.
+  Result<DnsAnswer> query(const std::string& name);
+
+  /// Probe every failover record once; flips resolution after
+  /// `unhealthy_threshold` consecutive failures and back after
+  /// `healthy_threshold` consecutive successes (Route53 semantics).
+  void run_health_checks(const HealthProbe& probe,
+                         int unhealthy_threshold = 3,
+                         int healthy_threshold = 2);
+
+  /// True if `name` currently resolves to its secondary (failed over).
+  bool failed_over(const std::string& name) const;
+
+  /// Replace a failover pair after a completed failover: the promoted
+  /// secondary becomes primary and `new_secondary` takes its place
+  /// ("terminate the original failed master node and launch a new slave").
+  void rotate_failover(const std::string& name, net::SockAddr new_secondary);
+
+ private:
+  struct FailoverState {
+    net::SockAddr primary;
+    net::SockAddr secondary;
+    bool on_secondary = false;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+  };
+
+  Duration default_ttl_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<net::SockAddr>> records_;
+  std::map<std::string, std::size_t> rotation_;
+  std::map<std::string, FailoverState> failover_;
+};
+
+/// Client-side resolver with TTL caching — models the OS resolver cache that
+/// pins a client to one router node for a whole TTL window (§V-A: "most
+/// operating systems cache DNS resolution results until the TTL expires").
+/// Implements router::Resolver so router nodes can address QoS servers by
+/// DNS name through the same cache semantics.
+class CachingResolver final : public router::Resolver {
+ public:
+  CachingResolver(DnsBalancer& dns, Clock& clock) : dns_(dns), clock_(clock) {}
+
+  /// First address of the (cached) answer — what a typical client does
+  /// (§II-A: "the QoS client attempts to connect ... with the first IP
+  /// address returned from the DNS query").
+  Result<net::SockAddr> resolve(const std::string& name) override;
+
+  /// The full cached answer (gateway LB wants all backends).
+  Result<std::vector<net::SockAddr>> resolve_all(const std::string& name);
+
+  /// Drop all cached entries (e.g. after a known failover, for tests).
+  void flush();
+
+  std::size_t cache_hits() const { return hits_; }
+  std::size_t cache_misses() const { return misses_; }
+
+ private:
+  struct CacheEntry {
+    std::vector<net::SockAddr> addrs;
+    TimePoint expires;
+  };
+
+  DnsBalancer& dns_;
+  Clock& clock_;
+  std::mutex mu_;
+  std::map<std::string, CacheEntry> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// TCP connect probe for real deployments.
+HealthProbe tcp_connect_probe(Duration timeout = millis(200));
+
+}  // namespace janus::lb

@@ -1,0 +1,92 @@
+#include "lb/gateway_balancer.hpp"
+
+#include <limits>
+
+namespace janus::lb {
+
+Result<std::unique_ptr<GatewayBalancer>> GatewayBalancer::start(
+    const net::SockAddr& listen, std::vector<net::SockAddr> backends,
+    GatewayConfig config) {
+  if (backends.empty()) return Error("gateway: no backends");
+  std::unique_ptr<GatewayBalancer> lb(
+      new GatewayBalancer(std::move(backends), config));
+  auto server = net::HttpServer::start(
+      listen,
+      [raw = lb.get()](const net::HttpRequest& req) { return raw->handle(req); },
+      config.http_workers);
+  if (!server.ok()) return Error(server.error().message);
+  lb->server_ = std::move(server).take();
+  return lb;
+}
+
+GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
+                                 GatewayConfig config)
+    : backends_(std::move(backends)),
+      config_(config),
+      requests_(metrics_.counter("gateway.requests")),
+      backend_errors_(metrics_.counter("gateway.backend_errors")) {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    outstanding_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+    forwarded_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  }
+}
+
+GatewayBalancer::~GatewayBalancer() {
+  if (server_) server_->stop();
+}
+
+std::size_t GatewayBalancer::pick_backend() {
+  if (config_.policy == RoutingPolicy::kRoundRobin || backends_.size() == 1) {
+    return next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+  }
+  // Least connections; round-robin order breaks ties fairly.
+  std::size_t start = next_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t best = start % backends_.size();
+  std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    std::size_t idx = (start + i) % backends_.size();
+    std::int64_t load = outstanding_[idx]->load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best_load = load;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {
+  requests_.inc();
+  const std::size_t idx = pick_backend();
+  outstanding_[idx]->fetch_add(1, std::memory_order_relaxed);
+  forwarded_[idx]->fetch_add(1, std::memory_order_relaxed);
+
+  // One keep-alive connection per (worker thread, backend) — the ELB-style
+  // "additional TCP connection initiated by the load balancer node" (§V-A).
+  thread_local std::map<std::string, net::HttpClient> pool;
+  auto key = backends_[idx].to_string();
+  auto it = pool.find(key);
+  if (it == pool.end()) {
+    it = pool.emplace(key, net::HttpClient(backends_[idx],
+                                           config_.backend_timeout)).first;
+  }
+
+  net::HttpRequest forwarded = req;
+  auto resp = it->second.request(forwarded);
+  outstanding_[idx]->fetch_sub(1, std::memory_order_relaxed);
+  if (!resp.ok()) {
+    backend_errors_.inc();
+    return net::HttpResponse::text(503, "backend unavailable");
+  }
+  return std::move(resp).take();
+}
+
+std::vector<std::int64_t> GatewayBalancer::per_backend_counts() const {
+  std::vector<std::int64_t> out;
+  out.reserve(forwarded_.size());
+  for (const auto& c : forwarded_) {
+    out.push_back(c->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace janus::lb

@@ -1,0 +1,61 @@
+// Gateway load balancer (paper §II-A / §III-A): an L7 appliance with an HTTP
+// listener — the ELB role. It accepts the QoS client's HTTP request, holds
+// it, opens/reuses a connection to a back-end router node chosen by the
+// routing policy, and relays the response. That extra TCP hop is precisely
+// the +500 µs Fig. 5 measures against DNS load balancing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "net/http.hpp"
+
+namespace janus::lb {
+
+enum class RoutingPolicy {
+  kRoundRobin,        // "distributes requests to the back end nodes one by one"
+  kLeastConnections,  // "to the node with the least outstanding requests"
+};
+
+struct GatewayConfig {
+  RoutingPolicy policy = RoutingPolicy::kRoundRobin;
+  Duration backend_timeout = millis(1000);
+  std::size_t http_workers = 4;
+};
+
+class GatewayBalancer {
+ public:
+  static Result<std::unique_ptr<GatewayBalancer>> start(
+      const net::SockAddr& listen, std::vector<net::SockAddr> backends,
+      GatewayConfig config = {});
+
+  ~GatewayBalancer();
+
+  net::SockAddr addr() const { return server_->addr(); }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Requests forwarded to each backend (index-aligned) — the load-skew
+  /// measurements in the Fig. 5 discussion read these.
+  std::vector<std::int64_t> per_backend_counts() const;
+
+  void stop() { server_->stop(); }
+
+ private:
+  GatewayBalancer(std::vector<net::SockAddr> backends, GatewayConfig config);
+  net::HttpResponse handle(const net::HttpRequest& req);
+  std::size_t pick_backend();
+
+  std::vector<net::SockAddr> backends_;
+  GatewayConfig config_;
+  std::atomic<std::size_t> next_{0};
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> outstanding_;
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> forwarded_;
+  MetricsRegistry metrics_;
+  Counter& requests_;
+  Counter& backend_errors_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace janus::lb

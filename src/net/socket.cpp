@@ -1,0 +1,241 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace janus::net {
+
+namespace {
+
+std::string errno_msg(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// poll() one fd for readability. Returns: 1 ready, 0 timeout, -1 error.
+/// timeout < 0 blocks indefinitely. Sub-millisecond timeouts round up to
+/// 1 ms (poll granularity) — matching how a PHP client's socket timeout
+/// actually behaves.
+int wait_readable(int fd, Duration timeout) {
+  pollfd pfd{fd, POLLIN, 0};
+  int ms;
+  if (timeout.count() < 0) {
+    ms = -1;
+  } else {
+    auto t = timeout.count();
+    ms = static_cast<int>((t + 999'999) / 1'000'000);
+  }
+  for (;;) {
+    int rc = ::poll(&pfd, 1, ms);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace
+
+Result<sockaddr_in> SockAddr::to_native() const {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr) != 1) {
+    return Error("bad IPv4 address: " + ip);
+  }
+  return sa;
+}
+
+SockAddr SockAddr::from_native(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return SockAddr{buf, ntohs(sa.sin_port)};
+}
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UdpSocket> UdpSocket::bind(const SockAddr& addr) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return Error(errno_msg("udp socket"));
+  auto native = addr.to_native();
+  if (!native.ok()) return Error(native.error().message);
+  auto sa = native.value();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Error(errno_msg("udp bind"));
+  }
+  return UdpSocket(std::move(fd));
+}
+
+Result<UdpSocket> UdpSocket::create() {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return Error(errno_msg("udp socket"));
+  return UdpSocket(std::move(fd));
+}
+
+Status UdpSocket::send_to(const SockAddr& dest,
+                          std::span<const std::uint8_t> data) {
+  auto native = dest.to_native();
+  if (!native.ok()) return Error(native.error().message);
+  auto sa = native.value();
+  ssize_t sent = ::sendto(fd_.get(), data.data(), data.size(), 0,
+                          reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (sent < 0) return Error(errno_msg("udp sendto"));
+  if (static_cast<std::size_t>(sent) != data.size()) {
+    return Error("udp sendto: short write");
+  }
+  return Status::success();
+}
+
+Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv(Duration timeout) {
+  int ready = wait_readable(fd_.get(), timeout);
+  if (ready < 0) return Error(errno_msg("udp poll"));
+  if (ready == 0) return std::optional<Datagram>{};
+
+  Datagram dg;
+  dg.data.resize(64 * 1024);
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  ssize_t n = ::recvfrom(fd_.get(), dg.data.data(), dg.data.size(), 0,
+                         reinterpret_cast<sockaddr*>(&sa), &salen);
+  if (n < 0) return Error(errno_msg("udp recvfrom"));
+  dg.data.resize(static_cast<std::size_t>(n));
+  dg.from = SockAddr::from_native(sa);
+  return std::optional<Datagram>{std::move(dg)};
+}
+
+Result<SockAddr> UdpSocket::local_addr() const {
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &salen) != 0) {
+    return Error(errno_msg("getsockname"));
+  }
+  return SockAddr::from_native(sa);
+}
+
+Result<TcpStream> TcpStream::connect(const SockAddr& addr, Duration timeout) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Error(errno_msg("tcp socket"));
+  auto native = addr.to_native();
+  if (!native.ok()) return Error(native.error().message);
+  auto sa = native.value();
+
+  // Non-blocking connect with poll so a dead backend fails fast.
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0 && errno != EINPROGRESS) return Error(errno_msg("tcp connect"));
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int ms = static_cast<int>((timeout.count() + 999'999) / 1'000'000);
+    int pr = ::poll(&pfd, 1, ms > 0 ? ms : 1);
+    if (pr <= 0) return Error("tcp connect: timeout");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Error(std::string("tcp connect: ") + std::strerror(err));
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking
+
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+Status TcpStream::write_all(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_.get(), data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(errno_msg("tcp send"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+Status TcpStream::write_all(std::string_view data) {
+  return write_all(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Result<std::optional<std::size_t>> TcpStream::read_some(
+    std::span<std::uint8_t> buf, Duration timeout) {
+  int ready = wait_readable(fd_.get(), timeout);
+  if (ready < 0) return Error(errno_msg("tcp poll"));
+  if (ready == 0) return std::optional<std::size_t>{};
+  ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+  if (n < 0) return Error(errno_msg("tcp recv"));
+  return std::optional<std::size_t>{static_cast<std::size_t>(n)};
+}
+
+Result<SockAddr> TcpStream::peer_addr() const {
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &salen) != 0) {
+    return Error(errno_msg("getpeername"));
+  }
+  return SockAddr::from_native(sa);
+}
+
+void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+Result<TcpListener> TcpListener::listen(const SockAddr& addr) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Error(errno_msg("tcp socket"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto native = addr.to_native();
+  if (!native.ok()) return Error(native.error().message);
+  auto sa = native.value();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Error(errno_msg("tcp bind"));
+  }
+  if (::listen(fd.get(), 128) != 0) return Error(errno_msg("tcp listen"));
+  return TcpListener(std::move(fd));
+}
+
+Result<std::optional<TcpStream>> TcpListener::accept(Duration timeout) {
+  int ready = wait_readable(fd_.get(), timeout);
+  if (ready < 0) return Error(errno_msg("accept poll"));
+  if (ready == 0) return std::optional<TcpStream>{};
+  int cfd = ::accept(fd_.get(), nullptr, nullptr);
+  if (cfd < 0) return Error(errno_msg("accept"));
+  int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::optional<TcpStream>{TcpStream(Fd(cfd))};
+}
+
+Result<SockAddr> TcpListener::local_addr() const {
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &salen) != 0) {
+    return Error(errno_msg("getsockname"));
+  }
+  return SockAddr::from_native(sa);
+}
+
+}  // namespace janus::net

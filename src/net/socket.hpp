@@ -1,0 +1,122 @@
+// RAII socket primitives for the real-transport driver: UDP endpoints with
+// poll-based receive timeouts (the router's 100 µs retry timer needs
+// sub-millisecond waits) and blocking TCP streams for the HTTP front end.
+// IPv4 only — Janus nodes address each other by resolved A records.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace janus::net {
+
+/// An IPv4 endpoint ("127.0.0.1", 8080).
+struct SockAddr {
+  std::string ip = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool operator==(const SockAddr&) const = default;
+  std::string to_string() const { return ip + ":" + std::to_string(port); }
+
+  Result<sockaddr_in> to_native() const;
+  static SockAddr from_native(const sockaddr_in& sa);
+};
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connectionless UDP endpoint (both the router's client side and the QoS
+/// server's listener side).
+class UdpSocket {
+ public:
+  /// Bind to ip:port; port 0 picks an ephemeral port.
+  static Result<UdpSocket> bind(const SockAddr& addr);
+
+  /// Unbound sender (the kernel assigns a source port on first send).
+  static Result<UdpSocket> create();
+
+  Status send_to(const SockAddr& dest, std::span<const std::uint8_t> data);
+
+  struct Datagram {
+    std::vector<std::uint8_t> data;
+    SockAddr from;
+  };
+
+  /// Wait up to `timeout` for one datagram; nullopt on timeout.
+  /// timeout < 0 blocks indefinitely.
+  Result<std::optional<Datagram>> recv(Duration timeout);
+
+  /// Local address after bind (resolves ephemeral ports).
+  Result<SockAddr> local_addr() const;
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit UdpSocket(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+/// Blocking TCP connection with poll-based timeouts.
+class TcpStream {
+ public:
+  static Result<TcpStream> connect(const SockAddr& addr, Duration timeout);
+
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Write all bytes; fails on error or peer close.
+  Status write_all(std::span<const std::uint8_t> data);
+  Status write_all(std::string_view data);
+
+  /// Read up to buf.size() bytes. 0 = clean peer close; nullopt = timeout.
+  Result<std::optional<std::size_t>> read_some(std::span<std::uint8_t> buf,
+                                               Duration timeout);
+
+  Result<SockAddr> peer_addr() const;
+  int fd() const { return fd_.get(); }
+  void shutdown_write();
+
+ private:
+  Fd fd_;
+};
+
+class TcpListener {
+ public:
+  /// Listen on ip:port (port 0 = ephemeral); backlog 128.
+  static Result<TcpListener> listen(const SockAddr& addr);
+
+  /// Wait up to `timeout` for a connection; nullopt on timeout.
+  /// timeout < 0 blocks indefinitely.
+  Result<std::optional<TcpStream>> accept(Duration timeout);
+
+  Result<SockAddr> local_addr() const;
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit TcpListener(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+}  // namespace janus::net

@@ -1,0 +1,95 @@
+#include "router/router_node.hpp"
+
+#include "common/logging.hpp"
+#include "wire/http_codec.hpp"
+
+namespace janus::router {
+
+Result<std::unique_ptr<RouterNode>> RouterNode::start(
+    const net::SockAddr& listen, std::vector<std::string> backends,
+    std::shared_ptr<Resolver> resolver, RouterConfig config) {
+  if (backends.empty()) return Error("router: no backends configured");
+  if (!resolver) return Error("router: no resolver");
+  std::unique_ptr<RouterNode> node(
+      new RouterNode(std::move(backends), std::move(resolver), config));
+  auto server = net::HttpServer::start(
+      listen,
+      [raw = node.get()](const net::HttpRequest& req) {
+        return raw->handle(req);
+      },
+      config.http_workers);
+  if (!server.ok()) return Error(server.error().message);
+  node->server_ = std::move(server).take();
+  return node;
+}
+
+RouterNode::RouterNode(std::vector<std::string> backends,
+                       std::shared_ptr<Resolver> resolver, RouterConfig config)
+    : backends_(std::move(backends)),
+      resolver_(std::move(resolver)),
+      config_(config),
+      key_router_(backends_.size()),
+      requests_(metrics_.counter("router.requests")),
+      forwarded_(metrics_.counter("router.forwarded")),
+      defaults_(metrics_.counter("router.default_replies")),
+      retries_(metrics_.counter("router.udp_retries")),
+      bad_requests_(metrics_.counter("router.bad_requests")) {}
+
+RouterNode::~RouterNode() {
+  if (server_) server_->stop();
+}
+
+net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
+  requests_.inc();
+
+  auto parsed = wire::parse_qos_target(req.target);
+  if (!parsed.ok()) {
+    bad_requests_.inc();
+    auto resp = net::HttpResponse::text(400, "FALSE");
+    resp.headers.push_back({"X-Janus-Status", std::string(wire::status_header_value(
+                                                  wire::ResponseStatus::kMalformed))});
+    return resp;
+  }
+
+  // The hash-mod-N partition step (Fig. 2).
+  const std::size_t slot = key_router_.index_for(parsed.value().request.key);
+  const std::string& backend_name = backends_[slot];
+  auto backend = resolver_->resolve(backend_name);
+  if (!backend.ok()) {
+    defaults_.inc();
+    auto resp = net::HttpResponse::text(
+        503, config_.udp.default_allow ? "TRUE" : "FALSE");
+    resp.headers.push_back({"X-Janus-Status", std::string(wire::status_header_value(
+                                                  wire::ResponseStatus::kDefaultReply))});
+    return resp;
+  }
+
+  // One UDP client per HTTP worker thread: id matching is per-socket.
+  thread_local UdpQosClient client(config_.udp);
+  auto result = client.call(backend.value(), parsed.value().request);
+  if (client.last_attempts() > 1) retries_.inc(client.last_attempts() - 1);
+  if (!result.ok()) {
+    JLOG_WARN("router: udp failure: %s", result.error().message.c_str());
+    defaults_.inc();
+    auto resp = net::HttpResponse::text(
+        503, config_.udp.default_allow ? "TRUE" : "FALSE");
+    resp.headers.push_back({"X-Janus-Status", std::string(wire::status_header_value(
+                                                  wire::ResponseStatus::kDefaultReply))});
+    return resp;
+  }
+
+  const wire::QosResponse& qr = result.value();
+  if (qr.status == wire::ResponseStatus::kDefaultReply) {
+    defaults_.inc();
+  } else {
+    forwarded_.inc();
+  }
+  auto resp = net::HttpResponse::text(200, std::string(wire::response_body(qr)));
+  resp.headers.push_back(
+      {"X-Janus-Status", std::string(wire::status_header_value(qr.status))});
+  resp.headers.push_back(
+      {"X-Janus-Credits", std::to_string(qr.remaining_millicredits)});
+  return resp;
+}
+
+}  // namespace janus::router

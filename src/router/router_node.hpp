@@ -1,0 +1,83 @@
+// A request router node (paper §II-B / §III-B): a stateless HTTP web app
+// that hashes the QoS key with CRC32, picks `CRC32(key) mod N` among the QoS
+// servers, forwards the request over UDP, and relays the boolean verdict to
+// the QoS client. Because it keeps no state, any number of router nodes can
+// be added or removed without coordination.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/key_router.hpp"
+#include "net/http.hpp"
+#include "router/udp_qos_client.hpp"
+
+namespace janus::router {
+
+/// How the router turns a backend's DNS name into an address (§III-C: "The
+/// request router identifies the QoS server nodes in the back end via their
+/// DNS names"). The lb module's DNS balancer implements this; tests use the
+/// static variant.
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+  virtual Result<net::SockAddr> resolve(const std::string& name) = 0;
+};
+
+class StaticResolver final : public Resolver {
+ public:
+  void add(std::string name, net::SockAddr addr) {
+    entries_[std::move(name)] = std::move(addr);
+  }
+  Result<net::SockAddr> resolve(const std::string& name) override {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return Error("no such host: " + name);
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, net::SockAddr> entries_;
+};
+
+struct RouterConfig {
+  UdpClientConfig udp;
+  std::size_t http_workers = 4;
+};
+
+class RouterNode {
+ public:
+  /// Starts the HTTP front end on `listen` (port 0 = ephemeral) forwarding
+  /// to the fixed, ordered list of QoS server names. Backend order defines
+  /// the hash slots and must be identical on every router node.
+  static Result<std::unique_ptr<RouterNode>> start(
+      const net::SockAddr& listen, std::vector<std::string> backends,
+      std::shared_ptr<Resolver> resolver, RouterConfig config = {});
+
+  ~RouterNode();
+
+  net::SockAddr addr() const { return server_->addr(); }
+  MetricsRegistry& metrics() { return metrics_; }
+  void stop() { server_->stop(); }
+
+ private:
+  RouterNode(std::vector<std::string> backends,
+             std::shared_ptr<Resolver> resolver, RouterConfig config);
+  net::HttpResponse handle(const net::HttpRequest& req);
+
+  std::vector<std::string> backends_;
+  std::shared_ptr<Resolver> resolver_;
+  RouterConfig config_;
+  core::KeyRouter key_router_;
+  MetricsRegistry metrics_;
+  Counter& requests_;
+  Counter& forwarded_;
+  Counter& defaults_;
+  Counter& retries_;
+  Counter& bad_requests_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace janus::router

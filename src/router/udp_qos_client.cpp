@@ -1,0 +1,59 @@
+#include "router/udp_qos_client.hpp"
+
+#include "common/logging.hpp"
+
+namespace janus::router {
+
+std::atomic<std::uint64_t> UdpQosClient::next_request_id_{1};
+
+UdpQosClient::UdpQosClient(UdpClientConfig config) : config_(config) {}
+
+Result<wire::QosResponse> UdpQosClient::call(const net::SockAddr& server,
+                                             const wire::QosRequest& request) {
+  if (!socket_) {
+    auto sock = net::UdpSocket::create();
+    if (!sock.ok()) return Error(sock.error().message);
+    socket_.emplace(std::move(sock).take());
+  }
+
+  wire::QosRequest req = request;
+  if (req.request_id == 0) {
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wire::encode_to(req, scratch_);
+
+  last_attempts_ = 0;
+  const int attempts = config_.max_retries > 0 ? config_.max_retries : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ++last_attempts_;
+    if (auto s = socket_->send_to(server, scratch_); !s.ok()) {
+      return Error(s.error().message);
+    }
+    // Wait out this attempt's window, consuming any stale datagrams (late
+    // responses to earlier retries of *other* requests on this socket).
+    Duration remaining = config_.timeout;
+    const TimePoint start = SteadyClock::instance().now();
+    while (remaining.count() > 0) {
+      auto dg = socket_->recv(remaining);
+      if (!dg.ok()) return Error(dg.error().message);
+      if (!dg.value()) break;  // timeout: next retry
+      auto resp = wire::decode_response((*dg.value()).data);
+      if (resp.ok() && resp.value().request_id == req.request_id) {
+        return resp.value();
+      }
+      // Stale or undecodable datagram: keep listening within the window.
+      remaining =
+          config_.timeout - (SteadyClock::instance().now() - start);
+    }
+  }
+
+  // All attempts exhausted: default reply (§III-B).
+  wire::QosResponse fallback;
+  fallback.request_id = req.request_id;
+  fallback.status = wire::ResponseStatus::kDefaultReply;
+  fallback.allowed = config_.default_allow;
+  fallback.remaining_millicredits = -1;
+  return fallback;
+}
+
+}  // namespace janus::router

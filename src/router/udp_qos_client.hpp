@@ -1,0 +1,53 @@
+// The router -> QoS server UDP exchange with the paper's reliability scheme
+// (§III-B): "a 100-microsecond communication timeout and a maximum number of
+// 5 retries... When the request router fails to obtain a response from the
+// QoS server after 5 retries, the request router returns a default reply."
+//
+// Responses are matched to requests by request id, so a late duplicate from
+// a retried datagram cannot be mistaken for the answer to a newer request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/result.hpp"
+#include "net/socket.hpp"
+#include "wire/codec.hpp"
+
+namespace janus::router {
+
+struct UdpClientConfig {
+  Duration timeout = micros(100);
+  int max_retries = 5;  // total attempts = 1 + max_retries? No: the paper
+                        // counts 5 attempts total ("fails after 5 retries,
+                        // which is 500 microseconds"), so attempts = max_retries.
+  bool default_allow = false;  // policy when all attempts fail
+};
+
+/// One client endpoint. Not thread-safe: use one per worker thread.
+class UdpQosClient {
+ public:
+  explicit UdpQosClient(UdpClientConfig config = {});
+
+  /// Returns the server's decision, or a default reply
+  /// (status=kDefaultReply) if every attempt timed out. Error only on local
+  /// socket failures.
+  Result<wire::QosResponse> call(const net::SockAddr& server,
+                                 const wire::QosRequest& request);
+
+  /// Attempts made by the last call (1 = first try succeeded).
+  int last_attempts() const { return last_attempts_; }
+
+  const UdpClientConfig& config() const { return config_; }
+
+ private:
+  UdpClientConfig config_;
+  std::optional<net::UdpSocket> socket_;
+  std::vector<std::uint8_t> scratch_;
+  int last_attempts_ = 0;
+  static std::atomic<std::uint64_t> next_request_id_;
+};
+
+}  // namespace janus::router

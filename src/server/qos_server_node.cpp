@@ -1,0 +1,127 @@
+#include "server/qos_server_node.hpp"
+
+#include "common/logging.hpp"
+#include "wire/codec.hpp"
+
+namespace janus::server {
+
+Result<std::unique_ptr<QosServerNode>> QosServerNode::start(
+    const net::SockAddr& listen, db::RuleStore& store,
+    QosServerConfig config) {
+  auto socket = net::UdpSocket::bind(listen);
+  if (!socket.ok()) return Error(socket.error().message);
+  auto addr = socket.value().local_addr();
+  if (!addr.ok()) return Error(addr.error().message);
+  return std::unique_ptr<QosServerNode>(new QosServerNode(
+      std::move(socket).take(), addr.value(), store, std::move(config)));
+}
+
+QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
+                             db::RuleStore& store, QosServerConfig config)
+    : config_(std::move(config)),
+      socket_(std::move(socket)),
+      addr_(std::move(addr)),
+      source_(store),
+      sink_(store),
+      admission_(std::make_unique<core::AdmissionController>(
+          SteadyClock::instance(), source_, config_.admission)),
+      fifo_(config_.fifo_capacity),
+      received_(metrics_.counter("server.received")),
+      answered_(metrics_.counter("server.answered")),
+      malformed_(metrics_.counter("server.malformed")),
+      dropped_(metrics_.counter("server.fifo_dropped")) {
+  listener_ = std::thread([this] { listener_loop(); });
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.worker_threads);
+       ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (config_.admission.refill_mode == core::RefillMode::kPeriodic &&
+      config_.refill_interval.count() > 0) {
+    maintenance_.push_back(std::make_unique<PeriodicTask>(
+        config_.refill_interval, [this] { admission_->refill_all(); }));
+  }
+  if (config_.sync_interval.count() > 0) {
+    maintenance_.push_back(std::make_unique<PeriodicTask>(
+        config_.sync_interval, [this] { admission_->sync_now(); }));
+  }
+  if (config_.checkpoint_interval.count() > 0) {
+    maintenance_.push_back(std::make_unique<PeriodicTask>(
+        config_.checkpoint_interval,
+        [this] { admission_->checkpoint_now(sink_); }));
+  }
+}
+
+QosServerNode::~QosServerNode() { stop(); }
+
+void QosServerNode::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  for (auto& task : maintenance_) task->stop();
+  fifo_.shutdown();
+  if (listener_.joinable()) listener_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void QosServerNode::listener_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto dg = socket_.recv(millis(50));
+    if (!dg.ok()) {
+      JLOG_WARN("server: recv failed: %s", dg.error().message.c_str());
+      continue;
+    }
+    if (!dg.value()) continue;  // timeout: re-check stopping_
+    received_.inc();
+    if (!fifo_.try_push(std::move(*dg.value()))) {
+      // FIFO full: drop. The router's retry covers transient overload;
+      // sustained overload is what the scalability experiments measure.
+      dropped_.inc();
+    }
+  }
+}
+
+void QosServerNode::worker_loop() {
+  std::vector<std::uint8_t> out;
+  while (auto dg = fifo_.pop()) {
+    auto req = wire::decode_request(dg->data);
+    wire::QosResponse resp;
+    if (!req.ok()) {
+      malformed_.inc();
+      resp.status = wire::ResponseStatus::kMalformed;
+      wire::encode_to(resp, out);
+      (void)socket_.send_to(dg->from, out);
+      continue;
+    }
+    const wire::QosRequest& r = req.value();
+    resp.request_id = r.request_id;
+    resp.status = wire::ResponseStatus::kOk;
+
+    core::Decision decision;
+    switch (r.type) {
+      case wire::RequestType::kCheck:
+        decision = admission_->check(r.key, r.cost);
+        break;
+      case wire::RequestType::kProbe:
+        decision = admission_->probe(r.key, r.cost);
+        break;
+      case wire::RequestType::kSync:
+        admission_->invalidate(r.key);
+        decision = admission_->probe(r.key, 0);
+        break;
+    }
+    resp.allowed = decision.allowed;
+    resp.remaining_millicredits = decision.remaining_millicredits;
+
+    wire::encode_to(resp, out);
+    // Count before sending: a fast client must never observe a response
+    // whose counter update is still pending (metrics are read by tests and
+    // operators the moment a reply lands).
+    answered_.inc();
+    // Fire-and-forget (§III-C): "the worker thread does not care about
+    // whether the request router receives the response or not."
+    (void)socket_.send_to(dg->from, out);
+  }
+}
+
+}  // namespace janus::server

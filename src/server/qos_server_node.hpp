@@ -1,0 +1,90 @@
+// A QoS server node (paper §III-C): "the major components include (a) the
+// local QoS table, (b) the UDP listener thread, (c) the worker threads, and
+// (d) high-availability and system maintenance threads."
+//
+//   UDP listener ──> bounded FIFO ──> N worker threads ──> sendto(response)
+//   house-keeping thread: refills buckets (periodic-refill mode)
+//   sync thread:          re-reads cached rules from the database
+//   checkpoint thread:    writes credits back to the database
+//   HA thread:            serves table snapshots to the slave (ha.hpp)
+//
+// Workers answer over the same socket the listener reads from; the server
+// never tracks whether a response arrived — the router retries (§III-B).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/periodic.hpp"
+#include "core/admission.hpp"
+#include "core/db_rule_adapter.hpp"
+#include "db/rule_store.hpp"
+#include "net/socket.hpp"
+
+namespace janus::server {
+
+struct QosServerConfig {
+  std::size_t worker_threads = 4;  // "N equals the number of vCPUs" (§III-C)
+  std::size_t fifo_capacity = 65536;
+  core::AdmissionConfig admission;
+  /// Maintenance intervals; <= 0 disables the corresponding thread.
+  Duration refill_interval = millis(10);     // only used in kPeriodic mode
+  Duration sync_interval = seconds(5);       // "configurable update interval"
+  Duration checkpoint_interval = seconds(5); // "configurable update interval"
+};
+
+class QosServerNode {
+ public:
+  /// Binds the UDP endpoint and starts all threads. `store` (the database
+  /// layer) must outlive the node.
+  static Result<std::unique_ptr<QosServerNode>> start(
+      const net::SockAddr& listen, db::RuleStore& store,
+      QosServerConfig config = {});
+
+  ~QosServerNode();
+  QosServerNode(const QosServerNode&) = delete;
+  QosServerNode& operator=(const QosServerNode&) = delete;
+
+  net::SockAddr addr() const { return addr_; }
+  core::AdmissionController& admission() { return *admission_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Force one maintenance pass (tests; avoids waiting on wall-clock).
+  void sync_now() { admission_->sync_now(); }
+  void checkpoint_now() { admission_->checkpoint_now(sink_); }
+
+  void stop();
+
+ private:
+  QosServerNode(net::UdpSocket socket, net::SockAddr addr,
+                db::RuleStore& store, QosServerConfig config);
+
+  void listener_loop();
+  void worker_loop();
+
+  QosServerConfig config_;
+  net::UdpSocket socket_;
+  net::SockAddr addr_;
+  core::DbRuleSource source_;
+  core::DbRuleSink sink_;
+  std::unique_ptr<core::AdmissionController> admission_;
+  BlockingQueue<net::UdpSocket::Datagram> fifo_;
+
+  MetricsRegistry metrics_;
+  Counter& received_;
+  Counter& answered_;
+  Counter& malformed_;
+  Counter& dropped_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<PeriodicTask>> maintenance_;
+};
+
+}  // namespace janus::server

@@ -1,0 +1,114 @@
+#include "sim/drivers.hpp"
+
+#include <algorithm>
+
+namespace janus::sim {
+
+ClosedLoopDriver::ClosedLoopDriver(SimDeployment& deployment,
+                                   std::size_t clients,
+                                   std::size_t client_nodes, KeyFn key_fn,
+                                   std::uint64_t seed)
+    : deployment_(deployment),
+      clients_(clients),
+      client_nodes_(client_nodes == 0 ? 1 : client_nodes),
+      key_fn_(std::move(key_fn)),
+      rng_(seed) {}
+
+void ClosedLoopDriver::start(Duration ramp) {
+  running_ = true;
+  const std::uint64_t span =
+      std::max<std::int64_t>(1, ramp.count());
+  for (std::size_t i = 0; i < clients_; ++i) {
+    const int node = static_cast<int>(i % client_nodes_);
+    deployment_.sim().schedule_after(
+        Duration{static_cast<std::int64_t>(rng_.next_below(span))},
+        [this, node] { issue(node); });
+  }
+}
+
+void ClosedLoopDriver::issue(int client_node) {
+  if (!running_) return;
+  ++issued_;
+  deployment_.submit(client_node, key_fn_(rng_),
+                     [this, client_node](const SimQosResult&) {
+                       issue(client_node);  // closed loop: immediate next
+                     });
+}
+
+OpenLoopDriver::OpenLoopDriver(SimDeployment& deployment, double rate_per_sec,
+                               double noise_sigma, KeyFn key_fn,
+                               std::uint64_t seed)
+    : deployment_(deployment),
+      rate_(rate_per_sec),
+      noise_sigma_(noise_sigma),
+      key_fn_(std::move(key_fn)),
+      rng_(seed) {}
+
+void OpenLoopDriver::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void OpenLoopDriver::schedule_next() {
+  if (!running_ || rate_ <= 0) return;
+  double gap = 1.0 / rate_;
+  if (noise_sigma_ > 0) gap *= rng_.lognormal(1.0, noise_sigma_);
+  deployment_.sim().schedule_after(from_seconds(gap), [this] {
+    if (!running_) return;
+    ++issued_;
+    deployment_.submit(0, key_fn_(rng_), [this](const SimQosResult& r) {
+      if (on_done_) on_done_(r);
+    });
+    schedule_next();
+  });
+}
+
+SaturationResult measure_saturation(
+    const DeploymentConfig& config, const KeyFn& key_fn,
+    const std::vector<std::size_t>& concurrencies, Duration warmup,
+    Duration window,
+    const std::function<void(db::RuleStore&)>& provision_rules,
+    const std::function<void(SimDeployment&)>& prepare) {
+  // The paper's ab methodology reports the peak *stable* throughput: past
+  // saturation the UDP retry budget is exceeded, default replies appear and
+  // retry duplicates amplify load (congestion collapse). A run only
+  // qualifies while default replies stay rare; the best non-qualifying run
+  // is kept as a fallback so the function never returns nothing.
+  constexpr double kMaxDefaultShare = 0.05;
+  SaturationResult best;
+  SaturationResult fallback;
+  for (std::size_t c : concurrencies) {
+    Simulation sim;
+    SimDeployment deployment(sim, config);
+    if (provision_rules) provision_rules(deployment.rules());
+    if (prepare) prepare(deployment);
+
+    ClosedLoopDriver driver(deployment, c, /*client_nodes=*/10, key_fn,
+                            /*seed=*/config.seed ^ c);
+    driver.start();
+    sim.run_until(warmup);
+    deployment.mark_window();  // discard warmup
+    sim.run_until(warmup + window);
+    WindowMetrics m = deployment.mark_window();
+    driver.stop();
+
+    const double default_share =
+        m.completed > 0
+            ? static_cast<double>(m.default_replies) / m.completed
+            : 1.0;
+    const double throughput = m.decided_throughput();
+    if (default_share <= kMaxDefaultShare &&
+        throughput > best.best_throughput) {
+      best.best_throughput = throughput;
+      best.best_concurrency = c;
+      best.metrics = std::move(m);
+    } else if (throughput > fallback.best_throughput) {
+      fallback.best_throughput = throughput;
+      fallback.best_concurrency = c;
+      fallback.metrics = std::move(m);
+    }
+  }
+  return best.best_concurrency != 0 ? std::move(best) : std::move(fallback);
+}
+
+}  // namespace janus::sim

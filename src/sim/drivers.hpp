@@ -1,0 +1,97 @@
+// Load drivers for the simulated deployment.
+//
+//  * ClosedLoopDriver — the modified-`ab` methodology of §V: C concurrent
+//    virtual clients, each issuing its next request as soon as the previous
+//    response arrives. Saturates whatever layer is the bottleneck.
+//  * OpenLoopDriver — fixed-rate arrivals with multiplicative noise; the
+//    §V-D application-integration client ("130 requests per second, with
+//    intentionally added noise").
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/janus_model.hpp"
+
+namespace janus::sim {
+
+/// Produces the QoS key for each request (workload::KeyGenerator adapters
+/// plug in here).
+using KeyFn = std::function<std::string(Rng&)>;
+
+class ClosedLoopDriver {
+ public:
+  /// `clients` virtual clients spread over `client_nodes` client machines
+  /// (the machine id is what DNS caching pins, §V-A).
+  ClosedLoopDriver(SimDeployment& deployment, std::size_t clients,
+                   std::size_t client_nodes, KeyFn key_fn,
+                   std::uint64_t seed = 7);
+
+  /// Begin issuing requests. Client start times are staggered uniformly over
+  /// `ramp` so the fleet does not arrive as one burst — a synchronized start
+  /// can push the instantaneous queue past the UDP retry budget and trip
+  /// congestion collapse that steady-state load would never cause.
+  void start(Duration ramp = millis(200));
+  void stop() { running_ = false; }
+
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  void issue(int client_node);
+
+  SimDeployment& deployment_;
+  std::size_t clients_;
+  std::size_t client_nodes_;
+  KeyFn key_fn_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t issued_ = 0;
+};
+
+class OpenLoopDriver {
+ public:
+  /// `rate_per_sec` mean arrivals; each gap is scaled by LogNormal(1,
+  /// `noise_sigma`). `on_done` (optional) observes every response.
+  OpenLoopDriver(SimDeployment& deployment, double rate_per_sec,
+                 double noise_sigma, KeyFn key_fn, std::uint64_t seed = 11);
+
+  void start();
+  void stop() { running_ = false; }
+
+  void set_on_done(std::function<void(const SimQosResult&)> fn) {
+    on_done_ = std::move(fn);
+  }
+
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  void schedule_next();
+
+  SimDeployment& deployment_;
+  double rate_;
+  double noise_sigma_;
+  KeyFn key_fn_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t issued_ = 0;
+  std::function<void(const SimQosResult&)> on_done_;
+};
+
+/// Convenience: run `deployment` under a closed loop to saturation and
+/// return the best decided throughput over a small concurrency sweep —
+/// how §V reports "processing capacity".
+struct SaturationResult {
+  double best_throughput = 0.0;
+  std::size_t best_concurrency = 0;
+  WindowMetrics metrics;  // window of the best run
+};
+
+SaturationResult measure_saturation(
+    const DeploymentConfig& config, const KeyFn& key_fn,
+    const std::vector<std::size_t>& concurrencies, Duration warmup,
+    Duration window,
+    const std::function<void(db::RuleStore&)>& provision_rules,
+    const std::function<void(SimDeployment&)>& prepare = nullptr);
+
+}  // namespace janus::sim

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+namespace janus::sim {
+
+void Simulation::schedule_at(TimePoint at, EventFn fn) {
+  if (at < now()) at = now();
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulation::run_until(TimePoint until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after, so the mutation is safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(ev.at);
+    ev.fn();
+    ++n;
+  }
+  clock_.advance_to(until);
+  executed_ += n;
+  return n;
+}
+
+std::size_t Simulation::run_all() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(ev.at);
+    ev.fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+}  // namespace janus::sim

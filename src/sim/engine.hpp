@@ -1,0 +1,61 @@
+// Discrete-event simulation engine. Single-threaded: events fire in
+// timestamp order (FIFO among equal timestamps), advancing a ManualClock
+// that is shared with the *production* admission-control code — the same
+// LeakyBucket/AdmissionController objects that run under the UDP server run
+// inside the simulator, on virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace janus::sim {
+
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const { return clock_.now(); }
+  ManualClock& clock() { return clock_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now for past times).
+  void schedule_at(TimePoint at, EventFn fn);
+  void schedule_after(Duration delay, EventFn fn) {
+    schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// Run until the event queue is empty or `until` is reached (whichever is
+  /// first). Returns the number of events executed.
+  std::size_t run_until(TimePoint until);
+  std::size_t run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace janus::sim

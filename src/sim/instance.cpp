@@ -1,0 +1,26 @@
+#include "sim/instance.hpp"
+
+namespace janus::sim {
+
+const std::vector<InstanceType>& instance_catalog() {
+  static const std::vector<InstanceType> catalog = {
+      {"c3.large", 2, 3.75, 250, 0.188},
+      {"c3.xlarge", 4, 7.5, 500, 0.376},
+      {"c3.2xlarge", 8, 15, 1000, 0.752},
+      {"c3.4xlarge", 16, 30, 2000, 1.504},
+      {"c3.8xlarge", 32, 60, 10000, 3.008},
+      {"r3.large", 2, 15.25, 250, 0.228},
+      {"r3.xlarge", 4, 30.5, 500, 0.455},
+      {"r3.2xlarge", 8, 61, 1000, 0.910},
+  };
+  return catalog;
+}
+
+std::optional<InstanceType> find_instance(std::string_view name) {
+  for (const auto& t : instance_catalog()) {
+    if (t.name == name) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace janus::sim

@@ -1,0 +1,26 @@
+// The EC2 instance catalog of Table I — the simulator's hardware menu.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace janus::sim {
+
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;
+  double memory_gb = 0.0;
+  int network_mbps = 0;
+  double price_usd_hr = 0.0;
+};
+
+/// Table I, verbatim.
+const std::vector<InstanceType>& instance_catalog();
+
+/// Lookup by name ("c3.xlarge"). nullopt if unknown.
+std::optional<InstanceType> find_instance(std::string_view name);
+
+}  // namespace janus::sim

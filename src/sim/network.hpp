@@ -1,0 +1,30 @@
+// Network latency / loss models for simulated links. Latencies are sampled
+// as base * LogNormal(1, sigma): heavy-ish right tail, never negative —
+// the standard intra-datacenter model. UDP links additionally drop packets.
+#pragma once
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace janus::sim {
+
+struct LatencyModel {
+  Duration base{0};
+  double sigma = 0.0;  // lognormal shape; 0 = deterministic
+
+  Duration sample(Rng& rng) const {
+    if (sigma <= 0.0) return base;
+    const double mult = rng.lognormal(1.0, sigma);
+    return Duration{static_cast<std::int64_t>(
+        static_cast<double>(base.count()) * mult)};
+  }
+};
+
+struct UdpLinkModel {
+  LatencyModel latency;
+  double loss_prob = 0.0;  // per one-way datagram
+
+  bool lost(Rng& rng) const { return loss_prob > 0 && rng.chance(loss_prob); }
+};
+
+}  // namespace janus::sim

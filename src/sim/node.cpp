@@ -1,0 +1,125 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace janus::sim {
+
+SimNode::SimNode(Simulation& sim, std::string name, InstanceType type,
+                 NodeOptions options)
+    : sim_(sim),
+      name_(std::move(name)),
+      type_(std::move(type)),
+      options_(options),
+      window_start_(sim.now()) {
+  if (type_.vcpus <= 0) throw std::invalid_argument("SimNode: vcpus <= 0");
+  if (options_.serial_fraction < 0 || options_.serial_fraction > 1) {
+    throw std::invalid_argument("SimNode: serial_fraction out of [0,1]");
+  }
+  if (options_.background_cores < 0 ||
+      options_.background_cores >= type_.vcpus) {
+    throw std::invalid_argument("SimNode: background_cores out of range");
+  }
+  cost_scale_ = static_cast<double>(type_.vcpus) /
+                (type_.vcpus - options_.background_cores);
+}
+
+bool SimNode::submit(Duration cpu_cost, std::function<void()> done) {
+  const auto serial = Duration{static_cast<std::int64_t>(
+      cpu_cost.count() * options_.serial_fraction)};
+  return submit(cpu_cost, serial, std::move(done));
+}
+
+bool SimNode::submit(Duration cpu_cost, Duration serial_cost,
+                     std::function<void()> done) {
+  if (serial_cost > cpu_cost) serial_cost = cpu_cost;
+  const auto scaled =
+      Duration{static_cast<std::int64_t>(cpu_cost.count() * cost_scale_)};
+  const auto serial =
+      Duration{static_cast<std::int64_t>(serial_cost.count() * cost_scale_)};
+  Job job{scaled - serial, serial, std::move(done)};
+
+  if (running_ < type_.vcpus) {
+    ++running_;
+    start_job(std::move(job));
+  } else {
+    if (options_.queue_limit != 0 && queued_.size() >= options_.queue_limit) {
+      return false;
+    }
+    queued_.push_back(std::move(job));
+    stats_.queue_peak = std::max<std::uint64_t>(stats_.queue_peak,
+                                                queued_.size());
+  }
+  return true;
+}
+
+void SimNode::start_job(Job job) {
+  auto j = std::make_shared<Job>(std::move(job));
+  sim_.schedule_after(j->parallel_cost, [this, j] {
+    stats_.busy_cpu += j->parallel_cost;
+    if (j->serial_cost.count() > 0) {
+      enter_lock(std::move(*j));
+    } else {
+      complete(std::move(*j));
+    }
+  });
+}
+
+void SimNode::enter_lock(Job job) {
+  if (!lock_held_) {
+    lock_held_ = true;
+    auto j = std::make_shared<Job>(std::move(job));
+    sim_.schedule_after(j->serial_cost,
+                        [this, j] { finish_serial(std::move(*j)); });
+  } else {
+    lock_enqueue_times_.push_back(sim_.now());
+    lock_queue_.push_back(std::move(job));
+  }
+}
+
+void SimNode::finish_serial(Job job) {
+  stats_.busy_cpu += job.serial_cost;
+  release_lock();
+  complete(std::move(job));
+}
+
+void SimNode::release_lock() {
+  if (lock_queue_.empty()) {
+    lock_held_ = false;
+    return;
+  }
+  Job next = std::move(lock_queue_.front());
+  lock_queue_.pop_front();
+  stats_.lock_wait += sim_.now() - lock_enqueue_times_.front();
+  lock_enqueue_times_.pop_front();
+  auto j = std::make_shared<Job>(std::move(next));
+  sim_.schedule_after(j->serial_cost,
+                      [this, j] { finish_serial(std::move(*j)); });
+}
+
+void SimNode::complete(Job job) {
+  ++stats_.completed;
+  release_worker();
+  if (job.done) job.done();
+}
+
+void SimNode::release_worker() {
+  if (!queued_.empty()) {
+    Job next = std::move(queued_.front());
+    queued_.pop_front();
+    start_job(std::move(next));  // worker slot transfers to the next job
+  } else {
+    --running_;
+  }
+}
+
+NodeStats SimNode::mark_window() {
+  NodeStats out = stats_;
+  out.window = sim_.now() - window_start_;
+  window_start_ = sim_.now();
+  stats_ = NodeStats{};
+  return out;
+}
+
+}  // namespace janus::sim

@@ -1,0 +1,110 @@
+// SimNode — the queueing model of one EC2 instance.
+//
+// A node is a k-server queue (k = vCPUs): jobs wait FIFO for a free vCPU,
+// then execute their CPU cost. A job may declare part of its cost *serial*:
+// that part must additionally hold the node's single lock (FIFO), modeling
+// the QoS server's synchronized local-table lock — the contention the paper
+// identifies as the source of CPU underutilization on large instances
+// (§V-C). A per-node constant *background load* (OS, JVM housekeeping)
+// subtracts fractional capacity, which is why one 32-core node slightly
+// outperforms eight 4-core nodes at equal total cores (Fig. 12).
+//
+// Instrumentation: busy vCPU-time and completed jobs are accumulated between
+// mark_window() calls, yielding the throughput and CPU-utilization series of
+// Figs. 7-12.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/instance.hpp"
+
+namespace janus::sim {
+
+struct NodeStats {
+  std::uint64_t completed = 0;      // jobs finished in the window
+  Duration busy_cpu{0};             // vCPU-nanoseconds of actual execution
+  Duration lock_wait{0};            // time jobs spent queued on the lock
+  Duration window{0};               // window length
+  std::uint64_t queue_peak = 0;     // max run-queue depth seen
+
+  /// CPU utilization in [0, 1]: busy vCPU-time over available vCPU-time.
+  double cpu_utilization(int vcpus) const {
+    if (window.count() <= 0) return 0.0;
+    return static_cast<double>(busy_cpu.count()) /
+           (static_cast<double>(window.count()) * vcpus);
+  }
+};
+
+/// Node tuning knobs.
+struct NodeOptions {
+  /// Fraction of each job's CPU cost executed under the node lock.
+  double serial_fraction = 0.0;
+  /// Constant background CPU draw in cores (subtracted from capacity by
+  /// inflating job costs proportionally).
+  double background_cores = 0.0;
+  /// Run-queue bound; arrivals beyond it are rejected (0 = unbounded).
+  std::size_t queue_limit = 0;
+};
+
+class SimNode {
+ public:
+  SimNode(Simulation& sim, std::string name, InstanceType type,
+          NodeOptions options = {});
+
+  /// Submit a job needing `cpu_cost` of vCPU time; `done` fires when it
+  /// completes. Returns false if the run queue is full (job dropped).
+  /// The node's serial_fraction of the cost runs under the node lock.
+  bool submit(Duration cpu_cost, std::function<void()> done);
+
+  /// Same, with an explicit serialized portion (overrides serial_fraction).
+  bool submit(Duration cpu_cost, Duration serial_cost,
+              std::function<void()> done);
+
+  const std::string& name() const { return name_; }
+  const InstanceType& type() const { return type_; }
+  int vcpus() const { return type_.vcpus; }
+
+  /// Jobs currently queued or executing.
+  std::size_t in_flight() const { return queued_.size() + running_; }
+
+  /// Harvest stats accumulated since the previous mark and start a new
+  /// measurement window.
+  NodeStats mark_window();
+
+ private:
+  struct Job {
+    Duration parallel_cost;
+    Duration serial_cost;
+    std::function<void()> done;
+  };
+
+  void try_start();
+  void start_job(Job job);
+  void enter_lock(Job job);
+  void finish_serial(Job job);
+  void complete(Job job);
+  void release_worker();
+  void release_lock();
+
+  Simulation& sim_;
+  std::string name_;
+  InstanceType type_;
+  NodeOptions options_;
+  double cost_scale_ = 1.0;  // capacity loss from background load
+
+  std::deque<Job> queued_;
+  int running_ = 0;          // jobs holding a vCPU (executing or lock-waiting)
+  bool lock_held_ = false;
+  std::deque<Job> lock_queue_;
+  std::deque<TimePoint> lock_enqueue_times_;
+
+  // Window accounting.
+  TimePoint window_start_{kTimeZero};
+  NodeStats stats_;
+};
+
+}  // namespace janus::sim

@@ -1,0 +1,160 @@
+#include "wire/codec.hpp"
+
+namespace janus::wire {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > data_.size()) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > data_.size()) return false;
+    out = static_cast<std::uint16_t>(data_[pos_] |
+                                     (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > data_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) out |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > data_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) out |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool bytes(std::size_t n, std::string& out) {
+    if (pos_ + n > data_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kRequestHeaderSize + req.key.size());
+  put_u16(out, kRequestMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(req.type));
+  put_u64(out, req.request_id);
+  put_u32(out, req.cost);
+  put_u16(out, static_cast<std::uint16_t>(req.key.size()));
+  out.insert(out.end(), req.key.begin(), req.key.end());
+}
+
+void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kResponseSize);
+  put_u16(out, kResponseMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  put_u64(out, resp.request_id);
+  out.push_back(resp.allowed ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(resp.remaining_millicredits));
+}
+
+std::vector<std::uint8_t> encode(const QosRequest& req) {
+  std::vector<std::uint8_t> out;
+  encode_to(req, out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const QosResponse& resp) {
+  std::vector<std::uint8_t> out;
+  encode_to(resp, out);
+  return out;
+}
+
+Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  std::uint16_t key_len = 0;
+  QosRequest req;
+  if (!r.u16(magic) || magic != kRequestMagic) {
+    return Error("request: bad magic");
+  }
+  if (!r.u8(version) || version != kProtocolVersion) {
+    return Error("request: unsupported version");
+  }
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(RequestType::kSync)) {
+    return Error("request: bad type");
+  }
+  req.type = static_cast<RequestType>(type);
+  if (!r.u64(req.request_id)) return Error("request: truncated id");
+  if (!r.u32(req.cost)) return Error("request: truncated cost");
+  if (req.cost == 0) return Error("request: zero cost");
+  if (!r.u16(key_len)) return Error("request: truncated key length");
+  if (key_len > kMaxKeyLength) return Error("request: key too long");
+  if (!r.bytes(key_len, req.key)) return Error("request: truncated key");
+  if (!r.at_end()) return Error("request: trailing bytes");
+  if (req.key.empty()) return Error("request: empty key");
+  return req;
+}
+
+Result<QosResponse> decode_response(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t status = 0;
+  std::uint8_t allowed = 0;
+  std::uint64_t credits = 0;
+  QosResponse resp;
+  if (!r.u16(magic) || magic != kResponseMagic) {
+    return Error("response: bad magic");
+  }
+  if (!r.u8(version) || version != kProtocolVersion) {
+    return Error("response: unsupported version");
+  }
+  if (!r.u8(status) ||
+      status > static_cast<std::uint8_t>(ResponseStatus::kOverloaded)) {
+    return Error("response: bad status");
+  }
+  resp.status = static_cast<ResponseStatus>(status);
+  if (!r.u64(resp.request_id)) return Error("response: truncated id");
+  if (!r.u8(allowed) || allowed > 1) return Error("response: bad allowed flag");
+  resp.allowed = allowed == 1;
+  if (!r.u64(credits)) return Error("response: truncated credits");
+  resp.remaining_millicredits = static_cast<std::int64_t>(credits);
+  if (!r.at_end()) return Error("response: trailing bytes");
+  return resp;
+}
+
+}  // namespace janus::wire

@@ -1,0 +1,41 @@
+// Binary wire codec for the router <-> QoS server UDP hop. Fixed-endian
+// (little) explicit serialization — no struct punning — with strict bounds
+// checking on decode so a malformed datagram can never crash a server.
+//
+// Request layout (little endian):
+//   u16 magic 0x4A51 ("JQ")  u8 version  u8 type  u64 request_id
+//   u32 cost  u16 key_len  key bytes
+// Response layout:
+//   u16 magic 0x4A52 ("JR")  u8 version  u8 status  u64 request_id
+//   u8 allowed  i64 remaining_millicredits
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "wire/message.hpp"
+
+namespace janus::wire {
+
+inline constexpr std::uint16_t kRequestMagic = 0x4A51;
+inline constexpr std::uint16_t kResponseMagic = 0x4A52;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kMaxKeyLength = 4096;
+inline constexpr std::size_t kRequestHeaderSize = 2 + 1 + 1 + 8 + 4 + 2;
+inline constexpr std::size_t kResponseSize = 2 + 1 + 1 + 8 + 1 + 8;
+
+std::vector<std::uint8_t> encode(const QosRequest& req);
+std::vector<std::uint8_t> encode(const QosResponse& resp);
+
+/// Append-encoding variants for buffer reuse on hot paths.
+void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out);
+void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out);
+
+Result<QosRequest> decode_request(std::span<const std::uint8_t> data);
+Result<QosResponse> decode_response(std::span<const std::uint8_t> data);
+
+}  // namespace janus::wire

@@ -1,0 +1,81 @@
+#include "wire/http_codec.hpp"
+
+#include "common/string_util.hpp"
+
+namespace janus::wire {
+
+Result<HttpQosQuery> parse_qos_target(std::string_view target) {
+  std::size_t qpos = target.find('?');
+  std::string_view path =
+      qpos == std::string_view::npos ? target : target.substr(0, qpos);
+  if (path != "/qos") return Error("http: unknown path");
+  if (qpos == std::string_view::npos) return Error("http: missing query");
+
+  HttpQosQuery out;
+  bool have_key = false;
+  for (std::string_view pair : split(target.substr(qpos + 1), '&')) {
+    if (pair.empty()) continue;
+    std::size_t eq = pair.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    std::string_view raw =
+        eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+    if (name == "key") {
+      auto decoded = url_decode(raw);
+      if (!decoded || decoded->empty()) return Error("http: bad key");
+      out.request.key = std::move(*decoded);
+      have_key = true;
+    } else if (name == "cost") {
+      auto cost = parse_u64(raw);
+      if (!cost || *cost == 0 || *cost > 0xFFFFFFFFull) {
+        return Error("http: bad cost");
+      }
+      out.request.cost = static_cast<std::uint32_t>(*cost);
+    } else if (name == "probe") {
+      if (raw == "1") out.request.type = RequestType::kProbe;
+    } else if (name == "id") {
+      auto id = parse_u64(raw);
+      if (!id) return Error("http: bad id");
+      out.request.request_id = *id;
+    }
+    // Unknown parameters are ignored for forward compatibility.
+  }
+  if (!have_key) return Error("http: missing key");
+  return out;
+}
+
+std::string format_qos_target(const QosRequest& req) {
+  std::string target = "/qos?key=" + url_encode(req.key);
+  if (req.cost != 1) target += "&cost=" + std::to_string(req.cost);
+  if (req.type == RequestType::kProbe) target += "&probe=1";
+  if (req.request_id != 0) target += "&id=" + std::to_string(req.request_id);
+  return target;
+}
+
+std::string_view response_body(const QosResponse& resp) {
+  return resp.allowed ? "TRUE" : "FALSE";
+}
+
+std::string_view status_header_value(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kDefaultReply:
+      return "default-reply";
+    case ResponseStatus::kMalformed:
+      return "malformed";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
+
+std::optional<ResponseStatus> parse_status_header(std::string_view value) {
+  if (value == "ok") return ResponseStatus::kOk;
+  if (value == "default-reply") return ResponseStatus::kDefaultReply;
+  if (value == "malformed") return ResponseStatus::kMalformed;
+  if (value == "overloaded") return ResponseStatus::kOverloaded;
+  return std::nullopt;
+}
+
+}  // namespace janus::wire

@@ -1,0 +1,38 @@
+// HTTP mapping of the QoS protocol — the router's client-facing interface
+// (paper §II-A: "request router nodes only accept HTTP/HTTPS requests").
+//
+//   GET /qos?key=<url-encoded>&cost=1[&probe=1]   ->  200 "TRUE" | 200 "FALSE"
+//
+// Bodies are the literal strings TRUE/FALSE, matching the paper's boolean
+// response; an X-Janus-Status header distinguishes default replies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "wire/message.hpp"
+
+namespace janus::wire {
+
+/// Parsed form of the request line target "/qos?key=...".
+struct HttpQosQuery {
+  QosRequest request;
+};
+
+/// Parse an HTTP request target (path + query string) into a QosRequest.
+/// Returns an error for non-/qos paths or malformed/missing key.
+Result<HttpQosQuery> parse_qos_target(std::string_view target);
+
+/// Build the request target for a QosRequest (client side).
+std::string format_qos_target(const QosRequest& req);
+
+/// Body text for a response ("TRUE"/"FALSE").
+std::string_view response_body(const QosResponse& resp);
+
+/// Header value describing the response status ("ok", "default-reply", ...).
+std::string_view status_header_value(ResponseStatus status);
+std::optional<ResponseStatus> parse_status_header(std::string_view value);
+
+}  // namespace janus::wire

@@ -1,0 +1,45 @@
+// The Janus key-value request/response messages (paper §II: "a QoS request
+// comes with a QoS key... the QoS response is a boolean"). We add a request
+// id for UDP retry matching, a cost field (multi-credit operations), and a
+// status so a router's default reply is distinguishable from a real decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace janus::wire {
+
+enum class RequestType : std::uint8_t {
+  kCheck = 0,  // consume `cost` credits if available (the paper's operation)
+  kProbe = 1,  // read-only: would a kCheck succeed? consumes nothing
+  kSync = 2,   // admin: force re-read of the rule from the database
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,            // decision made by a QoS server
+  kDefaultReply = 1,  // router exhausted retries; default policy applied
+  kMalformed = 2,     // peer could not parse the request
+  kOverloaded = 3,    // server FIFO full; request dropped
+};
+
+struct QosRequest {
+  std::uint64_t request_id = 0;
+  RequestType type = RequestType::kCheck;
+  std::uint32_t cost = 1;
+  std::string key;
+
+  bool operator==(const QosRequest&) const = default;
+};
+
+struct QosResponse {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  bool allowed = false;
+  /// Remaining credit after the decision, in milli-credits (floor; -1 when
+  /// unknown, e.g. default replies). Lets clients implement backoff.
+  std::int64_t remaining_millicredits = -1;
+
+  bool operator==(const QosResponse&) const = default;
+};
+
+}  // namespace janus::wire

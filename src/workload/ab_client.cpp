@@ -1,0 +1,81 @@
+#include "workload/ab_client.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "wire/http_codec.hpp"
+#include "wire/message.hpp"
+
+namespace janus::workload {
+
+AbReport run_ab(const net::SockAddr& endpoint, const KeyGenerator& keys,
+                const AbConfig& config) {
+  AbReport report;
+  std::mutex report_mu;
+
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::uint64_t per_thread = config.total_requests / threads;
+  const std::uint64_t remainder = config.total_requests % threads;
+
+  SteadyClock& clock = SteadyClock::instance();
+  const TimePoint start = clock.now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::uint64_t budget = per_thread + (t < remainder ? 1 : 0);
+    pool.emplace_back([&, t, budget] {
+      net::HttpClient client(endpoint, config.timeout);
+      Rng rng(0xAB0000 + t);
+      AbReport local;
+
+      TimePoint next_send = clock.now();
+      const Duration gap = config.rate_per_thread > 0
+                               ? from_seconds(1.0 / config.rate_per_thread)
+                               : Duration{0};
+
+      for (std::uint64_t i = 0; i < budget; ++i) {
+        if (gap.count() > 0) {
+          clock.sleep_until(next_send);
+          next_send += gap;
+        }
+        wire::QosRequest req;
+        req.key = keys.key(rng.next_below(config.key_space));
+        const TimePoint t0 = clock.now();
+        auto resp = client.get(wire::format_qos_target(req));
+        const Duration rtt = clock.now() - t0;
+
+        if (!resp.ok() || resp.value().status != 200) {
+          ++local.errors;
+          continue;
+        }
+        ++local.completed;
+        local.latency.record(rtt);
+        const auto& r = resp.value();
+        if (auto status = r.header("X-Janus-Status");
+            status && *status == "default-reply") {
+          ++local.default_replies;
+        } else if (r.body == "TRUE") {
+          ++local.allowed;
+        } else {
+          ++local.denied;
+        }
+      }
+
+      std::lock_guard lock(report_mu);
+      report.completed += local.completed;
+      report.allowed += local.allowed;
+      report.denied += local.denied;
+      report.default_replies += local.default_replies;
+      report.errors += local.errors;
+      report.latency.merge(local.latency);
+    });
+  }
+  for (auto& th : pool) th.join();
+  report.elapsed = clock.now() - start;
+  return report;
+}
+
+}  // namespace janus::workload

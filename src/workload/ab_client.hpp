@@ -1,0 +1,48 @@
+// The "modified Apache HTTP server benchmarking tool" of §V: a multi-thread
+// closed-loop HTTP load generator that fires QoS requests with varying keys
+// at a Janus endpoint (router node or gateway balancer) and records the
+// round-trip latency of every request. Runs against the real-socket stack.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "net/socket.hpp"
+#include "workload/key_generator.hpp"
+
+namespace janus::workload {
+
+struct AbConfig {
+  std::size_t threads = 1;          // concurrency (-c)
+  std::uint64_t total_requests = 1000;  // request budget (-n), split evenly
+  std::uint64_t key_space = 1000;   // keys drawn uniformly from [0, key_space)
+  Duration timeout = millis(1000);
+  /// Optional pacing: target requests/sec per thread (0 = full speed).
+  double rate_per_thread = 0.0;
+};
+
+struct AbReport {
+  std::uint64_t completed = 0;
+  std::uint64_t allowed = 0;    // body "TRUE"
+  std::uint64_t denied = 0;     // body "FALSE"
+  std::uint64_t default_replies = 0;  // X-Janus-Status: default-reply
+  std::uint64_t errors = 0;     // transport failures / non-200
+  Duration elapsed{0};
+  Histogram latency{seconds(60).count(), 7};
+
+  double throughput() const {
+    return elapsed.count() > 0
+               ? static_cast<double>(completed) / to_seconds(elapsed)
+               : 0.0;
+  }
+};
+
+/// Run to completion (blocking). Keys come from `keys`.
+AbReport run_ab(const net::SockAddr& endpoint, const KeyGenerator& keys,
+                const AbConfig& config);
+
+}  // namespace janus::workload

@@ -1,0 +1,94 @@
+#include "workload/key_generator.hpp"
+
+#include <cstdio>
+
+namespace janus::workload {
+
+namespace {
+
+/// Deterministic per-index random stream: key(i) never depends on call
+/// order, so parallel generators agree.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 sm(seed ^ (index * 0x9E3779B97F4A7C15ull));
+  return sm.next();
+}
+
+}  // namespace
+
+UuidKeys::UuidKeys(std::uint64_t seed) : seed_(seed) {}
+
+std::string UuidKeys::key(std::uint64_t index) const {
+  // Version-4-style UUID from two 64-bit words; the index is embedded so
+  // keys are unique even across hash collisions of mix().
+  std::uint64_t hi = mix(seed_, index);
+  std::uint64_t lo = index;
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-4%03x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi & 0xFFF),
+                static_cast<unsigned>(0x8000 | ((hi >> 48) & 0x3FFF)),
+                static_cast<unsigned long long>(lo & 0xFFFFFFFFFFFFull));
+  return buf;
+}
+
+TimestampKeys::TimestampKeys(std::uint64_t seed) : seed_(seed) {}
+
+std::string TimestampKeys::key(std::uint64_t index) const {
+  // "YYYY-MM-DD-HH-MM-SS": enumerate seconds so every index is distinct,
+  // starting 2017-01-01 (the paper's era), with a seeded offset.
+  std::uint64_t t = index + (mix(seed_, 0) % 86400);
+  const std::uint64_t sec = t % 60;
+  const std::uint64_t min = (t / 60) % 60;
+  const std::uint64_t hour = (t / 3600) % 24;
+  const std::uint64_t day_index = t / 86400;
+  // 30-day months keep the arithmetic simple; the format is what matters.
+  const std::uint64_t day = day_index % 30 + 1;
+  const std::uint64_t month = (day_index / 30) % 12 + 1;
+  const std::uint64_t year = 2017 + day_index / 360;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf),
+                "%04llu-%02llu-%02llu-%02llu-%02llu-%02llu",
+                static_cast<unsigned long long>(year),
+                static_cast<unsigned long long>(month),
+                static_cast<unsigned long long>(day),
+                static_cast<unsigned long long>(hour),
+                static_cast<unsigned long long>(min),
+                static_cast<unsigned long long>(sec));
+  return buf;
+}
+
+EnglishVocabularyKeys::EnglishVocabularyKeys() : words_(english_words()) {}
+
+std::uint64_t EnglishVocabularyKeys::universe() const {
+  const auto n = static_cast<std::uint64_t>(words_.size());
+  return n + n * n + n * n * n;
+}
+
+std::string EnglishVocabularyKeys::key(std::uint64_t index) const {
+  const std::uint64_t n = words_.size();
+  if (index < n) return words_[index];
+  index -= n;
+  if (index < n * n) return words_[index / n] + "-" + words_[index % n];
+  index -= n * n;
+  index %= n * n * n;
+  return words_[index / (n * n)] + "-" + words_[(index / n) % n] + "-" +
+         words_[index % n];
+}
+
+SequentialKeys::SequentialKeys(std::uint64_t start) : start_(start) {}
+
+std::string SequentialKeys::key(std::uint64_t index) const {
+  return std::to_string(start_ + index);
+}
+
+std::vector<std::unique_ptr<KeyGenerator>> all_key_families() {
+  std::vector<std::unique_ptr<KeyGenerator>> out;
+  out.push_back(std::make_unique<UuidKeys>());
+  out.push_back(std::make_unique<TimestampKeys>());
+  out.push_back(std::make_unique<EnglishVocabularyKeys>());
+  out.push_back(std::make_unique<SequentialKeys>());
+  return out;
+}
+
+}  // namespace janus::workload

@@ -1,0 +1,83 @@
+// The four QoS-key families of the request-distribution study (Fig. 6):
+//   (a) random UUIDs            "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx"
+//   (b) random date-time keys   "YYYY-MM-DD-HH-MM-SS"
+//   (c) English-vocabulary keys (hyphenated word pairs drawn from an
+//       embedded common-word list — the paper used unique dictionary words;
+//       composing pairs preserves the "natural language text" character
+//       while providing >500 K unique keys, see DESIGN.md §1)
+//   (d) sequential numbers starting at 1500000001
+//
+// Generators are deterministic in the key index, so experiment N always
+// sees the same key population run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace janus::workload {
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+
+  /// The `index`-th key of this family (indices 0.. are all distinct).
+  virtual std::string key(std::uint64_t index) const = 0;
+
+  /// Family name for reports ("UUID", "TimeStamp", ...).
+  virtual std::string name() const = 0;
+};
+
+class UuidKeys final : public KeyGenerator {
+ public:
+  explicit UuidKeys(std::uint64_t seed = 1);
+  std::string key(std::uint64_t index) const override;
+  std::string name() const override { return "UUID"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class TimestampKeys final : public KeyGenerator {
+ public:
+  explicit TimestampKeys(std::uint64_t seed = 2);
+  std::string key(std::uint64_t index) const override;
+  std::string name() const override { return "TimeStamp"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class EnglishVocabularyKeys final : public KeyGenerator {
+ public:
+  EnglishVocabularyKeys();
+  std::string key(std::uint64_t index) const override;
+  std::string name() const override { return "EnglishVocabulary"; }
+
+  /// Number of distinct keys available (singles + pairs + triples).
+  std::uint64_t universe() const;
+
+ private:
+  const std::vector<std::string>& words_;
+};
+
+class SequentialKeys final : public KeyGenerator {
+ public:
+  explicit SequentialKeys(std::uint64_t start = 1500000001ull);
+  std::string key(std::uint64_t index) const override;
+  std::string name() const override { return "SequentialNumbers"; }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// All four families, in the paper's order.
+std::vector<std::unique_ptr<KeyGenerator>> all_key_families();
+
+/// The embedded common-English word list (lowercase, unique).
+const std::vector<std::string>& english_words();
+
+}  // namespace janus::workload

@@ -1,0 +1,33 @@
+#include "workload/rule_corpus.hpp"
+
+#include <cmath>
+
+namespace janus::workload {
+
+db::RuleRow make_rule(const KeyGenerator& keys, std::uint64_t index,
+                      const RuleCorpusConfig& config) {
+  SplitMix64 sm(config.seed ^ (index * 0xA24BAED4963EE407ull));
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0,1)
+  const double log_min = std::log(config.min_rate);
+  const double log_max = std::log(config.max_rate);
+  const double rate = std::exp(log_min + u * (log_max - log_min));
+  const double capacity = rate * config.burst_seconds;
+  return db::RuleRow{
+      .key = keys.key(index),
+      .refill_per_sec = rate,
+      .capacity = capacity,
+      .credit = capacity,  // provisioned full (§II-C)
+  };
+}
+
+std::uint64_t provision_rules(db::RuleStore& store, const KeyGenerator& keys,
+                              const RuleCorpusConfig& config) {
+  std::uint64_t written = 0;
+  for (std::uint64_t i = 0; i < config.rule_count; ++i) {
+    if (store.put(make_rule(keys, i, config)).ok()) ++written;
+  }
+  return written;
+}
+
+}  // namespace janus::workload

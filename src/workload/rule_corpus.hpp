@@ -1,0 +1,31 @@
+// Synthetic qos_rules corpus — the stand-in for the paper's "100 M QoS keys
+// in the database, each associated with a different QoS rule ranging from
+// 1 request per second to 10 K requests per second" (§V). Rates are
+// log-uniform over [min_rate, max_rate]; capacities allow the burst the
+// §II-C example describes (capacity = rate * burst_seconds).
+#pragma once
+
+#include <cstdint>
+
+#include "db/rule_store.hpp"
+#include "workload/key_generator.hpp"
+
+namespace janus::workload {
+
+struct RuleCorpusConfig {
+  std::uint64_t rule_count = 100'000;  // scaled-down 100 M (parameterized)
+  double min_rate = 1.0;
+  double max_rate = 10'000.0;
+  double burst_seconds = 10.0;  // capacity = rate * burst_seconds
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic rule for key index i (same parameters => same rule).
+db::RuleRow make_rule(const KeyGenerator& keys, std::uint64_t index,
+                      const RuleCorpusConfig& config);
+
+/// Provision the corpus into a RuleStore. Returns rules written.
+std::uint64_t provision_rules(db::RuleStore& store, const KeyGenerator& keys,
+                              const RuleCorpusConfig& config);
+
+}  // namespace janus::workload

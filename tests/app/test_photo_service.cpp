@@ -1,0 +1,126 @@
+#include "app/photo_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+
+namespace janus::app {
+namespace {
+
+sim::DeploymentConfig janus_config() {
+  // §V-D: 2 router nodes + 2 QoS server nodes behind an ELB.
+  sim::DeploymentConfig cfg;
+  cfg.router_nodes = 2;
+  cfg.server_nodes = 2;
+  cfg.costs.db_fetch = Duration{0};  // see sim/test_deployment.cpp
+  return cfg;
+}
+
+TEST(PhotoServiceTest, ServesWithoutQos) {
+  sim::Simulation sim;
+  PhotoServiceSim svc(sim, PhotoAppConfig{}, /*janus=*/nullptr);
+  std::optional<AppResult> result;
+  svc.submit("10.0.0.1", [&](const AppResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->served);
+  // Page load should be tens of milliseconds (Fig. 13b's "No QoS" row).
+  EXPECT_GT(result->latency, millis(5));
+  EXPECT_LT(result->latency, millis(200));
+}
+
+TEST(PhotoServiceTest, KnownIpServedWithinQuota) {
+  sim::Simulation sim;
+  sim::SimDeployment janus(sim, janus_config());
+  ASSERT_TRUE(janus.rules().put({.key = "10.0.0.1", .refill_per_sec = 100,
+                                 .capacity = 1000, .credit = 1000}).ok());
+  PhotoServiceSim svc(sim, PhotoAppConfig{}, &janus);
+  std::optional<AppResult> result;
+  svc.submit("10.0.0.1", [&](const AppResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->served);
+}
+
+TEST(PhotoServiceTest, UnknownIpThrottledImmediately) {
+  sim::Simulation sim;
+  sim::SimDeployment janus(sim, janus_config());  // deny-all default
+  PhotoServiceSim svc(sim, PhotoAppConfig{}, &janus);
+  std::optional<AppResult> result;
+  svc.submit("203.0.113.9", [&](const AppResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->served);
+  // Throttles skip memcached/MySQL/render: single-digit milliseconds
+  // ("rejected requests are throttled in 3 ms", §V-D).
+  EXPECT_LT(result->latency, millis(8));
+}
+
+TEST(PhotoServiceTest, ThrottleKicksInWhenBucketDepletes) {
+  sim::Simulation sim;
+  sim::SimDeployment janus(sim, janus_config());
+  ASSERT_TRUE(janus.rules().put({.key = "10.0.0.1", .refill_per_sec = 0,
+                                 .capacity = 10, .credit = 10}).ok());
+  PhotoServiceSim svc(sim, PhotoAppConfig{}, &janus);
+  int served = 0, throttled = 0;
+  for (int i = 0; i < 25; ++i) {
+    sim.schedule_at(millis(i * 50), [&] {
+      svc.submit("10.0.0.1", [&](const AppResult& r) {
+        (r.served ? served : throttled)++;
+      });
+    });
+  }
+  sim.run_until(seconds(5));
+  EXPECT_EQ(served, 10);
+  EXPECT_EQ(throttled, 15);
+}
+
+TEST(PhotoServiceTest, QosOverheadIsSmall) {
+  // Fig. 13b: "QoS integration does not significantly impact the
+  // performance of successful requests."
+  auto measure = [](bool with_qos) {
+    sim::Simulation sim;
+    std::unique_ptr<sim::SimDeployment> janus;
+    if (with_qos) {
+      janus = std::make_unique<sim::SimDeployment>(sim, janus_config());
+      (void)janus->rules().put({.key = "10.0.0.1", .refill_per_sec = 1e6,
+                                .capacity = 1e9, .credit = 1e9});
+    }
+    PhotoServiceSim svc(sim, PhotoAppConfig{}, janus.get());
+    Histogram latency;
+    for (int i = 0; i < 300; ++i) {
+      sim.schedule_at(millis(i * 10), [&] {
+        svc.submit("10.0.0.1", [&](const AppResult& r) {
+          latency.record(r.latency);
+        });
+      });
+    }
+    sim.run_until(seconds(10));
+    return latency;
+  };
+  Histogram baseline = measure(false);
+  Histogram with_qos = measure(true);
+  ASSERT_EQ(baseline.count(), 300u);
+  ASSERT_EQ(with_qos.count(), 300u);
+  const double overhead_ms =
+      (with_qos.mean() - baseline.mean()) / 1e6;
+  EXPECT_GT(overhead_ms, 0.0);
+  EXPECT_LT(overhead_ms, 10.0);  // a few ms, small next to ~20+ ms pages
+}
+
+TEST(PhotoServiceTest, DefaultReplyFlaggedOnJanusOutage) {
+  sim::Simulation sim;
+  sim::DeploymentConfig cfg = janus_config();
+  cfg.costs.udp.loss_prob = 1.0;  // QoS layer unreachable
+  sim::SimDeployment janus(sim, cfg);
+  PhotoServiceSim svc(sim, PhotoAppConfig{}, &janus);
+  std::optional<AppResult> result;
+  svc.submit("10.0.0.1", [&](const AppResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->served);     // default deny
+  EXPECT_TRUE(result->qos_default);  // surfaced to the app
+}
+
+}  // namespace
+}  // namespace janus::app

@@ -1,0 +1,98 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace janus {
+namespace {
+
+TEST(SteadyClockTest, IsMonotonic) {
+  SteadyClock clock;
+  TimePoint prev = clock.now();
+  for (int i = 0; i < 1000; ++i) {
+    TimePoint cur = clock.now();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SteadyClockTest, StartsNearZero) {
+  SteadyClock clock;
+  EXPECT_LT(clock.now(), millis(100));
+}
+
+TEST(SteadyClockTest, SleepUntilAdvancesAtLeastToDeadline) {
+  SteadyClock clock;
+  const TimePoint deadline = clock.now() + millis(5);
+  clock.sleep_until(deadline);
+  EXPECT_GE(clock.now(), deadline);
+}
+
+TEST(SteadyClockTest, SleepUntilPastDeadlineReturnsImmediately) {
+  SteadyClock clock;
+  const TimePoint before = clock.now();
+  clock.sleep_until(before - seconds(1));
+  EXPECT_LT(clock.now() - before, millis(100));
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(millis(42));
+  EXPECT_EQ(clock.now(), millis(42));
+}
+
+TEST(ManualClockTest, AdvanceMovesForward) {
+  ManualClock clock;
+  clock.advance(micros(7));
+  EXPECT_EQ(clock.now(), micros(7));
+  clock.advance(micros(3));
+  EXPECT_EQ(clock.now(), micros(10));
+}
+
+TEST(ManualClockTest, AdvanceToIsMonotonic) {
+  ManualClock clock(millis(100));
+  clock.advance_to(millis(50));  // into the past: ignored
+  EXPECT_EQ(clock.now(), millis(100));
+  clock.advance_to(millis(150));
+  EXPECT_EQ(clock.now(), millis(150));
+}
+
+TEST(ManualClockTest, SleepUntilJumpsWithoutBlocking) {
+  ManualClock clock;
+  clock.sleep_until(seconds(3600));  // must return instantly
+  EXPECT_EQ(clock.now(), seconds(3600));
+}
+
+TEST(ManualClockTest, SleepForJumpsRelative) {
+  ManualClock clock(seconds(5));
+  clock.sleep_for(seconds(2));
+  EXPECT_EQ(clock.now(), seconds(7));
+}
+
+TEST(ManualClockTest, ConcurrentAdvanceNeverLosesProgress) {
+  ManualClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kSteps; ++i) clock.advance(nanos(1));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clock.now().count(), kThreads * kSteps);
+}
+
+TEST(DurationHelpersTest, UnitConversions) {
+  EXPECT_EQ(micros(1), nanos(1000));
+  EXPECT_EQ(millis(1), micros(1000));
+  EXPECT_EQ(seconds(1), millis(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_micros(micros(9)), 9.0);
+  EXPECT_EQ(from_seconds(0.5), millis(500));
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,112 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace janus {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValueLines) {
+  auto cfg = Config::parse("a = 1\nb=hello\n c  =  spaced  \n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get("a"), "1");
+  EXPECT_EQ(cfg.value().get("b"), "hello");
+  EXPECT_EQ(cfg.value().get("c"), "spaced");
+}
+
+TEST(ConfigTest, IgnoresCommentsAndBlankLines) {
+  auto cfg = Config::parse("# comment\n\nx = 1 # trailing comment\n\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get("x"), "1");
+  EXPECT_EQ(cfg.value().entries().size(), 1u);
+}
+
+TEST(ConfigTest, RejectsMalformedLines) {
+  EXPECT_FALSE(Config::parse("no equals sign").ok());
+  EXPECT_FALSE(Config::parse("= value without key").ok());
+}
+
+TEST(ConfigTest, ErrorMessagesIncludeLineNumber) {
+  auto cfg = Config::parse("ok = 1\nbroken line\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ConfigTest, TypedGettersWithFallbacks) {
+  auto cfg = Config::parse(
+      "port = 8080\nrate = 2.5\nenabled = true\noff = 0\nname = janus\n");
+  ASSERT_TRUE(cfg.ok());
+  const Config& c = cfg.value();
+  EXPECT_EQ(c.get_int("port", -1), 8080);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(c.get_bool("enabled", false));
+  EXPECT_FALSE(c.get_bool("off", true));
+  EXPECT_EQ(c.get_or("name", "x"), "janus");
+  // Fallbacks for missing keys.
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_EQ(c.get_or("missing", "fb"), "fb");
+}
+
+TEST(ConfigTest, BoolSynonyms) {
+  auto cfg = Config::parse("a=yes\nb=on\nc=TRUE\nd=no\ne=off\nf=FALSE\n");
+  ASSERT_TRUE(cfg.ok());
+  const Config& c = cfg.value();
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_FALSE(c.get_bool("e", true));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(ConfigTest, UnparsableNumberFallsBack) {
+  auto cfg = Config::parse("n = not-a-number\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get_int("n", 13), 13);
+}
+
+TEST(ConfigTest, SetOverridesParsedValue) {
+  auto cfg = Config::parse("x = 1\n");
+  ASSERT_TRUE(cfg.ok());
+  Config c = cfg.value();
+  c.set("x", "2");
+  c.set("y", "3");
+  EXPECT_EQ(c.get_int("x", 0), 2);
+  EXPECT_EQ(c.get_int("y", 0), 3);
+}
+
+TEST(ConfigTest, ContainsDetectsKeys) {
+  auto cfg = Config::parse("present = 1\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg.value().contains("present"));
+  EXPECT_FALSE(cfg.value().contains("absent"));
+}
+
+TEST(ConfigTest, LoadsFromFile) {
+  const std::string path = ::testing::TempDir() + "janus_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "from_file = yes\n";
+  }
+  auto cfg = Config::load(path);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg.value().get_bool("from_file", false));
+  std::remove(path.c_str());
+}
+
+TEST(ConfigTest, LoadMissingFileFails) {
+  EXPECT_FALSE(Config::load("/nonexistent/janus.conf").ok());
+}
+
+TEST(ConfigTest, LastDuplicateKeyWins) {
+  auto cfg = Config::parse("k = 1\nk = 2\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,63 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace janus {
+namespace {
+
+// Known-answer vectors for CRC-32/ISO-HDLC (the zlib/PHP crc32()).
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IsDeterministic) {
+  const std::string key = "tenant-42/photos";
+  EXPECT_EQ(crc32(key), crc32(key));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitChange) {
+  EXPECT_NE(crc32("tenant-1"), crc32("tenant-2"));
+  EXPECT_NE(crc32("Tenant"), crc32("tenant"));
+}
+
+TEST(Crc32Test, ChainingMatchesConcatenation) {
+  const std::uint32_t direct = crc32("helloworld");
+  const std::uint32_t chained = crc32("world", crc32("hello"));
+  EXPECT_EQ(direct, chained);
+}
+
+TEST(Crc32Test, HandlesEmbeddedNulAndHighBytes) {
+  const std::string data1{"a\0b", 3};
+  const std::string data2{"ab", 2};
+  EXPECT_NE(crc32(data1), crc32(data2));
+  std::string high;
+  for (int i = 128; i < 256; ++i) high.push_back(static_cast<char>(i));
+  EXPECT_EQ(crc32(high), crc32(high));
+}
+
+TEST(Crc32Test, IsConstexprUsable) {
+  constexpr std::uint32_t at_compile_time = crc32("abc");
+  static_assert(at_compile_time == 0x352441C2u);
+  EXPECT_EQ(at_compile_time, 0x352441C2u);
+}
+
+TEST(Crc32Test, FewCollisionsOnSequentialKeys) {
+  std::set<std::uint32_t> seen;
+  constexpr int kKeys = 100000;
+  for (int i = 0; i < kKeys; ++i) {
+    seen.insert(crc32(std::to_string(1500000001ll + i)));
+  }
+  // Birthday bound: expect ~1 collision per 2^32/2n; allow a small margin.
+  EXPECT_GT(seen.size(), kKeys - 10);
+}
+
+}  // namespace
+}  // namespace janus

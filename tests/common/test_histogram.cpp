@@ -1,0 +1,153 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace janus {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+  // Percentile falls in the containing bucket; relative error <= 2^-7.
+  EXPECT_NEAR(h.percentile(0.5), 12345, 12345.0 / 128.0 + 1);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int v = 0; v < 200; ++v) h.record(v);
+  // Values below 2^(bits+1)=256 live in exact unit buckets.
+  EXPECT_EQ(h.percentile(0.005), 0);
+  EXPECT_EQ(h.percentile(1.0), 199);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 199);
+}
+
+TEST(HistogramTest, MeanAndStddev) {
+  Histogram h;
+  for (std::int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_NEAR(h.stddev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  Histogram h;
+  Rng rng(1);
+  std::vector<std::int64_t> values;
+  constexpr int kSamples = 100000;
+  values.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    auto v = static_cast<std::int64_t>(rng.lognormal(1e6, 1.0));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (kSamples - 1))];
+    const auto approx = h.percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.02 + 2)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInQ) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.exponential(5e5)));
+  }
+  std::int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    std::int64_t cur = h.percentile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, ClampsToMaxValue) {
+  Histogram h(/*max_value=*/1000, /*sub_bucket_bits=*/7);
+  h.record(50'000'000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.percentile(1.0), 1000 * 2);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-42);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(100);
+  for (int i = 0; i < 1000; ++i) b.record(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_GE(a.max(), 10000);
+  EXPECT_LE(a.percentile(0.4), 110);
+  EXPECT_GE(a.percentile(0.9), 9900);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedGeometry) {
+  Histogram a(1000000, 7);
+  Histogram b(1000000, 8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.record(5);
+  h.record(500000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, RecordsDurations) {
+  Histogram h;
+  h.record(millis(3));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(static_cast<double>(h.percentile(1.0)), 3e6, 3e6 / 64);
+}
+
+TEST(HistogramTest, SummaryStringsContainStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(micros(i));
+  const std::string us = h.summary_us();
+  EXPECT_NE(us.find("avg="), std::string::npos);
+  EXPECT_NE(us.find("p99="), std::string::npos);
+  EXPECT_NE(us.find("n=100"), std::string::npos);
+  const std::string ms = h.summary_ms();
+  EXPECT_NE(ms.find("ms"), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadGeometry) {
+  EXPECT_THROW(Histogram(0, 7), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace janus

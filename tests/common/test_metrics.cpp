@@ -1,0 +1,115 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace janus {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 6);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(MetricsRegistryTest, SameNameSameCounter) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("requests");
+  Counter& b = reg.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsAllMetrics) {
+  MetricsRegistry reg;
+  reg.counter("c1").inc(3);
+  reg.gauge("g1").set(9);
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("c1"), 3);
+  EXPECT_EQ(snap.at("g1"), 9);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(5);
+  reg.gauge("g").set(5);
+  reg.reset_all();
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("c"), 0);
+  EXPECT_EQ(snap.at("g"), 0);
+}
+
+TEST(MetricsRegistryTest, CounterReferenceStableAcrossInserts) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  for (int i = 0; i < 100; ++i) reg.counter("other" + std::to_string(i));
+  first.inc();
+  EXPECT_EQ(reg.snapshot().at("first"), 1);
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  Logger& log = Logger::instance();
+  const LogLevel saved = log.level();
+  log.set_level(LogLevel::kError);
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.set_level(LogLevel::kDebug);
+  EXPECT_TRUE(log.enabled(LogLevel::kDebug));
+  log.set_level(saved);
+}
+
+TEST(LoggerTest, WritesFormattedLineToSink) {
+  Logger& log = Logger::instance();
+  const LogLevel saved = log.level();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  log.set_sink(tmp);
+  log.set_level(LogLevel::kInfo);
+  JLOG_INFO("hello %d", 42);
+  log.set_sink(stderr);
+  log.set_level(saved);
+
+  std::rewind(tmp);
+  char buf[512] = {};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+  const std::string line = buf;
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("test_metrics.cpp"), std::string::npos);
+  std::fclose(tmp);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "common/spsc_queue.hpp"
+
+namespace janus {
+namespace {
+
+// ---------------------------------------------------------------- MpmcQueue
+
+TEST(MpmcQueueTest, PushPopSingleThread) {
+  MpmcQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(1));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(2));
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(MpmcQueueTest, CapacityRoundedToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueueTest, FullQueueRejectsPush) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(0));
+  EXPECT_TRUE(q.try_push(99));  // slot freed
+}
+
+TEST(MpmcQueueTest, FifoOrderPreserved) {
+  MpmcQueue<int> q(128);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.try_push(i));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.try_pop(), std::optional<int>(i));
+}
+
+TEST(MpmcQueueTest, WrapAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(round));
+    ASSERT_EQ(q.try_pop(), std::optional<int>(round));
+  }
+}
+
+TEST(MpmcQueueTest, MovesNonCopyableTypes) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto out = q.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersConserveSum) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  MpmcQueue<int> q(1024);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!q.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed_count.load() < kProducers * kPerProducer) {
+        if (auto v = q.try_pop()) {
+          consumed_sum.fetch_add(*v);
+          consumed_count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------------------------------------ BlockingQueue
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.try_push(42);
+  });
+  auto v = q.pop();
+  producer.join();
+  EXPECT_EQ(v, std::optional<int>(42));
+}
+
+TEST(BlockingQueueTest, BoundedCapacityRejects) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(BlockingQueueTest, ShutdownDrainsThenReturnsNull) {
+  BlockingQueue<int> q;
+  q.try_push(1);
+  q.try_push(2);
+  q.shutdown();
+  EXPECT_FALSE(q.try_push(3));  // rejected after shutdown
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::nullopt);  // drained: unblocked forever
+}
+
+TEST(BlockingQueueTest, ShutdownWakesBlockedConsumers) {
+  BlockingQueue<int> q;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_EQ(q.pop(), std::nullopt);
+      woken.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.shutdown();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woken.load(), 3);
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto v = q.pop_for(millis(10));
+  EXPECT_EQ(v, std::nullopt);
+}
+
+TEST(BlockingQueueTest, PopForReturnsAvailableItem) {
+  BlockingQueue<int> q;
+  q.try_push(5);
+  EXPECT_EQ(q.pop_for(millis(10)), std::optional<int>(5));
+}
+
+TEST(BlockingQueueTest, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.try_pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------- SpscQueue
+
+TEST(SpscQueueTest, BasicPushPop) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.try_pop(), std::optional<int>(1));
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(SpscQueueTest, FullRejects) {
+  SpscQueue<int> q(3);
+  std::size_t pushed = 0;
+  while (q.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_GE(pushed, 3u);
+  EXPECT_EQ(q.try_pop(), std::optional<int>(0));
+  EXPECT_TRUE(q.try_push(99));
+}
+
+TEST(SpscQueueTest, TwoThreadStress) {
+  SpscQueue<int> q(64);
+  constexpr int kItems = 200000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  while (received < kItems) {
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(*v, received);  // order preserved
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,72 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace janus {
+namespace {
+
+Result<int> parse_positive(int x) {
+  if (x > 0) return x;
+  return Error("not positive");
+}
+
+TEST(ResultTest, OkHoldsValue) {
+  Result<int> r = 42;
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorHoldsMessage) {
+  Result<int> r = Error("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "boom");
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  Result<int> r = Error("bad");
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(ResultTest, TakeMovesValueOut) {
+  Result<std::string> r = std::string("moveme");
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "moveme");
+}
+
+TEST(ResultTest, TakeOnErrorThrows) {
+  Result<std::string> r = Error("nope");
+  EXPECT_THROW(std::move(r).take(), std::runtime_error);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(5).value_or(-1), 5);
+  EXPECT_EQ(parse_positive(-5).value_or(-1), -1);
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Error("io failure");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "io failure");
+}
+
+TEST(StatusTest, SuccessFactory) {
+  EXPECT_TRUE(Status::success().ok());
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,73 @@
+#include "core/key_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace janus::core {
+namespace {
+
+TEST(KeyRouterTest, RejectsZeroBackends) {
+  EXPECT_THROW(KeyRouter(0), std::invalid_argument);
+}
+
+TEST(KeyRouterTest, MatchesFigureTwoFormula) {
+  // Fig. 2: seed = CRC32(key); n = mod(seed, N).
+  KeyRouter router(20);
+  for (const char* key : {"alice", "tenant-7/photos", "10.1.2.3", "x"}) {
+    EXPECT_EQ(router.index_for(key), crc32(key) % 20);
+  }
+}
+
+TEST(KeyRouterTest, SingleBackendTakesEverything) {
+  KeyRouter router(1);
+  EXPECT_EQ(router.index_for("anything"), 0u);
+  EXPECT_EQ(router.index_for(""), 0u);
+}
+
+TEST(KeyRouterTest, IndexAlwaysInRange) {
+  KeyRouter router(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(router.index_for("key-" + std::to_string(i)), 7u);
+  }
+}
+
+TEST(KeyRouterTest, DeterministicAcrossInstances) {
+  // §II-B: the same key routes to the same server "regardless of which
+  // request router node is handling the request segregation".
+  KeyRouter a(20), b(20);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "tenant-" + std::to_string(i);
+    EXPECT_EQ(a.index_for(key), b.index_for(key));
+  }
+}
+
+TEST(KeyRouterTest, ResizingBackendsRemapsKeys) {
+  KeyRouter small(4), big(5);
+  int moved = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (small.index_for(key) != big.index_for(key)) ++moved;
+  }
+  EXPECT_GT(moved, 0);  // mod-N remaps on resize (a documented property)
+}
+
+TEST(KeyRouterTest, UniformityOverSequentialKeys) {
+  // A small-scale version of the Fig. 6 key-pressure experiment.
+  constexpr std::size_t kServers = 20;
+  constexpr int kKeys = 100000;
+  KeyRouter router(kServers);
+  std::vector<int> pressure(kServers, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++pressure[router.index_for(std::to_string(1500000001ll + i))];
+  }
+  const double expected = static_cast<double>(kKeys) / kServers;  // 5%
+  for (std::size_t s = 0; s < kServers; ++s) {
+    EXPECT_NEAR(pressure[s], expected, expected * 0.05) << "server " << s;
+  }
+}
+
+}  // namespace
+}  // namespace janus::core

@@ -1,0 +1,112 @@
+#include "db/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace janus::db {
+namespace {
+
+Schema rules_schema() {
+  return Schema{{{"key", ColumnType::kString},
+                 {"rate", ColumnType::kDouble}}};
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(master_.create_table("t", rules_schema()).ok());
+    ASSERT_TRUE(standby_.create_table("t", rules_schema()).ok());
+  }
+  Database master_;
+  Database standby_;
+};
+
+TEST_F(ReplicationTest, PumpAppliesMutationsInOrder) {
+  Replicator repl(master_, standby_);
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 1.0}).ok());
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 2.0}).ok());
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("b"), 3.0}).ok());
+  EXPECT_EQ(repl.lag(), 3u);
+  EXPECT_EQ(repl.pump(), 3u);
+  EXPECT_EQ(repl.lag(), 0u);
+  EXPECT_DOUBLE_EQ(std::get<double>((*standby_.get("t", "a"))[1]), 2.0);
+  EXPECT_DOUBLE_EQ(std::get<double>((*standby_.get("t", "b"))[1]), 3.0);
+  EXPECT_EQ(standby_.lsn(), master_.lsn());
+}
+
+TEST_F(ReplicationTest, RemovesReplicate) {
+  Replicator repl(master_, standby_);
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 1.0}).ok());
+  repl.pump();
+  ASSERT_TRUE(master_.remove("t", "a").ok());
+  repl.pump();
+  EXPECT_EQ(standby_.get("t", "a"), std::nullopt);
+}
+
+TEST_F(ReplicationTest, PartialPumpLeavesLag) {
+  Replicator repl(master_, standby_);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(master_.upsert("t", Row{std::string("k" + std::to_string(i)),
+                                        1.0}).ok());
+  }
+  EXPECT_EQ(repl.pump(4), 4u);
+  EXPECT_EQ(repl.lag(), 6u);
+  EXPECT_EQ(standby_.table_size("t"), 4u);
+}
+
+TEST_F(ReplicationTest, PromoteStopsCapture) {
+  Replicator repl(master_, standby_);
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 1.0}).ok());
+  repl.promote();  // applies pending, then detaches
+  EXPECT_TRUE(repl.promoted());
+  EXPECT_TRUE(standby_.get("t", "a").has_value());
+  // Writes after promotion are not captured.
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("b"), 2.0}).ok());
+  EXPECT_EQ(repl.lag(), 0u);
+  EXPECT_EQ(repl.pump(), 0u);
+  EXPECT_EQ(standby_.get("t", "b"), std::nullopt);
+}
+
+TEST_F(ReplicationTest, PromotedStandbyAcceptsWrites) {
+  Replicator repl(master_, standby_);
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 1.0}).ok());
+  repl.promote();
+  // The standby is now the new master and takes direct traffic.
+  ASSERT_TRUE(standby_.upsert("t", Row{std::string("c"), 9.0}).ok());
+  EXPECT_TRUE(standby_.get("t", "c").has_value());
+}
+
+TEST_F(ReplicationTest, DestroyedReplicatorDetachesSafely) {
+  { Replicator repl(master_, standby_); }
+  // Observer must not touch the dead replicator.
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("a"), 1.0}).ok());
+  EXPECT_EQ(standby_.get("t", "a"), std::nullopt);
+}
+
+TEST_F(ReplicationTest, SeedStandbyCopiesSnapshot) {
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(master_.upsert("t", Row{std::string("k" + std::to_string(i)),
+                                        i * 1.0}).ok());
+  }
+  ASSERT_TRUE(seed_standby(master_, standby_, {"t"}).ok());
+  EXPECT_EQ(standby_.table_size("t"), 25u);
+  EXPECT_DOUBLE_EQ(std::get<double>((*standby_.get("t", "k7"))[1]), 7.0);
+  EXPECT_EQ(standby_.lsn(), master_.lsn());
+}
+
+TEST_F(ReplicationTest, SeedThenStreamGivesExactCopy) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(master_.upsert("t", Row{std::string("k" + std::to_string(i)),
+                                        1.0}).ok());
+  }
+  ASSERT_TRUE(seed_standby(master_, standby_, {"t"}).ok());
+  Replicator repl(master_, standby_);
+  ASSERT_TRUE(master_.upsert("t", Row{std::string("new"), 2.0}).ok());
+  ASSERT_TRUE(master_.remove("t", "k0").ok());
+  repl.pump();
+  EXPECT_EQ(standby_.table_size("t"), master_.table_size("t"));
+  EXPECT_TRUE(standby_.get("t", "new").has_value());
+  EXPECT_EQ(standby_.get("t", "k0"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace janus::db

@@ -1,0 +1,180 @@
+#include "lb/dns_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace janus::lb {
+namespace {
+
+net::SockAddr addr(int i) {
+  return {"10.0.0." + std::to_string(i), 80};
+}
+
+TEST(DnsBalancerTest, UnknownNameIsNxdomain) {
+  DnsBalancer dns;
+  EXPECT_FALSE(dns.query("nope.janus").ok());
+}
+
+TEST(DnsBalancerTest, AnswerContainsAllAddresses) {
+  DnsBalancer dns;
+  dns.set_record("janus", {addr(1), addr(2), addr(3)});
+  auto ans = dns.query("janus");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().addrs.size(), 3u);
+}
+
+TEST(DnsBalancerTest, PermutesPerQuery) {
+  // §II-A: "with each DNS response, the IP address sequence is permuted."
+  DnsBalancer dns;
+  dns.set_record("janus", {addr(1), addr(2), addr(3)});
+  auto first = dns.query("janus").value().addrs;
+  auto second = dns.query("janus").value().addrs;
+  auto third = dns.query("janus").value().addrs;
+  auto fourth = dns.query("janus").value().addrs;
+  EXPECT_EQ(first[0], addr(1));
+  EXPECT_EQ(second[0], addr(2));
+  EXPECT_EQ(third[0], addr(3));
+  EXPECT_EQ(fourth[0], addr(1));  // full rotation
+  // The rotation covers every backend as "first" — round robin.
+}
+
+TEST(DnsBalancerTest, TtlPropagatedFromDefault) {
+  DnsBalancer dns(seconds(7));
+  dns.set_record("janus", {addr(1)});
+  EXPECT_EQ(dns.query("janus").value().ttl, seconds(7));
+}
+
+TEST(DnsBalancerTest, FailoverRecordResolvesPrimaryWhileHealthy) {
+  DnsBalancer dns;
+  dns.set_failover_record("db.janus", addr(1), addr(2));
+  auto ans = dns.query("db.janus");
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans.value().addrs.size(), 1u);
+  EXPECT_EQ(ans.value().addrs[0], addr(1));
+  EXPECT_FALSE(dns.failed_over("db.janus"));
+}
+
+TEST(DnsBalancerTest, FailoverAfterConsecutiveFailures) {
+  DnsBalancer dns;
+  dns.set_failover_record("db.janus", addr(1), addr(2));
+  HealthProbe always_down = [](const net::SockAddr&) { return false; };
+
+  dns.run_health_checks(always_down, /*unhealthy_threshold=*/3);
+  EXPECT_FALSE(dns.failed_over("db.janus"));  // 1 failure
+  dns.run_health_checks(always_down, 3);
+  EXPECT_FALSE(dns.failed_over("db.janus"));  // 2 failures
+  dns.run_health_checks(always_down, 3);
+  EXPECT_TRUE(dns.failed_over("db.janus"));   // 3rd flips
+
+  auto ans = dns.query("db.janus");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().addrs[0], addr(2));
+}
+
+TEST(DnsBalancerTest, IntermittentFailuresDoNotFlip) {
+  DnsBalancer dns;
+  dns.set_failover_record("db.janus", addr(1), addr(2));
+  int calls = 0;
+  HealthProbe flaky = [&calls](const net::SockAddr&) {
+    return ++calls % 2 == 0;  // alternate fail/ok
+  };
+  for (int i = 0; i < 10; ++i) dns.run_health_checks(flaky, 3);
+  EXPECT_FALSE(dns.failed_over("db.janus"));
+}
+
+TEST(DnsBalancerTest, RotateFailoverInstallsNewSecondary) {
+  DnsBalancer dns;
+  dns.set_failover_record("db.janus", addr(1), addr(2));
+  HealthProbe down = [](const net::SockAddr&) { return false; };
+  for (int i = 0; i < 3; ++i) dns.run_health_checks(down, 3);
+  ASSERT_TRUE(dns.failed_over("db.janus"));
+
+  // §III-C: "terminate the original failed master node and launch a new
+  // slave node to form a new master-slave pair."
+  dns.rotate_failover("db.janus", addr(3));
+  EXPECT_FALSE(dns.failed_over("db.janus"));
+  EXPECT_EQ(dns.query("db.janus").value().addrs[0], addr(2));  // promoted
+
+  // If the promoted node now fails, resolution moves to the new secondary.
+  for (int i = 0; i < 3; ++i) dns.run_health_checks(down, 3);
+  EXPECT_EQ(dns.query("db.janus").value().addrs[0], addr(3));
+}
+
+TEST(CachingResolverTest, CachesWithinTtl) {
+  DnsBalancer dns(seconds(30));
+  dns.set_record("janus", {addr(1), addr(2)});
+  ManualClock clock;
+  CachingResolver resolver(dns, clock);
+
+  auto first = resolver.resolve("janus");
+  ASSERT_TRUE(first.ok());
+  // Repeated resolutions inside the TTL return the cached (pinned) address.
+  for (int i = 0; i < 10; ++i) {
+    clock.advance(seconds(2));
+    auto again = resolver.resolve("janus");
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), first.value());
+  }
+  EXPECT_EQ(resolver.cache_misses(), 1u);
+  EXPECT_EQ(resolver.cache_hits(), 10u);
+}
+
+TEST(CachingResolverTest, TtlExpiryRepins) {
+  // §V-A: "QoS requests from the same client node always hit the same
+  // request router node within the TTL cycle."
+  DnsBalancer dns(seconds(30));
+  dns.set_record("janus", {addr(1), addr(2)});
+  ManualClock clock;
+  CachingResolver resolver(dns, clock);
+  auto first = resolver.resolve("janus").value();
+  clock.advance(seconds(31));
+  auto second = resolver.resolve("janus").value();
+  EXPECT_NE(first, second);  // rotation advanced on the fresh query
+  EXPECT_EQ(resolver.cache_misses(), 2u);
+}
+
+TEST(CachingResolverTest, IndependentClientsPinDifferently) {
+  DnsBalancer dns(seconds(30));
+  dns.set_record("janus", {addr(1), addr(2)});
+  ManualClock clock;
+  CachingResolver client_a(dns, clock);
+  CachingResolver client_b(dns, clock);
+  EXPECT_NE(client_a.resolve("janus").value(),
+            client_b.resolve("janus").value());
+}
+
+TEST(CachingResolverTest, FlushForcesRequery) {
+  DnsBalancer dns(seconds(3600));
+  dns.set_record("janus", {addr(1), addr(2)});
+  ManualClock clock;
+  CachingResolver resolver(dns, clock);
+  auto first = resolver.resolve("janus").value();
+  resolver.flush();
+  auto second = resolver.resolve("janus").value();
+  EXPECT_NE(first, second);
+}
+
+TEST(CachingResolverTest, PropagatesNxdomain) {
+  DnsBalancer dns;
+  ManualClock clock;
+  CachingResolver resolver(dns, clock);
+  EXPECT_FALSE(resolver.resolve("ghost").ok());
+}
+
+TEST(TcpConnectProbeTest, DetectsListeningAndDeadPorts) {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+  auto live_addr = listener.value().local_addr().value();
+  HealthProbe probe = tcp_connect_probe(millis(200));
+  EXPECT_TRUE(probe(live_addr));
+
+  std::uint16_t dead_port;
+  {
+    auto temp = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(temp.ok());
+    dead_port = temp.value().local_addr().value().port;
+  }
+  EXPECT_FALSE(probe({"127.0.0.1", dead_port}));
+}
+
+}  // namespace
+}  // namespace janus::lb

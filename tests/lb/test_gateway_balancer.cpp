@@ -1,0 +1,140 @@
+#include "lb/gateway_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/http.hpp"
+
+namespace janus::lb {
+namespace {
+
+/// Tiny identifiable backend.
+std::unique_ptr<net::HttpServer> backend(const std::string& id,
+                                         Duration delay = Duration{0}) {
+  auto server = net::HttpServer::start(
+      {"127.0.0.1", 0},
+      [id, delay](const net::HttpRequest&) {
+        if (delay.count() > 0) {
+          std::this_thread::sleep_for(delay);
+        }
+        return net::HttpResponse::text(200, id);
+      },
+      2);
+  EXPECT_TRUE(server.ok());
+  return std::move(server).take();
+}
+
+TEST(GatewayBalancerTest, RejectsEmptyBackends) {
+  EXPECT_FALSE(GatewayBalancer::start({"127.0.0.1", 0}, {}).ok());
+}
+
+TEST(GatewayBalancerTest, ForwardsRequestAndResponse) {
+  auto b = backend("b0");
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0}, {b->addr()});
+  ASSERT_TRUE(lb.ok()) << lb.error().message;
+  net::HttpClient client(lb.value()->addr());
+  auto resp = client.get("/anything");
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_EQ(resp.value().body, "b0");
+}
+
+TEST(GatewayBalancerTest, RoundRobinDistributesEvenly) {
+  auto b0 = backend("b0");
+  auto b1 = backend("b1");
+  auto b2 = backend("b2");
+  GatewayConfig cfg;
+  cfg.policy = RoutingPolicy::kRoundRobin;
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {b0->addr(), b1->addr(), b2->addr()}, cfg);
+  ASSERT_TRUE(lb.ok());
+  net::HttpClient client(lb.value()->addr());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(client.get("/").ok());
+  auto counts = lb.value()->per_backend_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  // §V-A: "a uniform distribution of workload across all nodes."
+  for (auto c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(GatewayBalancerTest, LeastConnectionsAvoidsBusyBackend) {
+  auto fast = backend("fast");
+  auto slow = backend("slow", millis(150));
+  GatewayConfig cfg;
+  cfg.policy = RoutingPolicy::kLeastConnections;
+  cfg.http_workers = 4;
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {slow->addr(), fast->addr()}, cfg);
+  ASSERT_TRUE(lb.ok());
+
+  // Launch a burst of concurrent requests; the slow backend accumulates
+  // outstanding connections so most requests should drain to the fast one.
+  std::vector<std::thread> threads;
+  std::atomic<int> fast_hits{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      net::HttpClient client(lb.value()->addr(), seconds(5));
+      for (int i = 0; i < 5; ++i) {
+        auto resp = client.get("/");
+        if (resp.ok() && resp.value().body == "fast") fast_hits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(fast_hits.load(), 10);  // of 20
+}
+
+TEST(GatewayBalancerTest, DeadBackendYields503) {
+  std::uint16_t dead_port;
+  {
+    auto temp = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(temp.ok());
+    dead_port = temp.value().local_addr().value().port;
+  }
+  GatewayConfig cfg;
+  cfg.backend_timeout = millis(200);
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {net::SockAddr{"127.0.0.1", dead_port}},
+                                   cfg);
+  ASSERT_TRUE(lb.ok());
+  net::HttpClient client(lb.value()->addr());
+  auto resp = client.get("/");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 503);
+  EXPECT_GE(lb.value()->metrics().snapshot().at("gateway.backend_errors"), 1);
+}
+
+TEST(GatewayBalancerTest, MetricsCountRequests) {
+  auto b = backend("b0");
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0}, {b->addr()});
+  ASSERT_TRUE(lb.ok());
+  net::HttpClient client(lb.value()->addr());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(client.get("/").ok());
+  EXPECT_EQ(lb.value()->metrics().snapshot().at("gateway.requests"), 5);
+}
+
+TEST(GatewayBalancerTest, ConcurrentTrafficThroughOneBalancer) {
+  auto b0 = backend("b0");
+  auto b1 = backend("b1");
+  GatewayConfig cfg;
+  cfg.http_workers = 4;
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {b0->addr(), b1->addr()}, cfg);
+  ASSERT_TRUE(lb.ok());
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      net::HttpClient client(lb.value()->addr(), seconds(5));
+      for (int i = 0; i < 20; ++i) {
+        auto resp = client.get("/");
+        if (resp.ok() && resp.value().status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 80);
+}
+
+}  // namespace
+}  // namespace janus::lb

@@ -1,0 +1,160 @@
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace janus::net {
+namespace {
+
+std::span<const std::uint8_t> bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(SockAddrTest, ToStringFormatsIpPort) {
+  SockAddr addr{"127.0.0.1", 8080};
+  EXPECT_EQ(addr.to_string(), "127.0.0.1:8080");
+}
+
+TEST(SockAddrTest, NativeRoundTrip) {
+  SockAddr addr{"10.1.2.3", 1234};
+  auto native = addr.to_native();
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(SockAddr::from_native(native.value()), addr);
+}
+
+TEST(SockAddrTest, RejectsBadAddress) {
+  EXPECT_FALSE((SockAddr{"not-an-ip", 1}).to_native().ok());
+  EXPECT_FALSE((SockAddr{"256.0.0.1", 1}).to_native().ok());
+}
+
+TEST(UdpSocketTest, BindEphemeralAssignsPort) {
+  auto sock = UdpSocket::bind({"127.0.0.1", 0});
+  ASSERT_TRUE(sock.ok());
+  auto addr = sock.value().local_addr();
+  ASSERT_TRUE(addr.ok());
+  EXPECT_GT(addr.value().port, 0);
+}
+
+TEST(UdpSocketTest, SendAndReceiveDatagram) {
+  auto server = UdpSocket::bind({"127.0.0.1", 0});
+  ASSERT_TRUE(server.ok());
+  auto server_addr = server.value().local_addr().value();
+
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().send_to(server_addr, bytes("ping")).ok());
+
+  auto dg = server.value().recv(millis(500));
+  ASSERT_TRUE(dg.ok());
+  ASSERT_TRUE(dg.value().has_value());
+  EXPECT_EQ(std::string(dg.value()->data.begin(), dg.value()->data.end()),
+            "ping");
+
+  // Reply to the observed source address.
+  ASSERT_TRUE(server.value().send_to(dg.value()->from, bytes("pong")).ok());
+  auto reply = client.value().recv(millis(500));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply.value().has_value());
+  EXPECT_EQ(std::string(reply.value()->data.begin(), reply.value()->data.end()),
+            "pong");
+}
+
+TEST(UdpSocketTest, RecvTimesOutCleanly) {
+  auto sock = UdpSocket::bind({"127.0.0.1", 0});
+  ASSERT_TRUE(sock.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto dg = sock.value().recv(millis(20));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(dg.ok());
+  EXPECT_FALSE(dg.value().has_value());
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(UdpSocketTest, DatagramBoundariesPreserved) {
+  auto server = UdpSocket::bind({"127.0.0.1", 0});
+  ASSERT_TRUE(server.ok());
+  auto addr = server.value().local_addr().value();
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().send_to(addr, bytes("one")).ok());
+  ASSERT_TRUE(client.value().send_to(addr, bytes("twotwo")).ok());
+  auto first = server.value().recv(millis(500));
+  auto second = server.value().recv(millis(500));
+  ASSERT_TRUE(first.ok() && first.value().has_value());
+  ASSERT_TRUE(second.ok() && second.value().has_value());
+  EXPECT_EQ(first.value()->data.size(), 3u);
+  EXPECT_EQ(second.value()->data.size(), 6u);
+}
+
+TEST(TcpTest, ListenConnectExchange) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+  auto addr = listener.value().local_addr().value();
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(seconds(5));
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.value().has_value());
+    TcpStream stream = std::move(*conn.value());
+    std::uint8_t buf[64];
+    auto n = stream.read_some(buf, seconds(5));
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE(n.value().has_value());
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *n.value()), "hello");
+    ASSERT_TRUE(stream.write_all("world").ok());
+  });
+
+  auto client = TcpStream::connect(addr, seconds(5));
+  ASSERT_TRUE(client.ok());
+  TcpStream stream = std::move(client).take();
+  ASSERT_TRUE(stream.write_all("hello").ok());
+  std::uint8_t buf[64];
+  auto n = stream.read_some(buf, seconds(5));
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(n.value().has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *n.value()), "world");
+  server.join();
+}
+
+TEST(TcpTest, AcceptTimesOut) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+  auto conn = listener.value().accept(millis(20));
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(conn.value().has_value());
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Bind + close to find a port that is (very likely) not listening.
+  std::uint16_t port;
+  {
+    auto temp = TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(temp.ok());
+    port = temp.value().local_addr().value().port;
+  }
+  auto client = TcpStream::connect({"127.0.0.1", port}, millis(200));
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(TcpTest, ReadDetectsPeerClose) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+  auto addr = listener.value().local_addr().value();
+  std::thread server([&] {
+    auto conn = listener.value().accept(seconds(5));
+    ASSERT_TRUE(conn.ok() && conn.value().has_value());
+    // Close immediately.
+  });
+  auto client = TcpStream::connect(addr, seconds(5));
+  ASSERT_TRUE(client.ok());
+  server.join();
+  std::uint8_t buf[16];
+  auto n = client.value().read_some(buf, seconds(5));
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(n.value().has_value());
+  EXPECT_EQ(*n.value(), 0u);  // clean EOF
+}
+
+}  // namespace
+}  // namespace janus::net

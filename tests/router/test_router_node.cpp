@@ -1,0 +1,199 @@
+#include "router/router_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/rule_store.hpp"
+#include "net/http.hpp"
+#include "server/qos_server_node.hpp"
+#include "wire/http_codec.hpp"
+
+namespace janus::router {
+namespace {
+
+/// Full router -> QoS server fixture on loopback.
+class RouterNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<db::RuleStore>(db_);
+    ASSERT_TRUE(store_->put({.key = "alice", .refill_per_sec = 0,
+                             .capacity = 5, .credit = 5}).ok());
+
+    server::QosServerConfig server_cfg;
+    server_cfg.worker_threads = 2;
+    server_cfg.sync_interval = Duration{0};        // no background threads
+    server_cfg.checkpoint_interval = Duration{0};  // in unit tests
+    auto server = server::QosServerNode::start({"127.0.0.1", 0}, *store_,
+                                               server_cfg);
+    ASSERT_TRUE(server.ok()) << server.error().message;
+    server_ = std::move(server).take();
+
+    auto resolver = std::make_shared<StaticResolver>();
+    resolver->add("qos-0.janus", server_->addr());
+
+    RouterConfig router_cfg;
+    router_cfg.udp.timeout = millis(50);  // generous for loopback CI
+    router_cfg.http_workers = 2;
+    auto router = RouterNode::start({"127.0.0.1", 0}, {"qos-0.janus"},
+                                    resolver, router_cfg);
+    ASSERT_TRUE(router.ok()) << router.error().message;
+    router_ = std::move(router).take();
+  }
+
+  db::Database db_;
+  std::unique_ptr<db::RuleStore> store_;
+  std::unique_ptr<server::QosServerNode> server_;
+  std::unique_ptr<RouterNode> router_;
+};
+
+TEST_F(RouterNodeTest, AllowsWithinQuota) {
+  net::HttpClient client(router_->addr());
+  auto resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_EQ(resp.value().body, "TRUE");
+  EXPECT_EQ(resp.value().header("X-Janus-Status"), "ok");
+}
+
+TEST_F(RouterNodeTest, DeniesWhenQuotaExhausted) {
+  net::HttpClient client(router_->addr());
+  int allowed = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto resp = client.get("/qos?key=alice");
+    ASSERT_TRUE(resp.ok());
+    if (resp.value().body == "TRUE") ++allowed;
+  }
+  EXPECT_EQ(allowed, 5);  // capacity 5, refill 0
+}
+
+TEST_F(RouterNodeTest, UnknownKeyDeniedByDefaultRule) {
+  net::HttpClient client(router_->addr());
+  auto resp = client.get("/qos?key=stranger");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "FALSE");
+  EXPECT_EQ(resp.value().header("X-Janus-Status"), "ok");
+}
+
+TEST_F(RouterNodeTest, CostParameterConsumesMultipleCredits) {
+  net::HttpClient client(router_->addr());
+  auto resp = client.get("/qos?key=alice&cost=5");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "TRUE");
+  resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "FALSE");
+}
+
+TEST_F(RouterNodeTest, ProbeDoesNotConsume) {
+  net::HttpClient client(router_->addr());
+  for (int i = 0; i < 10; ++i) {
+    auto resp = client.get("/qos?key=alice&probe=1");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.value().body, "TRUE");
+  }
+  auto resp = client.get("/qos?key=alice");
+  EXPECT_EQ(resp.value().body, "TRUE");  // credits still there
+}
+
+TEST_F(RouterNodeTest, MalformedTargetRejectedWith400) {
+  net::HttpClient client(router_->addr());
+  auto resp = client.get("/qos");  // missing key
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 400);
+  EXPECT_EQ(resp.value().header("X-Janus-Status"), "malformed");
+  resp = client.get("/other?key=x");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 400);
+}
+
+TEST_F(RouterNodeTest, CreditsHeaderExposed) {
+  net::HttpClient client(router_->addr());
+  auto resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok());
+  auto credits = resp.value().header("X-Janus-Credits");
+  ASSERT_TRUE(credits.has_value());
+  EXPECT_EQ(*credits, "4000");  // 4 credits left, in millicredits
+}
+
+TEST_F(RouterNodeTest, DeadBackendYieldsDefaultReply) {
+  server_->stop();  // QoS server gone; router must not hang
+  RouterConfig cfg;
+  cfg.udp.timeout = millis(2);
+  cfg.udp.max_retries = 3;
+  auto resolver = std::make_shared<StaticResolver>();
+  resolver->add("qos-0.janus", server_->addr());
+  auto router = RouterNode::start({"127.0.0.1", 0}, {"qos-0.janus"},
+                                  resolver, cfg);
+  ASSERT_TRUE(router.ok());
+  net::HttpClient client(router.value()->addr());
+  auto resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "FALSE");  // default deny
+  EXPECT_EQ(resp.value().header("X-Janus-Status"), "default-reply");
+  EXPECT_GE(router.value()->metrics().snapshot().at("router.default_replies"),
+            1);
+}
+
+TEST_F(RouterNodeTest, UnresolvableBackendYields503Default) {
+  auto resolver = std::make_shared<StaticResolver>();  // empty: no hosts
+  auto router = RouterNode::start({"127.0.0.1", 0}, {"ghost.janus"},
+                                  resolver, RouterConfig{});
+  ASSERT_TRUE(router.ok());
+  net::HttpClient client(router.value()->addr());
+  auto resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 503);
+  EXPECT_EQ(resp.value().header("X-Janus-Status"), "default-reply");
+}
+
+TEST_F(RouterNodeTest, StartRejectsEmptyBackends) {
+  auto resolver = std::make_shared<StaticResolver>();
+  EXPECT_FALSE(RouterNode::start({"127.0.0.1", 0}, {}, resolver).ok());
+  EXPECT_FALSE(
+      RouterNode::start({"127.0.0.1", 0}, {"a"}, nullptr).ok());
+}
+
+TEST_F(RouterNodeTest, MetricsCountTraffic) {
+  net::HttpClient client(router_->addr());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client.get("/qos?key=alice").ok());
+  ASSERT_TRUE(client.get("/bad").ok());
+  auto snap = router_->metrics().snapshot();
+  EXPECT_EQ(snap.at("router.requests"), 4);
+  EXPECT_EQ(snap.at("router.forwarded"), 3);
+  EXPECT_EQ(snap.at("router.bad_requests"), 1);
+}
+
+TEST_F(RouterNodeTest, TwoServersPartitionKeys) {
+  // Second server with a different rule set; keys split by CRC32 mod 2.
+  db::Database db2;
+  db::RuleStore store2(db2);
+  server::QosServerConfig cfg;
+  cfg.worker_threads = 1;
+  cfg.sync_interval = Duration{0};
+  cfg.checkpoint_interval = Duration{0};
+  auto server2 = server::QosServerNode::start({"127.0.0.1", 0}, store2, cfg);
+  ASSERT_TRUE(server2.ok());
+
+  auto resolver = std::make_shared<StaticResolver>();
+  resolver->add("qos-0.janus", server_->addr());
+  resolver->add("qos-1.janus", server2.value()->addr());
+  RouterConfig rcfg;
+  rcfg.udp.timeout = millis(50);
+  auto router = RouterNode::start({"127.0.0.1", 0},
+                                  {"qos-0.janus", "qos-1.janus"}, resolver,
+                                  rcfg);
+  ASSERT_TRUE(router.ok());
+
+  net::HttpClient client(router.value()->addr());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(client.get("/qos?key=k" + std::to_string(i)).ok());
+  }
+  // Both servers saw traffic, and each key landed deterministically.
+  const auto s1 = server_->metrics().snapshot().at("server.received");
+  const auto s2 = server2.value()->metrics().snapshot().at("server.received");
+  EXPECT_GT(s1, 0);
+  EXPECT_GT(s2, 0);
+  EXPECT_GE(s1 + s2, 40);  // >= because a slow response can cause a retry
+}
+
+}  // namespace
+}  // namespace janus::router

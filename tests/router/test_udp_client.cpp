@@ -1,0 +1,205 @@
+#include "router/udp_qos_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace janus::router {
+namespace {
+
+/// A scripted UDP peer standing in for a QoS server.
+class ScriptedServer {
+ public:
+  using Behavior =
+      std::function<std::optional<wire::QosResponse>(const wire::QosRequest&,
+                                                     int packet_number)>;
+
+  explicit ScriptedServer(Behavior behavior)
+      : behavior_(std::move(behavior)) {
+    auto sock = net::UdpSocket::bind({"127.0.0.1", 0});
+    EXPECT_TRUE(sock.ok());
+    socket_.emplace(std::move(sock).take());
+    addr_ = socket_->local_addr().value();
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~ScriptedServer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const net::SockAddr& addr() const { return addr_; }
+  int packets_received() const { return packets_.load(); }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      auto dg = socket_->recv(millis(10));
+      if (!dg.ok() || !dg.value()) continue;
+      const int n = packets_.fetch_add(1);
+      auto req = wire::decode_request(dg.value()->data);
+      if (!req.ok()) continue;
+      auto resp = behavior_(req.value(), n);
+      if (resp) {
+        auto bytes = wire::encode(*resp);
+        (void)socket_->send_to(dg.value()->from, bytes);
+      }
+    }
+  }
+
+  Behavior behavior_;
+  std::optional<net::UdpSocket> socket_;
+  net::SockAddr addr_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> packets_{0};
+  std::thread thread_;
+};
+
+wire::QosResponse ok_response(const wire::QosRequest& req, bool allowed) {
+  wire::QosResponse resp;
+  resp.request_id = req.request_id;
+  resp.status = wire::ResponseStatus::kOk;
+  resp.allowed = allowed;
+  resp.remaining_millicredits = 5000;
+  return resp;
+}
+
+UdpClientConfig test_config() {
+  UdpClientConfig cfg;
+  // Generous timeout: loopback + scheduling jitter on a busy CI box.
+  cfg.timeout = millis(50);
+  cfg.max_retries = 5;
+  return cfg;
+}
+
+TEST(UdpQosClientTest, FirstAttemptSucceeds) {
+  ScriptedServer server(
+      [](const wire::QosRequest& req, int) { return ok_response(req, true); });
+  UdpQosClient client(test_config());
+  wire::QosRequest req;
+  req.key = "alice";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_TRUE(resp.value().allowed);
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kOk);
+  EXPECT_EQ(client.last_attempts(), 1);
+}
+
+TEST(UdpQosClientTest, RetriesAfterDrops) {
+  // Server ignores the first two datagrams (simulated loss).
+  ScriptedServer server([](const wire::QosRequest& req,
+                           int n) -> std::optional<wire::QosResponse> {
+    if (n < 2) return std::nullopt;
+    return ok_response(req, true);
+  });
+  UdpQosClient client(test_config());
+  wire::QosRequest req;
+  req.key = "bob";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kOk);
+  EXPECT_EQ(client.last_attempts(), 3);
+}
+
+TEST(UdpQosClientTest, DefaultReplyAfterAllRetriesFail) {
+  ScriptedServer server(
+      [](const wire::QosRequest&, int) { return std::nullopt; });  // blackhole
+  UdpClientConfig cfg;
+  cfg.timeout = millis(5);
+  cfg.max_retries = 5;
+  cfg.default_allow = false;
+  UdpQosClient client(cfg);
+  wire::QosRequest req;
+  req.key = "carol";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kDefaultReply);
+  EXPECT_FALSE(resp.value().allowed);
+  EXPECT_EQ(client.last_attempts(), 5);  // "fails after 5 retries" (§III-B)
+}
+
+TEST(UdpQosClientTest, DefaultAllowPolicyHonored) {
+  ScriptedServer server(
+      [](const wire::QosRequest&, int) { return std::nullopt; });
+  UdpClientConfig cfg;
+  cfg.timeout = millis(5);
+  cfg.max_retries = 2;
+  cfg.default_allow = true;
+  UdpQosClient client(cfg);
+  wire::QosRequest req;
+  req.key = "dave";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kDefaultReply);
+  EXPECT_TRUE(resp.value().allowed);
+}
+
+TEST(UdpQosClientTest, IgnoresResponseWithWrongRequestId) {
+  ScriptedServer server([](const wire::QosRequest& req,
+                           int n) -> std::optional<wire::QosResponse> {
+    auto resp = ok_response(req, true);
+    if (n == 0) resp.request_id = req.request_id ^ 0xFFFF;  // stale id
+    return resp;
+  });
+  UdpQosClient client(test_config());
+  wire::QosRequest req;
+  req.key = "eve";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok());
+  // The bogus-id response was discarded; the retry got the real one.
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kOk);
+  EXPECT_GE(client.last_attempts(), 2);
+}
+
+TEST(UdpQosClientTest, SurvivesGarbageResponse) {
+  ScriptedServer server([](const wire::QosRequest& req,
+                           int n) -> std::optional<wire::QosResponse> {
+    if (n == 0) {
+      wire::QosResponse junk;  // will be valid; garbage sent separately below
+      junk.request_id = 0;
+      return junk;
+    }
+    return ok_response(req, true);
+  });
+  UdpQosClient client(test_config());
+  wire::QosRequest req;
+  req.key = "frank";
+  auto resp = client.call(server.addr(), req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, wire::ResponseStatus::kOk);
+}
+
+TEST(UdpQosClientTest, AssignsDistinctRequestIds) {
+  std::atomic<std::uint64_t> last_id{0};
+  std::atomic<bool> duplicate{false};
+  ScriptedServer server([&](const wire::QosRequest& req, int) {
+    const std::uint64_t prev = last_id.exchange(req.request_id);
+    if (prev == req.request_id) duplicate.store(true);
+    return ok_response(req, true);
+  });
+  UdpQosClient client(test_config());
+  for (int i = 0; i < 10; ++i) {
+    wire::QosRequest req;
+    req.key = "k";
+    ASSERT_TRUE(client.call(server.addr(), req).ok());
+  }
+  EXPECT_FALSE(duplicate.load());
+}
+
+TEST(UdpQosClientTest, SequentialCallsOnOneSocket) {
+  ScriptedServer server(
+      [](const wire::QosRequest& req, int) { return ok_response(req, true); });
+  UdpQosClient client(test_config());
+  for (int i = 0; i < 50; ++i) {
+    wire::QosRequest req;
+    req.key = "seq-" + std::to_string(i);
+    auto resp = client.call(server.addr(), req);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp.value().status, wire::ResponseStatus::kOk);
+  }
+  EXPECT_EQ(server.packets_received(), 50);
+}
+
+}  // namespace
+}  // namespace janus::router

@@ -1,0 +1,161 @@
+#include "server/ha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/db_rule_adapter.hpp"
+#include "db/rule_store.hpp"
+
+namespace janus::server {
+namespace {
+
+class HaTest : public ::testing::Test {
+ protected:
+  HaTest()
+      : store_(db_),
+        source_(store_),
+        master_(clock_, source_, core::AdmissionConfig{}),
+        slave_(clock_, source_, core::AdmissionConfig{}) {}
+
+  void provision(const std::string& key, double capacity, double rate) {
+    ASSERT_TRUE(store_.put({.key = key, .refill_per_sec = rate,
+                            .capacity = capacity, .credit = capacity}).ok());
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+  db::RuleStore store_;
+  core::DbRuleSource source_;
+  core::AdmissionController master_;
+  core::AdmissionController slave_;
+};
+
+TEST_F(HaTest, SerializeRestoreRoundTrip) {
+  provision("alice", 100, 10);
+  provision("bob", 50, 5);
+  master_.check("alice");
+  master_.check("alice");
+  master_.check("bob");
+  master_.check("unknown");  // default entry replicates too
+
+  auto bytes = serialize_table(master_.table());
+  auto restored = restore_table(slave_.table(), bytes, clock_.now());
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  EXPECT_EQ(restored.value(), 3u);
+  EXPECT_EQ(slave_.table_size(), 3u);
+
+  // The slave continues from the master's water levels.
+  auto credit = slave_.table().with_entry(
+      "alice", [](core::QosEntry& e) { return e.bucket.credit(); });
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_DOUBLE_EQ(*credit, 98.0);
+
+  auto is_default = slave_.table().with_entry(
+      "unknown", [](core::QosEntry& e) { return e.is_default; });
+  ASSERT_TRUE(is_default.has_value());
+  EXPECT_TRUE(*is_default);
+}
+
+TEST_F(HaTest, RestoreRejectsCorruptSnapshots) {
+  provision("alice", 100, 10);
+  master_.check("alice");
+  auto bytes = serialize_table(master_.table());
+
+  // Bad magic.
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xFF;
+  EXPECT_FALSE(restore_table(slave_.table(), corrupt, clock_.now()).ok());
+
+  // Truncation at every boundary.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(restore_table(slave_.table(),
+                               std::span(bytes.data(), len), clock_.now())
+                     .ok());
+  }
+
+  // Trailing garbage.
+  auto extended = bytes;
+  extended.push_back(0xAA);
+  EXPECT_FALSE(restore_table(slave_.table(), extended, clock_.now()).ok());
+}
+
+TEST_F(HaTest, EmptyTableRoundTrips) {
+  auto bytes = serialize_table(master_.table());
+  auto restored = restore_table(slave_.table(), bytes, clock_.now());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), 0u);
+  EXPECT_EQ(slave_.table_size(), 0u);
+}
+
+TEST_F(HaTest, SnapshotServerServesOverTcp) {
+  provision("alice", 100, 10);
+  master_.check("alice");
+
+  auto ha_server = HaSnapshotServer::start({"127.0.0.1", 0}, master_);
+  ASSERT_TRUE(ha_server.ok()) << ha_server.error().message;
+
+  HaReplicaClient replica(ha_server.value()->addr(), slave_, clock_,
+                          seconds(3600));
+  auto n = replica.replicate_once();
+  ASSERT_TRUE(n.ok()) << n.error().message;
+  EXPECT_EQ(n.value(), 1u);
+  EXPECT_EQ(ha_server.value()->snapshots_served(), 1u);
+
+  auto credit = slave_.table().with_entry(
+      "alice", [](core::QosEntry& e) { return e.bucket.credit(); });
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_DOUBLE_EQ(*credit, 99.0);
+  replica.stop();
+}
+
+TEST_F(HaTest, ReplicaTracksMasterAcrossRounds) {
+  provision("alice", 100, 0);
+  auto ha_server = HaSnapshotServer::start({"127.0.0.1", 0}, master_);
+  ASSERT_TRUE(ha_server.ok());
+  HaReplicaClient replica(ha_server.value()->addr(), slave_, clock_,
+                          seconds(3600));
+
+  master_.check("alice");
+  ASSERT_TRUE(replica.replicate_once().ok());
+  auto credit1 = slave_.table().with_entry(
+      "alice", [](core::QosEntry& e) { return e.bucket.credit(); });
+  EXPECT_DOUBLE_EQ(*credit1, 99.0);
+
+  master_.check("alice");
+  master_.check("alice");
+  ASSERT_TRUE(replica.replicate_once().ok());
+  auto credit2 = slave_.table().with_entry(
+      "alice", [](core::QosEntry& e) { return e.bucket.credit(); });
+  EXPECT_DOUBLE_EQ(*credit2, 97.0);
+  replica.stop();
+}
+
+TEST_F(HaTest, ReplicaReportsUnreachableMaster) {
+  // Find a dead port.
+  std::uint16_t port;
+  {
+    auto temp = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(temp.ok());
+    port = temp.value().local_addr().value().port;
+  }
+  HaReplicaClient replica({"127.0.0.1", port}, slave_, clock_, seconds(3600));
+  EXPECT_FALSE(replica.replicate_once().ok());
+  replica.stop();
+}
+
+TEST_F(HaTest, PromotedSlaveServesDecisionsFromReplicatedState) {
+  // The failover scenario of §III-C: the slave has an up-to-date table and
+  // continues admission with minimum interruption.
+  provision("alice", 3, 0);
+  master_.check("alice");  // 2 credits left
+
+  auto bytes = serialize_table(master_.table());
+  ASSERT_TRUE(restore_table(slave_.table(), bytes, clock_.now()).ok());
+
+  // Master dies; slave (new master) picks up exactly where it left off.
+  EXPECT_TRUE(slave_.check("alice").allowed);
+  EXPECT_TRUE(slave_.check("alice").allowed);
+  EXPECT_FALSE(slave_.check("alice").allowed);
+}
+
+}  // namespace
+}  // namespace janus::server

@@ -1,0 +1,262 @@
+#include "sim/janus_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/drivers.hpp"
+
+namespace janus::sim {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig cfg;
+  cfg.router_nodes = 2;
+  cfg.server_nodes = 2;
+  cfg.router_instance = "c3.xlarge";
+  cfg.server_instance = "c3.xlarge";
+  // Semantic tests: instant rule fetches so a first touch never outlives the
+  // retry window (first-touch duplicate consumption is covered separately).
+  cfg.costs.db_fetch = Duration{0};
+  return cfg;
+}
+
+void provision(db::RuleStore& rules, const std::string& key, double capacity,
+               double rate) {
+  ASSERT_TRUE(rules.put({.key = key, .refill_per_sec = rate,
+                         .capacity = capacity, .credit = capacity}).ok());
+}
+
+TEST(SimDeploymentTest, ValidatesConfig) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.router_nodes = 0;
+  EXPECT_THROW(SimDeployment(sim, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.server_instance = "quantum.9000xl";
+  EXPECT_THROW(SimDeployment(sim, cfg), std::invalid_argument);
+}
+
+TEST(SimDeploymentTest, SingleRequestAllowsProvisionedKey) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "alice", 100, 10);
+
+  std::optional<SimQosResult> result;
+  dep.submit(0, "alice", [&](const SimQosResult& r) { result = r; });
+  sim.run_until(seconds(1));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->allowed);
+  EXPECT_EQ(result->status, wire::ResponseStatus::kOk);
+  // End-to-end latency should be in the low-millisecond range (Fig. 5).
+  EXPECT_GT(result->latency, micros(500));
+  EXPECT_LT(result->latency, millis(20));
+}
+
+TEST(SimDeploymentTest, UnknownKeyDenied) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  std::optional<SimQosResult> result;
+  dep.submit(0, "stranger", [&](const SimQosResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->allowed);
+}
+
+TEST(SimDeploymentTest, QuotaEnforcedAcrossVirtualTime) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "alice", 5, 0);  // 5 requests, no refill
+
+  int allowed = 0, denied = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(millis(100 * i), [&, i] {
+      dep.submit(0, "alice", [&](const SimQosResult& r) {
+        (r.allowed ? allowed : denied)++;
+      });
+    });
+  }
+  sim.run_until(seconds(5));
+  EXPECT_EQ(allowed, 5);
+  EXPECT_EQ(denied, 5);
+}
+
+TEST(SimDeploymentTest, RefillGrantsMoreOverTime) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  // 10/s refill with a small burst allowance to absorb arrival jitter.
+  provision(dep.rules(), "alice", 5, 10);
+
+  int allowed = 0;
+  // 1 request every 100 ms for 2 s = 20 requests at exactly the refill rate.
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(millis(100 * i), [&] {
+      dep.submit(0, "alice", [&](const SimQosResult& r) {
+        if (r.allowed) ++allowed;
+      });
+    });
+  }
+  sim.run_until(seconds(5));
+  EXPECT_GE(allowed, 18);  // all but rounding edges admitted
+}
+
+TEST(SimDeploymentTest, WindowMetricsCountTraffic) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "alice", 1000, 1000);
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(millis(i), [&] {
+      dep.submit(0, "alice", nullptr);
+    });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  EXPECT_EQ(m.completed, 100u);
+  EXPECT_EQ(m.decided, 100u);
+  EXPECT_EQ(m.allowed, 100u);
+  EXPECT_EQ(m.latency.count(), 100u);
+  EXPECT_GT(m.router_cpu, 0.0);
+  EXPECT_GT(m.server_cpu, 0.0);
+  EXPECT_EQ(m.server_cpu_per_node.size(), 2u);
+}
+
+TEST(SimDeploymentTest, SameKeyAlwaysSameServer) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.server_nodes = 4;
+  SimDeployment dep(sim, cfg);
+  provision(dep.rules(), "pinned", 1e9, 0);
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(millis(i * 2), [&] { dep.submit(0, "pinned", nullptr); });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  int servers_hit = 0;
+  for (auto n : m.server_requests_per_node) {
+    if (n > 0) ++servers_hit;
+  }
+  EXPECT_EQ(servers_hit, 1);  // partitioning invariant (Fig. 2)
+}
+
+TEST(SimDeploymentTest, TotalLossTriggersDefaultReplies) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.costs.udp.loss_prob = 1.0;  // blackhole
+  SimDeployment dep(sim, cfg);
+  provision(dep.rules(), "alice", 100, 0);
+  std::optional<SimQosResult> result;
+  dep.submit(0, "alice", [&](const SimQosResult& r) { result = r; });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, wire::ResponseStatus::kDefaultReply);
+  EXPECT_FALSE(result->allowed);  // default deny
+  WindowMetrics m = dep.mark_window();
+  EXPECT_EQ(m.default_replies, 1u);
+  EXPECT_GE(m.udp_retries, 4u);  // 5 attempts = 4 retries
+}
+
+TEST(SimDeploymentTest, ModerateLossRecoveredByRetries) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.costs.udp.loss_prob = 0.2;  // heavy but recoverable
+  SimDeployment dep(sim, cfg);
+  provision(dep.rules(), "alice", 1e9, 0);
+  int decided = 0, defaults = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(millis(i), [&] {
+      dep.submit(0, "alice", [&](const SimQosResult& r) {
+        (r.status == wire::ResponseStatus::kOk ? decided : defaults)++;
+      });
+    });
+  }
+  sim.run_until(seconds(5));
+  EXPECT_EQ(decided + defaults, 200);
+  // P(all 5 attempts lose a direction) is tiny; nearly all decided.
+  EXPECT_GE(decided, 195);
+}
+
+TEST(SimDeploymentTest, DnsModePinsClientNodeWithinTtl) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.lb_mode = LbMode::kDns;
+  cfg.dns_ttl = seconds(30);
+  SimDeployment dep(sim, cfg);
+  provision(dep.rules(), "alice", 1e9, 0);
+  // One client node, many requests within the TTL: one router gets all.
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule_at(millis(i * 10), [&] { dep.submit(0, "alice", nullptr); });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  int routers_busy = 0;
+  for (double u : m.router_cpu_per_node) {
+    if (u > 0.0) ++routers_busy;
+  }
+  EXPECT_EQ(routers_busy, 1);  // the §V-A skew
+}
+
+TEST(SimDeploymentTest, GatewayModeSpreadsAcrossRouters) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());  // gateway
+  provision(dep.rules(), "alice", 1e9, 0);
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule_at(millis(i * 10), [&] { dep.submit(0, "alice", nullptr); });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  int routers_busy = 0;
+  for (double u : m.router_cpu_per_node) {
+    if (u > 0.0) ++routers_busy;
+  }
+  EXPECT_EQ(routers_busy, 2);
+}
+
+TEST(ClosedLoopDriverTest, SaturatesAndMeasures) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "hot", 1e12, 1e9);
+  // All clients hammer one key => one QoS server; keep in-flight below the
+  // retry budget (5 x 300 us) over that server's ~320 us/request capacity.
+  ClosedLoopDriver driver(dep, /*clients=*/12, /*client_nodes=*/4,
+                          [](Rng&) { return std::string("hot"); });
+  driver.start();
+  sim.run_until(millis(500));
+  dep.mark_window();
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  driver.stop();
+  EXPECT_GT(driver.issued(), 1000u);
+  EXPECT_GT(m.decided_throughput(), 1000.0);
+}
+
+TEST(OpenLoopDriverTest, HoldsTargetRate) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "alice", 1e9, 0);
+  OpenLoopDriver driver(dep, /*rate=*/130.0, /*noise=*/0.1,
+                        [](Rng&) { return std::string("alice"); });
+  driver.start();
+  sim.run_until(seconds(10));
+  driver.stop();
+  EXPECT_NEAR(static_cast<double>(driver.issued()), 1300.0, 100.0);
+}
+
+TEST(MeasureSaturationTest, PicksBestConcurrency) {
+  DeploymentConfig cfg = small_config();
+  cfg.router_nodes = 1;
+  cfg.server_nodes = 1;
+  auto result = measure_saturation(
+      cfg, [](Rng& rng) { return "k" + std::to_string(rng.next_below(100)); },
+      {8, 16}, /*warmup=*/millis(200), /*window=*/millis(500),
+      [](db::RuleStore& rules) {
+        for (int i = 0; i < 100; ++i) {
+          (void)rules.put({.key = "k" + std::to_string(i),
+                           .refill_per_sec = 1e9, .capacity = 1e12,
+                           .credit = 1e12});
+        }
+      });
+  EXPECT_GT(result.best_throughput, 1000.0);
+  EXPECT_TRUE(result.best_concurrency == 8 || result.best_concurrency == 16);
+}
+
+}  // namespace
+}  // namespace janus::sim

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace janus::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), kTimeZero);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationTest, EventsFireInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(millis(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(SimulationTest, EqualTimestampsFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, ClockAdvancesToEventTime) {
+  Simulation sim;
+  TimePoint seen{-1};
+  sim.schedule_at(seconds(5), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, seconds(5));
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  std::vector<TimePoint> times;
+  sim.schedule_at(millis(10), [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(millis(5), [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], millis(10));
+  EXPECT_EQ(times[1], millis(15));
+}
+
+TEST(SimulationTest, PastEventsClampToNow) {
+  Simulation sim;
+  sim.schedule_at(millis(10), [&] {
+    // Scheduling "in the past" fires immediately (at now), not before.
+    sim.schedule_at(millis(1), [&] { EXPECT_EQ(sim.now(), millis(10)); });
+  });
+  EXPECT_EQ(sim.run_all(), 2u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(seconds(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(seconds(5)), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), seconds(5));
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_EQ(sim.run_until(seconds(100)), 5u);
+  EXPECT_EQ(fired, 10);
+  // run_until advances the clock even past the last event.
+  EXPECT_EQ(sim.now(), seconds(100));
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) sim.schedule_after(millis(1), recurse);
+  };
+  sim.schedule_at(kTimeZero, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), millis(49));
+}
+
+TEST(SimulationTest, ExecutedCounterAccumulates) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(millis(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(SimulationTest, ManualClockSharedWithComponents) {
+  Simulation sim;
+  ManualClock& clock = sim.clock();
+  sim.schedule_at(seconds(2), [] {});
+  sim.run_all();
+  EXPECT_EQ(clock.now(), seconds(2));
+}
+
+TEST(SimulationTest, MillionEventsComplete) {
+  Simulation sim;
+  std::int64_t sum = 0;
+  std::function<void(int)> chain = [&](int remaining) {
+    sum += remaining;
+    if (remaining > 0) {
+      sim.schedule_after(micros(1), [&, remaining] { chain(remaining - 1); });
+    }
+  };
+  sim.schedule_at(kTimeZero, [&] { chain(1'000'000); });
+  sim.run_all();
+  EXPECT_EQ(sum, 1'000'000ll * 1'000'001 / 2);
+}
+
+}  // namespace
+}  // namespace janus::sim

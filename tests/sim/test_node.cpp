@@ -1,0 +1,183 @@
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace janus::sim {
+namespace {
+
+InstanceType cores(int n) {
+  return InstanceType{"test-" + std::to_string(n) + "c", n, 8.0, 1000, 0.1};
+}
+
+TEST(SimNodeTest, ValidatesOptions) {
+  Simulation sim;
+  EXPECT_THROW(SimNode(sim, "bad", cores(0)), std::invalid_argument);
+  EXPECT_THROW(SimNode(sim, "bad", cores(2),
+                       NodeOptions{.serial_fraction = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(SimNode(sim, "bad", cores(2),
+                       NodeOptions{.background_cores = 2.0}),
+               std::invalid_argument);
+}
+
+TEST(SimNodeTest, SingleJobCompletesAfterCost) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  TimePoint done{-1};
+  node.submit(millis(5), [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done, millis(5));
+}
+
+TEST(SimNodeTest, JobsRunInParallelUpToVcpus) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(4));
+  int completed_at_5ms = 0;
+  for (int i = 0; i < 4; ++i) {
+    node.submit(millis(5), [&] { ++completed_at_5ms; });
+  }
+  sim.run_until(millis(5));
+  EXPECT_EQ(completed_at_5ms, 4);  // all four ran concurrently
+}
+
+TEST(SimNodeTest, ExcessJobsQueueFifo) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    node.submit(millis(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), millis(30));  // serialized on one core
+}
+
+TEST(SimNodeTest, ThroughputScalesWithCores) {
+  for (int n : {1, 2, 4, 8}) {
+    Simulation sim;
+    SimNode node(sim, "n", cores(n));
+    int completed = 0;
+    for (int i = 0; i < 64; ++i) {
+      node.submit(millis(1), [&] { ++completed; });
+    }
+    sim.run_all();
+    EXPECT_EQ(completed, 64);
+    EXPECT_EQ(sim.now().count(), millis(64).count() / n) << n << " cores";
+  }
+}
+
+TEST(SimNodeTest, QueueLimitDropsJobs) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1), NodeOptions{.queue_limit = 2});
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (node.submit(millis(1), [] {})) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3);  // 1 running + 2 queued
+  sim.run_all();
+}
+
+TEST(SimNodeTest, CpuUtilizationFullWhenSaturated) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(2));
+  for (int i = 0; i < 200; ++i) node.submit(millis(1), [] {});
+  sim.run_until(millis(100));  // exactly the saturated window
+  NodeStats st = node.mark_window();
+  EXPECT_NEAR(st.cpu_utilization(2), 1.0, 0.01);
+  EXPECT_EQ(st.completed, 200u);
+}
+
+TEST(SimNodeTest, CpuUtilizationPartialWhenIdle) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(2));
+  node.submit(millis(10), [] {});
+  sim.run_until(millis(100));
+  NodeStats st = node.mark_window();
+  // 10 ms of work on one of two cores over a 100 ms window = 5%.
+  EXPECT_NEAR(st.cpu_utilization(2), 0.05, 0.005);
+}
+
+TEST(SimNodeTest, WindowMarkingResetsStats) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  node.submit(millis(5), [] {});
+  sim.run_until(millis(10));
+  node.mark_window();
+  sim.run_until(millis(20));
+  NodeStats st = node.mark_window();
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(st.busy_cpu.count(), 0);
+  EXPECT_EQ(st.window, millis(10));
+}
+
+TEST(SimNodeTest, SerialFractionCapsThroughput) {
+  // 8 cores, 1 ms jobs with 50% serial portion: the lock admits one
+  // 0.5 ms serial section at a time => max 2000 jobs/s regardless of cores.
+  Simulation sim;
+  SimNode node(sim, "n", cores(8), NodeOptions{.serial_fraction = 0.5});
+  int completed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    node.submit(millis(1), [&] { ++completed; });
+  }
+  sim.run_until(seconds(1));
+  NodeStats st = node.mark_window();
+  EXPECT_EQ(completed, 1000);
+  // All jobs finished, but the elapsed makespan is dominated by the lock:
+  // 1000 * 0.5 ms = 500 ms of serialized work.
+  EXPECT_GE(sim.now(), millis(450));
+  // And the cores were underutilized while waiting on the lock (§V-C).
+  EXPECT_LT(st.cpu_utilization(8), 0.5);
+  EXPECT_GT(st.lock_wait.count(), 0);
+}
+
+TEST(SimNodeTest, ExplicitSerialCostOverridesFraction) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(2), NodeOptions{.serial_fraction = 0.9});
+  TimePoint done{-1};
+  // Explicit zero serial: lock never involved.
+  node.submit(millis(4), Duration{0}, [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done, millis(4));
+  NodeStats st = node.mark_window();
+  EXPECT_EQ(st.lock_wait.count(), 0);
+}
+
+TEST(SimNodeTest, SerialCostClampedToTotalCost) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  TimePoint done{-1};
+  node.submit(millis(2), millis(10), [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done, millis(2));
+}
+
+TEST(SimNodeTest, BackgroundCoresInflateJobCost) {
+  Simulation sim;
+  // 2 cores with 1 core of background load: effective capacity halves.
+  SimNode node(sim, "n", cores(2), NodeOptions{.background_cores = 1.0});
+  TimePoint done{-1};
+  node.submit(millis(10), [&] { done = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done, millis(20));
+}
+
+TEST(SimNodeTest, InFlightTracksQueueAndRunning) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  for (int i = 0; i < 5; ++i) node.submit(millis(1), [] {});
+  EXPECT_EQ(node.in_flight(), 5u);
+  sim.run_all();
+  EXPECT_EQ(node.in_flight(), 0u);
+}
+
+TEST(SimNodeTest, QueuePeakRecorded) {
+  Simulation sim;
+  SimNode node(sim, "n", cores(1));
+  for (int i = 0; i < 5; ++i) node.submit(millis(1), [] {});
+  sim.run_all();
+  NodeStats st = node.mark_window();
+  EXPECT_EQ(st.queue_peak, 4u);
+}
+
+}  // namespace
+}  // namespace janus::sim

@@ -1,0 +1,189 @@
+// Property-style tests over the simulated deployment: determinism,
+// credit conservation, and partition uniformity across deployment shapes.
+#include <gtest/gtest.h>
+
+#include "sim/drivers.hpp"
+#include "sim/janus_model.hpp"
+#include "workload/key_generator.hpp"
+
+namespace janus::sim {
+namespace {
+
+struct Shape {
+  int routers;
+  int servers;
+  const char* router_type;
+  const char* server_type;
+  LbMode lb;
+};
+
+void PrintTo(const Shape& s, std::ostream* os) {
+  *os << s.routers << "x" << s.router_type << "/" << s.servers << "x"
+      << s.server_type
+      << (s.lb == LbMode::kGateway ? "/gateway" : "/dns");
+}
+
+class DeploymentShapeTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  DeploymentConfig config() const {
+    const Shape& s = GetParam();
+    DeploymentConfig cfg;
+    cfg.router_nodes = s.routers;
+    cfg.server_nodes = s.servers;
+    cfg.router_instance = s.router_type;
+    cfg.server_instance = s.server_type;
+    cfg.lb_mode = s.lb;
+    cfg.costs.db_fetch = Duration{0};
+    return cfg;
+  }
+};
+
+// Same seed, same config => bit-identical window metrics. The simulator is
+// the measurement instrument; it must be reproducible run-to-run.
+TEST_P(DeploymentShapeTest, DeterministicAcrossRuns) {
+  auto run = [&] {
+    Simulation sim;
+    SimDeployment dep(sim, config());
+    for (int i = 0; i < 50; ++i) {
+      (void)dep.rules().put({.key = "k" + std::to_string(i),
+                             .refill_per_sec = 100, .capacity = 1000,
+                             .credit = 1000});
+    }
+    ClosedLoopDriver driver(dep, 8, 4, [](Rng& rng) {
+      return "k" + std::to_string(rng.next_below(50));
+    });
+    driver.start();
+    sim.run_until(seconds(1));
+    WindowMetrics m = dep.mark_window();
+    driver.stop();
+    return std::tuple{m.completed, m.allowed, m.denied, m.udp_retries,
+                      m.latency.percentile(0.99)};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Admissions never exceed the provisioned budget (capacity + refill over
+// the run) — the end-to-end version of the leaky bucket invariant, with
+// retries, duplicates and loss in the loop.
+TEST_P(DeploymentShapeTest, AdmissionsNeverExceedBudget) {
+  Simulation sim;
+  DeploymentConfig cfg = config();
+  cfg.costs.udp.loss_prob = 0.02;  // force some retry duplication
+  SimDeployment dep(sim, cfg);
+
+  constexpr double kCapacity = 25.0;
+  constexpr double kRate = 40.0;
+  constexpr int kKeys = 10;
+  for (int i = 0; i < kKeys; ++i) {
+    (void)dep.rules().put({.key = "k" + std::to_string(i),
+                           .refill_per_sec = kRate, .capacity = kCapacity,
+                           .credit = kCapacity});
+  }
+
+  ClosedLoopDriver driver(dep, 16, 4, [](Rng& rng) {
+    return "k" + std::to_string(rng.next_below(kKeys));
+  });
+  driver.start();
+  constexpr double kHorizonSec = 5.0;
+  sim.run_until(from_seconds(kHorizonSec));
+  WindowMetrics m = dep.mark_window();
+  driver.stop();
+
+  const double budget = kKeys * (kCapacity + kRate * (kHorizonSec + 0.1));
+  EXPECT_LE(static_cast<double>(m.allowed), budget);
+  EXPECT_GT(m.allowed, 0u);
+}
+
+// The CRC32 partition spreads a uniform key population across all servers.
+TEST_P(DeploymentShapeTest, AllServersReceiveWork) {
+  Simulation sim;
+  SimDeployment dep(sim, config());
+  workload::SequentialKeys keys;
+  for (int i = 0; i < 200; ++i) {
+    (void)dep.rules().put({.key = keys.key(i), .refill_per_sec = 1e6,
+                           .capacity = 1e9, .credit = 1e9});
+  }
+  ClosedLoopDriver driver(dep, 8, 4, [&keys](Rng& rng) {
+    return keys.key(rng.next_below(200));
+  });
+  driver.start();
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  driver.stop();
+
+  ASSERT_EQ(m.server_requests_per_node.size(),
+            static_cast<std::size_t>(GetParam().servers));
+  for (std::size_t s = 0; s < m.server_requests_per_node.size(); ++s) {
+    EXPECT_GT(m.server_requests_per_node[s], 0u) << "server " << s;
+  }
+}
+
+// Pre-warming loads every key without consuming credit.
+TEST_P(DeploymentShapeTest, WarmKeyConsumesNothing) {
+  Simulation sim;
+  SimDeployment dep(sim, config());
+  (void)dep.rules().put({.key = "warm", .refill_per_sec = 0, .capacity = 3,
+                         .credit = 3});
+  dep.warm_key("warm");
+  dep.warm_key("warm");
+
+  int allowed = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(millis(50 * i), [&] {
+      dep.submit(0, "warm", [&](const SimQosResult& r) {
+        if (r.allowed) ++allowed;
+      });
+    });
+  }
+  sim.run_until(seconds(2));
+  EXPECT_EQ(allowed, 3);  // full capacity still available after warming
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DeploymentShapeTest,
+    ::testing::Values(
+        Shape{1, 1, "c3.large", "c3.large", LbMode::kGateway},
+        Shape{1, 1, "c3.xlarge", "c3.xlarge", LbMode::kDns},
+        Shape{2, 3, "c3.xlarge", "c3.xlarge", LbMode::kGateway},
+        Shape{3, 2, "c3.2xlarge", "c3.xlarge", LbMode::kDns},
+        Shape{2, 5, "c3.8xlarge", "c3.large", LbMode::kGateway},
+        Shape{5, 1, "c3.xlarge", "c3.8xlarge", LbMode::kGateway}));
+
+// Throughput is monotone (within tolerance) in the number of server nodes
+// when the server layer is the bottleneck — the linear-scaling property,
+// asserted rather than eyeballed.
+TEST(ScalingPropertyTest, ServerLayerScalesWithNodes) {
+  workload::SequentialKeys keys;
+  auto capacity_at = [&](int nodes) {
+    DeploymentConfig cfg;
+    cfg.router_instance = "c3.8xlarge";
+    cfg.router_nodes = 2;
+    cfg.server_instance = "c3.large";
+    cfg.server_nodes = nodes;
+    cfg.costs.db_fetch = Duration{0};
+    auto result = measure_saturation(
+        cfg,
+        [&keys](Rng& rng) { return keys.key(rng.next_below(2000)); },
+        {8, 16, 24, 36, 48}, millis(300), millis(800),
+        [&keys](db::RuleStore& store) {
+          for (int i = 0; i < 2000; ++i) {
+            (void)store.put({.key = keys.key(i), .refill_per_sec = 1e6,
+                             .capacity = 1e9, .credit = 1e9});
+          }
+        },
+        [&keys](SimDeployment& dep) {
+          for (int i = 0; i < 2000; ++i) dep.warm_key(keys.key(i));
+        });
+    return result.best_throughput;
+  };
+
+  const double one = capacity_at(1);
+  const double two = capacity_at(2);
+  const double four = capacity_at(4);
+  EXPECT_GT(one, 1000.0);
+  EXPECT_GT(two, one * 1.5);
+  EXPECT_GT(four, two * 1.5);
+}
+
+}  // namespace
+}  // namespace janus::sim

@@ -1,0 +1,194 @@
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace janus::wire {
+namespace {
+
+QosRequest sample_request() {
+  QosRequest req;
+  req.request_id = 0xDEADBEEF12345678ull;
+  req.type = RequestType::kCheck;
+  req.cost = 3;
+  req.key = "tenant-42/photos";
+  return req;
+}
+
+TEST(RequestCodecTest, RoundTrip) {
+  const QosRequest req = sample_request();
+  auto bytes = encode(req);
+  auto decoded = decode_request(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), req);
+}
+
+TEST(RequestCodecTest, RoundTripAllTypes) {
+  for (RequestType type :
+       {RequestType::kCheck, RequestType::kProbe, RequestType::kSync}) {
+    QosRequest req = sample_request();
+    req.type = type;
+    auto decoded = decode_request(encode(req));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().type, type);
+  }
+}
+
+TEST(RequestCodecTest, RoundTripBinaryKey) {
+  QosRequest req = sample_request();
+  req.key = std::string("\x00\xFF\x7F nul and high", 16);
+  auto decoded = decode_request(encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().key, req.key);
+}
+
+TEST(RequestCodecTest, HeaderSizeMatchesConstant) {
+  QosRequest req = sample_request();
+  EXPECT_EQ(encode(req).size(), kRequestHeaderSize + req.key.size());
+}
+
+TEST(RequestCodecTest, RejectsBadMagic) {
+  auto bytes = encode(sample_request());
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsBadVersion) {
+  auto bytes = encode(sample_request());
+  bytes[2] = 99;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsBadType) {
+  auto bytes = encode(sample_request());
+  bytes[3] = 200;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsEmptyKey) {
+  QosRequest req = sample_request();
+  req.key.clear();
+  auto bytes = encode(req);
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsZeroCost) {
+  QosRequest req = sample_request();
+  auto bytes = encode(req);
+  // cost bytes live at offset 12..15 (after magic, version, type, id).
+  bytes[12] = bytes[13] = bytes[14] = bytes[15] = 0;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsTrailingBytes) {
+  auto bytes = encode(sample_request());
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RejectsTruncationAtEveryLength) {
+  auto bytes = encode(sample_request());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto r = decode_request(std::span(bytes.data(), len));
+    EXPECT_FALSE(r.ok()) << "decoded a truncated request of length " << len;
+  }
+}
+
+TEST(RequestCodecTest, RejectsKeyLengthLyingBeyondBuffer) {
+  QosRequest req = sample_request();
+  auto bytes = encode(req);
+  // Inflate the declared key length (offset 16..17) beyond the buffer.
+  bytes[16] = 0xFF;
+  bytes[17] = 0x0F;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(RequestCodecTest, RandomBytesNeverCrash) {
+  janus::Rng rng(77);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)decode_request(junk);  // must not crash; result may be anything
+  }
+}
+
+QosResponse sample_response() {
+  QosResponse resp;
+  resp.request_id = 0x1122334455667788ull;
+  resp.status = ResponseStatus::kOk;
+  resp.allowed = true;
+  resp.remaining_millicredits = 123456;
+  return resp;
+}
+
+TEST(ResponseCodecTest, RoundTrip) {
+  const QosResponse resp = sample_response();
+  auto decoded = decode_response(encode(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), resp);
+}
+
+TEST(ResponseCodecTest, RoundTripAllStatuses) {
+  for (ResponseStatus status :
+       {ResponseStatus::kOk, ResponseStatus::kDefaultReply,
+        ResponseStatus::kMalformed, ResponseStatus::kOverloaded}) {
+    QosResponse resp = sample_response();
+    resp.status = status;
+    auto decoded = decode_response(encode(resp));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().status, status);
+  }
+}
+
+TEST(ResponseCodecTest, RoundTripNegativeCredits) {
+  QosResponse resp = sample_response();
+  resp.remaining_millicredits = -1;
+  auto decoded = decode_response(encode(resp));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().remaining_millicredits, -1);
+}
+
+TEST(ResponseCodecTest, FixedSize) {
+  EXPECT_EQ(encode(sample_response()).size(), kResponseSize);
+}
+
+TEST(ResponseCodecTest, RejectsTruncationAtEveryLength) {
+  auto bytes = encode(sample_response());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_response(std::span(bytes.data(), len)).ok());
+  }
+}
+
+TEST(ResponseCodecTest, RejectsRequestMagicAsResponse) {
+  auto bytes = encode(sample_request());
+  EXPECT_FALSE(decode_response(bytes).ok());
+}
+
+TEST(ResponseCodecTest, RejectsBadAllowedFlag) {
+  auto bytes = encode(sample_response());
+  bytes[12] = 2;  // allowed flag offset: 2+1+1+8
+  EXPECT_FALSE(decode_response(bytes).ok());
+}
+
+TEST(CodecTest, EncodeToReusesBuffer) {
+  std::vector<std::uint8_t> buf;
+  encode_to(sample_request(), buf);
+  const std::size_t first_size = buf.size();
+  encode_to(sample_request(), buf);
+  EXPECT_EQ(buf.size(), first_size);  // cleared, not appended
+  auto decoded = decode_request(buf);
+  EXPECT_TRUE(decoded.ok());
+}
+
+TEST(CodecTest, MaxKeyLengthEnforced) {
+  QosRequest req = sample_request();
+  req.key.assign(kMaxKeyLength + 1, 'k');
+  auto bytes = encode(req);
+  EXPECT_FALSE(decode_request(bytes).ok());
+  req.key.assign(kMaxKeyLength, 'k');
+  EXPECT_TRUE(decode_request(encode(req)).ok());
+}
+
+}  // namespace
+}  // namespace janus::wire

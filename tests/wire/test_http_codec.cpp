@@ -1,0 +1,101 @@
+#include "wire/http_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace janus::wire {
+namespace {
+
+TEST(HttpQosTargetTest, ParsesSimpleKey) {
+  auto q = parse_qos_target("/qos?key=alice");
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  EXPECT_EQ(q.value().request.key, "alice");
+  EXPECT_EQ(q.value().request.cost, 1u);
+  EXPECT_EQ(q.value().request.type, RequestType::kCheck);
+}
+
+TEST(HttpQosTargetTest, ParsesAllParameters) {
+  auto q = parse_qos_target("/qos?key=bob&cost=5&probe=1&id=77");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().request.key, "bob");
+  EXPECT_EQ(q.value().request.cost, 5u);
+  EXPECT_EQ(q.value().request.type, RequestType::kProbe);
+  EXPECT_EQ(q.value().request.request_id, 77u);
+}
+
+TEST(HttpQosTargetTest, DecodesUrlEncodedKey) {
+  auto q = parse_qos_target("/qos?key=user%2Fdb%20name");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().request.key, "user/db name");
+}
+
+TEST(HttpQosTargetTest, IgnoresUnknownParameters) {
+  auto q = parse_qos_target("/qos?key=x&future=1&=weird");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().request.key, "x");
+}
+
+TEST(HttpQosTargetTest, RejectsWrongPath) {
+  EXPECT_FALSE(parse_qos_target("/other?key=x").ok());
+  EXPECT_FALSE(parse_qos_target("/qos2?key=x").ok());
+  EXPECT_FALSE(parse_qos_target("/").ok());
+}
+
+TEST(HttpQosTargetTest, RejectsMissingOrEmptyKey) {
+  EXPECT_FALSE(parse_qos_target("/qos").ok());
+  EXPECT_FALSE(parse_qos_target("/qos?").ok());
+  EXPECT_FALSE(parse_qos_target("/qos?cost=1").ok());
+  EXPECT_FALSE(parse_qos_target("/qos?key=").ok());
+}
+
+TEST(HttpQosTargetTest, RejectsBadCost) {
+  EXPECT_FALSE(parse_qos_target("/qos?key=x&cost=0").ok());
+  EXPECT_FALSE(parse_qos_target("/qos?key=x&cost=abc").ok());
+  EXPECT_FALSE(parse_qos_target("/qos?key=x&cost=99999999999999").ok());
+}
+
+TEST(HttpQosTargetTest, RejectsBadEscape) {
+  EXPECT_FALSE(parse_qos_target("/qos?key=%GG").ok());
+}
+
+TEST(HttpQosTargetTest, FormatParseRoundTrip) {
+  QosRequest req;
+  req.key = "tenant 1/db&2";
+  req.cost = 9;
+  req.type = RequestType::kProbe;
+  req.request_id = 1234;
+  auto q = parse_qos_target(format_qos_target(req));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().request, req);
+}
+
+TEST(HttpQosTargetTest, DefaultFieldsOmittedFromTarget) {
+  QosRequest req;
+  req.key = "simple";
+  const std::string target = format_qos_target(req);
+  EXPECT_EQ(target, "/qos?key=simple");
+}
+
+TEST(HttpResponseBodyTest, TrueFalseBodies) {
+  QosResponse resp;
+  resp.allowed = true;
+  EXPECT_EQ(response_body(resp), "TRUE");
+  resp.allowed = false;
+  EXPECT_EQ(response_body(resp), "FALSE");
+}
+
+TEST(StatusHeaderTest, RoundTripsAllStatuses) {
+  for (ResponseStatus status :
+       {ResponseStatus::kOk, ResponseStatus::kDefaultReply,
+        ResponseStatus::kMalformed, ResponseStatus::kOverloaded}) {
+    auto parsed = parse_status_header(status_header_value(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+}
+
+TEST(StatusHeaderTest, RejectsUnknownValue) {
+  EXPECT_EQ(parse_status_header("garbage"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace janus::wire

@@ -1,0 +1,134 @@
+#include "workload/key_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+
+namespace janus::workload {
+namespace {
+
+TEST(UuidKeysTest, FormatMatchesPaper) {
+  // "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx" (§V-B).
+  UuidKeys keys;
+  const std::regex uuid_re(
+      "[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}");
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(std::regex_match(keys.key(i), uuid_re)) << keys.key(i);
+  }
+}
+
+TEST(UuidKeysTest, KeysAreUniqueAndDeterministic) {
+  UuidKeys a, b;
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    const std::string k = a.key(i);
+    EXPECT_EQ(k, b.key(i));
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate at " << i;
+  }
+}
+
+TEST(UuidKeysTest, DifferentSeedsDifferentKeys) {
+  UuidKeys a(1), b(2);
+  EXPECT_NE(a.key(0), b.key(0));
+}
+
+TEST(TimestampKeysTest, FormatMatchesPaper) {
+  // "YYYY-MM-DD-HH-MM-SS" (§V-B).
+  TimestampKeys keys;
+  const std::regex ts_re(
+      "\\d{4}-\\d{2}-\\d{2}-\\d{2}-\\d{2}-\\d{2}");
+  for (std::uint64_t i = 0; i < 1000; i += 7) {
+    EXPECT_TRUE(std::regex_match(keys.key(i), ts_re)) << keys.key(i);
+  }
+}
+
+TEST(TimestampKeysTest, FieldsStayInCalendarRange) {
+  TimestampKeys keys;
+  for (std::uint64_t i = 0; i < 100000; i += 997) {
+    const std::string k = keys.key(i);
+    const int month = std::stoi(k.substr(5, 2));
+    const int day = std::stoi(k.substr(8, 2));
+    const int hour = std::stoi(k.substr(11, 2));
+    const int minute = std::stoi(k.substr(14, 2));
+    const int second = std::stoi(k.substr(17, 2));
+    EXPECT_GE(month, 1);
+    EXPECT_LE(month, 12);
+    EXPECT_GE(day, 1);
+    EXPECT_LE(day, 30);
+    EXPECT_LT(hour, 24);
+    EXPECT_LT(minute, 60);
+    EXPECT_LT(second, 60);
+  }
+}
+
+TEST(TimestampKeysTest, KeysUnique) {
+  TimestampKeys keys;
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    EXPECT_TRUE(seen.insert(keys.key(i)).second) << "duplicate at " << i;
+  }
+}
+
+TEST(EnglishVocabularyKeysTest, WordListIsCleanAndUnique) {
+  const auto& words = english_words();
+  EXPECT_GE(words.size(), 500u);
+  std::set<std::string> seen;
+  for (const auto& w : words) {
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word: " << w;
+  }
+}
+
+TEST(EnglishVocabularyKeysTest, UniverseCoversFigureSixScale) {
+  EnglishVocabularyKeys keys;
+  EXPECT_GE(keys.universe(), 500000u);  // Fig. 6 needs 500 K unique keys
+}
+
+TEST(EnglishVocabularyKeysTest, KeysUniqueAcrossTiers) {
+  EnglishVocabularyKeys keys;
+  std::set<std::string> seen;
+  const auto& words = english_words();
+  const std::uint64_t n = words.size();
+  // Sample across the single/pair/triple tiers.
+  for (std::uint64_t i : {std::uint64_t{0}, n - 1, n, n + 1, n * n + n - 1,
+                          n * n + n, n * n + n + 12345}) {
+    EXPECT_TRUE(seen.insert(keys.key(i)).second) << "duplicate at " << i;
+  }
+}
+
+TEST(EnglishVocabularyKeysTest, DenseRangeIsUnique) {
+  EnglishVocabularyKeys keys;
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(seen.insert(keys.key(i)).second) << "duplicate at " << i;
+  }
+}
+
+TEST(SequentialKeysTest, MatchesPaperRange) {
+  // "sequential numbers starting from 1500000001" (§V-B).
+  SequentialKeys keys;
+  EXPECT_EQ(keys.key(0), "1500000001");
+  EXPECT_EQ(keys.key(499999), "1500500000");
+}
+
+TEST(SequentialKeysTest, CustomStart) {
+  SequentialKeys keys(42);
+  EXPECT_EQ(keys.key(0), "42");
+  EXPECT_EQ(keys.key(10), "52");
+}
+
+TEST(AllKeyFamiliesTest, FourFamiliesInPaperOrder) {
+  auto families = all_key_families();
+  ASSERT_EQ(families.size(), 4u);
+  EXPECT_EQ(families[0]->name(), "UUID");
+  EXPECT_EQ(families[1]->name(), "TimeStamp");
+  EXPECT_EQ(families[2]->name(), "EnglishVocabulary");
+  EXPECT_EQ(families[3]->name(), "SequentialNumbers");
+}
+
+}  // namespace
+}  // namespace janus::workload

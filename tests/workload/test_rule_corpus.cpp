@@ -1,0 +1,84 @@
+#include "workload/rule_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace janus::workload {
+namespace {
+
+TEST(RuleCorpusTest, DeterministicRules) {
+  SequentialKeys keys;
+  RuleCorpusConfig cfg;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(make_rule(keys, i, cfg), make_rule(keys, i, cfg));
+  }
+}
+
+TEST(RuleCorpusTest, RatesWithinPaperRange) {
+  // §V: rules "ranging from 1 request per second to 10 K requests/second".
+  SequentialKeys keys;
+  RuleCorpusConfig cfg;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    auto rule = make_rule(keys, i, cfg);
+    EXPECT_GE(rule.refill_per_sec, cfg.min_rate);
+    EXPECT_LE(rule.refill_per_sec, cfg.max_rate);
+    EXPECT_DOUBLE_EQ(rule.capacity, rule.refill_per_sec * cfg.burst_seconds);
+    EXPECT_DOUBLE_EQ(rule.credit, rule.capacity);  // provisioned full
+  }
+}
+
+TEST(RuleCorpusTest, RatesAreLogUniform) {
+  SequentialKeys keys;
+  RuleCorpusConfig cfg;
+  int low = 0, high = 0;
+  constexpr int kSamples = 20000;
+  const double geo_mid = std::sqrt(cfg.min_rate * cfg.max_rate);  // 100
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    auto rule = make_rule(keys, i, cfg);
+    (rule.refill_per_sec < geo_mid ? low : high)++;
+  }
+  // Log-uniform: half the mass below the geometric midpoint.
+  EXPECT_NEAR(static_cast<double>(low) / kSamples, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(high) / kSamples, 0.5, 0.02);
+}
+
+TEST(RuleCorpusTest, DifferentSeedsGiveDifferentRates) {
+  SequentialKeys keys;
+  RuleCorpusConfig a, b;
+  b.seed = a.seed + 1;
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (make_rule(keys, i, a).refill_per_sec !=
+        make_rule(keys, i, b).refill_per_sec) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RuleCorpusTest, ProvisionWritesAllRules) {
+  db::Database db;
+  db::RuleStore store(db);
+  SequentialKeys keys;
+  RuleCorpusConfig cfg;
+  cfg.rule_count = 500;
+  EXPECT_EQ(provision_rules(store, keys, cfg), 500u);
+  EXPECT_EQ(store.size(), 500u);
+  auto rule = store.get(keys.key(123));
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(*rule, make_rule(keys, 123, cfg));
+}
+
+TEST(RuleCorpusTest, WorksWithEveryKeyFamily) {
+  for (const auto& family : all_key_families()) {
+    db::Database db;
+    db::RuleStore store(db);
+    RuleCorpusConfig cfg;
+    cfg.rule_count = 50;
+    EXPECT_EQ(provision_rules(store, *family, cfg), 50u) << family->name();
+  }
+}
+
+}  // namespace
+}  // namespace janus::workload

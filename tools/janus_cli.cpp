@@ -1,0 +1,131 @@
+// janus-cli — poke a running Janus deployment.
+//
+//   janus-cli check <ip:port> <key> [cost]       one admission decision
+//   janus-cli probe <ip:port> <key> [cost]       non-consuming check
+//   janus-cli bench <ip:port> [-c threads] [-n requests] [-k keyspace]
+//                                                the modified-ab workload
+//
+// `check`/`probe` exit 0 on TRUE and 1 on FALSE, so the CLI slots straight
+// into shell scripts:  janus-cli check lb:8080 "$USER" && run_job
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.hpp"
+#include "net/http.hpp"
+#include "wire/http_codec.hpp"
+#include "workload/ab_client.hpp"
+
+using namespace janus;
+
+namespace {
+
+Result<net::SockAddr> parse_addr(const std::string& text) {
+  auto parts = split(text, ':');
+  if (parts.size() != 2) return Error("expected ip:port, got " + text);
+  auto port = parse_u64(parts[1]);
+  if (!port || *port > 65535) return Error("bad port in " + text);
+  return net::SockAddr{std::string(parts[0]),
+                       static_cast<std::uint16_t>(*port)};
+}
+
+int run_check(int argc, char** argv, bool probe) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: janus-cli %s <ip:port> <key> [cost]\n",
+                 probe ? "probe" : "check");
+    return 2;
+  }
+  auto addr = parse_addr(argv[2]);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "janus-cli: %s\n", addr.error().message.c_str());
+    return 2;
+  }
+  wire::QosRequest req;
+  req.key = argv[3];
+  if (argc > 4) {
+    auto cost = parse_u64(argv[4]);
+    if (!cost || *cost == 0) {
+      std::fprintf(stderr, "janus-cli: bad cost '%s'\n", argv[4]);
+      return 2;
+    }
+    req.cost = static_cast<std::uint32_t>(*cost);
+  }
+  if (probe) req.type = wire::RequestType::kProbe;
+
+  net::HttpClient client(addr.value(), millis(2000));
+  auto resp = client.get(wire::format_qos_target(req));
+  if (!resp.ok()) {
+    std::fprintf(stderr, "janus-cli: %s\n", resp.error().message.c_str());
+    return 2;
+  }
+  const auto& r = resp.value();
+  auto status = r.header("X-Janus-Status").value_or("?");
+  auto credits = r.header("X-Janus-Credits").value_or("?");
+  std::printf("%s (status=%.*s, millicredits=%.*s)\n", r.body.c_str(),
+              static_cast<int>(status.size()), status.data(),
+              static_cast<int>(credits.size()), credits.data());
+  return r.body == "TRUE" ? 0 : 1;
+}
+
+int run_bench(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: janus-cli bench <ip:port> [-c threads] [-n requests]"
+                 " [-k keyspace]\n");
+    return 2;
+  }
+  auto addr = parse_addr(argv[2]);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "janus-cli: %s\n", addr.error().message.c_str());
+    return 2;
+  }
+  workload::AbConfig cfg;
+  cfg.threads = 4;
+  cfg.total_requests = 10000;
+  cfg.key_space = 1000;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    auto value = parse_u64(argv[i + 1]);
+    if (!value) {
+      std::fprintf(stderr, "janus-cli: bad value for %s\n", argv[i]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "-c") == 0) {
+      cfg.threads = static_cast<std::size_t>(*value);
+    } else if (std::strcmp(argv[i], "-n") == 0) {
+      cfg.total_requests = *value;
+    } else if (std::strcmp(argv[i], "-k") == 0) {
+      cfg.key_space = *value;
+    } else {
+      std::fprintf(stderr, "janus-cli: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  workload::SequentialKeys keys;
+  auto report = workload::run_ab(addr.value(), keys, cfg);
+  std::printf("completed:        %llu\n",
+              static_cast<unsigned long long>(report.completed));
+  std::printf("allowed/denied:   %llu / %llu\n",
+              static_cast<unsigned long long>(report.allowed),
+              static_cast<unsigned long long>(report.denied));
+  std::printf("default replies:  %llu\n",
+              static_cast<unsigned long long>(report.default_replies));
+  std::printf("errors:           %llu\n",
+              static_cast<unsigned long long>(report.errors));
+  std::printf("throughput:       %.1f req/s\n", report.throughput());
+  std::printf("latency:          %s\n", report.latency.summary_us().c_str());
+  return report.errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: janus-cli <check|probe|bench> ...\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "check") == 0) return run_check(argc, argv, false);
+  if (std::strcmp(argv[1], "probe") == 0) return run_check(argc, argv, true);
+  if (std::strcmp(argv[1], "bench") == 0) return run_bench(argc, argv);
+  std::fprintf(stderr, "janus-cli: unknown command '%s'\n", argv[1]);
+  return 2;
+}

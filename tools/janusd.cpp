@@ -1,0 +1,261 @@
+// janusd — run one Janus node from the command line.
+//
+//   janusd server --listen 127.0.0.1:9100 --rules rules.conf
+//                 [--wal janus.wal] [--workers 4] [--shards 16]
+//                 [--sync-ms 5000] [--checkpoint-ms 5000]
+//                 [--snapshot janus.snap --compact-ms 60000]
+//                 [--default-rate R --default-capacity C]
+//   janusd router --listen 127.0.0.1:8080
+//                 --backends 127.0.0.1:9100,127.0.0.1:9101
+//                 [--timeout-us 100] [--retries 5] [--default-allow]
+//
+// The rules file is `key = rate capacity [credit]` per line, e.g.:
+//
+//   tenant-42 = 100 1000
+//   10.0.0.7  = 5 20 12.5
+//
+// A SIGINT/SIGTERM stops the node cleanly.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "common/periodic.hpp"
+#include "common/string_util.hpp"
+#include "db/rule_store.hpp"
+#include "router/router_node.hpp"
+#include "server/qos_server_node.hpp"
+
+using namespace janus;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+/// "--flag value" style argument map; returns false on unknown syntax.
+bool parse_flags(int argc, char** argv, int first,
+                 std::map<std::string, std::string>& out) {
+  for (int i = first; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "janusd: unexpected argument '%s'\n", argv[i]);
+      return false;
+    }
+    std::string name(arg.substr(2));
+    if (name == "default-allow") {  // boolean flag
+      out[name] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "janusd: --%s needs a value\n", name.c_str());
+      return false;
+    }
+    out[name] = argv[++i];
+  }
+  return true;
+}
+
+Result<net::SockAddr> parse_addr(const std::string& text) {
+  auto parts = split(text, ':');
+  if (parts.size() != 2) return Error("expected ip:port, got " + text);
+  auto port = parse_u64(parts[1]);
+  if (!port || *port > 65535) return Error("bad port in " + text);
+  return net::SockAddr{std::string(parts[0]),
+                       static_cast<std::uint16_t>(*port)};
+}
+
+Status load_rules(db::RuleStore& store, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error("cannot open rules file: " + path);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::size_t eq = text.find('=');
+    if (eq == std::string_view::npos) {
+      return Error("rules line " + std::to_string(lineno) +
+                   ": expected 'key = rate capacity [credit]'");
+    }
+    std::string key(trim(text.substr(0, eq)));
+    std::vector<std::string_view> fields;
+    for (auto f : split(trim(text.substr(eq + 1)), ' ')) {
+      if (!f.empty()) fields.push_back(f);
+    }
+    if (key.empty() || fields.size() < 2 || fields.size() > 3) {
+      return Error("rules line " + std::to_string(lineno) + ": bad format");
+    }
+    auto rate = parse_double(fields[0]);
+    auto capacity = parse_double(fields[1]);
+    auto credit = fields.size() == 3 ? parse_double(fields[2]) : capacity;
+    if (!rate || !capacity || !credit) {
+      return Error("rules line " + std::to_string(lineno) + ": bad number");
+    }
+    if (auto s = store.put({.key = key, .refill_per_sec = *rate,
+                            .capacity = *capacity, .credit = *credit});
+        !s.ok()) {
+      return Error("rules line " + std::to_string(lineno) + ": " +
+                   s.error().message);
+    }
+  }
+  return Status::success();
+}
+
+int run_server(const std::map<std::string, std::string>& flags) {
+  auto listen_it = flags.find("listen");
+  auto rules_it = flags.find("rules");
+  if (listen_it == flags.end() || rules_it == flags.end()) {
+    std::fprintf(stderr, "janusd server: --listen and --rules required\n");
+    return 2;
+  }
+  auto listen = parse_addr(listen_it->second);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", listen.error().message.c_str());
+    return 2;
+  }
+
+  db::Database database;
+  db::RuleStore store(database);
+  if (auto it = flags.find("wal"); it != flags.end()) {
+    if (auto n = database.recover(it->second); !n.ok()) {
+      std::fprintf(stderr, "janusd: WAL recovery: %s\n",
+                   n.error().message.c_str());
+      return 1;
+    }
+    if (auto s = database.enable_wal(it->second); !s.ok()) {
+      std::fprintf(stderr, "janusd: %s\n", s.error().message.c_str());
+      return 1;
+    }
+  }
+  if (auto s = load_rules(store, rules_it->second); !s.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  auto get_int = [&](const char* name, std::int64_t fallback) {
+    auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    return parse_i64(it->second).value_or(fallback);
+  };
+  auto get_double = [&](const char* name, double fallback) {
+    auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    return parse_double(it->second).value_or(fallback);
+  };
+
+  server::QosServerConfig cfg;
+  cfg.worker_threads = static_cast<std::size_t>(get_int("workers", 4));
+  cfg.admission.table_shards =
+      static_cast<std::size_t>(get_int("shards", 16));
+  cfg.sync_interval = millis(get_int("sync-ms", 5000));
+  cfg.checkpoint_interval = millis(get_int("checkpoint-ms", 5000));
+  const double default_rate = get_double("default-rate", 0.0);
+  const double default_capacity = get_double("default-capacity", 0.0);
+  cfg.admission.default_rule =
+      core::limited_access_default(default_capacity, default_rate);
+
+  auto node = server::QosServerNode::start(listen.value(), store, cfg);
+  if (!node.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", node.error().message.c_str());
+    return 1;
+  }
+  std::printf("janusd: QoS server on %s (%zu rules, %zu workers)\n",
+              node.value()->addr().to_string().c_str(), store.size(),
+              cfg.worker_threads);
+
+  // Optional WAL compaction: periodic snapshot + log truncation, so the
+  // check-point churn does not grow the WAL without bound.
+  std::unique_ptr<PeriodicTask> compactor;
+  if (auto snap = flags.find("snapshot");
+      snap != flags.end() && flags.count("wal")) {
+    const std::string snap_path = snap->second;
+    const auto compact_every = millis(get_int("compact-ms", 60000));
+    compactor = std::make_unique<PeriodicTask>(
+        compact_every, [&database, snap_path] {
+          if (auto s = database.compact_wal(snap_path); !s.ok()) {
+            JLOG_WARN("compaction failed: %s", s.error().message.c_str());
+          }
+        });
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("janusd: stopping\n");
+  if (compactor) compactor->stop();
+  node.value()->checkpoint_now();
+  return 0;
+}
+
+int run_router(const std::map<std::string, std::string>& flags) {
+  auto listen_it = flags.find("listen");
+  auto backends_it = flags.find("backends");
+  if (listen_it == flags.end() || backends_it == flags.end()) {
+    std::fprintf(stderr, "janusd router: --listen and --backends required\n");
+    return 2;
+  }
+  auto listen = parse_addr(listen_it->second);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", listen.error().message.c_str());
+    return 2;
+  }
+
+  auto resolver = std::make_shared<router::StaticResolver>();
+  std::vector<std::string> names;
+  for (auto part : split(backends_it->second, ',')) {
+    auto addr = parse_addr(std::string(part));
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: %s\n", addr.error().message.c_str());
+      return 2;
+    }
+    std::string name = "backend-" + std::to_string(names.size());
+    resolver->add(name, addr.value());
+    names.push_back(std::move(name));
+  }
+
+  router::RouterConfig cfg;
+  if (auto it = flags.find("timeout-us"); it != flags.end()) {
+    cfg.udp.timeout = micros(parse_i64(it->second).value_or(100));
+  }
+  if (auto it = flags.find("retries"); it != flags.end()) {
+    cfg.udp.max_retries =
+        static_cast<int>(parse_i64(it->second).value_or(5));
+  }
+  cfg.udp.default_allow = flags.count("default-allow") > 0;
+
+  auto node = router::RouterNode::start(listen.value(), names, resolver, cfg);
+  if (!node.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", node.error().message.c_str());
+    return 1;
+  }
+  std::printf("janusd: request router on %s (%zu backends)\n",
+              node.value()->addr().to_string().c_str(), names.size());
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("janusd: stopping\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: janusd <server|router> --flags...\n");
+    return 2;
+  }
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 2, flags)) return 2;
+
+  if (std::strcmp(argv[1], "server") == 0) return run_server(flags);
+  if (std::strcmp(argv[1], "router") == 0) return run_router(flags);
+  std::fprintf(stderr, "janusd: unknown role '%s'\n", argv[1]);
+  return 2;
+}
