@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_refill.cpp" "bench/CMakeFiles/bench_ablation_refill.dir/bench_ablation_refill.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_refill.dir/bench_ablation_refill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/janus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/janus_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/janus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/janus_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/janus_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/janus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/janus_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/janus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

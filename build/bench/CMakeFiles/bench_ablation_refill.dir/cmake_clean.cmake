@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_refill.dir/bench_ablation_refill.cpp.o"
+  "CMakeFiles/bench_ablation_refill.dir/bench_ablation_refill.cpp.o.d"
+  "bench_ablation_refill"
+  "bench_ablation_refill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_refill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

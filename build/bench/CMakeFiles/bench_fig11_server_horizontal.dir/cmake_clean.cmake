@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_server_horizontal.dir/bench_fig11_server_horizontal.cpp.o"
+  "CMakeFiles/bench_fig11_server_horizontal.dir/bench_fig11_server_horizontal.cpp.o.d"
+  "bench_fig11_server_horizontal"
+  "bench_fig11_server_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_server_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

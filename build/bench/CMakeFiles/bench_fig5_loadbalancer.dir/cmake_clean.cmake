@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_loadbalancer.dir/bench_fig5_loadbalancer.cpp.o"
+  "CMakeFiles/bench_fig5_loadbalancer.dir/bench_fig5_loadbalancer.cpp.o.d"
+  "bench_fig5_loadbalancer"
+  "bench_fig5_loadbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_loadbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

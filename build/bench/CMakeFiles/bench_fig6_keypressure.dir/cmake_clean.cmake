@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_keypressure.dir/bench_fig6_keypressure.cpp.o"
+  "CMakeFiles/bench_fig6_keypressure.dir/bench_fig6_keypressure.cpp.o.d"
+  "bench_fig6_keypressure"
+  "bench_fig6_keypressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_keypressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

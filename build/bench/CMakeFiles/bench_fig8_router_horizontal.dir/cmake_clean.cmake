@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_router_horizontal.dir/bench_fig8_router_horizontal.cpp.o"
+  "CMakeFiles/bench_fig8_router_horizontal.dir/bench_fig8_router_horizontal.cpp.o.d"
+  "bench_fig8_router_horizontal"
+  "bench_fig8_router_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_router_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

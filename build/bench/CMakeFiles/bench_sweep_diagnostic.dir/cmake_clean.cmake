@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_diagnostic.dir/bench_sweep_diagnostic.cpp.o"
+  "CMakeFiles/bench_sweep_diagnostic.dir/bench_sweep_diagnostic.cpp.o.d"
+  "bench_sweep_diagnostic"
+  "bench_sweep_diagnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_diagnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

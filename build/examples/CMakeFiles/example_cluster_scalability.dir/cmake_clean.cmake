@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_scalability.dir/cluster_scalability.cpp.o"
+  "CMakeFiles/example_cluster_scalability.dir/cluster_scalability.cpp.o.d"
+  "example_cluster_scalability"
+  "example_cluster_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crawler_throttle.dir/crawler_throttle.cpp.o"
+  "CMakeFiles/example_crawler_throttle.dir/crawler_throttle.cpp.o.d"
+  "example_crawler_throttle"
+  "example_crawler_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crawler_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_nosql.dir/multi_tenant_nosql.cpp.o"
+  "CMakeFiles/example_multi_tenant_nosql.dir/multi_tenant_nosql.cpp.o.d"
+  "example_multi_tenant_nosql"
+  "example_multi_tenant_nosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_nosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

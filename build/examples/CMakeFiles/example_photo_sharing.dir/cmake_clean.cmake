@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_photo_sharing.dir/photo_sharing.cpp.o"
+  "CMakeFiles/example_photo_sharing.dir/photo_sharing.cpp.o.d"
+  "example_photo_sharing"
+  "example_photo_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_photo_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_app.dir/photo_service.cpp.o"
+  "CMakeFiles/janus_app.dir/photo_service.cpp.o.d"
+  "CMakeFiles/janus_app.dir/qos_client.cpp.o"
+  "CMakeFiles/janus_app.dir/qos_client.cpp.o.d"
+  "libjanus_app.a"
+  "libjanus_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_common.dir/clock.cpp.o"
+  "CMakeFiles/janus_common.dir/clock.cpp.o.d"
+  "CMakeFiles/janus_common.dir/config.cpp.o"
+  "CMakeFiles/janus_common.dir/config.cpp.o.d"
+  "CMakeFiles/janus_common.dir/histogram.cpp.o"
+  "CMakeFiles/janus_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/janus_common.dir/logging.cpp.o"
+  "CMakeFiles/janus_common.dir/logging.cpp.o.d"
+  "CMakeFiles/janus_common.dir/metrics.cpp.o"
+  "CMakeFiles/janus_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/janus_common.dir/string_util.cpp.o"
+  "CMakeFiles/janus_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/janus_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/janus_common.dir/thread_pool.cpp.o.d"
+  "libjanus_common.a"
+  "libjanus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_core.dir/admission.cpp.o"
+  "CMakeFiles/janus_core.dir/admission.cpp.o.d"
+  "CMakeFiles/janus_core.dir/leaky_bucket.cpp.o"
+  "CMakeFiles/janus_core.dir/leaky_bucket.cpp.o.d"
+  "CMakeFiles/janus_core.dir/qos_table.cpp.o"
+  "CMakeFiles/janus_core.dir/qos_table.cpp.o.d"
+  "libjanus_core.a"
+  "libjanus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/janus_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/replication.cpp" "src/db/CMakeFiles/janus_db.dir/replication.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/replication.cpp.o.d"
+  "/root/repo/src/db/rule_store.cpp" "src/db/CMakeFiles/janus_db.dir/rule_store.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/rule_store.cpp.o.d"
+  "/root/repo/src/db/serialize.cpp" "src/db/CMakeFiles/janus_db.dir/serialize.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/serialize.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/janus_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/janus_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/value.cpp.o.d"
+  "/root/repo/src/db/wal.cpp" "src/db/CMakeFiles/janus_db.dir/wal.cpp.o" "gcc" "src/db/CMakeFiles/janus_db.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

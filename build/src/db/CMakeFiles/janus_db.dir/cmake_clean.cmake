@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_db.dir/database.cpp.o"
+  "CMakeFiles/janus_db.dir/database.cpp.o.d"
+  "CMakeFiles/janus_db.dir/replication.cpp.o"
+  "CMakeFiles/janus_db.dir/replication.cpp.o.d"
+  "CMakeFiles/janus_db.dir/rule_store.cpp.o"
+  "CMakeFiles/janus_db.dir/rule_store.cpp.o.d"
+  "CMakeFiles/janus_db.dir/serialize.cpp.o"
+  "CMakeFiles/janus_db.dir/serialize.cpp.o.d"
+  "CMakeFiles/janus_db.dir/table.cpp.o"
+  "CMakeFiles/janus_db.dir/table.cpp.o.d"
+  "CMakeFiles/janus_db.dir/value.cpp.o"
+  "CMakeFiles/janus_db.dir/value.cpp.o.d"
+  "CMakeFiles/janus_db.dir/wal.cpp.o"
+  "CMakeFiles/janus_db.dir/wal.cpp.o.d"
+  "libjanus_db.a"
+  "libjanus_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

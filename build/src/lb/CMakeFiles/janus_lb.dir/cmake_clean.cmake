@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_lb.dir/dns_balancer.cpp.o"
+  "CMakeFiles/janus_lb.dir/dns_balancer.cpp.o.d"
+  "CMakeFiles/janus_lb.dir/gateway_balancer.cpp.o"
+  "CMakeFiles/janus_lb.dir/gateway_balancer.cpp.o.d"
+  "libjanus_lb.a"
+  "libjanus_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_net.dir/http.cpp.o"
+  "CMakeFiles/janus_net.dir/http.cpp.o.d"
+  "CMakeFiles/janus_net.dir/socket.cpp.o"
+  "CMakeFiles/janus_net.dir/socket.cpp.o.d"
+  "libjanus_net.a"
+  "libjanus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_router.dir/router_node.cpp.o"
+  "CMakeFiles/janus_router.dir/router_node.cpp.o.d"
+  "CMakeFiles/janus_router.dir/udp_qos_client.cpp.o"
+  "CMakeFiles/janus_router.dir/udp_qos_client.cpp.o.d"
+  "libjanus_router.a"
+  "libjanus_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_server.dir/ha.cpp.o"
+  "CMakeFiles/janus_server.dir/ha.cpp.o.d"
+  "CMakeFiles/janus_server.dir/qos_server_node.cpp.o"
+  "CMakeFiles/janus_server.dir/qos_server_node.cpp.o.d"
+  "libjanus_server.a"
+  "libjanus_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_sim.dir/drivers.cpp.o"
+  "CMakeFiles/janus_sim.dir/drivers.cpp.o.d"
+  "CMakeFiles/janus_sim.dir/engine.cpp.o"
+  "CMakeFiles/janus_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/janus_sim.dir/instance.cpp.o"
+  "CMakeFiles/janus_sim.dir/instance.cpp.o.d"
+  "CMakeFiles/janus_sim.dir/janus_model.cpp.o"
+  "CMakeFiles/janus_sim.dir/janus_model.cpp.o.d"
+  "CMakeFiles/janus_sim.dir/node.cpp.o"
+  "CMakeFiles/janus_sim.dir/node.cpp.o.d"
+  "libjanus_sim.a"
+  "libjanus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_wire.dir/codec.cpp.o"
+  "CMakeFiles/janus_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/janus_wire.dir/http_codec.cpp.o"
+  "CMakeFiles/janus_wire.dir/http_codec.cpp.o.d"
+  "libjanus_wire.a"
+  "libjanus_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ab_client.cpp" "src/workload/CMakeFiles/janus_workload.dir/ab_client.cpp.o" "gcc" "src/workload/CMakeFiles/janus_workload.dir/ab_client.cpp.o.d"
+  "/root/repo/src/workload/english_words.cpp" "src/workload/CMakeFiles/janus_workload.dir/english_words.cpp.o" "gcc" "src/workload/CMakeFiles/janus_workload.dir/english_words.cpp.o.d"
+  "/root/repo/src/workload/key_generator.cpp" "src/workload/CMakeFiles/janus_workload.dir/key_generator.cpp.o" "gcc" "src/workload/CMakeFiles/janus_workload.dir/key_generator.cpp.o.d"
+  "/root/repo/src/workload/rule_corpus.cpp" "src/workload/CMakeFiles/janus_workload.dir/rule_corpus.cpp.o" "gcc" "src/workload/CMakeFiles/janus_workload.dir/rule_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/janus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/janus_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

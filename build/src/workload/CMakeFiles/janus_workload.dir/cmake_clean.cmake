@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_workload.dir/ab_client.cpp.o"
+  "CMakeFiles/janus_workload.dir/ab_client.cpp.o.d"
+  "CMakeFiles/janus_workload.dir/english_words.cpp.o"
+  "CMakeFiles/janus_workload.dir/english_words.cpp.o.d"
+  "CMakeFiles/janus_workload.dir/key_generator.cpp.o"
+  "CMakeFiles/janus_workload.dir/key_generator.cpp.o.d"
+  "CMakeFiles/janus_workload.dir/rule_corpus.cpp.o"
+  "CMakeFiles/janus_workload.dir/rule_corpus.cpp.o.d"
+  "libjanus_workload.a"
+  "libjanus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_app.dir/app/test_photo_service.cpp.o"
+  "CMakeFiles/janus_test_app.dir/app/test_photo_service.cpp.o.d"
+  "janus_test_app"
+  "janus_test_app.pdb"
+  "janus_test_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_clock.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_clock.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_clock.cpp.o.d"
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_crc32.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_crc32.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_metrics.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_metrics.cpp.o.d"
+  "/root/repo/tests/common/test_queues.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_queues.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_queues.cpp.o.d"
+  "/root/repo/tests/common/test_result.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_result.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_result.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/janus_test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/janus_test_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_common.dir/common/test_clock.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_clock.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_config.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_config.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_crc32.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_crc32.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_metrics.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_metrics.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_queues.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_queues.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_result.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_result.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_string_util.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_string_util.cpp.o.d"
+  "CMakeFiles/janus_test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/janus_test_common.dir/common/test_thread_pool.cpp.o.d"
+  "janus_test_common"
+  "janus_test_common.pdb"
+  "janus_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_admission.cpp" "tests/CMakeFiles/janus_test_core.dir/core/test_admission.cpp.o" "gcc" "tests/CMakeFiles/janus_test_core.dir/core/test_admission.cpp.o.d"
+  "/root/repo/tests/core/test_admission_sweep.cpp" "tests/CMakeFiles/janus_test_core.dir/core/test_admission_sweep.cpp.o" "gcc" "tests/CMakeFiles/janus_test_core.dir/core/test_admission_sweep.cpp.o.d"
+  "/root/repo/tests/core/test_key_router.cpp" "tests/CMakeFiles/janus_test_core.dir/core/test_key_router.cpp.o" "gcc" "tests/CMakeFiles/janus_test_core.dir/core/test_key_router.cpp.o.d"
+  "/root/repo/tests/core/test_leaky_bucket.cpp" "tests/CMakeFiles/janus_test_core.dir/core/test_leaky_bucket.cpp.o" "gcc" "tests/CMakeFiles/janus_test_core.dir/core/test_leaky_bucket.cpp.o.d"
+  "/root/repo/tests/core/test_qos_table.cpp" "tests/CMakeFiles/janus_test_core.dir/core/test_qos_table.cpp.o" "gcc" "tests/CMakeFiles/janus_test_core.dir/core/test_qos_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/janus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_core.dir/core/test_admission.cpp.o"
+  "CMakeFiles/janus_test_core.dir/core/test_admission.cpp.o.d"
+  "CMakeFiles/janus_test_core.dir/core/test_admission_sweep.cpp.o"
+  "CMakeFiles/janus_test_core.dir/core/test_admission_sweep.cpp.o.d"
+  "CMakeFiles/janus_test_core.dir/core/test_key_router.cpp.o"
+  "CMakeFiles/janus_test_core.dir/core/test_key_router.cpp.o.d"
+  "CMakeFiles/janus_test_core.dir/core/test_leaky_bucket.cpp.o"
+  "CMakeFiles/janus_test_core.dir/core/test_leaky_bucket.cpp.o.d"
+  "CMakeFiles/janus_test_core.dir/core/test_qos_table.cpp.o"
+  "CMakeFiles/janus_test_core.dir/core/test_qos_table.cpp.o.d"
+  "janus_test_core"
+  "janus_test_core.pdb"
+  "janus_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

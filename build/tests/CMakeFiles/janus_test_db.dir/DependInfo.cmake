@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/test_database.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_database.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_database.cpp.o.d"
+  "/root/repo/tests/db/test_replication.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_replication.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_replication.cpp.o.d"
+  "/root/repo/tests/db/test_rule_store.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_rule_store.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_rule_store.cpp.o.d"
+  "/root/repo/tests/db/test_serialize.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_serialize.cpp.o.d"
+  "/root/repo/tests/db/test_snapshot.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_snapshot.cpp.o.d"
+  "/root/repo/tests/db/test_table.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_table.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_table.cpp.o.d"
+  "/root/repo/tests/db/test_wal.cpp" "tests/CMakeFiles/janus_test_db.dir/db/test_wal.cpp.o" "gcc" "tests/CMakeFiles/janus_test_db.dir/db/test_wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_db.dir/db/test_database.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_database.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_replication.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_replication.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_rule_store.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_rule_store.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_serialize.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_serialize.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_snapshot.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_snapshot.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_table.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_table.cpp.o.d"
+  "CMakeFiles/janus_test_db.dir/db/test_wal.cpp.o"
+  "CMakeFiles/janus_test_db.dir/db/test_wal.cpp.o.d"
+  "janus_test_db"
+  "janus_test_db.pdb"
+  "janus_test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

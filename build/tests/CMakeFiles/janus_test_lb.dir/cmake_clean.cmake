@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_lb.dir/lb/test_dns_balancer.cpp.o"
+  "CMakeFiles/janus_test_lb.dir/lb/test_dns_balancer.cpp.o.d"
+  "CMakeFiles/janus_test_lb.dir/lb/test_gateway_balancer.cpp.o"
+  "CMakeFiles/janus_test_lb.dir/lb/test_gateway_balancer.cpp.o.d"
+  "janus_test_lb"
+  "janus_test_lb.pdb"
+  "janus_test_lb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

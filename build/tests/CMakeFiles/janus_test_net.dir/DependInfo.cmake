@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_http.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_http.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_http.cpp.o.d"
+  "/root/repo/tests/net/test_http_multiplex.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o.d"
+  "/root/repo/tests/net/test_socket.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/janus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

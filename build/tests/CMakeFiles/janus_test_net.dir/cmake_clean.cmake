@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_net.dir/net/test_http.cpp.o"
+  "CMakeFiles/janus_test_net.dir/net/test_http.cpp.o.d"
+  "CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o"
+  "CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o.d"
+  "CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o"
+  "CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o.d"
+  "janus_test_net"
+  "janus_test_net.pdb"
+  "janus_test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

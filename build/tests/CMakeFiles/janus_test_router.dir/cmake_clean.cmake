@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_router.dir/router/test_router_node.cpp.o"
+  "CMakeFiles/janus_test_router.dir/router/test_router_node.cpp.o.d"
+  "CMakeFiles/janus_test_router.dir/router/test_udp_client.cpp.o"
+  "CMakeFiles/janus_test_router.dir/router/test_udp_client.cpp.o.d"
+  "janus_test_router"
+  "janus_test_router.pdb"
+  "janus_test_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_server.dir/server/test_ha.cpp.o"
+  "CMakeFiles/janus_test_server.dir/server/test_ha.cpp.o.d"
+  "CMakeFiles/janus_test_server.dir/server/test_qos_server.cpp.o"
+  "CMakeFiles/janus_test_server.dir/server/test_qos_server.cpp.o.d"
+  "janus_test_server"
+  "janus_test_server.pdb"
+  "janus_test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_sim.dir/sim/test_deployment.cpp.o"
+  "CMakeFiles/janus_test_sim.dir/sim/test_deployment.cpp.o.d"
+  "CMakeFiles/janus_test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/janus_test_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/janus_test_sim.dir/sim/test_node.cpp.o"
+  "CMakeFiles/janus_test_sim.dir/sim/test_node.cpp.o.d"
+  "CMakeFiles/janus_test_sim.dir/sim/test_sim_properties.cpp.o"
+  "CMakeFiles/janus_test_sim.dir/sim/test_sim_properties.cpp.o.d"
+  "janus_test_sim"
+  "janus_test_sim.pdb"
+  "janus_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

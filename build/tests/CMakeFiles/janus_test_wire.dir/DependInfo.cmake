@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire/test_codec.cpp" "tests/CMakeFiles/janus_test_wire.dir/wire/test_codec.cpp.o" "gcc" "tests/CMakeFiles/janus_test_wire.dir/wire/test_codec.cpp.o.d"
+  "/root/repo/tests/wire/test_http_codec.cpp" "tests/CMakeFiles/janus_test_wire.dir/wire/test_http_codec.cpp.o" "gcc" "tests/CMakeFiles/janus_test_wire.dir/wire/test_http_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/janus_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_wire.dir/wire/test_codec.cpp.o"
+  "CMakeFiles/janus_test_wire.dir/wire/test_codec.cpp.o.d"
+  "CMakeFiles/janus_test_wire.dir/wire/test_http_codec.cpp.o"
+  "CMakeFiles/janus_test_wire.dir/wire/test_http_codec.cpp.o.d"
+  "janus_test_wire"
+  "janus_test_wire.pdb"
+  "janus_test_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

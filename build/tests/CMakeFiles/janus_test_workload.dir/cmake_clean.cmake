@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_workload.dir/workload/test_key_generator.cpp.o"
+  "CMakeFiles/janus_test_workload.dir/workload/test_key_generator.cpp.o.d"
+  "CMakeFiles/janus_test_workload.dir/workload/test_rule_corpus.cpp.o"
+  "CMakeFiles/janus_test_workload.dir/workload/test_rule_corpus.cpp.o.d"
+  "janus_test_workload"
+  "janus_test_workload.pdb"
+  "janus_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/janus_test_common[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_wire[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_db[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_core[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_net[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_router[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_server[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_lb[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_app[1]_include.cmake")
+include("/root/repo/build/tests/janus_test_integration[1]_include.cmake")

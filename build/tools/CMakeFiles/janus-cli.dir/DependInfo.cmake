@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/janus_cli.cpp" "tools/CMakeFiles/janus-cli.dir/janus_cli.cpp.o" "gcc" "tools/CMakeFiles/janus-cli.dir/janus_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/janus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/janus_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/janus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus-cli.dir/janus_cli.cpp.o"
+  "CMakeFiles/janus-cli.dir/janus_cli.cpp.o.d"
+  "janus-cli"
+  "janus-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

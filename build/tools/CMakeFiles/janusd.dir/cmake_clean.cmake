@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janusd.dir/janusd.cpp.o"
+  "CMakeFiles/janusd.dir/janusd.cpp.o.d"
+  "janusd"
+  "janusd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janusd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

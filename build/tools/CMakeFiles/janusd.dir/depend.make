@@ -1,0 +1,2 @@
+# Empty dependencies file for janusd.
+# This may be replaced when dependencies are built.
