@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/janus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/janus_net.dir/DependInfo.cmake"
   "/root/repo/build/src/wire/CMakeFiles/janus_wire.dir/DependInfo.cmake"
   "/root/repo/build/src/db/CMakeFiles/janus_db.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"

@@ -205,16 +205,23 @@ bench/CMakeFiles/bench_micro_hotpath.dir/bench_micro_hotpath.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/common/mpmc_queue.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/metrics.hpp \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/mpmc_queue.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -222,22 +229,32 @@ bench/CMakeFiles/bench_micro_hotpath.dir/bench_micro_hotpath.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/admission.hpp /root/repo/src/common/metrics.hpp \
- /root/repo/src/core/qos_rule.hpp /root/repo/src/core/qos_table.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/admission.hpp /root/repo/src/core/qos_rule.hpp \
+ /root/repo/src/core/qos_table.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/core/leaky_bucket.hpp /root/repo/src/core/key_router.hpp \
- /root/repo/src/wire/codec.hpp /usr/include/c++/12/span \
+ /root/repo/src/net/socket.hpp /usr/include/netinet/in.h \
+ /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
+ /usr/include/x86_64-linux-gnu/bits/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/socket_type.h \
+ /usr/include/x86_64-linux-gnu/bits/sockaddr.h \
+ /usr/include/x86_64-linux-gnu/asm/socket.h \
+ /usr/include/asm-generic/socket.h /usr/include/linux/posix_types.h \
+ /usr/include/linux/stddef.h \
+ /usr/include/x86_64-linux-gnu/asm/posix_types.h \
+ /usr/include/x86_64-linux-gnu/asm/posix_types_64.h \
+ /usr/include/asm-generic/posix_types.h \
+ /usr/include/x86_64-linux-gnu/asm/bitsperlong.h \
+ /usr/include/asm-generic/bitsperlong.h \
+ /usr/include/x86_64-linux-gnu/asm/sockios.h \
+ /usr/include/asm-generic/sockios.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/span \
  /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
- /root/repo/src/wire/message.hpp
+ /root/repo/src/wire/codec.hpp /root/repo/src/wire/message.hpp

@@ -239,12 +239,12 @@ examples/CMakeFiles/example_cluster_scalability.dir/cluster_scalability.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/admission.hpp \
- /usr/include/c++/12/optional /root/repo/src/common/metrics.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/metrics.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/qos_rule.hpp \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/admission.hpp \
+ /usr/include/c++/12/optional /root/repo/src/core/qos_rule.hpp \
  /root/repo/src/core/qos_table.hpp /root/repo/src/common/crc32.hpp \
  /root/repo/src/core/leaky_bucket.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -275,7 +275,8 @@ examples/CMakeFiles/example_cluster_scalability.dir/cluster_scalability.cpp.o: \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h \
- /root/repo/src/router/router_node.hpp /root/repo/src/net/http.hpp \
+ /root/repo/src/router/router_node.hpp \
+ /root/repo/src/net/admin_server.hpp /root/repo/src/net/http.hpp \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

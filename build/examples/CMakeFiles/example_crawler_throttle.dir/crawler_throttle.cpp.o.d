@@ -257,7 +257,8 @@ examples/CMakeFiles/example_crawler_throttle.dir/crawler_throttle.cpp.o: \
  /root/repo/src/db/value.hpp /root/repo/src/db/table.hpp \
  /usr/include/c++/12/shared_mutex /root/repo/src/db/wal.hpp \
  /root/repo/src/router/router_node.hpp /root/repo/src/common/metrics.hpp \
- /root/repo/src/core/key_router.hpp /root/repo/src/common/crc32.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/core/key_router.hpp \
+ /root/repo/src/common/crc32.hpp /root/repo/src/net/admin_server.hpp \
  /root/repo/src/router/udp_qos_client.hpp /root/repo/src/wire/codec.hpp \
  /root/repo/src/wire/message.hpp \
  /root/repo/src/server/qos_server_node.hpp \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/admin_server.cpp" "src/net/CMakeFiles/janus_net.dir/admin_server.cpp.o" "gcc" "src/net/CMakeFiles/janus_net.dir/admin_server.cpp.o.d"
   "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/janus_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/janus_net.dir/http.cpp.o.d"
   "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/janus_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/janus_net.dir/socket.cpp.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/janus_net.dir/admin_server.cpp.o"
+  "CMakeFiles/janus_net.dir/admin_server.cpp.o.d"
   "CMakeFiles/janus_net.dir/http.cpp.o"
   "CMakeFiles/janus_net.dir/http.cpp.o.d"
   "CMakeFiles/janus_net.dir/socket.cpp.o"

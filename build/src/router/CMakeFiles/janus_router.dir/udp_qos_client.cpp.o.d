@@ -182,7 +182,8 @@ src/router/CMakeFiles/janus_router.dir/udp_qos_client.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/metrics.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/array /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -208,8 +209,8 @@ src/router/CMakeFiles/janus_router.dir/udp_qos_client.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.hpp \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/histogram.hpp \
+ /root/repo/src/common/result.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/net/socket.hpp \
@@ -230,6 +231,6 @@ src/router/CMakeFiles/janus_router.dir/udp_qos_client.cpp.o: \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/wire/codec.hpp /root/repo/src/wire/message.hpp \
- /root/repo/src/common/logging.hpp /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstddef /root/repo/src/wire/codec.hpp \
+ /root/repo/src/wire/message.hpp /root/repo/src/common/logging.hpp \
+ /usr/include/c++/12/cstdarg

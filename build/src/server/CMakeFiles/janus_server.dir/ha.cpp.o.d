@@ -228,7 +228,8 @@ src/server/CMakeFiles/janus_server.dir/ha.cpp.o: \
  /usr/include/c++/12/variant /root/repo/src/core/admission.hpp \
  /root/repo/src/common/metrics.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/qos_rule.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/core/qos_rule.hpp \
  /root/repo/src/core/qos_table.hpp /root/repo/src/common/crc32.hpp \
  /root/repo/src/core/leaky_bucket.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

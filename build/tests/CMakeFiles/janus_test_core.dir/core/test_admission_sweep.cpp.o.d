@@ -305,8 +305,9 @@ tests/CMakeFiles/janus_test_core.dir/core/test_admission_sweep.cpp.o: \
  /root/repo/src/core/admission.hpp /root/repo/src/common/clock.hpp \
  /usr/include/c++/12/chrono /root/repo/src/common/metrics.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/qos_rule.hpp /root/repo/src/core/qos_table.hpp \
- /root/repo/src/common/crc32.hpp /root/repo/src/core/leaky_bucket.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/core/qos_rule.hpp \
+ /root/repo/src/core/qos_table.hpp /root/repo/src/common/crc32.hpp \
+ /root/repo/src/core/leaky_bucket.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/janus_test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/janus_test_integration.dir/integration/test_end_to_end.cpp.o.d"
   "/root/repo/tests/integration/test_failover.cpp" "tests/CMakeFiles/janus_test_integration.dir/integration/test_failover.cpp.o" "gcc" "tests/CMakeFiles/janus_test_integration.dir/integration/test_failover.cpp.o.d"
+  "/root/repo/tests/integration/test_observability.cpp" "tests/CMakeFiles/janus_test_integration.dir/integration/test_observability.cpp.o" "gcc" "tests/CMakeFiles/janus_test_integration.dir/integration/test_observability.cpp.o.d"
   )
 
 # Targets to which this target links.

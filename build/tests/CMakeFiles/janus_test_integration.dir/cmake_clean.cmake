@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/janus_test_integration.dir/integration/test_end_to_end.cpp.o.d"
   "CMakeFiles/janus_test_integration.dir/integration/test_failover.cpp.o"
   "CMakeFiles/janus_test_integration.dir/integration/test_failover.cpp.o.d"
+  "CMakeFiles/janus_test_integration.dir/integration/test_observability.cpp.o"
+  "CMakeFiles/janus_test_integration.dir/integration/test_observability.cpp.o.d"
   "janus_test_integration"
   "janus_test_integration.pdb"
   "janus_test_integration[1]_tests.cmake"

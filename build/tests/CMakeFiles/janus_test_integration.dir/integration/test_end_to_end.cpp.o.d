@@ -325,10 +325,11 @@ tests/CMakeFiles/janus_test_integration.dir/integration/test_end_to_end.cpp.o: \
  /root/repo/src/db/serialize.hpp /root/repo/src/db/value.hpp \
  /root/repo/src/db/table.hpp /usr/include/c++/12/shared_mutex \
  /root/repo/src/db/wal.hpp /root/repo/src/lb/gateway_balancer.hpp \
- /root/repo/src/common/metrics.hpp /root/repo/src/router/router_node.hpp \
- /root/repo/src/core/key_router.hpp /root/repo/src/common/crc32.hpp \
- /root/repo/src/router/udp_qos_client.hpp /root/repo/src/wire/codec.hpp \
- /root/repo/src/wire/message.hpp \
+ /root/repo/src/common/metrics.hpp /root/repo/src/common/histogram.hpp \
+ /root/repo/src/net/admin_server.hpp \
+ /root/repo/src/router/router_node.hpp /root/repo/src/core/key_router.hpp \
+ /root/repo/src/common/crc32.hpp /root/repo/src/router/udp_qos_client.hpp \
+ /root/repo/src/wire/codec.hpp /root/repo/src/wire/message.hpp \
  /root/repo/src/server/qos_server_node.hpp \
  /root/repo/src/common/periodic.hpp /root/repo/src/core/admission.hpp \
  /root/repo/src/core/qos_rule.hpp /root/repo/src/core/qos_table.hpp \
@@ -338,7 +339,6 @@ tests/CMakeFiles/janus_test_integration.dir/integration/test_end_to_end.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/db_rule_adapter.hpp \
  /root/repo/src/workload/ab_client.hpp \
- /root/repo/src/common/histogram.hpp \
  /root/repo/src/workload/key_generator.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -323,7 +323,8 @@ tests/CMakeFiles/janus_test_integration.dir/integration/test_failover.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h \
  /root/repo/src/router/router_node.hpp /root/repo/src/common/metrics.hpp \
- /root/repo/src/core/key_router.hpp /root/repo/src/common/crc32.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/core/key_router.hpp \
+ /root/repo/src/common/crc32.hpp /root/repo/src/net/admin_server.hpp \
  /root/repo/src/net/http.hpp /usr/include/c++/12/thread \
  /root/repo/src/router/udp_qos_client.hpp /root/repo/src/wire/codec.hpp \
  /root/repo/src/wire/message.hpp /root/repo/src/server/ha.hpp \

@@ -239,7 +239,8 @@ tests/CMakeFiles/janus_test_lb.dir/lb/test_dns_balancer.cpp.o: \
  /root/repo/src/common/result.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/router/router_node.hpp /root/repo/src/common/metrics.hpp \
- /root/repo/src/core/key_router.hpp /root/repo/src/common/crc32.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/core/key_router.hpp \
+ /root/repo/src/common/crc32.hpp /root/repo/src/net/admin_server.hpp \
  /root/repo/src/net/http.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_admin_server.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_admin_server.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_admin_server.cpp.o.d"
   "/root/repo/tests/net/test_http.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_http.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_http.cpp.o.d"
   "/root/repo/tests/net/test_http_multiplex.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o.d"
   "/root/repo/tests/net/test_socket.cpp" "tests/CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o" "gcc" "tests/CMakeFiles/janus_test_net.dir/net/test_socket.cpp.o.d"

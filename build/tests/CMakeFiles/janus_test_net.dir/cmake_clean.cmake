@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/janus_test_net.dir/net/test_admin_server.cpp.o"
+  "CMakeFiles/janus_test_net.dir/net/test_admin_server.cpp.o.d"
   "CMakeFiles/janus_test_net.dir/net/test_http.cpp.o"
   "CMakeFiles/janus_test_net.dir/net/test_http.cpp.o.d"
   "CMakeFiles/janus_test_net.dir/net/test_http_multiplex.cpp.o"

@@ -202,14 +202,17 @@ tests/CMakeFiles/janus_test_router.dir/router/test_router_node.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/metrics.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/key_router.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/crc32.hpp /usr/include/c++/12/array \
- /root/repo/src/net/http.hpp /usr/include/c++/12/functional \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/key_router.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/common/crc32.hpp \
+ /root/repo/src/net/admin_server.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -218,10 +221,10 @@ tests/CMakeFiles/janus_test_router.dir/router/test_router_node.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/http.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -230,12 +233,9 @@ tests/CMakeFiles/janus_test_router.dir/router/test_router_node.cpp.o: \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/result.hpp \
- /usr/include/c++/12/variant /root/repo/src/net/socket.hpp \
- /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
+ /root/repo/src/net/socket.hpp /usr/include/netinet/in.h \
+ /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
  /usr/include/x86_64-linux-gnu/bits/socket.h \
  /usr/include/x86_64-linux-gnu/bits/socket_type.h \

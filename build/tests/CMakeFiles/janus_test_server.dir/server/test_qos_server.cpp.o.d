@@ -209,13 +209,14 @@ tests/CMakeFiles/janus_test_server.dir/server/test_qos_server.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/metrics.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/array /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/mpmc_queue.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/mpmc_queue.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/cstddef \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
@@ -225,7 +226,7 @@ tests/CMakeFiles/janus_test_server.dir/server/test_qos_server.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -241,7 +242,8 @@ tests/CMakeFiles/janus_test_server.dir/server/test_qos_server.cpp.o: \
  /root/repo/src/db/database.hpp /root/repo/src/db/serialize.hpp \
  /usr/include/c++/12/span /root/repo/src/db/value.hpp \
  /root/repo/src/db/table.hpp /usr/include/c++/12/shared_mutex \
- /root/repo/src/db/wal.hpp /root/repo/src/net/socket.hpp \
+ /root/repo/src/db/wal.hpp /root/repo/src/net/admin_server.hpp \
+ /root/repo/src/net/http.hpp /root/repo/src/net/socket.hpp \
  /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
  /usr/include/x86_64-linux-gnu/bits/socket.h \

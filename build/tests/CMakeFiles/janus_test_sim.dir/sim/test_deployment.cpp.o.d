@@ -214,7 +214,11 @@ tests/CMakeFiles/janus_test_sim.dir/sim/test_deployment.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -238,13 +242,9 @@ tests/CMakeFiles/janus_test_sim.dir/sim/test_deployment.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/admission.hpp /usr/include/c++/12/optional \
- /root/repo/src/common/metrics.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/qos_rule.hpp \
- /root/repo/src/core/qos_table.hpp /root/repo/src/common/crc32.hpp \
- /root/repo/src/core/leaky_bucket.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/qos_rule.hpp /root/repo/src/core/qos_table.hpp \
+ /root/repo/src/common/crc32.hpp /root/repo/src/core/leaky_bucket.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/key_router.hpp /usr/include/c++/12/cstddef \
@@ -272,7 +272,8 @@ tests/CMakeFiles/janus_test_sim.dir/sim/test_deployment.cpp.o: \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h \
- /root/repo/src/router/router_node.hpp /root/repo/src/net/http.hpp \
+ /root/repo/src/router/router_node.hpp \
+ /root/repo/src/net/admin_server.hpp /root/repo/src/net/http.hpp \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -319,8 +319,8 @@ tests/CMakeFiles/janus_test_sim.dir/sim/test_sim_properties.cpp.o: \
  /root/repo/src/sim/janus_model.hpp /root/repo/src/common/histogram.hpp \
  /root/repo/src/common/clock.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/core/admission.hpp /root/repo/src/common/metrics.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/admission.hpp \
  /root/repo/src/core/qos_rule.hpp /root/repo/src/core/qos_table.hpp \
  /root/repo/src/common/crc32.hpp /root/repo/src/core/leaky_bucket.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -343,7 +343,8 @@ tests/CMakeFiles/janus_test_sim.dir/sim/test_sim_properties.cpp.o: \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h \
- /root/repo/src/router/router_node.hpp /root/repo/src/net/http.hpp \
+ /root/repo/src/router/router_node.hpp \
+ /root/repo/src/net/admin_server.hpp /root/repo/src/net/http.hpp \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -112,6 +112,17 @@ std::int64_t Histogram::percentile(double q) const {
   return max_;
 }
 
+std::uint64_t Histogram::count_below(std::int64_t bound) const {
+  if (count_ == 0 || bound < 0) return 0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (bucket_upper(i) > bound) break;  // bucket uppers are monotonic
+    cum += counts_[i];
+  }
+  return cum;
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

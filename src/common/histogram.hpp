@@ -36,6 +36,14 @@ class Histogram {
   /// of the containing bucket (pessimistic, like HdrHistogram).
   std::int64_t percentile(double q) const;
 
+  /// Number of recorded values in buckets entirely <= `bound` (pessimistic:
+  /// a bucket straddling the bound is excluded). Used by the Prometheus
+  /// cumulative-bucket exposition.
+  std::uint64_t count_below(std::int64_t bound) const;
+
+  /// Sum of all recorded values (exact, not bucketed).
+  double sum() const { return sum_; }
+
   void reset();
 
   /// "avg=1140us p90=1410us p99=...", scaled to microseconds.

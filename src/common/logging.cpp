@@ -11,6 +11,15 @@ Logger& Logger::instance() {
   return logger;
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void Logger::logf(LogLevel level, const char* file, int line, const char* fmt,
                   ...) {
   static std::mutex mu;
@@ -30,11 +39,12 @@ void Logger::logf(LogLevel level, const char* file, int line, const char* fmt,
   va_end(args);
 
   std::lock_guard lock(mu);
-  std::fprintf(sink_, "[%lld.%03lld %s %s:%d] %s\n",
+  std::FILE* sink = sink_.load(std::memory_order_acquire);
+  std::fprintf(sink, "[%lld.%03lld %s %s:%d] %s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000),
                names[static_cast<int>(level) & 3], base, line, msg);
-  std::fflush(sink_);
+  std::fflush(sink);
 }
 
 }  // namespace janus

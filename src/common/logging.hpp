@@ -6,10 +6,15 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
+#include <string_view>
 
 namespace janus {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug"/"info"/"warn"/"error"/"off" -> level (the --log-level flags).
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 class Logger {
  public:
@@ -25,8 +30,13 @@ class Logger {
     return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
   }
 
-  /// Redirect output (default stderr). Not owned.
-  void set_sink(std::FILE* sink) { sink_ = sink; }
+  /// Redirect output (default stderr). Not owned. Safe to call while other
+  /// threads log: the pointer is atomic, and logf resolves it once under
+  /// the write lock (a swapped-out FILE* must stay open until set_sink
+  /// returns — callers redirecting to a temp file already do this).
+  void set_sink(std::FILE* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
 
   void logf(LogLevel level, const char* file, int line, const char* fmt, ...)
       __attribute__((format(printf, 5, 6)));
@@ -34,7 +44,7 @@ class Logger {
  private:
   Logger() = default;
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
-  std::FILE* sink_ = stderr;
+  std::atomic<std::FILE*> sink_{stderr};
 };
 
 }  // namespace janus

@@ -1,6 +1,47 @@
 #include "common/metrics.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace janus {
+
+HistogramMetric::HistogramMetric(std::int64_t max_value, int sub_bucket_bits)
+    : max_value_(max_value), sub_bucket_bits_(sub_bucket_bits) {
+  for (auto& s : stripes_) {
+    s = std::make_unique<Stripe>(max_value_, sub_bucket_bits_);
+  }
+}
+
+HistogramMetric::Stripe& HistogramMetric::stripe_for_thread() {
+  // Cheap per-thread stripe assignment: threads enumerate themselves once,
+  // then index round-robin. Adjacent thread ids land on different stripes.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return *stripes_[slot % kStripes];
+}
+
+void HistogramMetric::record(std::int64_t value) {
+  Stripe& s = stripe_for_thread();
+  std::lock_guard lock(s.mu);
+  s.hist.record(value);
+}
+
+Histogram HistogramMetric::snapshot() const {
+  Histogram merged(max_value_, sub_bucket_bits_);
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s->mu);
+    merged.merge(s->hist);
+  }
+  return merged;
+}
+
+void HistogramMetric::reset() {
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s->mu);
+    s->hist.reset();
+  }
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard lock(mu_);
@@ -16,6 +57,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
   std::lock_guard lock(mu_);
   std::map<std::string, std::int64_t> out;
@@ -24,10 +72,147 @@ std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::map<std::string, std::int64_t> MetricsRegistry::snapshot_counters() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::snapshot_gauges() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, Histogram> MetricsRegistry::snapshot_histograms() const {
+  // Copy the pointer map under the registry lock, then merge stripes outside
+  // it — HistogramMetric references are stable once created.
+  std::vector<std::pair<std::string, const HistogramMetric*>> items;
+  {
+    std::lock_guard lock(mu_);
+    items.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) items.emplace_back(name, h.get());
+  }
+  std::map<std::string, Histogram> out;
+  for (const auto& [name, h] : items) out.emplace(name, h->snapshot());
+  return out;
+}
+
 void MetricsRegistry::reset_all() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; Janus uses dotted names.
+std::string prom_name(const std::string& name) {
+  std::string out = "janus_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Label values escape backslash, double-quote, and newline.
+std::string prom_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& labels, std::int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+  out += name;
+  out += labels;
+  out += buf;
+}
+
+/// Cumulative-bucket upper bounds, in microseconds: a 1/2.5/5 ladder from
+/// 50 us to 10 s. Matches the latency ranges the paper's figures cover
+/// (sub-ms QoS decisions up to multi-second overload tails).
+constexpr std::int64_t kBucketBoundsUs[] = {
+    50,      100,      250,      500,       1000,      2500,     5000,
+    10000,   25000,    50000,    100000,    250000,    500000,   1000000,
+    2500000, 5000000,  10000000};
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry& registry,
+                              const std::string& node) {
+  const std::string node_label = "{node=\"" + prom_label_value(node) + "\"}";
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : registry.snapshot_counters()) {
+    const std::string pname = prom_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    append_sample(out, pname, node_label, value);
+  }
+  for (const auto& [name, value] : registry.snapshot_gauges()) {
+    const std::string pname = prom_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    append_sample(out, pname, node_label, value);
+  }
+
+  for (const auto& [name, hist] : registry.snapshot_histograms()) {
+    const std::string pname = prom_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    const std::string escaped_node = prom_label_value(node);
+    for (std::int64_t bound : kBucketBoundsUs) {
+      char labels[128];
+      std::snprintf(labels, sizeof(labels), "{node=\"%s\",le=\"%" PRId64 "\"}",
+                    escaped_node.c_str(), bound);
+      append_sample(out, pname + "_bucket", labels,
+                    static_cast<std::int64_t>(hist.count_below(bound)));
+    }
+    append_sample(out, pname + "_bucket",
+                  "{node=\"" + escaped_node + "\",le=\"+Inf\"}",
+                  static_cast<std::int64_t>(hist.count()));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.0f\n", hist.sum());
+    out += pname + "_sum" + node_label + buf;
+    append_sample(out, pname + "_count", node_label,
+                  static_cast<std::int64_t>(hist.count()));
+  }
+  return out;
+}
+
+std::string format_stats_line(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.snapshot()) {
+    if (!out.empty()) out += ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "=%" PRId64, value);
+    out += name;
+    out += buf;
+  }
+  for (const auto& [name, hist] : registry.snapshot_histograms()) {
+    if (hist.count() == 0) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), " %s{p50=%" PRId64 " p99=%" PRId64
+                  " n=%" PRIu64 "}",
+                  name.c_str(), hist.percentile(0.50), hist.percentile(0.99),
+                  hist.count());
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace janus

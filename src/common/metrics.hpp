@@ -1,8 +1,11 @@
-// Process-local metrics: relaxed atomic counters and gauges grouped in a
-// registry. The router and QoS server export request/timeout/retry counts
-// through this; integration tests assert on them.
+// Process-local metrics: relaxed atomic counters and gauges plus striped
+// latency histograms, grouped in a registry. The router, QoS server, gateway
+// balancer, and simulator export request/timeout/retry counts and per-stage
+// latency distributions through this; the AdminServer renders the registry
+// as Prometheus text exposition, and integration tests assert on it.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -10,6 +13,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/histogram.hpp"
 
 namespace janus {
 
@@ -37,15 +42,57 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-/// Named counters/gauges. Lookup is lock-protected and intended for setup
-/// paths; callers hold the returned reference for hot-path updates.
+/// Thread-safe histogram metric: lock striping over the single-threaded
+/// Histogram. Each recording thread hashes to one of kStripes independent
+/// (mutex, Histogram) pairs, so the hot path pays one uncontended lock in
+/// the common case; snapshot() merges the stripes. Values are unitless —
+/// by convention Janus records microseconds (metric names end in `_us`).
+class HistogramMetric {
+ public:
+  /// Defaults cover [0, 60 s] in microseconds at <=2^-7 relative error.
+  explicit HistogramMetric(std::int64_t max_value = 60'000'000,
+                           int sub_bucket_bits = 7);
+
+  void record(std::int64_t value);
+
+  /// Merged view of all stripes.
+  Histogram snapshot() const;
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    Histogram hist;
+    explicit Stripe(std::int64_t max_value, int bits)
+        : hist(max_value, bits) {}
+  };
+  Stripe& stripe_for_thread();
+
+  std::int64_t max_value_;
+  int sub_bucket_bits_;
+  std::array<std::unique_ptr<Stripe>, kStripes> stripes_;
+};
+
+/// Named counters/gauges/histograms. Lookup is lock-protected and intended
+/// for setup paths; callers hold the returned reference for hot-path updates.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
 
-  /// Snapshot of all metric values (name -> value), for reporting.
+  /// Snapshot of all scalar metric values (name -> value), for reporting.
   std::map<std::string, std::int64_t> snapshot() const;
+
+  /// Per-family scalar snapshots (the Prometheus renderer needs accurate
+  /// TYPE lines, which the merged snapshot() cannot provide).
+  std::map<std::string, std::int64_t> snapshot_counters() const;
+  std::map<std::string, std::int64_t> snapshot_gauges() const;
+
+  /// Merged snapshot of every registered histogram (name -> histogram).
+  std::map<std::string, Histogram> snapshot_histograms() const;
 
   void reset_all();
 
@@ -53,6 +100,20 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
+
+/// Render the registry in Prometheus text exposition format (version 0.0.4).
+/// Dotted Janus metric names map to `janus_<name with '.' -> '_'>`; every
+/// sample carries a `node="<node>"` label (value escaped per the spec).
+/// Counters become `counter` families, gauges `gauge`, and histograms
+/// `histogram` families with cumulative `_bucket{le="..."}` samples over a
+/// fixed log-spaced microsecond ladder plus `_sum` and `_count`.
+std::string render_prometheus(const MetricsRegistry& registry,
+                              const std::string& node);
+
+/// "a=1 b=2 ..." one-line rendering of the scalar snapshot — the periodic
+/// stats log line emitted by janusd --stats-ms.
+std::string format_stats_line(const MetricsRegistry& registry);
 
 }  // namespace janus

@@ -24,7 +24,8 @@ GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
     : backends_(std::move(backends)),
       config_(config),
       requests_(metrics_.counter("gateway.requests")),
-      backend_errors_(metrics_.counter("gateway.backend_errors")) {
+      backend_errors_(metrics_.counter("gateway.backend_errors")),
+      proxy_us_(metrics_.histogram("gateway.proxy_us")) {
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     outstanding_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
     forwarded_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
@@ -33,6 +34,17 @@ GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
 
 GatewayBalancer::~GatewayBalancer() {
   if (server_) server_->stop();
+  if (admin_) admin_->stop();
+}
+
+Result<net::SockAddr> GatewayBalancer::start_admin(const net::SockAddr& addr,
+                                                   std::string node_name) {
+  net::AdminOptions opts;
+  opts.node_name = std::move(node_name);
+  auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
+  if (!admin.ok()) return Error(admin.error().message);
+  admin_ = std::move(admin).take();
+  return admin_->addr();
 }
 
 std::size_t GatewayBalancer::pick_backend() {
@@ -55,6 +67,7 @@ std::size_t GatewayBalancer::pick_backend() {
 }
 
 net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {
+  const TimePoint start = SteadyClock::instance().now();
   requests_.inc();
   const std::size_t idx = pick_backend();
   outstanding_[idx]->fetch_add(1, std::memory_order_relaxed);
@@ -73,6 +86,7 @@ net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {
   net::HttpRequest forwarded = req;
   auto resp = it->second.request(forwarded);
   outstanding_[idx]->fetch_sub(1, std::memory_order_relaxed);
+  proxy_us_.record((SteadyClock::instance().now() - start).count() / 1000);
   if (!resp.ok()) {
     backend_errors_.inc();
     return net::HttpResponse::text(503, "backend unavailable");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "net/admin_server.hpp"
 #include "net/http.hpp"
 
 namespace janus::lb {
@@ -36,11 +37,18 @@ class GatewayBalancer {
   net::SockAddr addr() const { return server_->addr(); }
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Mount the admin/observability endpoint (/metrics, /healthz, /statusz).
+  Result<net::SockAddr> start_admin(const net::SockAddr& addr,
+                                    std::string node_name = "gateway");
+
   /// Requests forwarded to each backend (index-aligned) — the load-skew
   /// measurements in the Fig. 5 discussion read these.
   std::vector<std::int64_t> per_backend_counts() const;
 
-  void stop() { server_->stop(); }
+  void stop() {
+    server_->stop();
+    if (admin_) admin_->stop();
+  }
 
  private:
   GatewayBalancer(std::vector<net::SockAddr> backends, GatewayConfig config);
@@ -55,7 +63,9 @@ class GatewayBalancer {
   MetricsRegistry metrics_;
   Counter& requests_;
   Counter& backend_errors_;
+  HistogramMetric& proxy_us_;
   std::unique_ptr<net::HttpServer> server_;
+  std::unique_ptr<net::AdminServer> admin_;
 };
 
 }  // namespace janus::lb

@@ -1,0 +1,115 @@
+#include "net/admin_server.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace janus::net {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpResponse with_content_type(HttpResponse resp, std::string type) {
+  resp.headers.push_back({"Content-Type", std::move(type)});
+  return resp;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AdminServer>> AdminServer::start(
+    const SockAddr& addr, const MetricsRegistry& registry,
+    AdminOptions options) {
+  std::unique_ptr<AdminServer> admin(
+      new AdminServer(registry, std::move(options)));
+  auto server = HttpServer::start(
+      addr,
+      [raw = admin.get()](const HttpRequest& req) { return raw->handle(req); },
+      admin->options_.http_workers);
+  if (!server.ok()) return Error(server.error().message);
+  admin->server_ = std::move(server).take();
+  return admin;
+}
+
+AdminServer::AdminServer(const MetricsRegistry& registry, AdminOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      started_(SteadyClock::instance().now()) {}
+
+AdminServer::~AdminServer() {
+  if (server_) server_->stop();
+}
+
+HttpResponse AdminServer::handle(const HttpRequest& req) {
+  // Strip any query string; admin paths take no parameters.
+  std::string_view path = req.target;
+  if (auto q = path.find('?'); q != std::string_view::npos) {
+    path = path.substr(0, q);
+  }
+  if (req.method != "GET") {
+    return with_content_type(HttpResponse::text(405, "method not allowed\n"),
+                             "text/plain");
+  }
+  if (path == "/metrics") return metrics_response();
+  if (path == "/healthz") return healthz_response();
+  if (path == "/statusz") return statusz_response();
+  return with_content_type(HttpResponse::text(404, "not found\n"),
+                           "text/plain");
+}
+
+HttpResponse AdminServer::metrics_response() const {
+  return with_content_type(
+      HttpResponse::text(200, render_prometheus(registry_, options_.node_name)),
+      "text/plain; version=0.0.4; charset=utf-8");
+}
+
+HttpResponse AdminServer::healthz_response() const {
+  const bool ok = !options_.healthy || options_.healthy();
+  return with_content_type(
+      ok ? HttpResponse::text(200, "ok\n")
+         : HttpResponse::text(503, "unhealthy\n"),
+      "text/plain");
+}
+
+HttpResponse AdminServer::statusz_response() const {
+  const bool ok = !options_.healthy || options_.healthy();
+  const Duration uptime = SteadyClock::instance().now() - started_;
+  std::string body = "{\"node\":\"" + json_escape(options_.node_name) + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"healthy\":%s,\"uptime_s\":%.3f",
+                ok ? "true" : "false", to_seconds(uptime));
+  body += buf;
+  body += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry_.snapshot()) {
+    if (!first) body += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\":%" PRId64, value);
+    body += '"' + json_escape(name) + buf;
+  }
+  body += "}}\n";
+  return with_content_type(HttpResponse::text(200, std::move(body)),
+                           "application/json");
+}
+
+}  // namespace janus::net

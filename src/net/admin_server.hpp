@@ -1,0 +1,59 @@
+// Admin/observability HTTP endpoint shared by every Janus node type
+// (router, QoS server, gateway balancer). Serves:
+//
+//   GET /metrics  -> Prometheus text exposition of the node's registry
+//   GET /healthz  -> 200 "ok" (503 when the owner's health probe fails)
+//   GET /statusz  -> JSON: node name, uptime, health, scalar metrics
+//
+// The admin surface is deliberately separate from the data-plane listener:
+// it binds its own port, runs a single worker by default, and never touches
+// the request path, so scraping cannot perturb the latency experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "net/http.hpp"
+
+namespace janus::net {
+
+struct AdminOptions {
+  std::string node_name = "janus";
+  std::size_t http_workers = 1;
+  /// Liveness probe; default healthy. Evaluated per /healthz and /statusz.
+  std::function<bool()> healthy;
+};
+
+class AdminServer {
+ public:
+  /// Binds `addr` (port 0 = ephemeral) and serves immediately. `registry`
+  /// must outlive the server.
+  static Result<std::unique_ptr<AdminServer>> start(
+      const SockAddr& addr, const MetricsRegistry& registry,
+      AdminOptions options = {});
+
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  SockAddr addr() const { return server_->addr(); }
+  const std::string& node_name() const { return options_.node_name; }
+  void stop() { server_->stop(); }
+
+ private:
+  AdminServer(const MetricsRegistry& registry, AdminOptions options);
+  HttpResponse handle(const HttpRequest& req);
+  HttpResponse metrics_response() const;
+  HttpResponse healthz_response() const;
+  HttpResponse statusz_response() const;
+
+  const MetricsRegistry& registry_;
+  AdminOptions options_;
+  TimePoint started_{kTimeZero};
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace janus::net

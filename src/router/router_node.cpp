@@ -5,6 +5,14 @@
 
 namespace janus::router {
 
+namespace {
+
+std::int64_t us_since(const TimePoint& start) {
+  return (SteadyClock::instance().now() - start).count() / 1000;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RouterNode>> RouterNode::start(
     const net::SockAddr& listen, std::vector<std::string> backends,
     std::shared_ptr<Resolver> resolver, RouterConfig config) {
@@ -33,15 +41,46 @@ RouterNode::RouterNode(std::vector<std::string> backends,
       forwarded_(metrics_.counter("router.forwarded")),
       defaults_(metrics_.counter("router.default_replies")),
       retries_(metrics_.counter("router.udp_retries")),
-      bad_requests_(metrics_.counter("router.bad_requests")) {}
+      bad_requests_(metrics_.counter("router.bad_requests")),
+      e2e_us_(metrics_.histogram("router.e2e_us")),
+      udp_rtt_us_(metrics_.histogram("router.udp_rtt_us")) {}
 
 RouterNode::~RouterNode() {
   if (server_) server_->stop();
+  if (admin_) admin_->stop();
+}
+
+Result<net::SockAddr> RouterNode::start_admin(const net::SockAddr& addr,
+                                              std::string node_name) {
+  net::AdminOptions opts;
+  opts.node_name = std::move(node_name);
+  auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
+  if (!admin.ok()) return Error(admin.error().message);
+  admin_ = std::move(admin).take();
+  return admin_->addr();
 }
 
 net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
+  const TimePoint start = SteadyClock::instance().now();
   requests_.inc();
 
+  std::string trace;
+  if (auto h = req.header("X-Janus-Trace")) trace = std::string(*h);
+
+  net::HttpResponse resp = dispatch(req, trace);
+  if (!trace.empty()) resp.headers.push_back({"X-Janus-Trace", trace});
+
+  const std::int64_t e2e = us_since(start);
+  e2e_us_.record(e2e);
+  if (!trace.empty()) {
+    JLOG_DEBUG("router: trace=%s status=%d e2e_us=%lld", trace.c_str(),
+               resp.status, static_cast<long long>(e2e));
+  }
+  return resp;
+}
+
+net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
+                                       const std::string& trace) {
   auto parsed = wire::parse_qos_target(req.target);
   if (!parsed.ok()) {
     bad_requests_.inc();
@@ -64,10 +103,22 @@ net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
     return resp;
   }
 
+  wire::QosRequest qos_req = parsed.value().request;
+  qos_req.trace_id = trace;
+
   // One UDP client per HTTP worker thread: id matching is per-socket.
   thread_local UdpQosClient client(config_.udp);
-  auto result = client.call(backend.value(), parsed.value().request);
+  const TimePoint udp_start = SteadyClock::instance().now();
+  auto result = client.call(backend.value(), qos_req);
+  const std::int64_t rtt = us_since(udp_start);
+  udp_rtt_us_.record(rtt);
   if (client.last_attempts() > 1) retries_.inc(client.last_attempts() - 1);
+  if (!trace.empty()) {
+    JLOG_DEBUG("router: trace=%s key=%s slot=%zu backend=%s attempts=%d "
+               "udp_rtt_us=%lld",
+               trace.c_str(), qos_req.key.c_str(), slot, backend_name.c_str(),
+               client.last_attempts(), static_cast<long long>(rtt));
+  }
   if (!result.ok()) {
     JLOG_WARN("router: udp failure: %s", result.error().message.c_str());
     defaults_.inc();

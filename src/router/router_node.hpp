@@ -12,6 +12,7 @@
 
 #include "common/metrics.hpp"
 #include "core/key_router.hpp"
+#include "net/admin_server.hpp"
 #include "net/http.hpp"
 #include "router/udp_qos_client.hpp"
 
@@ -60,12 +61,23 @@ class RouterNode {
 
   net::SockAddr addr() const { return server_->addr(); }
   MetricsRegistry& metrics() { return metrics_; }
-  void stop() { server_->stop(); }
+
+  /// Mount the admin/observability endpoint (/metrics, /healthz, /statusz)
+  /// on its own port. Returns the bound address.
+  Result<net::SockAddr> start_admin(const net::SockAddr& addr,
+                                    std::string node_name = "router");
+
+  void stop() {
+    server_->stop();
+    if (admin_) admin_->stop();
+  }
 
  private:
   RouterNode(std::vector<std::string> backends,
              std::shared_ptr<Resolver> resolver, RouterConfig config);
   net::HttpResponse handle(const net::HttpRequest& req);
+  net::HttpResponse dispatch(const net::HttpRequest& req,
+                             const std::string& trace);
 
   std::vector<std::string> backends_;
   std::shared_ptr<Resolver> resolver_;
@@ -77,7 +89,10 @@ class RouterNode {
   Counter& defaults_;
   Counter& retries_;
   Counter& bad_requests_;
+  HistogramMetric& e2e_us_;
+  HistogramMetric& udp_rtt_us_;
   std::unique_ptr<net::HttpServer> server_;
+  std::unique_ptr<net::AdminServer> admin_;
 };
 
 }  // namespace janus::router

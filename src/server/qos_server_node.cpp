@@ -29,7 +29,9 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       received_(metrics_.counter("server.received")),
       answered_(metrics_.counter("server.answered")),
       malformed_(metrics_.counter("server.malformed")),
-      dropped_(metrics_.counter("server.fifo_dropped")) {
+      dropped_(metrics_.counter("server.fifo_dropped")),
+      queue_wait_us_(metrics_.histogram("server.queue_wait_us")),
+      service_us_(metrics_.histogram("server.service_us")) {
   listener_ = std::thread([this] { listener_loop(); });
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.worker_threads);
        ++i) {
@@ -53,6 +55,17 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
 
 QosServerNode::~QosServerNode() { stop(); }
 
+Result<net::SockAddr> QosServerNode::start_admin(const net::SockAddr& addr,
+                                                 std::string node_name) {
+  net::AdminOptions opts;
+  opts.node_name = std::move(node_name);
+  opts.healthy = [this] { return !stopping_.load(std::memory_order_relaxed); };
+  auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
+  if (!admin.ok()) return Error(admin.error().message);
+  admin_ = std::move(admin).take();
+  return admin_->addr();
+}
+
 void QosServerNode::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
@@ -62,6 +75,7 @@ void QosServerNode::stop() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (admin_) admin_->stop();
 }
 
 void QosServerNode::listener_loop() {
@@ -73,9 +87,17 @@ void QosServerNode::listener_loop() {
     }
     if (!dg.value()) continue;  // timeout: re-check stopping_
     received_.inc();
-    if (!fifo_.try_push(std::move(*dg.value()))) {
+    // Stamp every 2^kTimingSampleShift-th job; unsampled jobs carry
+    // kTimeZero and skip the per-stage timing entirely.
+    const TimePoint enqueued =
+        (listener_seq_++ & ((1u << kTimingSampleShift) - 1)) == 0
+            ? SteadyClock::instance().now()
+            : kTimeZero;
+    if (!fifo_.try_push(Job{std::move(*dg.value()), enqueued})) {
       // FIFO full: drop. The router's retry covers transient overload;
-      // sustained overload is what the scalability experiments measure.
+      // sustained overload is what the scalability experiments measure —
+      // the fifo_dropped counter (exposed via /metrics) is the direct
+      // saturation signal behind the paper's Fig. 10/12 knees.
       dropped_.inc();
     }
   }
@@ -83,14 +105,23 @@ void QosServerNode::listener_loop() {
 
 void QosServerNode::worker_loop() {
   std::vector<std::uint8_t> out;
-  while (auto dg = fifo_.pop()) {
-    auto req = wire::decode_request(dg->data);
+  while (auto job = fifo_.pop()) {
+    const bool timed = job->enqueued != kTimeZero;
+    TimePoint dequeued{kTimeZero};
+    std::int64_t wait_us = -1;
+    if (timed) {
+      dequeued = SteadyClock::instance().now();
+      wait_us = (dequeued - job->enqueued).count() / 1000;
+      queue_wait_us_.record(wait_us);
+    }
+
+    auto req = wire::decode_request(job->dg.data);
     wire::QosResponse resp;
     if (!req.ok()) {
       malformed_.inc();
       resp.status = wire::ResponseStatus::kMalformed;
       wire::encode_to(resp, out);
-      (void)socket_.send_to(dg->from, out);
+      (void)socket_.send_to(job->dg.from, out);
       continue;
     }
     const wire::QosRequest& r = req.value();
@@ -120,7 +151,21 @@ void QosServerNode::worker_loop() {
     answered_.inc();
     // Fire-and-forget (§III-C): "the worker thread does not care about
     // whether the request router receives the response or not."
-    (void)socket_.send_to(dg->from, out);
+    (void)socket_.send_to(job->dg.from, out);
+    std::int64_t service_us = -1;
+    if (timed) {
+      service_us = (SteadyClock::instance().now() - dequeued).count() / 1000;
+      service_us_.record(service_us);
+    }
+    if (!r.trace_id.empty()) {
+      // wait_us/service_us are -1 when this request was not in the 1-in-8
+      // timing sample.
+      JLOG_DEBUG("server: trace=%s key=%s allowed=%d wait_us=%lld "
+                 "service_us=%lld",
+                 r.trace_id.c_str(), r.key.c_str(), decision.allowed ? 1 : 0,
+                 static_cast<long long>(wait_us),
+                 static_cast<long long>(service_us));
+    }
   }
 }
 

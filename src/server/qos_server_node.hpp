@@ -24,6 +24,7 @@
 #include "core/admission.hpp"
 #include "core/db_rule_adapter.hpp"
 #include "db/rule_store.hpp"
+#include "net/admin_server.hpp"
 #include "net/socket.hpp"
 
 namespace janus::server {
@@ -54,6 +55,12 @@ class QosServerNode {
   core::AdmissionController& admission() { return *admission_; }
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Mount the admin/observability HTTP endpoint (/metrics, /healthz,
+  /// /statusz) — the QoS server's only HTTP surface. Returns the bound
+  /// address.
+  Result<net::SockAddr> start_admin(const net::SockAddr& addr,
+                                    std::string node_name = "server");
+
   /// Force one maintenance pass (tests; avoids waiting on wall-clock).
   void sync_now() { admission_->sync_now(); }
   void checkpoint_now() { admission_->checkpoint_now(sink_); }
@@ -67,24 +74,41 @@ class QosServerNode {
   void listener_loop();
   void worker_loop();
 
+  /// Datagram plus its enqueue timestamp, so workers can attribute latency
+  /// to queue wait vs. service time (the paper's §V saturation signature is
+  /// exactly queue-wait growth). Timing is sampled: the listener stamps one
+  /// job in every 1 << kTimingSampleShift and leaves the rest at kTimeZero,
+  /// keeping the per-request cost of the latency histograms to a branch
+  /// (bench_micro_hotpath bounds the regression at <5%).
+  struct Job {
+    net::UdpSocket::Datagram dg;
+    TimePoint enqueued{kTimeZero};
+  };
+  static constexpr std::uint64_t kTimingSampleShift = 3;  // 1-in-8
+
   QosServerConfig config_;
   net::UdpSocket socket_;
   net::SockAddr addr_;
   core::DbRuleSource source_;
   core::DbRuleSink sink_;
   std::unique_ptr<core::AdmissionController> admission_;
-  BlockingQueue<net::UdpSocket::Datagram> fifo_;
+  BlockingQueue<Job> fifo_;
 
   MetricsRegistry metrics_;
   Counter& received_;
   Counter& answered_;
   Counter& malformed_;
   Counter& dropped_;
+  HistogramMetric& queue_wait_us_;
+  HistogramMetric& service_us_;
+
+  std::uint64_t listener_seq_ = 0;  // listener-thread only; drives sampling
 
   std::atomic<bool> stopping_{false};
   std::thread listener_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<PeriodicTask>> maintenance_;
+  std::unique_ptr<net::AdminServer> admin_;
 };
 
 }  // namespace janus::server

@@ -42,7 +42,16 @@ SimDeployment::SimDeployment(Simulation& sim, DeploymentConfig config)
     : sim_(sim),
       config_(std::move(config)),
       rng_(config_.seed),
-      window_start_(sim.now()) {
+      window_start_(sim.now()),
+      m_requests_(metrics_.counter("router.requests")),
+      m_forwarded_(metrics_.counter("router.forwarded")),
+      m_defaults_(metrics_.counter("router.default_replies")),
+      m_retries_(metrics_.counter("router.udp_retries")),
+      m_received_(metrics_.counter("server.received")),
+      m_answered_(metrics_.counter("server.answered")),
+      m_dropped_(metrics_.counter("server.fifo_dropped")),
+      m_udp_lost_(metrics_.counter("router.udp_lost")),
+      m_e2e_us_(metrics_.histogram("router.e2e_us")) {
   if (config_.router_nodes <= 0 || config_.server_nodes <= 0) {
     throw std::invalid_argument("SimDeployment: need >= 1 node per layer");
   }
@@ -133,6 +142,7 @@ void SimDeployment::submit(int client_id, const std::string& key,
 
 void SimDeployment::router_receive(SimRouter& router,
                                    std::shared_ptr<Exchange> ex) {
+  m_requests_.inc();
   router.node->submit(config_.costs.router_cpu_pre, [this, ex] {
     ex->server = servers_[key_router_->index_for(ex->key)].get();
     start_attempt(ex);
@@ -141,7 +151,10 @@ void SimDeployment::router_receive(SimRouter& router,
 
 void SimDeployment::start_attempt(std::shared_ptr<Exchange> ex) {
   ++ex->attempts;
-  if (ex->attempts > 1) ++window_.udp_retries;
+  if (ex->attempts > 1) {
+    ++window_.udp_retries;
+    m_retries_.inc();
+  }
   const CostModel& c = config_.costs;
 
   if (!c.udp.lost(rng_)) {
@@ -149,6 +162,7 @@ void SimDeployment::start_attempt(std::shared_ptr<Exchange> ex) {
                         [this, ex] { server_receive(*ex->server, ex); });
   } else {
     ++window_.udp_lost;
+    m_udp_lost_.inc();
   }
 
   sim_.schedule_after(c.udp_timeout, [this, ex] {
@@ -167,6 +181,7 @@ void SimDeployment::start_attempt(std::shared_ptr<Exchange> ex) {
 
 void SimDeployment::server_receive(SimServer& server,
                                    std::shared_ptr<Exchange> ex) {
+  m_received_.inc();  // datagram reached the node (matches server.received)
   const CostModel& c = config_.costs;
   // Kernel RX/TX + listener-thread work: consumes cores, overlaps across
   // requests, not on the decision's critical path.
@@ -177,6 +192,7 @@ void SimDeployment::server_receive(SimServer& server,
   const bool accepted = server.node->submit(
       c.server_cpu_worker, c.server_lock, [this, ex, sp] {
         ++sp->decisions_window;
+        m_answered_.inc();
         // The real admission controller decides, on virtual time. A retry
         // duplicate of an already-answered exchange still consumes credits
         // and capacity — faithful to the paper's fire-and-forget UDP.
@@ -187,6 +203,7 @@ void SimDeployment::server_receive(SimServer& server,
         const CostModel& cm = config_.costs;
         if (cm.udp.lost(rng_)) {
           ++window_.udp_lost;  // response datagram dropped
+          m_udp_lost_.inc();
           return;
         }
         sim_.schedule_after(extra + cm.udp.latency.sample(rng_), [this, ex, d] {
@@ -196,7 +213,10 @@ void SimDeployment::server_receive(SimServer& server,
                            wire::ResponseStatus::kOk);
         });
       });
-  if (!accepted) ++window_.fifo_dropped;
+  if (!accepted) {
+    ++window_.fifo_dropped;
+    m_dropped_.inc();
+  }
 }
 
 void SimDeployment::deliver_response(std::shared_ptr<Exchange> ex,
@@ -221,6 +241,7 @@ void SimDeployment::finish(std::shared_ptr<Exchange> ex, bool allowed,
   ++window_.completed;
   if (status == wire::ResponseStatus::kOk) {
     ++window_.decided;
+    m_forwarded_.inc();
     if (allowed) {
       ++window_.allowed;
     } else {
@@ -228,8 +249,10 @@ void SimDeployment::finish(std::shared_ptr<Exchange> ex, bool allowed,
     }
   } else {
     ++window_.default_replies;
+    m_defaults_.inc();
   }
   window_.latency.record(sim_.now() - ex->t0);
+  m_e2e_us_.record((sim_.now() - ex->t0).count() / 1000);
   if (ex->on_done) {
     SimQosResult result{allowed, status, sim_.now() - ex->t0};
     ex->on_done(result);

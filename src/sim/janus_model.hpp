@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/admission.hpp"
 #include "core/key_router.hpp"
@@ -139,6 +140,14 @@ class SimDeployment {
   /// Harvest and reset the measurement window.
   WindowMetrics mark_window();
 
+  /// Cumulative registry mirroring the live nodes' metric schema
+  /// (router.requests, router.e2e_us, server.fifo_dropped, ...), so paper
+  /// figure benches and real deployments report through one exposition:
+  /// `render_prometheus(dep.metrics(), "sim")` scrapes a simulation exactly
+  /// like `GET /metrics` scrapes a janusd node. Unlike mark_window(), these
+  /// never reset.
+  MetricsRegistry& metrics() { return metrics_; }
+
   /// Force every QoS server to run a maintenance pass (sync/checkpoint) —
   /// scheduled periodically by scenarios that need it.
   void sync_all();
@@ -189,6 +198,18 @@ class SimDeployment {
   // Window counters.
   WindowMetrics window_;
   TimePoint window_start_{kTimeZero};
+
+  // Cumulative live-schema counters (see metrics()).
+  MetricsRegistry metrics_;
+  Counter& m_requests_;
+  Counter& m_forwarded_;
+  Counter& m_defaults_;
+  Counter& m_retries_;
+  Counter& m_received_;
+  Counter& m_answered_;
+  Counter& m_dropped_;
+  Counter& m_udp_lost_;
+  HistogramMetric& m_e2e_us_;
 };
 
 }  // namespace janus::sim

@@ -1,5 +1,7 @@
 #include "wire/codec.hpp"
 
+#include <algorithm>
+
 namespace janus::wire {
 
 namespace {
@@ -67,15 +69,25 @@ class Reader {
 }  // namespace
 
 void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out) {
+  const bool traced = !req.trace_id.empty();
   out.clear();
-  out.reserve(kRequestHeaderSize + req.key.size());
+  out.reserve(kRequestHeaderSize + req.key.size() +
+              (traced ? 2 + req.trace_id.size() : 0));
   put_u16(out, kRequestMagic);
-  out.push_back(kProtocolVersion);
+  out.push_back(traced ? kTracedProtocolVersion : kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(req.type));
   put_u64(out, req.request_id);
   put_u32(out, req.cost);
   put_u16(out, static_cast<std::uint16_t>(req.key.size()));
   out.insert(out.end(), req.key.begin(), req.key.end());
+  if (traced) {
+    put_u16(out, static_cast<std::uint16_t>(
+                     std::min(req.trace_id.size(), kMaxTraceLength)));
+    out.insert(out.end(), req.trace_id.begin(),
+               req.trace_id.begin() +
+                   static_cast<std::ptrdiff_t>(
+                       std::min(req.trace_id.size(), kMaxTraceLength)));
+  }
 }
 
 void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out) {
@@ -111,7 +123,8 @@ Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
   if (!r.u16(magic) || magic != kRequestMagic) {
     return Error("request: bad magic");
   }
-  if (!r.u8(version) || version != kProtocolVersion) {
+  if (!r.u8(version) ||
+      (version != kProtocolVersion && version != kTracedProtocolVersion)) {
     return Error("request: unsupported version");
   }
   if (!r.u8(type) || type > static_cast<std::uint8_t>(RequestType::kSync)) {
@@ -124,6 +137,14 @@ Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
   if (!r.u16(key_len)) return Error("request: truncated key length");
   if (key_len > kMaxKeyLength) return Error("request: key too long");
   if (!r.bytes(key_len, req.key)) return Error("request: truncated key");
+  if (version >= kTracedProtocolVersion) {
+    std::uint16_t trace_len = 0;
+    if (!r.u16(trace_len)) return Error("request: truncated trace length");
+    if (trace_len > kMaxTraceLength) return Error("request: trace too long");
+    if (!r.bytes(trace_len, req.trace_id)) {
+      return Error("request: truncated trace");
+    }
+  }
   if (!r.at_end()) return Error("request: trailing bytes");
   if (req.key.empty()) return Error("request: empty key");
   return req;

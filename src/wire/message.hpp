@@ -27,6 +27,10 @@ struct QosRequest {
   RequestType type = RequestType::kCheck;
   std::uint32_t cost = 1;
   std::string key;
+  /// Optional end-to-end trace id (from the client's X-Janus-Trace header).
+  /// Propagated router -> server inside the UDP frame (codec v2); both ends
+  /// emit debug spans carrying it. Empty = untraced (codec v1 frame).
+  std::string trace_id;
 
   bool operator==(const QosRequest&) const = default;
 };

@@ -1,0 +1,195 @@
+// Observability across the full stack on real sockets: every layer mounts
+// an admin endpoint, /metrics exposes the per-stage latency histograms, and
+// an X-Janus-Trace header is carried router -> UDP frame -> QoS server and
+// back, emitting correlated debug spans on both ends.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hpp"
+#include "db/rule_store.hpp"
+#include "lb/gateway_balancer.hpp"
+#include "router/router_node.hpp"
+#include "server/qos_server_node.hpp"
+
+namespace janus {
+namespace {
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<db::RuleStore>(db_);
+
+    for (int i = 0; i < 2; ++i) {
+      server::QosServerConfig cfg;
+      cfg.worker_threads = 2;
+      cfg.sync_interval = Duration{0};
+      cfg.checkpoint_interval = Duration{0};
+      auto server = server::QosServerNode::start({"127.0.0.1", 0}, *store_,
+                                                 cfg);
+      ASSERT_TRUE(server.ok()) << server.error().message;
+      auto admin = server.value()->start_admin({"127.0.0.1", 0},
+                                               "qos-" + std::to_string(i));
+      ASSERT_TRUE(admin.ok()) << admin.error().message;
+      server_admins_.push_back(admin.value());
+      servers_.push_back(std::move(server).take());
+    }
+
+    auto resolver = std::make_shared<router::StaticResolver>();
+    std::vector<std::string> backends;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      const std::string name = "qos-" + std::to_string(i) + ".janus";
+      resolver->add(name, servers_[i]->addr());
+      backends.push_back(name);
+    }
+    router::RouterConfig rcfg;
+    rcfg.udp.timeout = millis(50);
+    rcfg.http_workers = 2;
+    auto router = router::RouterNode::start({"127.0.0.1", 0}, backends,
+                                            resolver, rcfg);
+    ASSERT_TRUE(router.ok()) << router.error().message;
+    auto radmin = router.value()->start_admin({"127.0.0.1", 0}, "router-0");
+    ASSERT_TRUE(radmin.ok()) << radmin.error().message;
+    router_admin_ = radmin.value();
+    router_ = std::move(router).take();
+
+    lb::GatewayConfig gcfg;
+    gcfg.http_workers = 2;
+    auto gateway =
+        lb::GatewayBalancer::start({"127.0.0.1", 0}, {router_->addr()}, gcfg);
+    ASSERT_TRUE(gateway.ok()) << gateway.error().message;
+    auto gadmin = gateway.value()->start_admin({"127.0.0.1", 0}, "gateway-0");
+    ASSERT_TRUE(gadmin.ok()) << gadmin.error().message;
+    gateway_admin_ = gadmin.value();
+    gateway_ = std::move(gateway).take();
+  }
+
+  std::string scrape(const net::SockAddr& addr, const std::string& target) {
+    net::HttpClient client(addr, millis(2000));
+    auto resp = client.get(target);
+    EXPECT_TRUE(resp.ok()) << (resp.ok() ? "" : resp.error().message);
+    if (!resp.ok()) return {};
+    EXPECT_EQ(resp.value().status, 200);
+    return resp.value().body;
+  }
+
+  void drive_traffic(int n) {
+    ASSERT_TRUE(store_->put({.key = "tenant", .refill_per_sec = 0,
+                             .capacity = 1000, .credit = 1000}).ok());
+    net::HttpClient client(gateway_->addr());
+    for (int i = 0; i < n; ++i) {
+      auto resp = client.get("/qos?key=tenant");
+      ASSERT_TRUE(resp.ok()) << resp.error().message;
+    }
+  }
+
+  db::Database db_;
+  std::unique_ptr<db::RuleStore> store_;
+  std::vector<std::unique_ptr<server::QosServerNode>> servers_;
+  std::vector<net::SockAddr> server_admins_;
+  std::unique_ptr<router::RouterNode> router_;
+  net::SockAddr router_admin_;
+  std::unique_ptr<lb::GatewayBalancer> gateway_;
+  net::SockAddr gateway_admin_;
+};
+
+TEST_F(ObservabilityTest, EveryLayerExposesItsHistograms) {
+  drive_traffic(40);
+
+  const std::string router_metrics = scrape(router_admin_, "/metrics");
+  EXPECT_NE(router_metrics.find("# TYPE janus_router_e2e_us histogram"),
+            std::string::npos);
+  EXPECT_NE(router_metrics.find("# TYPE janus_router_udp_rtt_us histogram"),
+            std::string::npos);
+  EXPECT_NE(router_metrics.find("janus_router_e2e_us_count{node=\"router-0\"} 40"),
+            std::string::npos);
+  EXPECT_NE(router_metrics.find("janus_router_requests{node=\"router-0\"} 40"),
+            std::string::npos);
+
+  // Both servers together answered all 40; each exposes its own share.
+  std::uint64_t answered = 0;
+  bool saw_wait = false, saw_service = false, saw_dropped = false;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const std::string m = scrape(server_admins_[i], "/metrics");
+    saw_wait |= m.find("# TYPE janus_server_queue_wait_us histogram") !=
+                std::string::npos;
+    saw_service |= m.find("# TYPE janus_server_service_us histogram") !=
+                   std::string::npos;
+    saw_dropped |= m.find("janus_server_fifo_dropped{") != std::string::npos;
+    const std::string needle =
+        "janus_server_answered{node=\"qos-" + std::to_string(i) + "\"} ";
+    auto pos = m.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    answered += std::stoull(m.substr(pos + needle.size()));
+  }
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_service);
+  EXPECT_TRUE(saw_dropped);
+  EXPECT_GE(answered, 40u);  // retries may add a few
+
+  const std::string gw = scrape(gateway_admin_, "/metrics");
+  EXPECT_NE(gw.find("# TYPE janus_gateway_proxy_us histogram"),
+            std::string::npos);
+  EXPECT_NE(gw.find("janus_gateway_proxy_us_count{node=\"gateway-0\"} 40"),
+            std::string::npos);
+  EXPECT_NE(gw.find("janus_gateway_requests{node=\"gateway-0\"} 40"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, HealthzOnEveryLayer) {
+  EXPECT_EQ(scrape(router_admin_, "/healthz"), "ok\n");
+  EXPECT_EQ(scrape(gateway_admin_, "/healthz"), "ok\n");
+  for (const auto& addr : server_admins_) {
+    EXPECT_EQ(scrape(addr, "/healthz"), "ok\n");
+  }
+}
+
+TEST_F(ObservabilityTest, TracePropagatesRouterToServerAndBack) {
+  ASSERT_TRUE(store_->put({.key = "traced", .refill_per_sec = 0,
+                           .capacity = 100, .credit = 100}).ok());
+
+  Logger& log = Logger::instance();
+  const LogLevel saved = log.level();
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  log.set_sink(capture);
+  log.set_level(LogLevel::kDebug);
+
+  net::HttpRequest req;
+  req.target = "/qos?key=traced";
+  req.headers.push_back({"X-Janus-Trace", "trace-abc123"});
+  net::HttpClient client(router_->addr(), millis(2000));
+  auto resp = client.request(req);
+
+  log.set_sink(stderr);
+  log.set_level(saved);
+
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().body, "TRUE");
+  // The router echoes the trace id on the response.
+  EXPECT_EQ(resp.value().header("X-Janus-Trace"), "trace-abc123");
+
+  std::rewind(capture);
+  std::string logged;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), capture)) > 0) {
+    logged.append(buf, n);
+  }
+  std::fclose(capture);
+  // Correlated spans on both sides of the UDP hop.
+  EXPECT_NE(logged.find("router: trace=trace-abc123"), std::string::npos);
+  EXPECT_NE(logged.find("server: trace=trace-abc123"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, UntracedRequestsStillWork) {
+  drive_traffic(5);
+  net::HttpClient client(router_->addr(), millis(2000));
+  auto resp = client.get("/qos?key=tenant");
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_FALSE(resp.value().header("X-Janus-Trace").has_value());
+}
+
+}  // namespace
+}  // namespace janus

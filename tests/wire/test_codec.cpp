@@ -113,6 +113,76 @@ TEST(RequestCodecTest, RandomBytesNeverCrash) {
   }
 }
 
+TEST(TraceCodecTest, RoundTripTraceId) {
+  QosRequest req = sample_request();
+  req.trace_id = "trace-7f3a";
+  auto bytes = encode(req);
+  EXPECT_EQ(bytes[2], kTracedProtocolVersion);
+  auto decoded = decode_request(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), req);
+  EXPECT_EQ(decoded.value().trace_id, "trace-7f3a");
+}
+
+TEST(TraceCodecTest, UntracedFrameIsByteIdenticalToV1) {
+  // An empty trace id must not change the wire format at all: old peers
+  // keep parsing traffic from new routers.
+  QosRequest req = sample_request();
+  ASSERT_TRUE(req.trace_id.empty());
+  auto bytes = encode(req);
+  EXPECT_EQ(bytes[2], kProtocolVersion);
+  EXPECT_EQ(bytes.size(), kRequestHeaderSize + req.key.size());
+}
+
+TEST(TraceCodecTest, EncodeClampsOverlongTrace) {
+  QosRequest req = sample_request();
+  req.trace_id.assign(kMaxTraceLength + 50, 't');
+  auto decoded = decode_request(encode(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().trace_id.size(), kMaxTraceLength);
+}
+
+TEST(TraceCodecTest, RejectsDeclaredTraceBeyondLimit) {
+  QosRequest req = sample_request();
+  req.trace_id = "t";
+  auto bytes = encode(req);
+  // The trace length field sits right after the key bytes.
+  const std::size_t len_off = kRequestHeaderSize + req.key.size();
+  bytes[len_off] = 0xFF;
+  bytes[len_off + 1] = 0xFF;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(TraceCodecTest, RejectsTruncatedTraceAtEveryLength) {
+  QosRequest req = sample_request();
+  req.trace_id = "trace-7f3a";
+  auto bytes = encode(req);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto r = decode_request(std::span(bytes.data(), len));
+    EXPECT_FALSE(r.ok()) << "decoded a truncated traced request of len " << len;
+  }
+}
+
+TEST(TraceCodecTest, RejectsV2FrameWithoutTraceField) {
+  // Version 2 promises the trace field; a v1-shaped body must not parse.
+  QosRequest req = sample_request();
+  auto bytes = encode(req);
+  bytes[2] = kTracedProtocolVersion;
+  EXPECT_FALSE(decode_request(bytes).ok());
+}
+
+TEST(TraceCodecTest, RoundTripEmptyTraceFieldInV2) {
+  // A v2 frame with trace_len = 0 is legal (explicitly untraced).
+  QosRequest req = sample_request();
+  auto bytes = encode(req);
+  bytes[2] = kTracedProtocolVersion;
+  bytes.push_back(0);
+  bytes.push_back(0);
+  auto decoded = decode_request(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_TRUE(decoded.value().trace_id.empty());
+}
+
 QosResponse sample_response() {
   QosResponse resp;
   resp.request_id = 0x1122334455667788ull;

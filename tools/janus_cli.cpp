@@ -5,11 +5,16 @@
 //   janus-cli bench <ip:port> [-c threads] [-n requests] [-k keyspace]
 //                                                the modified-ab workload
 //
+// A `--log-level {debug,info,warn,error,off}` flag (any position) sets the
+// logger verbosity; with `debug`, a check/probe emits its X-Janus-Trace span.
+//
 // `check`/`probe` exit 0 on TRUE and 1 on FALSE, so the CLI slots straight
 // into shell scripts:  janus-cli check lb:8080 "$USER" && run_job
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "common/logging.hpp"
 #include "common/string_util.hpp"
 #include "net/http.hpp"
 #include "wire/http_codec.hpp"
@@ -119,13 +124,35 @@ int run_bench(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: janus-cli <check|probe|bench> ...\n");
+  // Strip --log-level from anywhere in the argument list before dispatch.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "janus-cli: --log-level needs a value\n");
+        return 2;
+      }
+      auto level = parse_log_level(argv[++i]);
+      if (!level) {
+        std::fprintf(stderr, "janus-cli: bad --log-level '%s'\n", argv[i]);
+        return 2;
+      }
+      Logger::instance().set_level(*level);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int n = static_cast<int>(args.size());
+  if (n < 2) {
+    std::fprintf(stderr,
+                 "usage: janus-cli [--log-level L] <check|probe|bench> ...\n");
     return 2;
   }
-  if (std::strcmp(argv[1], "check") == 0) return run_check(argc, argv, false);
-  if (std::strcmp(argv[1], "probe") == 0) return run_check(argc, argv, true);
-  if (std::strcmp(argv[1], "bench") == 0) return run_bench(argc, argv);
-  std::fprintf(stderr, "janus-cli: unknown command '%s'\n", argv[1]);
+  if (std::strcmp(args[1], "check") == 0) {
+    return run_check(n, args.data(), false);
+  }
+  if (std::strcmp(args[1], "probe") == 0) return run_check(n, args.data(), true);
+  if (std::strcmp(args[1], "bench") == 0) return run_bench(n, args.data());
+  std::fprintf(stderr, "janus-cli: unknown command '%s'\n", args[1]);
   return 2;
 }

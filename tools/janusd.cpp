@@ -9,6 +9,11 @@
 //                 --backends 127.0.0.1:9100,127.0.0.1:9101
 //                 [--timeout-us 100] [--retries 5] [--default-allow]
 //
+// Observability flags (both roles):
+//   --admin ip:port    mount /metrics (Prometheus), /healthz, /statusz
+//   --stats-ms N       log a one-line metrics snapshot every N ms
+//   --log-level L      debug|info|warn|error|off (default info)
+//
 // The rules file is `key = rate capacity [credit]` per line, e.g.:
 //
 //   tenant-42 = 100 1000
@@ -19,8 +24,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/periodic.hpp"
 #include "common/string_util.hpp"
 #include "db/rule_store.hpp"
@@ -64,6 +71,55 @@ Result<net::SockAddr> parse_addr(const std::string& text) {
   if (!port || *port > 65535) return Error("bad port in " + text);
   return net::SockAddr{std::string(parts[0]),
                        static_cast<std::uint16_t>(*port)};
+}
+
+/// Shared handling of --log-level, --admin, --stats-ms for both roles.
+/// `start_admin` mounts the node's admin endpoint; `registry` feeds the
+/// periodic stats line. Returns false (after printing) on a bad flag value.
+bool setup_observability(
+    const std::map<std::string, std::string>& flags, const char* role,
+    MetricsRegistry& registry,
+    const std::function<Result<net::SockAddr>(const net::SockAddr&)>&
+        start_admin,
+    std::unique_ptr<PeriodicTask>& stats_task) {
+  if (auto it = flags.find("log-level"); it != flags.end()) {
+    auto level = parse_log_level(it->second);
+    if (!level) {
+      std::fprintf(stderr, "janusd: bad --log-level '%s'\n",
+                   it->second.c_str());
+      return false;
+    }
+    Logger::instance().set_level(*level);
+  }
+  if (auto it = flags.find("admin"); it != flags.end()) {
+    auto addr = parse_addr(it->second);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: --admin: %s\n",
+                   addr.error().message.c_str());
+      return false;
+    }
+    auto bound = start_admin(addr.value());
+    if (!bound.ok()) {
+      std::fprintf(stderr, "janusd: admin endpoint: %s\n",
+                   bound.error().message.c_str());
+      return false;
+    }
+    std::printf("janusd: %s admin endpoint on %s\n", role,
+                bound.value().to_string().c_str());
+  }
+  if (auto it = flags.find("stats-ms"); it != flags.end()) {
+    const auto interval = parse_i64(it->second).value_or(0);
+    if (interval <= 0) {
+      std::fprintf(stderr, "janusd: bad --stats-ms '%s'\n",
+                   it->second.c_str());
+      return false;
+    }
+    stats_task = std::make_unique<PeriodicTask>(
+        millis(interval), [&registry] {
+          JLOG_INFO("stats: %s", format_stats_line(registry).c_str());
+        });
+  }
+  return true;
 }
 
 Status load_rules(db::RuleStore& store, const std::string& path) {
@@ -166,6 +222,17 @@ int run_server(const std::map<std::string, std::string>& flags) {
               node.value()->addr().to_string().c_str(), store.size(),
               cfg.worker_threads);
 
+  std::unique_ptr<PeriodicTask> stats_task;
+  server::QosServerNode& srv = *node.value();
+  if (!setup_observability(
+          flags, "QoS server", srv.metrics(),
+          [&srv](const net::SockAddr& a) {
+            return srv.start_admin(a, "server@" + srv.addr().to_string());
+          },
+          stats_task)) {
+    return 2;
+  }
+
   // Optional WAL compaction: periodic snapshot + log truncation, so the
   // check-point churn does not grow the WAL without bound.
   std::unique_ptr<PeriodicTask> compactor;
@@ -185,6 +252,7 @@ int run_server(const std::map<std::string, std::string>& flags) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("janusd: stopping\n");
+  if (stats_task) stats_task->stop();
   if (compactor) compactor->stop();
   node.value()->checkpoint_now();
   return 0;
@@ -233,10 +301,23 @@ int run_router(const std::map<std::string, std::string>& flags) {
   }
   std::printf("janusd: request router on %s (%zu backends)\n",
               node.value()->addr().to_string().c_str(), names.size());
+
+  std::unique_ptr<PeriodicTask> stats_task;
+  router::RouterNode& rn = *node.value();
+  if (!setup_observability(
+          flags, "request router", rn.metrics(),
+          [&rn](const net::SockAddr& a) {
+            return rn.start_admin(a, "router@" + rn.addr().to_string());
+          },
+          stats_task)) {
+    return 2;
+  }
+
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("janusd: stopping\n");
+  if (stats_task) stats_task->stop();
   return 0;
 }
 
