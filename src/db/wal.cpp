@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace janus::db {
 
@@ -35,9 +37,26 @@ Wal::~Wal() {
 }
 
 Status Wal::append(const LogRecord& rec) {
-  const std::vector<std::uint8_t> framed = encode_record(rec);
+  std::vector<std::uint8_t> framed = encode_record(rec);
+  auto& faults = testing::FaultInjector::instance();
+  if (faults.should_fire(testing::FaultPoint::kDbWalCorruptCrc)) {
+    // Silent media corruption: the record lands full-length and append
+    // reports success, but its CRC (header bytes 4..7) no longer matches.
+    framed[4] ^= 0xFF;
+  }
   std::lock_guard lock(mu_);
   if (!file_) return Error("wal: closed");
+  if (faults.should_fire(testing::FaultPoint::kDbWalPartialWrite)) {
+    // Torn write: only a prefix of the frame reaches the file, as after a
+    // crash mid-append. param = bytes kept (0 => half the frame).
+    const std::int64_t p = faults.param(testing::FaultPoint::kDbWalPartialWrite);
+    const std::size_t keep =
+        p > 0 ? std::min(framed.size(), static_cast<std::size_t>(p))
+              : framed.size() / 2;
+    (void)std::fwrite(framed.data(), 1, keep, file_);
+    (void)std::fflush(file_);
+    return Error("wal: torn write (injected)");
+  }
   if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
     return Error("wal: short write");
   }
@@ -49,6 +68,10 @@ Status Wal::sync() {
   std::lock_guard lock(mu_);
   if (!file_) return Error("wal: closed");
   if (std::fflush(file_) != 0) return Error("wal: flush failed");
+  if (testing::FaultInjector::instance().should_fire(
+          testing::FaultPoint::kDbWalSyncFail)) {
+    return Error("wal: fsync failed (injected)");
+  }
   if (::fsync(::fileno(file_)) != 0) return Error("wal: fsync failed");
   return Status::success();
 }

@@ -7,8 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "testing/fault_injector.hpp"
 
 namespace janus::net {
 
@@ -94,6 +99,16 @@ Result<UdpSocket> UdpSocket::create() {
 
 Status UdpSocket::send_to(const SockAddr& dest,
                           std::span<const std::uint8_t> data) {
+  auto& faults = testing::FaultInjector::instance();
+  if (faults.should_fire(testing::FaultPoint::kNetUdpDelayUs)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        faults.param(testing::FaultPoint::kNetUdpDelayUs)));
+  }
+  if (faults.should_fire(testing::FaultPoint::kNetUdpDropTx)) {
+    // The datagram vanishes in flight: the sender sees success (UDP gives
+    // no delivery signal), the peer sees nothing.
+    return Status::success();
+  }
   auto native = dest.to_native();
   if (!native.ok()) return Error(native.error().message);
   auto sa = native.value();
@@ -118,6 +133,12 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv(Duration timeout) {
   ssize_t n = ::recvfrom(fd_.get(), dg.data.data(), dg.data.size(), 0,
                          reinterpret_cast<sockaddr*>(&sa), &salen);
   if (n < 0) return Error(errno_msg("udp recvfrom"));
+  if (testing::FaultInjector::instance().should_fire(
+          testing::FaultPoint::kNetUdpDropRx)) {
+    // Drop after the kernel handed it over, as if it never arrived; the
+    // caller observes an ordinary timeout.
+    return std::optional<Datagram>{};
+  }
   dg.data.resize(static_cast<std::size_t>(n));
   dg.from = SockAddr::from_native(sa);
   return std::optional<Datagram>{std::move(dg)};
@@ -164,6 +185,10 @@ Result<TcpStream> TcpStream::connect(const SockAddr& addr, Duration timeout) {
 }
 
 Status TcpStream::write_all(std::span<const std::uint8_t> data) {
+  if (testing::FaultInjector::instance().should_fire(
+          testing::FaultPoint::kNetTcpReset)) {
+    return Error("tcp send: connection reset by peer (injected)");
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::send(fd_.get(), data.data() + off, data.size() - off,
@@ -184,10 +209,20 @@ Status TcpStream::write_all(std::string_view data) {
 
 Result<std::optional<std::size_t>> TcpStream::read_some(
     std::span<std::uint8_t> buf, Duration timeout) {
+  auto& faults = testing::FaultInjector::instance();
+  if (faults.should_fire(testing::FaultPoint::kNetTcpReset)) {
+    return Error("tcp recv: connection reset by peer (injected)");
+  }
+  std::size_t cap = buf.size();
+  if (faults.should_fire(testing::FaultPoint::kNetTcpShortRead)) {
+    const std::int64_t limit =
+        faults.param(testing::FaultPoint::kNetTcpShortRead);
+    cap = std::min(cap, static_cast<std::size_t>(limit > 0 ? limit : 1));
+  }
   int ready = wait_readable(fd_.get(), timeout);
   if (ready < 0) return Error(errno_msg("tcp poll"));
   if (ready == 0) return std::optional<std::size_t>{};
-  ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+  ssize_t n = ::recv(fd_.get(), buf.data(), cap, 0);
   if (n < 0) return Error(errno_msg("tcp recv"));
   return std::optional<std::size_t>{static_cast<std::size_t>(n)};
 }

@@ -1,6 +1,7 @@
 #include "router/udp_qos_client.hpp"
 
 #include "common/logging.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace janus::router {
 
@@ -26,8 +27,15 @@ Result<wire::QosResponse> UdpQosClient::call(const net::SockAddr& server,
   const int attempts = config_.max_retries > 0 ? config_.max_retries : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     ++last_attempts_;
-    if (auto s = socket_->send_to(server, scratch_); !s.ok()) {
-      return Error(s.error().message);
+    // Per-attempt loss hook: the datagram for *this* attempt is lost before
+    // it reaches the wire, but the attempt still burns its timeout window —
+    // exactly how the paper's 5-retry/default-reply path sees packet loss.
+    const bool attempt_dropped = testing::FaultInjector::instance().should_fire(
+        testing::FaultPoint::kRouterUdpDropAttempt);
+    if (!attempt_dropped) {
+      if (auto s = socket_->send_to(server, scratch_); !s.ok()) {
+        return Error(s.error().message);
+      }
     }
     // Wait out this attempt's window, consuming any stale datagrams (late
     // responses to earlier retries of *other* requests on this socket).

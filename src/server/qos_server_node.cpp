@@ -1,6 +1,10 @@
 #include "server/qos_server_node.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/logging.hpp"
+#include "testing/fault_injector.hpp"
 #include "wire/codec.hpp"
 
 namespace janus::server {
@@ -106,6 +110,13 @@ void QosServerNode::listener_loop() {
 void QosServerNode::worker_loop() {
   std::vector<std::uint8_t> out;
   while (auto job = fifo_.pop()) {
+    auto& faults = testing::FaultInjector::instance();
+    if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
+      // Service-time inflation (§V's overload knee, provoked on demand):
+      // the worker stalls param µs before touching the request.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          faults.param(testing::FaultPoint::kServerSlowService)));
+    }
     const bool timed = job->enqueued != kTimeZero;
     TimePoint dequeued{kTimeZero};
     std::int64_t wait_us = -1;

@@ -1,0 +1,81 @@
+// Shared mini-deployment for the chaos suite: database -> QoS server ->
+// request router -> gateway balancer on real sockets, with every fault
+// point disarmed before and after each test so no schedule leaks across
+// cases. Kept to one node per layer so per-layer counters are exact.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "db/rule_store.hpp"
+#include "lb/gateway_balancer.hpp"
+#include "router/router_node.hpp"
+#include "server/qos_server_node.hpp"
+#include "testing/fault_injector.hpp"
+
+namespace janus::chaos {
+
+class ChaosStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FaultInjector::instance().disarm_all();
+
+    store_ = std::make_unique<db::RuleStore>(db_);
+
+    server::QosServerConfig scfg;
+    scfg.worker_threads = 2;
+    scfg.sync_interval = Duration{0};
+    scfg.checkpoint_interval = Duration{0};
+    auto server = server::QosServerNode::start({"127.0.0.1", 0}, *store_, scfg);
+    ASSERT_TRUE(server.ok()) << server.error().message;
+    server_ = std::move(server).take();
+
+    auto resolver = std::make_shared<router::StaticResolver>();
+    resolver->add("qos-0.janus", server_->addr());
+    router::RouterConfig rcfg;
+    rcfg.udp.timeout = millis(10);
+    rcfg.udp.max_retries = 5;
+    rcfg.http_workers = 2;
+    auto router = router::RouterNode::start({"127.0.0.1", 0}, {"qos-0.janus"},
+                                            resolver, rcfg);
+    ASSERT_TRUE(router.ok()) << router.error().message;
+    router_ = std::move(router).take();
+
+    lb::GatewayConfig gcfg;
+    gcfg.http_workers = 2;
+    auto gateway =
+        lb::GatewayBalancer::start({"127.0.0.1", 0}, {router_->addr()}, gcfg);
+    ASSERT_TRUE(gateway.ok()) << gateway.error().message;
+    gateway_ = std::move(gateway).take();
+  }
+
+  void TearDown() override {
+    // A leaked armed point would silently reshape every later test in this
+    // binary; disarm first, then let members tear the stack down in reverse
+    // declaration order.
+    testing::FaultInjector::instance().disarm_all();
+  }
+
+  void provision(const std::string& key, double capacity) {
+    ASSERT_TRUE(store_->put({.key = key, .refill_per_sec = 0,
+                             .capacity = capacity, .credit = capacity}).ok());
+  }
+
+  /// GET /qos?key=... against `addr`; returns the body ("TRUE"/"FALSE").
+  std::string ask(const net::SockAddr& addr, const std::string& key) {
+    net::HttpClient client(addr, millis(5000));
+    auto resp = client.get("/qos?key=" + key);
+    EXPECT_TRUE(resp.ok()) << (resp.ok() ? "" : resp.error().message);
+    return resp.ok() ? resp.value().body : std::string();
+  }
+
+  db::Database db_;
+  std::unique_ptr<db::RuleStore> store_;
+  std::unique_ptr<server::QosServerNode> server_;
+  std::unique_ptr<router::RouterNode> router_;
+  std::unique_ptr<lb::GatewayBalancer> gateway_;
+};
+
+}  // namespace janus::chaos

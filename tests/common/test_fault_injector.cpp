@@ -1,0 +1,148 @@
+#include "testing/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace janus::testing {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedNeverFires) {
+  auto& fi = FaultInjector::instance();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(fi.should_fire(FaultPoint::kNetUdpDropRx));
+  }
+  EXPECT_EQ(fi.fires(FaultPoint::kNetUdpDropRx), 0u);
+}
+
+TEST_F(FaultInjectorTest, ArmedAlwaysFiresByDefault) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(FaultPoint::kNetUdpDropRx);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fi.should_fire(FaultPoint::kNetUdpDropRx));
+  }
+  EXPECT_EQ(fi.fires(FaultPoint::kNetUdpDropRx), 10u);
+  EXPECT_EQ(fi.hits(FaultPoint::kNetUdpDropRx), 10u);
+}
+
+TEST_F(FaultInjectorTest, SkipFirstPassesThroughEarlyHits) {
+  auto& fi = FaultInjector::instance();
+  FaultInjector::ArmSpec spec;
+  spec.skip_first = 3;
+  fi.arm(FaultPoint::kDbWalSyncFail, spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fi.should_fire(FaultPoint::kDbWalSyncFail));
+  }
+  EXPECT_TRUE(fi.should_fire(FaultPoint::kDbWalSyncFail));
+}
+
+TEST_F(FaultInjectorTest, MaxFiresAutoDisarms) {
+  auto& fi = FaultInjector::instance();
+  FaultInjector::ArmSpec spec;
+  spec.max_fires = 2;
+  fi.arm(FaultPoint::kNetTcpReset, spec);
+  EXPECT_TRUE(fi.should_fire(FaultPoint::kNetTcpReset));
+  EXPECT_TRUE(fi.should_fire(FaultPoint::kNetTcpReset));
+  EXPECT_FALSE(fi.should_fire(FaultPoint::kNetTcpReset));
+  EXPECT_EQ(fi.fires(FaultPoint::kNetTcpReset), 2u);
+}
+
+TEST_F(FaultInjectorTest, ParamIsVisibleWhileArmed) {
+  auto& fi = FaultInjector::instance();
+  FaultInjector::ArmSpec spec;
+  spec.param = 12345;
+  fi.arm(FaultPoint::kServerSlowService, spec);
+  EXPECT_EQ(fi.param(FaultPoint::kServerSlowService), 12345);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityStreamIsDeterministicPerSeed) {
+  auto& fi = FaultInjector::instance();
+  auto run = [&](std::uint64_t seed) {
+    fi.seed(seed);
+    FaultInjector::ArmSpec spec;
+    spec.probability = 0.5;
+    fi.arm(FaultPoint::kNetUdpDropTx, spec);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fi.should_fire(FaultPoint::kNetUdpDropTx));
+    }
+    fi.disarm(FaultPoint::kNetUdpDropTx);
+    return outcomes;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 collision chance: effectively impossible
+}
+
+TEST_F(FaultInjectorTest, PointStreamsAreIndependent) {
+  // Decisions at one point must not perturb another point's schedule.
+  auto& fi = FaultInjector::instance();
+  FaultInjector::ArmSpec spec;
+  spec.probability = 0.5;
+  fi.seed(7);
+  fi.arm(FaultPoint::kNetUdpDropTx, spec);
+  std::vector<bool> alone;
+  for (int i = 0; i < 32; ++i) {
+    alone.push_back(fi.should_fire(FaultPoint::kNetUdpDropTx));
+  }
+  fi.seed(7);
+  fi.arm(FaultPoint::kNetUdpDropTx, spec);
+  fi.arm(FaultPoint::kNetUdpDropRx, spec);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 32; ++i) {
+    (void)fi.should_fire(FaultPoint::kNetUdpDropRx);
+    interleaved.push_back(fi.should_fire(FaultPoint::kNetUdpDropTx));
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(FaultInjectorTest, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+    const auto point = static_cast<FaultPoint>(i);
+    const auto name = fault_point_name(point);
+    EXPECT_FALSE(name.empty());
+    ASSERT_TRUE(fault_point_from_name(name).has_value()) << name;
+    EXPECT_EQ(*fault_point_from_name(name), point);
+  }
+  EXPECT_FALSE(fault_point_from_name("no.such.point").has_value());
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  auto& fi = FaultInjector::instance();
+  {
+    ScopedFault fault(FaultPoint::kNetUdpDropRx);
+    EXPECT_TRUE(fi.should_fire(FaultPoint::kNetUdpDropRx));
+  }
+  EXPECT_FALSE(fi.should_fire(FaultPoint::kNetUdpDropRx));
+}
+
+TEST_F(FaultInjectorTest, ConcurrentHitsAreCountedExactly) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(FaultPoint::kServerSlowService);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fi] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)fi.should_fire(FaultPoint::kServerSlowService);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fi.hits(FaultPoint::kServerSlowService),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(fi.fires(FaultPoint::kServerSlowService),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace janus::testing

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Fails if any fault point named in src/testing/fault_injector.cpp is missing
+# from the DESIGN.md fault-point table. Companion to check_metrics_doc.sh;
+# registered as a CTest so the table cannot rot as points are added.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+design="$repo_root/DESIGN.md"
+src="$repo_root/src/testing/fault_injector.cpp"
+
+[ -f "$design" ] || { echo "check_faults_doc: $design not found" >&2; exit 1; }
+[ -f "$src" ] || { echo "check_faults_doc: $src not found" >&2; exit 1; }
+
+# Fault point names are dotted lowercase literals in the kNames table
+# (e.g. "net.udp.drop_rx"). Match the shape, not the variable, so a renamed
+# array cannot silently disable the guard.
+names=$(grep -hoE '"[a-z]+(\.[a-z_]+)+"' "$src" | tr -d '"' | sort -u)
+
+[ -n "$names" ] || { echo "check_faults_doc: no fault point names found in $src" >&2; exit 1; }
+
+missing=0
+for name in $names; do
+  if ! grep -qF "\`$name\`" "$design"; then
+    echo "check_faults_doc: fault point '$name' is defined in src/testing/ but not documented in DESIGN.md" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_faults_doc: add the missing rows to the DESIGN.md fault-point table" >&2
+  exit 1
+fi
+echo "check_faults_doc: all $(echo "$names" | wc -l | tr -d ' ') fault points documented"

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Build and run the chaos / fault-injection / property suites under the
+# JANUS_SANITIZE presets (see the top-level CMakeLists.txt).
+#
+# Usage:
+#   tools/run_sanitizers.sh                  # address, thread, undefined
+#   tools/run_sanitizers.sh thread           # one preset only
+#   tools/run_sanitizers.sh --fast           # ASan, chaos+fuzz subset (CTest)
+#
+# Each preset gets its own build tree (build-san-<preset>/) configured with
+# -DJANUS_SANITIZER_CTEST=OFF so the nested build can never recurse into this
+# script. Test binaries run directly with gtest filters instead of ctest:
+# discovery adds nothing here and the filters keep the fast path fast.
+#
+# Exit codes: 0 on success, 77 if the toolchain lacks sanitizer support
+# (CTest's SKIP_RETURN_CODE), anything else is a real failure.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+mode=full
+presets=""
+for arg in "$@"; do
+  case "$arg" in
+    --fast) mode=fast ;;
+    address|thread|undefined) presets="$presets $arg" ;;
+    *) echo "run_sanitizers: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+if [ -z "$presets" ]; then
+  if [ "$mode" = fast ]; then presets="address"; else presets="address thread undefined"; fi
+fi
+
+cxx=${CXX:-c++}
+
+# Probe: a toolchain without sanitizer runtimes should skip, not fail.
+supports() {
+  printf 'int main(){return 0;}\n' \
+    | "$cxx" -fsanitize="$1" -x c++ - -o /dev/null >/dev/null 2>&1
+}
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+# The suites this PR adds, runnable per-binary via gtest filters.
+run_suites() {
+  bindir=$1
+  fast=$2
+  "$bindir/tests/janus_test_chaos" --gtest_brief=1
+  "$bindir/tests/janus_test_wire" --gtest_brief=1 --gtest_filter='CodecFuzzTest.*'
+  if [ "$fast" = fast ]; then return 0; fi
+  "$bindir/tests/janus_test_common" --gtest_brief=1 --gtest_filter='FaultInjectorTest.*'
+  "$bindir/tests/janus_test_db" --gtest_brief=1 --gtest_filter='WalFaultTest.*'
+  "$bindir/tests/janus_test_router" --gtest_brief=1 --gtest_filter='UdpClientFaultTest.*'
+}
+
+ran=0
+for preset in $presets; do
+  if ! supports "$preset"; then
+    echo "run_sanitizers: $cxx does not support -fsanitize=$preset, skipping" >&2
+    continue
+  fi
+  ran=1
+  build_dir="$repo_root/build-san-$preset"
+  echo "== [$preset] configure + build ($build_dir) =="
+  cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DJANUS_SANITIZE="$preset" \
+    -DJANUS_SANITIZER_CTEST=OFF >/dev/null
+  if [ "$mode" = fast ]; then
+    cmake --build "$build_dir" -j "$jobs" \
+      --target janus_test_chaos janus_test_wire >/dev/null
+  else
+    cmake --build "$build_dir" -j "$jobs" \
+      --target janus_test_chaos janus_test_wire janus_test_common \
+               janus_test_db janus_test_router >/dev/null
+  fi
+
+  echo "== [$preset] run chaos / fault / property suites =="
+  case "$preset" in
+    address)
+      ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=0}" \
+        run_suites "$build_dir" "$mode" ;;
+    thread)
+      TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+        run_suites "$build_dir" "$mode" ;;
+    undefined)
+      UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+        run_suites "$build_dir" "$mode" ;;
+  esac
+  echo "== [$preset] clean =="
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "run_sanitizers: no requested sanitizer is supported by $cxx" >&2
+  exit 77
+fi
+echo "run_sanitizers: all requested presets passed"
