@@ -4,11 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <mutex>  // sync-ok: baseline for the janus::Mutex overhead bench
 
 #include "common/crc32.hpp"
 #include "common/histogram.hpp"
 #include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/sync.hpp"
 #include "core/admission.hpp"
 #include "core/key_router.hpp"
 #include "net/socket.hpp"
@@ -91,6 +93,37 @@ void BM_AdmissionCheckCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdmissionCheckCached)->Arg(1)->Arg(16);
+
+// The annotated-lock zero-overhead contract (DESIGN.md §8): in release
+// builds janus::Mutex must compile down to a bare std::mutex — identical
+// layout (asserted below) and an uncontended lock/unlock within noise of
+// the raw primitive (<1%; compare these two benches).
+#ifdef NDEBUG
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release janus::Mutex must carry no rank-detector state");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "release janus::SharedMutex must carry no rank-detector state");
+#endif
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;  // sync-ok: the baseline this bench exists to compare against
+  for (auto _ : state) {
+    mu.lock();    // sync-ok: baseline
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();  // sync-ok: baseline
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_JanusMutexLockUnlock(benchmark::State& state) {
+  Mutex mu(LockRank::kQueue, "bench.mutex");
+  for (auto _ : state) {
+    mu.lock();    // sync-ok: measuring the wrapper itself
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();  // sync-ok: measuring the wrapper itself
+  }
+}
+BENCHMARK(BM_JanusMutexLockUnlock);
 
 void BM_MpmcQueuePingPong(benchmark::State& state) {
   MpmcQueue<int> queue(1024);

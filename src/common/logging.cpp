@@ -2,7 +2,8 @@
 
 #include <chrono>
 #include <cstring>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace janus {
 
@@ -22,7 +23,8 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
 
 void Logger::logf(LogLevel level, const char* file, int line, const char* fmt,
                   ...) {
-  static std::mutex mu;
+  // Innermost rank: JLOG must stay legal from under any other Janus lock.
+  static Mutex mu(LockRank::kLogging, "common.logging");
   static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
 
   const char* base = std::strrchr(file, '/');
@@ -38,7 +40,7 @@ void Logger::logf(LogLevel level, const char* file, int line, const char* fmt,
   std::vsnprintf(msg, sizeof(msg), fmt, args);
   va_end(args);
 
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   std::FILE* sink = sink_.load(std::memory_order_acquire);
   std::fprintf(sink, "[%lld.%03lld %s %s:%d] %s\n",
                static_cast<long long>(ms / 1000),

@@ -23,14 +23,14 @@ HistogramMetric::Stripe& HistogramMetric::stripe_for_thread() {
 
 void HistogramMetric::record(std::int64_t value) {
   Stripe& s = stripe_for_thread();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   s.hist.record(value);
 }
 
 Histogram HistogramMetric::snapshot() const {
   Histogram merged(max_value_, sub_bucket_bits_);
   for (const auto& s : stripes_) {
-    std::lock_guard lock(s->mu);
+    MutexLock lock(s->mu);
     merged.merge(s->hist);
   }
   return merged;
@@ -38,34 +38,34 @@ Histogram HistogramMetric::snapshot() const {
 
 void HistogramMetric::reset() {
   for (const auto& s : stripes_) {
-    std::lock_guard lock(s->mu);
+    MutexLock lock(s->mu);
     s->hist.reset();
   }
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<HistogramMetric>();
   return *slot;
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   for (const auto& [name, g] : gauges_) out[name] = g->value();
@@ -73,14 +73,14 @@ std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot_counters() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot_gauges() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, g] : gauges_) out[name] = g->value();
   return out;
@@ -91,7 +91,7 @@ std::map<std::string, Histogram> MetricsRegistry::snapshot_histograms() const {
   // it — HistogramMetric references are stable once created.
   std::vector<std::pair<std::string, const HistogramMetric*>> items;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     items.reserve(histograms_.size());
     for (const auto& [name, h] : histograms_) items.emplace_back(name, h.get());
   }
@@ -101,7 +101,7 @@ std::map<std::string, Histogram> MetricsRegistry::snapshot_histograms() const {
 }
 
 void MetricsRegistry::reset_all() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->set(0);
   for (auto& [name, h] : histograms_) h->reset();

@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/sync.hpp"
 
 namespace janus {
 
@@ -63,8 +63,8 @@ class HistogramMetric {
  private:
   static constexpr std::size_t kStripes = 8;
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    Histogram hist;
+    mutable Mutex mu{LockRank::kMetricsStripe, "common.metrics_stripe"};
+    Histogram hist JANUS_GUARDED_BY(mu);
     explicit Stripe(std::int64_t max_value, int bits)
         : hist(max_value, bits) {}
   };
@@ -97,10 +97,15 @@ class MetricsRegistry {
   void reset_all();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "common.metrics_registry"};
+  // unique_ptr targets are stable once created; callers hold the returned
+  // references unlocked by design (hot-path updates), so only the maps
+  // themselves are guarded.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      JANUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ JANUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      JANUS_GUARDED_BY(mu_);
 };
 
 /// Render the registry in Prometheus text exposition format (version 0.0.4).

@@ -10,17 +10,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 
 namespace janus {
 
@@ -120,7 +120,7 @@ class BlockingQueue {
   /// Returns false if the queue is shut down or full (bounded).
   bool try_push(T value) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) return false;
       if (capacity_ != 0 && items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
@@ -132,8 +132,8 @@ class BlockingQueue {
   /// Blocks until the queue is non-empty or shut down. Returns nullopt only
   /// after shutdown once the queue has drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -142,8 +142,11 @@ class BlockingQueue {
 
   /// Blocks up to `timeout`; nullopt on timeout or drained shutdown.
   std::optional<T> pop_for(Duration timeout) {
-    std::unique_lock lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || shutdown_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -151,7 +154,7 @@ class BlockingQueue {
   }
 
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -162,28 +165,28 @@ class BlockingQueue {
   /// nullopt.
   void shutdown() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
     cv_.notify_all();
   }
 
   bool is_shutdown() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return shutdown_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
+  mutable Mutex mu_{LockRank::kQueue, "common.queue"};
+  CondVar cv_;
+  std::deque<T> items_ JANUS_GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool shutdown_ = false;
+  bool shutdown_ JANUS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace janus

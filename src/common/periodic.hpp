@@ -5,12 +5,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 
 namespace janus {
 
@@ -29,7 +28,7 @@ class PeriodicTask {
   /// Stop and join. Idempotent. A callback in flight completes first.
   void stop() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopped_) return;
       stopped_ = true;
     }
@@ -42,20 +41,26 @@ class PeriodicTask {
 
  private:
   void run() {
-    std::unique_lock lock(mu_);
-    while (!stopped_) {
-      if (cv_.wait_for(lock, interval_, [this] { return stopped_; })) break;
-      lock.unlock();
+    for (;;) {
+      {
+        MutexLock lock(mu_);
+        const auto deadline = std::chrono::steady_clock::now() + interval_;
+        while (!stopped_) {
+          if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+        }
+        if (stopped_) return;
+      }
+      // The callback runs unlocked (rank kPeriodic must not be held while
+      // the callback takes shard/db locks of lower rank).
       fn_();
-      lock.lock();
     }
   }
 
   Duration interval_;
   std::function<void()> fn_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopped_ = false;
+  Mutex mu_{LockRank::kPeriodic, "common.periodic"};
+  CondVar cv_;
+  bool stopped_ JANUS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

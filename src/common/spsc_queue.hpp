@@ -1,6 +1,10 @@
 // Bounded single-producer/single-consumer ring buffer. Used on per-connection
 // paths where exactly one thread produces and one consumes (e.g. the HA
 // replication pipe in tests) — cheaper than MpmcQueue.
+//
+// Concurrency (DESIGN.md §8): intentionally lock-free (two atomic indices,
+// acquire/release pairs); outside the lock-rank order because it can never
+// block, and exempt from the sync-layer rule for the same reason.
 #pragma once
 
 #include <atomic>

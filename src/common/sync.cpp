@@ -1,0 +1,112 @@
+#include "common/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace janus::sync_detail {
+
+RankTracker& RankTracker::current() noexcept {
+  thread_local RankTracker tracker;
+  return tracker;
+}
+
+void RankTracker::on_acquire(const void* lock, int rank, const char* name) {
+  const Held* blocker = nullptr;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    if (held_[i].lock == lock) fatal_self_deadlock(rank, name);
+    // Equal rank is permitted for distinct locks (leaf shards/stripes are
+    // never held pairwise in conflicting orders); lower rank is not.
+    if (held_[i].rank > rank &&
+        (!blocker || held_[i].rank > blocker->rank)) {
+      blocker = &held_[i];
+    }
+  }
+  if (blocker) fatal_inversion(rank, name, *blocker);
+  if (depth_ >= kMaxHeld) fatal_overflow(name);
+  held_[depth_++] = Held{lock, rank, name};
+}
+
+void RankTracker::on_try_acquire(const void* lock, int rank, const char* name,
+                                 bool acquired) {
+  for (std::size_t i = 0; i < depth_; ++i) {
+    if (held_[i].lock == lock) fatal_self_deadlock(rank, name);
+  }
+  if (!acquired) return;
+  if (depth_ >= kMaxHeld) fatal_overflow(name);
+  held_[depth_++] = Held{lock, rank, name};
+}
+
+void RankTracker::on_release(const void* lock) noexcept {
+  // Locks are usually released LIFO (scoped guards), but a CondVar wait
+  // relocking under other guards may release out of order; erase by address.
+  for (std::size_t i = depth_; i-- > 0;) {
+    if (held_[i].lock == lock) {
+      for (std::size_t j = i + 1; j < depth_; ++j) held_[j - 1] = held_[j];
+      --depth_;
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired: tolerate (a tracker-less
+  // acquisition path cannot exist through janus::Mutex, but keep release
+  // paths non-fatal so unwinding never cascades).
+}
+
+namespace {
+
+void print_held_stack(const void* const* locks, const int* ranks,
+                      const char* const* names, std::size_t depth) {
+  std::fprintf(stderr,
+               "janus/sync: held locks (acquisition order, %zu):\n", depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    std::fprintf(stderr, "janus/sync:   [%zu] \"%s\" (rank %d) @ %p\n", i,
+                 names[i], ranks[i], locks[i]);
+  }
+}
+
+}  // namespace
+
+void RankTracker::fatal_self_deadlock(int rank, const char* name) const {
+  std::fprintf(stderr,
+               "janus/sync: SELF-DEADLOCK: this thread already holds lock "
+               "\"%s\" (rank %d) and is acquiring it again\n",
+               name, rank);
+  const void* locks[kMaxHeld];
+  int ranks[kMaxHeld];
+  const char* names[kMaxHeld];
+  for (std::size_t i = 0; i < depth_; ++i) {
+    locks[i] = held_[i].lock;
+    ranks[i] = held_[i].rank;
+    names[i] = held_[i].name;
+  }
+  print_held_stack(locks, ranks, names, depth_);
+  std::abort();
+}
+
+void RankTracker::fatal_inversion(int rank, const char* name,
+                                  const Held& blocker) const {
+  std::fprintf(stderr,
+               "janus/sync: LOCK-RANK VIOLATION: acquiring \"%s\" (rank %d) "
+               "while holding \"%s\" (rank %d) — see DESIGN.md §8 for the "
+               "global order\n",
+               name, rank, blocker.name, blocker.rank);
+  const void* locks[kMaxHeld];
+  int ranks[kMaxHeld];
+  const char* names[kMaxHeld];
+  for (std::size_t i = 0; i < depth_; ++i) {
+    locks[i] = held_[i].lock;
+    ranks[i] = held_[i].rank;
+    names[i] = held_[i].name;
+  }
+  print_held_stack(locks, ranks, names, depth_);
+  std::abort();
+}
+
+void RankTracker::fatal_overflow(const char* name) const {
+  std::fprintf(stderr,
+               "janus/sync: lock depth overflow (> %zu) acquiring \"%s\" — "
+               "no Janus path legitimately nests this deep\n",
+               kMaxHeld, name);
+  std::abort();
+}
+
+}  // namespace janus::sync_detail

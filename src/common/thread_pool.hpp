@@ -1,6 +1,10 @@
 // Fixed-size worker pool over a BlockingQueue — mirrors the QoS server's
 // "N worker threads polling the FIFO" design (paper §III-C) and is reused by
 // tests and benches for fan-out work.
+//
+// Concurrency (DESIGN.md §8): all synchronization is the queue's
+// `common.queue` mutex/condvar; submitted tasks run with no pool lock held,
+// so they may acquire any application lock.
 #pragma once
 
 #include <functional>

@@ -16,20 +16,20 @@ ShardedQosTable::ShardedQosTable(std::size_t shard_count) {
 
 bool ShardedQosTable::contains(std::string_view key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.entries.find(std::string(key)) != shard.entries.end();
 }
 
 bool ShardedQosTable::erase(std::string_view key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.entries.erase(std::string(key)) > 0;
 }
 
 std::size_t ShardedQosTable::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->entries.size();
   }
   return total;
@@ -37,7 +37,7 @@ std::size_t ShardedQosTable::size() const {
 
 void ShardedQosTable::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->entries.clear();
   }
 }
@@ -45,7 +45,7 @@ void ShardedQosTable::clear() {
 void ShardedQosTable::for_each(
     const std::function<void(const std::string&, QosEntry&)>& fn) {
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto& [key, entry] : shard->entries) fn(key, entry);
   }
 }
@@ -54,7 +54,7 @@ std::vector<std::pair<std::string, QosEntry>> ShardedQosTable::snapshot()
     const {
   std::vector<std::pair<std::string, QosEntry>> out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const auto& [key, entry] : shard->entries) {
       out.emplace_back(key, entry);
     }
@@ -67,7 +67,7 @@ void ShardedQosTable::restore(
   clear();
   for (auto& [key, entry] : entries) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.entries.insert_or_assign(key, std::move(entry));
   }
 }

@@ -8,13 +8,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "common/sync.hpp"
 #include "core/leaky_bucket.hpp"
 #include "core/qos_rule.hpp"
 
@@ -41,7 +41,7 @@ class ShardedQosTable {
   auto with_entry(std::string_view key, Fn&& fn)
       -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(std::string(key));
     if (it == shard.entries.end()) return std::nullopt;
     return fn(it->second);
@@ -54,7 +54,7 @@ class ShardedQosTable {
   auto with_entry_or_create(std::string_view key, Factory&& factory, Fn&& fn)
       -> decltype(fn(std::declval<QosEntry&>())) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(std::string(key));
     if (it == shard.entries.end()) {
       it = shard.entries.emplace(std::string(key), factory()).first;
@@ -79,8 +79,10 @@ class ShardedQosTable {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, QosEntry> entries;
+    // Leaf rank: shard locks are never held pairwise (for_each/size/clear
+    // visit shards one at a time), so same-rank acquisition stays legal.
+    mutable Mutex mu{LockRank::kQosShard, "core.qos_shard"};
+    std::unordered_map<std::string, QosEntry> entries JANUS_GUARDED_BY(mu);
   };
 
   Shard& shard_for(std::string_view key) {

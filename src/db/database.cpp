@@ -5,7 +5,7 @@
 namespace janus::db {
 
 Status Database::enable_wal(const std::string& path) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   auto wal = Wal::open(path);
   if (!wal.ok()) return Error(wal.error().message);
   wal_ = std::make_unique<Wal>(std::move(wal).take());
@@ -30,14 +30,14 @@ Result<std::size_t> Database::recover(const std::string& path) {
 }
 
 Status Database::create_table(const std::string& name, Schema schema) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   if (tables_.count(name)) return Error("table already exists: " + name);
   tables_[name] = std::make_unique<Table>(name, std::move(schema));
   return Status::success();
 }
 
 bool Database::has_table(const std::string& name) const {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   return tables_.count(name) > 0;
 }
 
@@ -48,19 +48,31 @@ const Table& Database::table(const std::string& name) const {
 }
 
 Table* Database::find_table(const std::string& name) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
+  return find_table_locked(name);
+}
+
+const Table* Database::find_table(const std::string& name) const {
+  MutexLock lock(commit_mu_);
+  return find_table_locked(name);
+}
+
+Table* Database::find_table_locked(const std::string& name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-const Table* Database::find_table(const std::string& name) const {
-  std::lock_guard lock(commit_mu_);
+const Table* Database::find_table_locked(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 Status Database::commit(LogRecord rec) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
+  return commit_locked(std::move(rec));
+}
+
+Status Database::commit_locked(LogRecord rec) {
   auto it = tables_.find(rec.table);
   if (it == tables_.end()) return Error("no table named " + rec.table);
   Table& t = *it->second;
@@ -101,7 +113,12 @@ Status Database::remove(const std::string& table_name, std::string_view pk) {
 Status Database::update_column(const std::string& table_name,
                                std::string_view pk, std::string_view column,
                                Value value) {
-  const Table* t = find_table(table_name);
+  // Hold commit_mu_ across the whole read-modify-write: two concurrent
+  // update_column calls touching different columns of the same row must not
+  // interleave between the read and the commit, or one update is lost
+  // (the check-pointer rewriting `credit` raced rule edits before this).
+  MutexLock lock(commit_mu_);
+  const Table* t = find_table_locked(table_name);
   if (!t) return Error("no table named " + table_name);
   auto row = t->get(pk);
   if (!row) return Error("update: no row with key '" + std::string(pk) + "'");
@@ -116,7 +133,11 @@ Status Database::update_column(const std::string& table_name,
     return Error("update: type mismatch for column '" + std::string(column) + "'");
   }
   (*row)[col] = std::move(value);
-  return upsert(table_name, std::move(*row));
+  LogRecord rec;
+  rec.op = LogRecord::Op::kUpsert;
+  rec.table = table_name;
+  rec.row = std::move(*row);
+  return commit_locked(std::move(rec));
 }
 
 std::optional<Row> Database::get(const std::string& table_name,
@@ -138,7 +159,7 @@ std::size_t Database::table_size(const std::string& table_name) const {
 }
 
 void Database::add_observer(Observer obs) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   observers_.push_back(std::move(obs));
 }
 
@@ -179,7 +200,7 @@ Status Database::snapshot_locked(const std::string& path) const {
 }
 
 Status Database::snapshot_to(const std::string& path) const {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   return snapshot_locked(path);
 }
 
@@ -202,7 +223,7 @@ Status Database::load_snapshot(const std::string& path) {
   }
   if (!r.u32(table_count)) return Error("snapshot: truncated header");
 
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   for (std::uint32_t t = 0; t < table_count; ++t) {
     std::string name;
     std::uint32_t row_count = 0;
@@ -228,7 +249,7 @@ Status Database::load_snapshot(const std::string& path) {
 }
 
 Status Database::compact_wal(const std::string& snapshot_path) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   if (!wal_) return Error("compact: WAL is not enabled");
   if (auto s = snapshot_locked(snapshot_path); !s.ok()) return s;
   const std::string wal_path = wal_->path();
@@ -243,7 +264,7 @@ Status Database::compact_wal(const std::string& snapshot_path) {
 }
 
 Status Database::apply(const LogRecord& rec) {
-  std::lock_guard lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   auto it = tables_.find(rec.table);
   if (it == tables_.end()) return Error("apply: no table named " + rec.table);
   Table& t = *it->second;

@@ -11,12 +11,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "db/serialize.hpp"
 #include "db/table.hpp"
 #include "db/wal.hpp"
@@ -83,15 +83,26 @@ class Database {
   Status compact_wal(const std::string& snapshot_path);
 
  private:
+  // Table pointers stay valid after commit_mu_ is released: tables_ maps to
+  // stable unique_ptr targets and tables are never dropped once created.
   Table* find_table(const std::string& name);
   const Table* find_table(const std::string& name) const;
-  Status commit(LogRecord rec);
-  Status snapshot_locked(const std::string& path) const;  // commit_mu_ held
+  Table* find_table_locked(const std::string& name)
+      JANUS_REQUIRES(commit_mu_);
+  const Table* find_table_locked(const std::string& name) const
+      JANUS_REQUIRES(commit_mu_);
+  Status commit(LogRecord rec) JANUS_EXCLUDES(commit_mu_);
+  Status commit_locked(LogRecord rec) JANUS_REQUIRES(commit_mu_);
+  Status snapshot_locked(const std::string& path) const
+      JANUS_REQUIRES(commit_mu_);
 
-  mutable std::mutex commit_mu_;  // serializes the WAL/observer sequence
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::unique_ptr<Wal> wal_;
-  std::vector<Observer> observers_;
+  // Serializes the WAL/observer sequence. Outermost database rank: commit
+  // takes per-table locks (kDbTable) and the WAL lock (kDbWal) underneath.
+  mutable Mutex commit_mu_{LockRank::kDbCommit, "db.commit"};
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      JANUS_GUARDED_BY(commit_mu_);
+  std::unique_ptr<Wal> wal_ JANUS_GUARDED_BY(commit_mu_);
+  std::vector<Observer> observers_ JANUS_GUARDED_BY(commit_mu_);
   std::atomic<std::uint64_t> lsn_{0};
 };
 

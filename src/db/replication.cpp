@@ -12,8 +12,8 @@ Replicator::Replicator(Database& master, Database& standby,
   std::weak_ptr<BlockingQueue<LogRecord>> wq = queue_;
   std::weak_ptr<bool> wactive = active_;
   master.add_observer([wq, wactive](const LogRecord& rec) {
-    auto q = wq.lock();
-    auto active = wactive.lock();
+    auto q = wq.lock();          // sync-ok: weak_ptr::lock, not a mutex
+    auto active = wactive.lock();  // sync-ok: weak_ptr::lock, not a mutex
     if (!q || !active || !*active) return;
     q->try_push(rec);  // drop counted on the pump side via size mismatch
   });

@@ -1,6 +1,5 @@
 #include "db/table.hpp"
 
-#include <mutex>
 #include <stdexcept>
 
 namespace janus::db {
@@ -16,7 +15,7 @@ Table::Table(std::string name, Schema schema)
 
 Status Table::insert(Row row) {
   if (!schema_.matches(row)) return Error("insert: row does not match schema");
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto [it, inserted] = rows_.try_emplace(pk_of(row), std::move(row));
   if (!inserted) return Error("insert: duplicate primary key '" + it->first + "'");
   return Status::success();
@@ -24,13 +23,13 @@ Status Table::insert(Row row) {
 
 Status Table::upsert(Row row) {
   if (!schema_.matches(row)) return Error("upsert: row does not match schema");
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   rows_[pk_of(row)] = std::move(row);
   return Status::success();
 }
 
 std::optional<Row> Table::get(std::string_view pk) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = rows_.find(std::string(pk));
   if (it == rows_.end()) return std::nullopt;
   return it->second;
@@ -48,7 +47,7 @@ Status Table::update_column(std::string_view pk, std::string_view column,
   if (type_of(value) != schema_.columns[col].type) {
     return Error("update: type mismatch for column '" + std::string(column) + "'");
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto it = rows_.find(std::string(pk));
   if (it == rows_.end()) {
     return Error("update: no row with key '" + std::string(pk) + "'");
@@ -58,22 +57,22 @@ Status Table::update_column(std::string_view pk, std::string_view column,
 }
 
 bool Table::remove(std::string_view pk) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   return rows_.erase(std::string(pk)) > 0;
 }
 
 void Table::scan(const std::function<void(const Row&)>& fn) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   for (const auto& [pk, row] : rows_) fn(row);
 }
 
 std::size_t Table::size() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return rows_.size();
 }
 
 std::vector<Row> Table::dump() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<Row> out;
   out.reserve(rows_.size());
   for (const auto& [pk, row] : rows_) out.push_back(row);
@@ -84,7 +83,7 @@ Status Table::load(std::vector<Row> rows) {
   for (const auto& row : rows) {
     if (!schema_.matches(row)) return Error("load: row does not match schema");
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   rows_.clear();
   for (auto& row : rows) {
     std::string pk = pk_of(row);

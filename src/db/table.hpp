@@ -6,12 +6,12 @@
 
 #include <functional>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "db/value.hpp"
 
 namespace janus::db {
@@ -61,8 +61,8 @@ class Table {
 
   std::string name_;
   Schema schema_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Row> rows_;
+  mutable SharedMutex mu_{LockRank::kDbTable, "db.table"};
+  std::unordered_map<std::string, Row> rows_ JANUS_GUARDED_BY(mu_);
 };
 
 }  // namespace janus::db

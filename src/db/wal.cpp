@@ -44,7 +44,7 @@ Status Wal::append(const LogRecord& rec) {
     // reports success, but its CRC (header bytes 4..7) no longer matches.
     framed[4] ^= 0xFF;
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!file_) return Error("wal: closed");
   if (faults.should_fire(testing::FaultPoint::kDbWalPartialWrite)) {
     // Torn write: only a prefix of the frame reaches the file, as after a
@@ -65,7 +65,7 @@ Status Wal::append(const LogRecord& rec) {
 }
 
 Status Wal::sync() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!file_) return Error("wal: closed");
   if (std::fflush(file_) != 0) return Error("wal: flush failed");
   if (testing::FaultInjector::instance().should_fire(

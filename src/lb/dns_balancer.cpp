@@ -6,7 +6,7 @@ namespace janus::lb {
 
 void DnsBalancer::set_record(const std::string& name,
                              std::vector<net::SockAddr> addrs) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   records_[name] = std::move(addrs);
   rotation_[name] = 0;
 }
@@ -14,13 +14,13 @@ void DnsBalancer::set_record(const std::string& name,
 void DnsBalancer::set_failover_record(const std::string& name,
                                       net::SockAddr primary,
                                       net::SockAddr secondary) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   failover_[name] = FailoverState{.primary = std::move(primary),
                                   .secondary = std::move(secondary)};
 }
 
 Result<DnsAnswer> DnsBalancer::query(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = failover_.find(name); it != failover_.end()) {
     const FailoverState& st = it->second;
     return DnsAnswer{.addrs = {st.on_secondary ? st.secondary : st.primary},
@@ -50,14 +50,14 @@ void DnsBalancer::run_health_checks(const HealthProbe& probe,
   // Probe outside the lock: probes can take hundreds of milliseconds.
   std::vector<std::pair<std::string, net::SockAddr>> targets;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, st] : failover_) {
       targets.emplace_back(name, st.on_secondary ? st.secondary : st.primary);
     }
   }
   for (const auto& [name, addr] : targets) {
     const bool healthy = probe(addr);
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = failover_.find(name);
     if (it == failover_.end()) continue;
     FailoverState& st = it->second;
@@ -77,14 +77,14 @@ void DnsBalancer::run_health_checks(const HealthProbe& probe,
 }
 
 bool DnsBalancer::failed_over(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = failover_.find(name);
   return it != failover_.end() && it->second.on_secondary;
 }
 
 void DnsBalancer::rotate_failover(const std::string& name,
                                   net::SockAddr new_secondary) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = failover_.find(name);
   if (it == failover_.end()) return;
   FailoverState& st = it->second;
@@ -108,7 +108,7 @@ Result<std::vector<net::SockAddr>> CachingResolver::resolve_all(
     const std::string& name) {
   const TimePoint now = clock_.now();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(name);
     if (it != cache_.end() && it->second.expires > now) {
       ++hits_;
@@ -117,7 +117,7 @@ Result<std::vector<net::SockAddr>> CachingResolver::resolve_all(
   }
   auto answer = dns_.query(name);
   if (!answer.ok()) return Error(answer.error().message);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++misses_;
   cache_[name] = CacheEntry{.addrs = answer.value().addrs,
                             .expires = now + answer.value().ttl};
@@ -125,8 +125,18 @@ Result<std::vector<net::SockAddr>> CachingResolver::resolve_all(
 }
 
 void CachingResolver::flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
+}
+
+std::size_t CachingResolver::cache_hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+std::size_t CachingResolver::cache_misses() const {
+  MutexLock lock(mu_);
+  return misses_;
 }
 
 HealthProbe tcp_connect_probe(Duration timeout) {

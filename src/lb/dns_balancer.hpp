@@ -14,11 +14,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "net/socket.hpp"
 #include "router/router_node.hpp"
 
@@ -74,10 +74,11 @@ class DnsBalancer {
   };
 
   Duration default_ttl_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<net::SockAddr>> records_;
-  std::map<std::string, std::size_t> rotation_;
-  std::map<std::string, FailoverState> failover_;
+  mutable Mutex mu_{LockRank::kDnsBalancer, "lb.dns_balancer"};
+  std::map<std::string, std::vector<net::SockAddr>> records_
+      JANUS_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> rotation_ JANUS_GUARDED_BY(mu_);
+  std::map<std::string, FailoverState> failover_ JANUS_GUARDED_BY(mu_);
 };
 
 /// Client-side resolver with TTL caching — models the OS resolver cache that
@@ -100,8 +101,10 @@ class CachingResolver final : public router::Resolver {
   /// Drop all cached entries (e.g. after a known failover, for tests).
   void flush();
 
-  std::size_t cache_hits() const { return hits_; }
-  std::size_t cache_misses() const { return misses_; }
+  // Stats accessors take the lock: unguarded reads raced concurrent
+  // resolve_all() increments (torn counts under TSan, stale totals).
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
 
  private:
   struct CacheEntry {
@@ -111,10 +114,13 @@ class CachingResolver final : public router::Resolver {
 
   DnsBalancer& dns_;
   Clock& clock_;
-  std::mutex mu_;
-  std::map<std::string, CacheEntry> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  // Caches below the balancer: resolve_all() calls dns_.query() between its
+  // two cache-lock regions, never while holding mu_, but the rank order
+  // still documents cache as the inner lock if that ever changes.
+  mutable Mutex mu_{LockRank::kDnsCache, "lb.dns_cache"};
+  std::map<std::string, CacheEntry> cache_ JANUS_GUARDED_BY(mu_);
+  std::size_t hits_ JANUS_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ JANUS_GUARDED_BY(mu_) = 0;
 };
 
 /// TCP connect probe for real deployments.

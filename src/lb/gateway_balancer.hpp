@@ -3,6 +3,10 @@
 // it, opens/reuses a connection to a back-end router node chosen by the
 // routing policy, and relays the response. That extra TCP hop is precisely
 // the +500 µs Fig. 5 measures against DNS load balancing.
+//
+// Concurrency (DESIGN.md §8): the balancer adds no locks of its own — the
+// round-robin cursor and health flags are atomics, connection reuse is
+// per-worker, and the HTTP dispatch rides HttpServer's `common.queue` rank.
 #pragma once
 
 #include <atomic>

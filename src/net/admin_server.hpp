@@ -8,6 +8,10 @@
 // The admin surface is deliberately separate from the data-plane listener:
 // it binds its own port, runs a single worker by default, and never touches
 // the request path, so scraping cannot perturb the latency experiments.
+//
+// Concurrency (DESIGN.md §8): stateless beyond the wrapped HttpServer; the
+// /metrics render takes each registry/stripe lock briefly inside
+// MetricsRegistry's annotated accessors, never data-plane locks.
 #pragma once
 
 #include <functional>

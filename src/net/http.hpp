@@ -80,6 +80,9 @@ std::string serialize(const HttpRequest& req);
 std::string serialize(const HttpResponse& resp);
 
 /// Blocking HTTP/1.1 server: accept thread + handler pool, keep-alive.
+/// Concurrency (DESIGN.md §8): accepted connections flow to workers through
+/// a BlockingQueue (`common.queue` rank); the handler runs unlocked, so it
+/// may take any application lock. Shutdown is an atomic flag + queue close.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

@@ -5,6 +5,10 @@
 //
 // Responses are matched to requests by request id, so a late duplicate from
 // a retried datagram cannot be mistaken for the answer to a newer request.
+//
+// Concurrency model (DESIGN.md §8): one client instance per router worker
+// thread (the socket and request-id counter are not shared); cross-thread
+// state is limited to the atomic metrics counters. No locks to rank.
 #pragma once
 
 #include <atomic>

@@ -7,6 +7,11 @@
 // current local QoS table upon request"). The slave runs an HaReplicaClient
 // that pulls snapshots into its own AdmissionController. Failover itself is
 // a DNS swap handled by lb::DnsBalancer health checks.
+//
+// Concurrency model (DESIGN.md §8): lock-free here by construction — both
+// sides own their threads and communicate over sockets; shared table state
+// is reached only through ShardedQosTable's `core.qos_shard` locks, and
+// stop flags are atomics.
 #pragma once
 
 #include <atomic>

@@ -10,6 +10,11 @@
 //
 // Workers answer over the same socket the listener reads from; the server
 // never tracks whether a response arrived — the router retries (§III-B).
+//
+// Concurrency model (DESIGN.md §8): the node itself holds no locks. Shared
+// state lives behind the annotated sync layer of its parts — the FIFO's
+// `common.queue` mutex, the table's `core.qos_shard` shards, the periodic
+// threads' `common.periodic` — plus atomics for the stop flag and counters.
 #pragma once
 
 #include <atomic>

@@ -45,7 +45,7 @@ FaultInjector::FaultInjector() { seed(kDefaultSeed); }
 void FaultInjector::seed(std::uint64_t s) {
   for (std::size_t i = 0; i < kFaultPointCount; ++i) {
     Point& p = points_[i];
-    std::lock_guard lock(p.mu);
+    MutexLock lock(p.mu);
     // Independent stream per point: same seed always yields the same
     // decision sequence at a given point, no matter what other points do.
     std::uint64_t base = s ^ (0x9E3779B97F4A7C15ull * (i + 1));
@@ -57,7 +57,7 @@ void FaultInjector::seed(std::uint64_t s) {
 
 void FaultInjector::arm(FaultPoint point, ArmSpec spec) {
   Point& p = points_[static_cast<std::size_t>(point)];
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   p.spec = spec;
   p.hit_count = 0;
   p.fire_count = 0;
@@ -66,7 +66,7 @@ void FaultInjector::arm(FaultPoint point, ArmSpec spec) {
 
 void FaultInjector::disarm(FaultPoint point) {
   Point& p = points_[static_cast<std::size_t>(point)];
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   p.armed.store(false, std::memory_order_release);
 }
 
@@ -77,7 +77,7 @@ void FaultInjector::disarm_all() {
 }
 
 bool FaultInjector::fire_slow(Point& p) {
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   // Re-check under the lock: a concurrent disarm() may have won the race
   // after the relaxed fast-path load.
   if (!p.armed.load(std::memory_order_relaxed)) return false;
@@ -97,19 +97,19 @@ bool FaultInjector::fire_slow(Point& p) {
 
 std::int64_t FaultInjector::param(FaultPoint point) const {
   const Point& p = points_[static_cast<std::size_t>(point)];
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   return p.spec.param;
 }
 
 std::uint64_t FaultInjector::fires(FaultPoint point) const {
   const Point& p = points_[static_cast<std::size_t>(point)];
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   return p.fire_count;
 }
 
 std::uint64_t FaultInjector::hits(FaultPoint point) const {
   const Point& p = points_[static_cast<std::size_t>(point)];
-  std::lock_guard lock(p.mu);
+  MutexLock lock(p.mu);
   return p.hit_count;
 }
 

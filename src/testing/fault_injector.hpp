@@ -19,9 +19,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string_view>
+
+#include "common/sync.hpp"
 
 namespace janus::testing {
 
@@ -89,11 +90,13 @@ class FaultInjector {
  private:
   struct Point {
     std::atomic<bool> armed{false};
-    mutable std::mutex mu;
-    ArmSpec spec;            // guarded by mu
-    std::uint64_t rng = 0;   // SplitMix64 state, guarded by mu
-    std::uint64_t hit_count = 0;
-    std::uint64_t fire_count = 0;
+    // Leaf rank above the WAL: Wal::append consults fault points while
+    // holding the WAL lock, never the other way around.
+    mutable Mutex mu{LockRank::kFaultPoint, "testing.fault_point"};
+    ArmSpec spec JANUS_GUARDED_BY(mu);
+    std::uint64_t rng JANUS_GUARDED_BY(mu) = 0;  // SplitMix64 state
+    std::uint64_t hit_count JANUS_GUARDED_BY(mu) = 0;
+    std::uint64_t fire_count JANUS_GUARDED_BY(mu) = 0;
   };
 
   FaultInjector();

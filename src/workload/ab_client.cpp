@@ -1,9 +1,9 @@
 #include "workload/ab_client.hpp"
 
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/http.hpp"
 #include "wire/http_codec.hpp"
 #include "wire/message.hpp"
@@ -13,7 +13,7 @@ namespace janus::workload {
 AbReport run_ab(const net::SockAddr& endpoint, const KeyGenerator& keys,
                 const AbConfig& config) {
   AbReport report;
-  std::mutex report_mu;
+  Mutex report_mu{LockRank::kWorkloadReport, "workload.ab_report"};
 
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
   const std::uint64_t per_thread = config.total_requests / threads;
@@ -64,7 +64,7 @@ AbReport run_ab(const net::SockAddr& endpoint, const KeyGenerator& keys,
         }
       }
 
-      std::lock_guard lock(report_mu);
+      MutexLock lock(report_mu);
       report.completed += local.completed;
       report.allowed += local.allowed;
       report.denied += local.denied;

@@ -1,8 +1,8 @@
-#!/bin/sh
+#!/bin/bash
 # Fails if any fault point named in src/testing/fault_injector.cpp is missing
 # from the DESIGN.md fault-point table. Companion to check_metrics_doc.sh;
 # registered as a CTest so the table cannot rot as points are added.
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 design="$repo_root/DESIGN.md"
@@ -13,8 +13,17 @@ src="$repo_root/src/testing/fault_injector.cpp"
 
 # Fault point names are dotted lowercase literals in the kNames table
 # (e.g. "net.udp.drop_rx"). Match the shape, not the variable, so a renamed
-# array cannot silently disable the guard.
-names=$(grep -hoE '"[a-z]+(\.[a-z_]+)+"' "$src" | tr -d '"' | sort -u)
+# array cannot silently disable the guard. grep exit 1 (no match) is handled
+# below; >1 is a real error and must not read as "no fault points".
+set +e
+raw=$(grep -hoE '"[a-z]+(\.[a-z_]+)+"' "$src")
+rc=$?
+set -e
+if [ "$rc" -gt 1 ]; then
+  echo "check_faults_doc: grep failed scanning $src (exit $rc)" >&2
+  exit 2
+fi
+names=$(echo "$raw" | tr -d '"' | sort -u)
 
 [ -n "$names" ] || { echo "check_faults_doc: no fault point names found in $src" >&2; exit 1; }
 

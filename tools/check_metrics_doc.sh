@@ -1,8 +1,8 @@
-#!/bin/sh
+#!/bin/bash
 # Fails if any metric registered in src/ (registry.counter/gauge/histogram
 # calls) is missing from the DESIGN.md §6 metric inventory table. Run from
 # anywhere; registered as a CTest so the table cannot rot.
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 design="$repo_root/DESIGN.md"
@@ -10,8 +10,17 @@ src="$repo_root/src"
 
 [ -f "$design" ] || { echo "check_metrics_doc: $design not found" >&2; exit 1; }
 
-names=$(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' "$src" \
-  | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+# grep exits 1 on "no match" and >1 on real errors (bad path, I/O); a real
+# error must fail the guard loudly rather than read as "nothing registered".
+set +e
+raw=$(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' "$src")
+rc=$?
+set -e
+if [ "$rc" -gt 1 ]; then
+  echo "check_metrics_doc: grep failed scanning $src (exit $rc)" >&2
+  exit 2
+fi
+names=$(echo "$raw" | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
 
 [ -n "$names" ] || { echo "check_metrics_doc: no metrics found in $src" >&2; exit 1; }
 

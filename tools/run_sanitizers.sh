@@ -33,6 +33,11 @@ fi
 
 cxx=${CXX:-c++}
 
+# The lock-layer usage guard is pure grep: run it in every mode, before any
+# build. Sanitizers find the races these rules prevent; cheaper to refuse
+# the raw primitive than to catch the race.
+"$repo_root/tools/check_sync_usage.sh" "$repo_root"
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \
@@ -94,4 +99,17 @@ if [ "$ran" -eq 0 ]; then
   echo "run_sanitizers: no requested sanitizer is supported by $cxx" >&2
   exit 77
 fi
+
+# Full mode also runs the static-analysis gate (Clang thread-safety build +
+# clang-tidy); its exit 77 (no clang toolchain) is a skip here, not a failure.
+if [ "$mode" = full ]; then
+  echo "== static analysis (tools/run_static_analysis.sh) =="
+  rc=0
+  "$repo_root/tools/run_static_analysis.sh" || rc=$?
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 77 ]; then
+    exit "$rc"
+  fi
+  [ "$rc" -eq 77 ] && echo "run_sanitizers: static analysis skipped (no clang)"
+fi
+
 echo "run_sanitizers: all requested presets passed"

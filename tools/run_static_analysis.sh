@@ -1,0 +1,59 @@
+#!/bin/bash
+# Static-analysis gate: builds the tree with Clang and -Werror=thread-safety
+# (the JANUS_ANALYZE CMake config), then runs clang-tidy (repo .clang-tidy:
+# bugprone-*, concurrency-*, performance-*, plus modernize-use-override /
+# modernize-use-nullptr) over the compilation database.
+#
+# Also always runs tools/check_sync_usage.sh, which needs no toolchain.
+#
+# Exit codes: 0 = clean, 1 = findings, 77 = clang toolchain unavailable
+# (ctest SKIP_RETURN_CODE; mirrors tools/run_sanitizers.sh).
+#
+# Usage: tools/run_static_analysis.sh [--tidy-only|--build-only]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+mode="${1:-all}"
+
+# The usage guard runs regardless of toolchain availability: a raw
+# std::mutex must fail this gate even on a GCC-only box.
+tools/check_sync_usage.sh "$root"
+
+CLANG_CXX="${CLANG_CXX:-clang++}"
+CLANG_C="${CLANG_C:-clang}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$CLANG_CXX" >/dev/null 2>&1; then
+    echo "run_static_analysis: $CLANG_CXX not found; skipping (exit 77)." >&2
+    echo "run_static_analysis: the thread-safety annotations still guard" >&2
+    echo "run_static_analysis: Clang builds elsewhere (cmake -DJANUS_ANALYZE=ON)." >&2
+    exit 77
+fi
+
+build_dir="build-analyze"
+
+echo "== configure: Clang + JANUS_ANALYZE (thread-safety as errors) =="
+cmake -B "$build_dir" -S . \
+    -DCMAKE_C_COMPILER="$CLANG_C" \
+    -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DJANUS_ANALYZE=ON
+
+if [ "$mode" != "--tidy-only" ]; then
+    echo "== build with -Werror=thread-safety =="
+    cmake --build "$build_dir" -j "$(nproc)"
+fi
+
+if [ "$mode" != "--build-only" ]; then
+    if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+        echo "run_static_analysis: $CLANG_TIDY not found; skipping tidy (exit 77)." >&2
+        exit 77
+    fi
+    echo "== clang-tidy over the compilation database =="
+    # First-party translation units only; the compile DB covers the rest.
+    mapfile -t tus < <(find src bench -name '*.cpp' | sort)
+    "$CLANG_TIDY" -p "$build_dir" --quiet "${tus[@]}"
+fi
+
+echo "run_static_analysis: OK"
