@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <mutex>  // sync-ok: baseline for the janus::Mutex overhead bench
+#include <string>
+#include <unordered_map>
 
 #include "common/crc32.hpp"
+#include "common/transparent_hash.hpp"
 #include "common/histogram.hpp"
 #include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
@@ -28,6 +31,58 @@ void BM_Crc32(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Crc32)->Arg(8)->Arg(36)->Arg(128)->Arg(1024);
+
+// PR 4 acceptance pair: the scalar byte-at-a-time loop vs the slice-by-8
+// kernel that crc32() now dispatches to at runtime. 64-byte keys (the
+// paper's tenant/operation shape) must show >=2x (BENCH_PR4.json records
+// the measured ratio; tools/run_bench_suite.sh regenerates it).
+void BM_Crc32Scalar(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_scalar(key));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32Scalar)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Crc32Slice8(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_slice8(key));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32Slice8)->Arg(16)->Arg(64)->Arg(256);
+
+// The transparent-hash contract, isolated: the same map type probed
+// heterogeneously (string_view, no allocation — the post-PR4 decision path)
+// vs through a temporary std::string (the pre-PR4 shape: one heap
+// allocation per lookup once the key outgrows SSO).
+using TransparentMap =
+    std::unordered_map<std::string, int, TransparentStringHash,
+                       TransparentStringEq>;
+
+void BM_TableLookupTransparent(benchmark::State& state) {
+  TransparentMap map;
+  const std::string key = "tenant-12345/upload-photo-operation";
+  map.emplace(key, 1);
+  const std::string_view probe = key;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(probe));
+  }
+}
+BENCHMARK(BM_TableLookupTransparent);
+
+void BM_TableLookupOwningKey(benchmark::State& state) {
+  TransparentMap map;
+  const std::string key = "tenant-12345/upload-photo-operation";
+  map.emplace(key, 1);
+  const std::string_view probe = key;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(std::string(probe)));
+  }
+}
+BENCHMARK(BM_TableLookupOwningKey);
 
 void BM_KeyRouterIndex(benchmark::State& state) {
   core::KeyRouter router(20);
@@ -61,6 +116,20 @@ void BM_WireDecodeRequest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireDecodeRequest);
+
+// Zero-copy decode: string_view fields aliasing the datagram buffer vs the
+// owning decode above (two string copies per request).
+void BM_WireDecodeRequestView(benchmark::State& state) {
+  wire::QosRequest req;
+  req.request_id = 42;
+  req.key = "tenant-12345/photos";
+  const auto bytes = wire::encode(req);
+  for (auto _ : state) {
+    auto decoded = wire::decode_request_view(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_WireDecodeRequestView);
 
 void BM_LeakyBucketConsume(benchmark::State& state) {
   core::LeakyBucket bucket(1e12, 1e9, kTimeZero);
@@ -236,6 +305,63 @@ void BM_AdmissionHotPathWithHistograms(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdmissionHotPathWithHistograms);
+
+// Syscall-batching sweep: N 64-byte datagrams over loopback, one
+// send_many + recv_many drain per iteration. items/s is datagrams/s; the
+// Arg(1) row is the per-datagram-syscall baseline the batch rows amortize
+// against. BatchFallback pins Arg(32) to the recvfrom/sendto loops, so the
+// delta to BM_UdpBatchRoundTrip/32 is the pure recvmmsg/sendmmsg win.
+void BM_UdpBatchRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto sock = net::UdpSocket::bind({"127.0.0.1", 0}).take();
+  const net::SockAddr self = sock.local_addr().take();
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+  const std::vector<net::UdpSocket::OutDatagram> burst(
+      n, net::UdpSocket::OutDatagram{self, payload});
+  net::UdpSocket::RecvBatch batch(n);
+  for (auto _ : state) {
+    if (!sock.send_many(burst).ok()) state.SkipWithError("send_many failed");
+    std::size_t got = 0;
+    while (got < n) {
+      auto r = sock.recv_many(batch, millis(200));
+      if (!r.ok() || r.value() == 0) {
+        state.SkipWithError("recv_many stalled");
+        break;
+      }
+      got += r.value();
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UdpBatchRoundTrip)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_UdpBatchRoundTripFallback(benchmark::State& state) {
+  net::UdpSocket::set_batch_syscalls_enabled(false);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto sock = net::UdpSocket::bind({"127.0.0.1", 0}).take();
+  const net::SockAddr self = sock.local_addr().take();
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+  const std::vector<net::UdpSocket::OutDatagram> burst(
+      n, net::UdpSocket::OutDatagram{self, payload});
+  net::UdpSocket::RecvBatch batch(n);
+  for (auto _ : state) {
+    if (!sock.send_many(burst).ok()) state.SkipWithError("send_many failed");
+    std::size_t got = 0;
+    while (got < n) {
+      auto r = sock.recv_many(batch, millis(200));
+      if (!r.ok() || r.value() == 0) {
+        state.SkipWithError("recv_many stalled");
+        break;
+      }
+      got += r.value();
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  net::UdpSocket::set_batch_syscalls_enabled(true);
+}
+BENCHMARK(BM_UdpBatchRoundTripFallback)->Arg(32);
 
 }  // namespace
 

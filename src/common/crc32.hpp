@@ -1,37 +1,109 @@
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the hash the Janus
 // request router uses to partition QoS keys across QoS servers (paper §II-B,
-// Fig. 2). Table-driven, one table generated at compile time.
+// Fig. 2), the QoS table's shard mixer, and the WAL/serialize record checksum.
+//
+// Two implementations behind one chaining-equivalent API:
+//   * crc32_scalar()  — byte-at-a-time table walk; constexpr, used at
+//                       compile time and as the known-good reference.
+//   * crc32_slice8()  — slice-by-8: eight 256-entry tables generated at
+//                       compile time, 8 input bytes folded per step
+//                       (two 32-bit loads + eight table lookups). ~4x the
+//                       scalar throughput on the 16-64 byte QoS keys the
+//                       decision path hashes twice per request.
+// crc32() dispatches: constant evaluation and big-endian hosts take the
+// scalar loop, runtime little-endian takes slice-by-8. Both produce
+// bit-identical results for every input and seed (tests/common/test_crc32.cpp
+// pins scalar/sliced agreement plus the known-answer vectors), so the
+// router's partition function can never silently change.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
+#include <type_traits>
 
 namespace janus {
 
 namespace detail {
-constexpr std::array<std::uint32_t, 256> make_crc32_table() {
-  std::array<std::uint32_t, 256> table{};
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  // tables[k][b] = CRC of byte b followed by k zero bytes: lets one step
+  // fold 8 bytes by looking each byte up in the table matching its distance
+  // from the end of the 8-byte block.
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
-inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Tables =
+    make_crc32_tables();
+/// The classic single table (kCrc32Tables[0]), kept under its old name for
+/// the scalar loop.
+inline constexpr const std::array<std::uint32_t, 256>& kCrc32Table =
+    kCrc32Tables[0];
 }  // namespace detail
 
-/// Incremental CRC-32. `seed` is a previous crc32() result for chaining.
-constexpr std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+/// Byte-at-a-time reference implementation. `seed` is a previous crc32()
+/// result for chaining; crc32(a+b) == crc32(b, crc32(a)).
+constexpr std::uint32_t crc32_scalar(std::string_view data,
+                                     std::uint32_t seed = 0) {
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
   for (char ch : data) {
     c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^
         (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+/// Slice-by-8: folds 8 bytes per step, byte loop for the <8-byte tail.
+/// Little-endian only (the two 32-bit loads are interpreted LE); crc32()
+/// guards the dispatch. Chaining-equivalent with crc32_scalar().
+inline std::uint32_t crc32_slice8(std::string_view data,
+                                  std::uint32_t seed = 0) {
+  const auto& t = detail::kCrc32Tables;
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Incremental CRC-32. `seed` is a previous crc32() result for chaining.
+/// Every caller (key_router, qos_table sharding, WAL, serialize) goes
+/// through here and picks up the sliced fast path automatically.
+constexpr std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  if (std::is_constant_evaluated() ||
+      std::endian::native != std::endian::little) {
+    return crc32_scalar(data, seed);
+  }
+  return crc32_slice8(data, seed);
 }
 
 }  // namespace janus

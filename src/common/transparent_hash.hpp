@@ -1,0 +1,89 @@
+// Heterogeneous (is_transparent) hash/equality for string-keyed hash maps
+// on the decision path. A plain unordered_map<std::string, V> forces every
+// probe through find(std::string(key)) — one heap allocation per lookup.
+// With these functors, C++20 heterogeneous find() probes directly with a
+// string_view (or a PrehashedKey carrying an already-computed hash), so the
+// warm-key decision performs zero allocations (tests/perf/
+// test_hotpath_allocs.cpp pins this down).
+//
+// The hash is CRC-32 of the key (the same primitive the router partition
+// and shard mixer use, so one CRC pass can feed all three) widened through
+// a SplitMix64 finalizer for bucket-index quality. Convention (DESIGN.md
+// §9): any map keyed by QoS key or primary key uses TransparentStringHash/
+// TransparentStringEq; lookups pass string_view, inserts construct the
+// owning std::string exactly once, at first touch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/crc32.hpp"
+
+namespace janus {
+
+/// A key plus its precomputed TransparentStringHash value. Callers that
+/// already paid for the CRC (e.g. ShardedQosTable, which derives the shard
+/// index from it) probe with this so the map does not hash again.
+struct PrehashedKey {
+  std::string_view view;
+  std::size_t hash = 0;
+};
+
+struct TransparentStringHash {
+  using is_transparent = void;
+
+  /// SplitMix64 finalizer: spreads the 32 CRC bits over the full size_t so
+  /// modulo-prime bucket selection sees all of them.
+  static constexpr std::size_t finalize(std::uint32_t crc) noexcept {
+    std::uint64_t h = crc;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+
+  static constexpr std::size_t hash_bytes(std::string_view s) noexcept {
+    return finalize(crc32(s));
+  }
+
+  constexpr std::size_t operator()(std::string_view s) const noexcept {
+    return hash_bytes(s);
+  }
+  constexpr std::size_t operator()(const std::string& s) const noexcept {
+    return hash_bytes(s);
+  }
+  constexpr std::size_t operator()(const char* s) const noexcept {
+    return hash_bytes(s);
+  }
+  constexpr std::size_t operator()(const PrehashedKey& k) const noexcept {
+    return k.hash;
+  }
+};
+
+struct TransparentStringEq {
+  using is_transparent = void;
+
+  // string and const char* funnel through the string_view overload.
+  constexpr bool operator()(std::string_view a,
+                            std::string_view b) const noexcept {
+    return a == b;
+  }
+  constexpr bool operator()(const PrehashedKey& a,
+                            std::string_view b) const noexcept {
+    return a.view == b;
+  }
+  constexpr bool operator()(std::string_view a,
+                            const PrehashedKey& b) const noexcept {
+    return a == b.view;
+  }
+  constexpr bool operator()(const PrehashedKey& a,
+                            const PrehashedKey& b) const noexcept {
+    return a.view == b.view;
+  }
+};
+
+}  // namespace janus

@@ -15,15 +15,20 @@ ShardedQosTable::ShardedQosTable(std::size_t shard_count) {
 }
 
 bool ShardedQosTable::contains(std::string_view key) const {
-  const Shard& shard = shard_for(key);
+  const std::size_t h = TransparentStringHash::hash_bytes(key);
+  const Shard& shard = *shards_[shard_index_of(h)];
   MutexLock lock(shard.mu);
-  return shard.entries.find(std::string(key)) != shard.entries.end();
+  return shard.entries.find(PrehashedKey{key, h}) != shard.entries.end();
 }
 
 bool ShardedQosTable::erase(std::string_view key) {
-  Shard& shard = shard_for(key);
+  const std::size_t h = TransparentStringHash::hash_bytes(key);
+  Shard& shard = *shards_[shard_index_of(h)];
   MutexLock lock(shard.mu);
-  return shard.entries.erase(std::string(key)) > 0;
+  auto it = shard.entries.find(PrehashedKey{key, h});
+  if (it == shard.entries.end()) return false;
+  shard.entries.erase(it);
+  return true;
 }
 
 std::size_t ShardedQosTable::size() const {

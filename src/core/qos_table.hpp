@@ -15,6 +15,7 @@
 
 #include "common/crc32.hpp"
 #include "common/sync.hpp"
+#include "common/transparent_hash.hpp"
 #include "core/leaky_bucket.hpp"
 #include "core/qos_rule.hpp"
 
@@ -36,26 +37,33 @@ class ShardedQosTable {
   std::size_t shard_count() const { return shards_.size(); }
 
   /// Run `fn` on the entry for `key` under its shard lock; returns nullopt
-  /// if the key is absent.
+  /// if the key is absent. The key is hashed exactly once: the CRC-derived
+  /// hash picks the shard AND probes the map (PrehashedKey), and the probe
+  /// itself is heterogeneous — no std::string is ever constructed.
   template <typename Fn>
   auto with_entry(std::string_view key, Fn&& fn)
       -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
-    Shard& shard = shard_for(key);
+    const std::size_t h = TransparentStringHash::hash_bytes(key);
+    Shard& shard = *shards_[shard_index_of(h)];
     MutexLock lock(shard.mu);
-    auto it = shard.entries.find(std::string(key));
+    auto it = shard.entries.find(PrehashedKey{key, h});
     if (it == shard.entries.end()) return std::nullopt;
     return fn(it->second);
   }
 
   /// Get the entry, creating it via `factory` if absent, then run `fn` on it
   /// under the shard lock. `factory` runs under the lock too (first-touch
-  /// creation must be atomic with the decision that follows it).
+  /// creation must be atomic with the decision that follows it). The owning
+  /// std::string key is constructed exactly once, and only on first touch
+  /// (tests/perf/test_hotpath_allocs.cpp guards the warm path at zero
+  /// allocations).
   template <typename Fn, typename Factory>
   auto with_entry_or_create(std::string_view key, Factory&& factory, Fn&& fn)
       -> decltype(fn(std::declval<QosEntry&>())) {
-    Shard& shard = shard_for(key);
+    const std::size_t h = TransparentStringHash::hash_bytes(key);
+    Shard& shard = *shards_[shard_index_of(h)];
     MutexLock lock(shard.mu);
-    auto it = shard.entries.find(std::string(key));
+    auto it = shard.entries.find(PrehashedKey{key, h});
     if (it == shard.entries.end()) {
       it = shard.entries.emplace(std::string(key), factory()).first;
     }
@@ -82,7 +90,9 @@ class ShardedQosTable {
     // Leaf rank: shard locks are never held pairwise (for_each/size/clear
     // visit shards one at a time), so same-rank acquisition stays legal.
     mutable Mutex mu{LockRank::kQosShard, "core.qos_shard"};
-    std::unordered_map<std::string, QosEntry> entries JANUS_GUARDED_BY(mu);
+    std::unordered_map<std::string, QosEntry, TransparentStringHash,
+                       TransparentStringEq>
+        entries JANUS_GUARDED_BY(mu);
   };
 
   Shard& shard_for(std::string_view key) {
@@ -91,11 +101,16 @@ class ShardedQosTable {
   const Shard& shard_for(std::string_view key) const {
     return *shards_[shard_index(key)];
   }
+  /// Shard choice from the upper half of the SplitMix64-finalized CRC: a
+  /// different mixing than the router's plain `crc % N`, so shard choice
+  /// stays independent of server choice (otherwise one server's table would
+  /// collapse into a single shard) — while the whole decision still pays
+  /// for exactly one CRC pass over the key.
+  std::size_t shard_index_of(std::size_t hash) const {
+    return (hash >> (sizeof(std::size_t) * 4)) % shards_.size();
+  }
   std::size_t shard_index(std::string_view key) const {
-    // Different mixing than the router's plain CRC so shard choice is
-    // independent of server choice (otherwise one server's table would
-    // collapse into a single shard).
-    return (crc32(key, 0x9E3779B9u)) % shards_.size();
+    return shard_index_of(TransparentStringHash::hash_bytes(key));
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -36,33 +36,33 @@ Status Database::create_table(const std::string& name, Schema schema) {
   return Status::success();
 }
 
-bool Database::has_table(const std::string& name) const {
+bool Database::has_table(std::string_view name) const {
   MutexLock lock(commit_mu_);
   return tables_.count(name) > 0;
 }
 
-const Table& Database::table(const std::string& name) const {
+const Table& Database::table(std::string_view name) const {
   const Table* t = find_table(name);
-  if (!t) throw std::out_of_range("no table named " + name);
+  if (!t) throw std::out_of_range("no table named " + std::string(name));
   return *t;
 }
 
-Table* Database::find_table(const std::string& name) {
+Table* Database::find_table(std::string_view name) {
   MutexLock lock(commit_mu_);
   return find_table_locked(name);
 }
 
-const Table* Database::find_table(const std::string& name) const {
+const Table* Database::find_table(std::string_view name) const {
   MutexLock lock(commit_mu_);
   return find_table_locked(name);
 }
 
-Table* Database::find_table_locked(const std::string& name) {
+Table* Database::find_table_locked(std::string_view name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-const Table* Database::find_table_locked(const std::string& name) const {
+const Table* Database::find_table_locked(std::string_view name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -140,20 +140,20 @@ Status Database::update_column(const std::string& table_name,
   return commit_locked(std::move(rec));
 }
 
-std::optional<Row> Database::get(const std::string& table_name,
+std::optional<Row> Database::get(std::string_view table_name,
                                  std::string_view pk) const {
   const Table* t = find_table(table_name);
   if (!t) return std::nullopt;
   return t->get(pk);
 }
 
-void Database::scan(const std::string& table_name,
+void Database::scan(std::string_view table_name,
                     const std::function<void(const Row&)>& fn) const {
   const Table* t = find_table(table_name);
   if (t) t->scan(fn);
 }
 
-std::size_t Database::table_size(const std::string& table_name) const {
+std::size_t Database::table_size(std::string_view table_name) const {
   const Table* t = find_table(table_name);
   return t ? t->size() : 0;
 }

@@ -39,9 +39,9 @@ class Database {
   Result<std::size_t> recover(const std::string& path);
 
   Status create_table(const std::string& name, Schema schema);
-  bool has_table(const std::string& name) const;
+  bool has_table(std::string_view name) const;
   /// Read access to a table. Throws if absent (programmer error).
-  const Table& table(const std::string& name) const;
+  const Table& table(std::string_view name) const;
 
   // -- Mutations (logged + replicated) --------------------------------------
   Status upsert(const std::string& table, Row row);
@@ -51,10 +51,10 @@ class Database {
                        std::string_view column, Value value);
 
   // -- Reads ----------------------------------------------------------------
-  std::optional<Row> get(const std::string& table, std::string_view pk) const;
-  void scan(const std::string& table,
+  std::optional<Row> get(std::string_view table, std::string_view pk) const;
+  void scan(std::string_view table,
             const std::function<void(const Row&)>& fn) const;
-  std::size_t table_size(const std::string& table) const;
+  std::size_t table_size(std::string_view table) const;
 
   /// Current log sequence number (monotonic; 0 = no mutations yet).
   std::uint64_t lsn() const { return lsn_.load(std::memory_order_acquire); }
@@ -85,11 +85,11 @@ class Database {
  private:
   // Table pointers stay valid after commit_mu_ is released: tables_ maps to
   // stable unique_ptr targets and tables are never dropped once created.
-  Table* find_table(const std::string& name);
-  const Table* find_table(const std::string& name) const;
-  Table* find_table_locked(const std::string& name)
+  Table* find_table(std::string_view name);
+  const Table* find_table(std::string_view name) const;
+  Table* find_table_locked(std::string_view name)
       JANUS_REQUIRES(commit_mu_);
-  const Table* find_table_locked(const std::string& name) const
+  const Table* find_table_locked(std::string_view name) const
       JANUS_REQUIRES(commit_mu_);
   Status commit(LogRecord rec) JANUS_EXCLUDES(commit_mu_);
   Status commit_locked(LogRecord rec) JANUS_REQUIRES(commit_mu_);
@@ -99,7 +99,10 @@ class Database {
   // Serializes the WAL/observer sequence. Outermost database rank: commit
   // takes per-table locks (kDbTable) and the WAL lock (kDbWal) underneath.
   mutable Mutex commit_mu_{LockRank::kDbCommit, "db.commit"};
-  std::map<std::string, std::unique_ptr<Table>> tables_
+  // std::less<>: heterogeneous lookup, so find_table with a string literal
+  // (RuleStore::kTableName on every first-touch rule fetch) never builds a
+  // temporary std::string.
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_
       JANUS_GUARDED_BY(commit_mu_);
   std::unique_ptr<Wal> wal_ JANUS_GUARDED_BY(commit_mu_);
   std::vector<Observer> observers_ JANUS_GUARDED_BY(commit_mu_);

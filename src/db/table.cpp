@@ -30,7 +30,7 @@ Status Table::upsert(Row row) {
 
 std::optional<Row> Table::get(std::string_view pk) const {
   ReaderLock lock(mu_);
-  auto it = rows_.find(std::string(pk));
+  auto it = rows_.find(pk);
   if (it == rows_.end()) return std::nullopt;
   return it->second;
 }
@@ -48,7 +48,7 @@ Status Table::update_column(std::string_view pk, std::string_view column,
     return Error("update: type mismatch for column '" + std::string(column) + "'");
   }
   WriterLock lock(mu_);
-  auto it = rows_.find(std::string(pk));
+  auto it = rows_.find(pk);
   if (it == rows_.end()) {
     return Error("update: no row with key '" + std::string(pk) + "'");
   }
@@ -58,7 +58,10 @@ Status Table::update_column(std::string_view pk, std::string_view column,
 
 bool Table::remove(std::string_view pk) {
   WriterLock lock(mu_);
-  return rows_.erase(std::string(pk)) > 0;
+  auto it = rows_.find(pk);
+  if (it == rows_.end()) return false;
+  rows_.erase(it);
+  return true;
 }
 
 void Table::scan(const std::function<void(const Row&)>& fn) const {

@@ -12,6 +12,7 @@
 
 #include "common/result.hpp"
 #include "common/sync.hpp"
+#include "common/transparent_hash.hpp"
 #include "db/value.hpp"
 
 namespace janus::db {
@@ -62,7 +63,12 @@ class Table {
   std::string name_;
   Schema schema_;
   mutable SharedMutex mu_{LockRank::kDbTable, "db.table"};
-  std::unordered_map<std::string, Row> rows_ JANUS_GUARDED_BY(mu_);
+  // Transparent hash: point lookups (the QoS servers' first-touch rule
+  // fetches) probe with the caller's string_view instead of allocating a
+  // temporary std::string per get().
+  std::unordered_map<std::string, Row, TransparentStringHash,
+                     TransparentStringEq>
+      rows_ JANUS_GUARDED_BY(mu_);
 };
 
 }  // namespace janus::db

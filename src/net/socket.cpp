@@ -144,6 +144,180 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv(Duration timeout) {
   return std::optional<Datagram>{std::move(dg)};
 }
 
+std::atomic<bool> UdpSocket::batch_syscalls_enabled_{true};
+
+void UdpSocket::set_batch_syscalls_enabled(bool enabled) {
+  batch_syscalls_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool UdpSocket::batch_syscalls_enabled() {
+#if JANUS_HAVE_MMSG
+  return batch_syscalls_enabled_.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+UdpSocket::RecvBatch::RecvBatch(std::size_t capacity, std::size_t slot_bytes)
+    : capacity_(std::min(std::max<std::size_t>(1, capacity), kMaxBatch)),
+      slot_bytes_(slot_bytes) {
+  arena_.resize(capacity_ * slot_bytes_);
+  addrs_.resize(capacity_);
+  lens_.resize(capacity_);
+  slots_.resize(capacity_);
+  froms_.resize(capacity_);
+}
+
+std::span<const std::uint8_t> UdpSocket::RecvBatch::data(std::size_t i) const {
+  return {arena_.data() + slots_[i] * slot_bytes_, lens_[i]};
+}
+
+Result<std::size_t> UdpSocket::recv_many(RecvBatch& batch, Duration timeout) {
+  batch.count_ = 0;
+  int ready = wait_readable(fd_.get(), timeout);
+  if (ready < 0) return Error(errno_msg("udp poll"));
+  if (ready == 0) return std::size_t{0};
+
+  // Raw receive into the arena slots: one recvmmsg, or a non-blocking
+  // recvfrom loop on the fallback path. `raw` counts kernel-delivered
+  // datagrams before fault filtering.
+  std::size_t raw = 0;
+  std::size_t raw_lens[kMaxBatch];
+  bool truncated[kMaxBatch];
+
+#if JANUS_HAVE_MMSG
+  if (batch_syscalls_enabled()) {
+    ::mmsghdr hdrs[kMaxBatch];
+    ::iovec iovs[kMaxBatch];
+    std::memset(hdrs, 0, sizeof(::mmsghdr) * batch.capacity_);
+    for (std::size_t i = 0; i < batch.capacity_; ++i) {
+      iovs[i] = {batch.arena_.data() + i * batch.slot_bytes_,
+                 batch.slot_bytes_};
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
+      hdrs[i].msg_hdr.msg_name = &batch.addrs_[i];
+      hdrs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    int n = ::recvmmsg(fd_.get(), hdrs,
+                       static_cast<unsigned int>(batch.capacity_),
+                       MSG_DONTWAIT, nullptr);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+      return Error(errno_msg("udp recvmmsg"));
+    }
+    raw = static_cast<std::size_t>(n);
+    for (std::size_t i = 0; i < raw; ++i) {
+      raw_lens[i] = hdrs[i].msg_len;
+      truncated[i] = (hdrs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+    }
+  } else
+#endif
+  {
+    // Fallback: identical semantics, one syscall per datagram. The first
+    // datagram is guaranteed present (poll said readable); the rest drain
+    // non-blocking until EAGAIN or the batch is full.
+    while (raw < batch.capacity_) {
+      sockaddr_in& sa = batch.addrs_[raw];
+      socklen_t salen = sizeof(sa);
+      ssize_t n = ::recvfrom(
+          fd_.get(), batch.arena_.data() + raw * batch.slot_bytes_,
+          batch.slot_bytes_, MSG_DONTWAIT | MSG_TRUNC,
+          reinterpret_cast<sockaddr*>(&sa), &salen);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return Error(errno_msg("udp recvfrom"));
+      }
+      raw_lens[raw] = static_cast<std::size_t>(n);
+      truncated[raw] = static_cast<std::size_t>(n) > batch.slot_bytes_;
+      ++raw;
+    }
+  }
+
+  // Fault filtering + address conversion, per datagram — a batch of N
+  // consults net.udp.drop_rx exactly N times, so seeded chaos schedules
+  // see the same per-datagram decision stream as the single recv() path.
+  auto& faults = testing::FaultInjector::instance();
+  for (std::size_t i = 0; i < raw; ++i) {
+    if (truncated[i]) continue;  // longer than a slot: drop, as if lost
+    if (faults.should_fire(testing::FaultPoint::kNetUdpDropRx)) continue;
+    const std::size_t out = batch.count_++;
+    batch.slots_[out] = static_cast<std::uint32_t>(i);
+    batch.lens_[out] = static_cast<std::uint32_t>(raw_lens[i]);
+    batch.froms_[out] = SockAddr::from_native(batch.addrs_[i]);
+  }
+  return batch.count_;
+}
+
+Status UdpSocket::send_many(std::span<const OutDatagram> batch) {
+  auto& faults = testing::FaultInjector::instance();
+
+  // Per-datagram fault pass, exactly mirroring send_to(): each datagram
+  // consults delay_us then drop_tx independently of its batch-mates.
+  std::size_t keep[kMaxBatch];
+  sockaddr_in natives[kMaxBatch];
+  std::size_t pos = 0;
+  while (pos < batch.size()) {
+    const std::size_t chunk = std::min(batch.size() - pos, kMaxBatch);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const OutDatagram& dg = batch[pos + i];
+      if (faults.should_fire(testing::FaultPoint::kNetUdpDelayUs)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            faults.param(testing::FaultPoint::kNetUdpDelayUs)));
+      }
+      if (faults.should_fire(testing::FaultPoint::kNetUdpDropTx)) {
+        continue;  // vanishes in flight; sender still sees success
+      }
+      auto native = dg.to.to_native();
+      if (!native.ok()) return Error(native.error().message);
+      natives[kept] = native.value();
+      keep[kept] = pos + i;
+      ++kept;
+    }
+
+#if JANUS_HAVE_MMSG
+    if (batch_syscalls_enabled()) {
+      ::mmsghdr hdrs[kMaxBatch];
+      ::iovec iovs[kMaxBatch];
+      std::memset(hdrs, 0, sizeof(::mmsghdr) * kept);
+      for (std::size_t i = 0; i < kept; ++i) {
+        const OutDatagram& dg = batch[keep[i]];
+        iovs[i] = {const_cast<std::uint8_t*>(dg.data.data()), dg.data.size()};
+        hdrs[i].msg_hdr.msg_iov = &iovs[i];
+        hdrs[i].msg_hdr.msg_iovlen = 1;
+        hdrs[i].msg_hdr.msg_name = &natives[i];
+        hdrs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      }
+      std::size_t sent = 0;
+      while (sent < kept) {
+        int n = ::sendmmsg(fd_.get(), hdrs + sent,
+                           static_cast<unsigned int>(kept - sent), 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return Error(errno_msg("udp sendmmsg"));
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+    } else
+#endif
+    {
+      for (std::size_t i = 0; i < kept; ++i) {
+        const OutDatagram& dg = batch[keep[i]];
+        ssize_t n = ::sendto(fd_.get(), dg.data.data(), dg.data.size(), 0,
+                             reinterpret_cast<sockaddr*>(&natives[i]),
+                             sizeof(sockaddr_in));
+        if (n < 0) return Error(errno_msg("udp sendto"));
+        if (static_cast<std::size_t>(n) != dg.data.size()) {
+          return Error("udp sendto: short write");
+        }
+      }
+    }
+    pos += chunk;
+  }
+  return Status::success();
+}
+
 Result<SockAddr> UdpSocket::local_addr() const {
   sockaddr_in sa{};
   socklen_t salen = sizeof(sa);

@@ -6,6 +6,7 @@
 
 #include <netinet/in.h>
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -14,6 +15,17 @@
 
 #include "common/clock.hpp"
 #include "common/result.hpp"
+
+// Batched datagram syscalls: recvmmsg/sendmmsg move a whole batch per kernel
+// crossing and exist on Linux (glibc/musl). Elsewhere the batch API below
+// transparently falls back to a recvfrom/sendto loop — same semantics, one
+// syscall per datagram. Tests force the fallback at runtime via
+// UdpSocket::set_batch_syscalls_enabled(false) so both paths run everywhere.
+#if defined(__linux__)
+#define JANUS_HAVE_MMSG 1
+#else
+#define JANUS_HAVE_MMSG 0
+#endif
 
 namespace janus::net {
 
@@ -69,6 +81,68 @@ class UdpSocket {
   /// timeout < 0 blocks indefinitely.
   Result<std::optional<Datagram>> recv(Duration timeout);
 
+  /// Hard cap on datagrams per batched syscall (mmsghdr arrays live on the
+  /// stack in socket.cpp); RecvBatch capacities clamp to it.
+  static constexpr std::size_t kMaxBatch = 64;
+  /// Per-slot receive buffer for batched receives. The largest Janus wire
+  /// frame (header + 4 KiB key + trace) is ~4.3 KiB; anything longer than a
+  /// slot is dropped as truncated.
+  static constexpr std::size_t kRecvSlotBytes = 8192;
+
+  /// Reusable scratch for recv_many: slot buffers and address storage are
+  /// allocated once here and reused across calls, so a steady-state
+  /// listener performs no per-wakeup heap allocation inside the socket
+  /// layer. Results are views into the arena — valid until the next
+  /// recv_many call on this batch.
+  class RecvBatch {
+   public:
+    explicit RecvBatch(std::size_t capacity,
+                       std::size_t slot_bytes = kRecvSlotBytes);
+
+    std::size_t capacity() const { return capacity_; }
+    /// Datagrams received by the last recv_many call.
+    std::size_t size() const { return count_; }
+    std::span<const std::uint8_t> data(std::size_t i) const;
+    const SockAddr& from(std::size_t i) const { return froms_[i]; }
+
+   private:
+    friend class UdpSocket;
+    std::size_t capacity_;
+    std::size_t slot_bytes_;
+    std::size_t count_ = 0;
+    std::vector<std::uint8_t> arena_;    // capacity_ * slot_bytes_
+    std::vector<sockaddr_in> addrs_;     // kernel-filled source addresses
+    std::vector<std::uint32_t> lens_;    // per-result datagram length
+    std::vector<std::uint32_t> slots_;   // result index -> arena slot
+    std::vector<SockAddr> froms_;        // converted source addresses
+  };
+
+  /// One outbound datagram for send_many; `data` must stay alive for the
+  /// duration of the call (it is not copied).
+  struct OutDatagram {
+    SockAddr to;
+    std::span<const std::uint8_t> data;
+  };
+
+  /// Wait up to `timeout` for readability, then drain up to
+  /// batch.capacity() datagrams in one recvmmsg (or a non-blocking recvfrom
+  /// loop where unavailable/disabled). Returns the number received into
+  /// `batch`; 0 = timeout. Fault semantics are per-datagram: each received
+  /// datagram consults net.udp.drop_rx independently, exactly as the
+  /// single-datagram recv() does.
+  Result<std::size_t> recv_many(RecvBatch& batch, Duration timeout);
+
+  /// Send a batch of datagrams with one sendmmsg (or a sendto loop).
+  /// Per-datagram fault semantics: net.udp.delay_us and net.udp.drop_tx
+  /// fire independently for every datagram in the batch.
+  Status send_many(std::span<const OutDatagram> batch);
+
+  /// Test hook: force the single-syscall fallback paths (recvfrom/sendto
+  /// loops) even where recvmmsg/sendmmsg exist, so the chaos suite proves
+  /// both paths behave identically. Process-wide; defaults to enabled.
+  static void set_batch_syscalls_enabled(bool enabled);
+  static bool batch_syscalls_enabled();
+
   /// Local address after bind (resolves ephemeral ports).
   Result<SockAddr> local_addr() const;
 
@@ -77,6 +151,7 @@ class UdpSocket {
  private:
   explicit UdpSocket(Fd fd) : fd_(std::move(fd)) {}
   Fd fd_;
+  static std::atomic<bool> batch_syscalls_enabled_;
 };
 
 /// Blocking TCP connection with poll-based timeouts.

@@ -1,5 +1,7 @@
 #include "router/udp_qos_client.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "testing/fault_injector.hpp"
 
@@ -9,13 +11,18 @@ std::atomic<std::uint64_t> UdpQosClient::next_request_id_{1};
 
 UdpQosClient::UdpQosClient(UdpClientConfig config) : config_(config) {}
 
-Result<wire::QosResponse> UdpQosClient::call(const net::SockAddr& server,
-                                             const wire::QosRequest& request) {
+Status UdpQosClient::ensure_socket() {
   if (!socket_) {
     auto sock = net::UdpSocket::create();
     if (!sock.ok()) return Error(sock.error().message);
     socket_.emplace(std::move(sock).take());
   }
+  return Status::success();
+}
+
+Result<wire::QosResponse> UdpQosClient::call(const net::SockAddr& server,
+                                             const wire::QosRequest& request) {
+  if (auto s = ensure_socket(); !s.ok()) return Error(s.error().message);
 
   wire::QosRequest req = request;
   if (req.request_id == 0) {
@@ -62,6 +69,92 @@ Result<wire::QosResponse> UdpQosClient::call(const net::SockAddr& server,
   fallback.allowed = config_.default_allow;
   fallback.remaining_millicredits = -1;
   return fallback;
+}
+
+Result<std::vector<wire::QosResponse>> UdpQosClient::call_many(
+    const net::SockAddr& server, std::span<const wire::QosRequest> requests) {
+  std::vector<wire::QosResponse> results(requests.size());
+  last_attempts_ = 0;
+  if (requests.empty()) return results;
+  if (auto s = ensure_socket(); !s.ok()) return Error(s.error().message);
+
+  // Encode every request once, with ids assigned up front so responses can
+  // be matched positionally via the id -> index map below.
+  if (batch_scratch_.size() < requests.size()) {
+    batch_scratch_.resize(requests.size());
+  }
+  std::vector<std::uint64_t> ids(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    wire::QosRequest req = requests[i];
+    if (req.request_id == 0) {
+      req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ids[i] = req.request_id;
+    wire::encode_to(req, batch_scratch_[i]);
+  }
+
+  // Indices still awaiting a response. Shrinks as answers land; each retry
+  // round resends (one sendmmsg burst) only the remainder.
+  std::vector<std::size_t> pending(requests.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+
+  std::vector<net::UdpSocket::OutDatagram> burst;
+  burst.reserve(pending.size());
+
+  const int attempts = config_.max_retries > 0 ? config_.max_retries : 1;
+  auto& faults = testing::FaultInjector::instance();
+  for (int attempt = 0; attempt < attempts && !pending.empty(); ++attempt) {
+    ++last_attempts_;
+    // Per-request, per-attempt loss hook — identical consultation order and
+    // semantics to N separate call()s: each still-pending request asks the
+    // injector once per round, and a dropped request still shares the
+    // round's timeout window before its next retry.
+    burst.clear();
+    for (std::size_t idx : pending) {
+      if (faults.should_fire(testing::FaultPoint::kRouterUdpDropAttempt)) {
+        continue;
+      }
+      burst.push_back({server, batch_scratch_[idx]});
+    }
+    if (!burst.empty()) {
+      if (auto s = socket_->send_many(burst); !s.ok()) {
+        return Error(s.error().message);
+      }
+    }
+
+    // One shared timeout window for the round: collect responses for any
+    // pending request; stale/undecodable datagrams are consumed and ignored.
+    Duration remaining = config_.timeout;
+    const TimePoint start = SteadyClock::instance().now();
+    while (remaining.count() > 0 && !pending.empty()) {
+      auto dg = socket_->recv(remaining);
+      if (!dg.ok()) return Error(dg.error().message);
+      if (!dg.value()) break;  // window exhausted: next retry round
+      auto resp = wire::decode_response((*dg.value()).data);
+      if (resp.ok()) {
+        const std::uint64_t id = resp.value().request_id;
+        auto it = std::find_if(pending.begin(), pending.end(),
+                               [&](std::size_t idx) { return ids[idx] == id; });
+        if (it != pending.end()) {
+          results[*it] = resp.value();
+          pending.erase(it);
+        }
+      }
+      remaining = config_.timeout - (SteadyClock::instance().now() - start);
+    }
+  }
+
+  // Anything still unanswered gets the default reply (§III-B), exactly as a
+  // lone call() would after its attempt budget.
+  for (std::size_t idx : pending) {
+    wire::QosResponse fallback;
+    fallback.request_id = ids[idx];
+    fallback.status = wire::ResponseStatus::kDefaultReply;
+    fallback.allowed = config_.default_allow;
+    fallback.remaining_millicredits = -1;
+    results[idx] = fallback;
+  }
+  return results;
 }
 
 }  // namespace janus::router

@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/metrics.hpp"
@@ -41,15 +43,30 @@ class UdpQosClient {
   Result<wire::QosResponse> call(const net::SockAddr& server,
                                  const wire::QosRequest& request);
 
-  /// Attempts made by the last call (1 = first try succeeded).
+  /// Pipelined variant: every request in the batch goes out in one
+  /// sendmmsg burst, responses are collected within the shared timeout
+  /// window, and only the unanswered remainder is retried (batched again)
+  /// on the next attempt. Per-request semantics match call(): the same
+  /// attempt budget, the same per-attempt drop fault consultation, and a
+  /// default reply (status=kDefaultReply) for anything still unanswered
+  /// after the last attempt. Results are positionally matched to
+  /// `requests`. Error only on local socket failures.
+  Result<std::vector<wire::QosResponse>> call_many(
+      const net::SockAddr& server, std::span<const wire::QosRequest> requests);
+
+  /// Attempts made by the last call (1 = first try succeeded). For
+  /// call_many: attempt rounds the batch needed (max over its requests).
   int last_attempts() const { return last_attempts_; }
 
   const UdpClientConfig& config() const { return config_; }
 
  private:
+  Status ensure_socket();
+
   UdpClientConfig config_;
   std::optional<net::UdpSocket> socket_;
   std::vector<std::uint8_t> scratch_;
+  std::vector<std::vector<std::uint8_t>> batch_scratch_;  // call_many frames
   int last_attempts_ = 0;
   static std::atomic<std::uint64_t> next_request_id_;
 };

@@ -35,7 +35,9 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       malformed_(metrics_.counter("server.malformed")),
       dropped_(metrics_.counter("server.fifo_dropped")),
       queue_wait_us_(metrics_.histogram("server.queue_wait_us")),
-      service_us_(metrics_.histogram("server.service_us")) {
+      service_us_(metrics_.histogram("server.service_us")),
+      recv_batch_size_(metrics_.histogram("server.recv_batch")),
+      send_batch_size_(metrics_.histogram("server.send_batch")) {
   listener_ = std::thread([this] { listener_loop(); });
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.worker_threads);
        ++i) {
@@ -83,99 +85,151 @@ void QosServerNode::stop() {
 }
 
 void QosServerNode::listener_loop() {
+  // One wakeup = one recvmmsg draining up to recv_batch datagrams + one
+  // bulk FIFO push. Scratch buffers live across iterations, so a warm
+  // listener's only per-datagram allocation is each Job's owning copy of
+  // the (small) frame — the arena itself is reused.
+  net::UdpSocket::RecvBatch batch(std::max<std::size_t>(1, config_.recv_batch));
+  std::vector<Job> jobs;
+  jobs.reserve(batch.capacity());
   while (!stopping_.load(std::memory_order_relaxed)) {
-    auto dg = socket_.recv(millis(50));
-    if (!dg.ok()) {
-      JLOG_WARN("server: recv failed: %s", dg.error().message.c_str());
+    auto got = socket_.recv_many(batch, millis(50));
+    if (!got.ok()) {
+      JLOG_WARN("server: recv failed: %s", got.error().message.c_str());
       continue;
     }
-    if (!dg.value()) continue;  // timeout: re-check stopping_
-    received_.inc();
-    // Stamp every 2^kTimingSampleShift-th job; unsampled jobs carry
-    // kTimeZero and skip the per-stage timing entirely.
-    const TimePoint enqueued =
-        (listener_seq_++ & ((1u << kTimingSampleShift) - 1)) == 0
-            ? SteadyClock::instance().now()
-            : kTimeZero;
-    if (!fifo_.try_push(Job{std::move(*dg.value()), enqueued})) {
-      // FIFO full: drop. The router's retry covers transient overload;
-      // sustained overload is what the scalability experiments measure —
-      // the fifo_dropped counter (exposed via /metrics) is the direct
-      // saturation signal behind the paper's Fig. 10/12 knees.
-      dropped_.inc();
+    const std::size_t n = got.value();
+    if (n == 0) continue;  // timeout: re-check stopping_
+    // Per-datagram semantics under batching: every datagram counts in
+    // server.received and takes its own turn in the 1-in-2^k timing
+    // sample, exactly as when they arrived one syscall apiece.
+    received_.inc(static_cast<std::int64_t>(n));
+    recv_batch_size_.record(static_cast<std::int64_t>(n));
+    jobs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimePoint enqueued =
+          (listener_seq_++ & ((1u << kTimingSampleShift) - 1)) == 0
+              ? SteadyClock::instance().now()
+              : kTimeZero;
+      auto data = batch.data(i);
+      jobs.push_back(Job{net::UdpSocket::Datagram{
+                             std::vector<std::uint8_t>(data.begin(), data.end()),
+                             batch.from(i)},
+                         enqueued});
+    }
+    const std::size_t accepted = fifo_.try_push_many(jobs);
+    if (accepted < n) {
+      // FIFO full: drop the overflow. The router's retry covers transient
+      // overload; sustained overload is what the scalability experiments
+      // measure — the fifo_dropped counter (exposed via /metrics) is the
+      // direct saturation signal behind the paper's Fig. 10/12 knees.
+      dropped_.inc(static_cast<std::int64_t>(n - accepted));
     }
   }
 }
 
 void QosServerNode::worker_loop() {
-  std::vector<std::uint8_t> out;
-  while (auto job = fifo_.pop()) {
+  // One wakeup = up to send_batch jobs popped under one FIFO lock, each
+  // decided in place, replies flushed in one sendmmsg. Decisions are
+  // zero-copy: decode_request_view aliases the datagram buffer and the
+  // admission check takes the key as a string_view, so a warm-key request
+  // allocates nothing (tests/perf/test_hotpath_allocs.cpp).
+  const std::size_t batch = std::max<std::size_t>(
+      1, std::min(config_.send_batch, net::UdpSocket::kMaxBatch));
+  std::vector<Job> jobs;
+  jobs.reserve(batch);
+  std::vector<std::vector<std::uint8_t>> outs(batch);  // reply frames, reused
+  std::vector<net::UdpSocket::OutDatagram> replies;
+  replies.reserve(batch);
+  // Per-job bookkeeping for the timing records that happen after the flush.
+  std::vector<TimePoint> dequeued_at(batch, TimePoint{kTimeZero});
+  std::vector<std::int64_t> wait_us(batch, -1);
+
+  while (true) {
+    jobs.clear();
+    if (fifo_.pop_many(jobs, batch) == 0) break;  // shutdown + drained
+    replies.clear();
+    send_batch_size_.record(static_cast<std::int64_t>(jobs.size()));
     auto& faults = testing::FaultInjector::instance();
-    if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
-      // Service-time inflation (§V's overload knee, provoked on demand):
-      // the worker stalls param µs before touching the request.
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          faults.param(testing::FaultPoint::kServerSlowService)));
-    }
-    const bool timed = job->enqueued != kTimeZero;
-    TimePoint dequeued{kTimeZero};
-    std::int64_t wait_us = -1;
-    if (timed) {
-      dequeued = SteadyClock::instance().now();
-      wait_us = (dequeued - job->enqueued).count() / 1000;
-      queue_wait_us_.record(wait_us);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      Job& job = jobs[i];
+      if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
+        // Service-time inflation (§V's overload knee, provoked on demand):
+        // the worker stalls param µs before touching the request. Fires per
+        // datagram — a batch of N consults the point N times.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            faults.param(testing::FaultPoint::kServerSlowService)));
+      }
+      const bool timed = job.enqueued != kTimeZero;
+      wait_us[i] = -1;
+      dequeued_at[i] = TimePoint{kTimeZero};
+      if (timed) {
+        dequeued_at[i] = SteadyClock::instance().now();
+        wait_us[i] = (dequeued_at[i] - job.enqueued).count() / 1000;
+        queue_wait_us_.record(wait_us[i]);
+      }
+
+      auto req = wire::decode_request_view(job.dg.data);
+      wire::QosResponse resp;
+      if (!req.ok()) {
+        malformed_.inc();
+        resp.status = wire::ResponseStatus::kMalformed;
+        wire::encode_to(resp, outs[i]);
+        replies.push_back({job.dg.from, outs[i]});
+        continue;
+      }
+      const wire::QosRequestView& r = req.value();
+      resp.request_id = r.request_id;
+      resp.status = wire::ResponseStatus::kOk;
+
+      core::Decision decision;
+      switch (r.type) {
+        case wire::RequestType::kCheck:
+          decision = admission_->check(r.key, r.cost);
+          break;
+        case wire::RequestType::kProbe:
+          decision = admission_->probe(r.key, r.cost);
+          break;
+        case wire::RequestType::kSync:
+          admission_->invalidate(r.key);
+          decision = admission_->probe(r.key, 0);
+          break;
+      }
+      resp.allowed = decision.allowed;
+      resp.remaining_millicredits = decision.remaining_millicredits;
+
+      wire::encode_to(resp, outs[i]);
+      // Count before sending: a fast client must never observe a response
+      // whose counter update is still pending (metrics are read by tests
+      // and operators the moment a reply lands).
+      answered_.inc();
+      replies.push_back({job.dg.from, outs[i]});
+
+      if (!r.trace_id.empty()) {
+        // wait_us is -1 when this request was not in the 1-in-8 timing
+        // sample. The key/trace views alias the datagram buffer; %.*s
+        // prints them without materializing strings.
+        JLOG_DEBUG("server: trace=%.*s key=%.*s allowed=%d wait_us=%lld",
+                   static_cast<int>(r.trace_id.size()), r.trace_id.data(),
+                   static_cast<int>(r.key.size()), r.key.data(),
+                   decision.allowed ? 1 : 0,
+                   static_cast<long long>(wait_us[i]));
+      }
     }
 
-    auto req = wire::decode_request(job->dg.data);
-    wire::QosResponse resp;
-    if (!req.ok()) {
-      malformed_.inc();
-      resp.status = wire::ResponseStatus::kMalformed;
-      wire::encode_to(resp, out);
-      (void)socket_.send_to(job->dg.from, out);
-      continue;
-    }
-    const wire::QosRequest& r = req.value();
-    resp.request_id = r.request_id;
-    resp.status = wire::ResponseStatus::kOk;
-
-    core::Decision decision;
-    switch (r.type) {
-      case wire::RequestType::kCheck:
-        decision = admission_->check(r.key, r.cost);
-        break;
-      case wire::RequestType::kProbe:
-        decision = admission_->probe(r.key, r.cost);
-        break;
-      case wire::RequestType::kSync:
-        admission_->invalidate(r.key);
-        decision = admission_->probe(r.key, 0);
-        break;
-    }
-    resp.allowed = decision.allowed;
-    resp.remaining_millicredits = decision.remaining_millicredits;
-
-    wire::encode_to(resp, out);
-    // Count before sending: a fast client must never observe a response
-    // whose counter update is still pending (metrics are read by tests and
-    // operators the moment a reply lands).
-    answered_.inc();
     // Fire-and-forget (§III-C): "the worker thread does not care about
-    // whether the request router receives the response or not."
-    (void)socket_.send_to(job->dg.from, out);
-    std::int64_t service_us = -1;
-    if (timed) {
-      service_us = (SteadyClock::instance().now() - dequeued).count() / 1000;
-      service_us_.record(service_us);
-    }
-    if (!r.trace_id.empty()) {
-      // wait_us/service_us are -1 when this request was not in the 1-in-8
-      // timing sample.
-      JLOG_DEBUG("server: trace=%s key=%s allowed=%d wait_us=%lld "
-                 "service_us=%lld",
-                 r.trace_id.c_str(), r.key.c_str(), decision.allowed ? 1 : 0,
-                 static_cast<long long>(wait_us),
-                 static_cast<long long>(service_us));
+    // whether the request router receives the response or not." One
+    // sendmmsg covers the whole burst.
+    (void)socket_.send_many(replies);
+
+    // service_us spans decide -> reply handed to the kernel, so the batch
+    // flush is inside the measurement; one clock read serves the batch.
+    const TimePoint flushed = SteadyClock::instance().now();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (dequeued_at[i] != kTimeZero) {
+        service_us_.record((flushed - dequeued_at[i]).count() / 1000);
+      }
     }
   }
 }

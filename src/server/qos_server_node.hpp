@@ -37,6 +37,12 @@ namespace janus::server {
 struct QosServerConfig {
   std::size_t worker_threads = 4;  // "N equals the number of vCPUs" (§III-C)
   std::size_t fifo_capacity = 65536;
+  /// Max datagrams drained per listener wakeup (one recvmmsg + one bulk
+  /// FIFO push). Clamped to UdpSocket::kMaxBatch. 1 = per-datagram syscalls.
+  std::size_t recv_batch = 32;
+  /// Max jobs a worker pops per wakeup; its replies go out in one sendmmsg.
+  /// Clamped to UdpSocket::kMaxBatch. 1 = per-datagram syscalls.
+  std::size_t send_batch = 32;
   core::AdmissionConfig admission;
   /// Maintenance intervals; <= 0 disables the corresponding thread.
   Duration refill_interval = millis(10);     // only used in kPeriodic mode
@@ -106,6 +112,11 @@ class QosServerNode {
   Counter& dropped_;
   HistogramMetric& queue_wait_us_;
   HistogramMetric& service_us_;
+  // Batch-size distributions: mean(server.recv_batch) is the direct
+  // syscalls-amortized signal (datagrams per listener wakeup); likewise
+  // server.send_batch for worker reply bursts.
+  HistogramMetric& recv_batch_size_;
+  HistogramMetric& send_batch_size_;
 
   std::uint64_t listener_seq_ = 0;  // listener-thread only; drives sampling
 

@@ -59,6 +59,13 @@ class Reader {
     pos_ += n;
     return true;
   }
+  bool bytes_view(std::size_t n, std::string_view& out) {
+    if (pos_ + n > data_.size()) return false;
+    out = std::string_view(reinterpret_cast<const char*>(data_.data() + pos_),
+                           n);
+    pos_ += n;
+    return true;
+  }
   bool at_end() const { return pos_ == data_.size(); }
 
  private:
@@ -113,13 +120,14 @@ std::vector<std::uint8_t> encode(const QosResponse& resp) {
   return out;
 }
 
-Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
+Result<QosRequestView> decode_request_view(
+    std::span<const std::uint8_t> data) {
   Reader r(data);
   std::uint16_t magic = 0;
   std::uint8_t version = 0;
   std::uint8_t type = 0;
   std::uint16_t key_len = 0;
-  QosRequest req;
+  QosRequestView req;
   if (!r.u16(magic) || magic != kRequestMagic) {
     return Error("request: bad magic");
   }
@@ -136,18 +144,24 @@ Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
   if (req.cost == 0) return Error("request: zero cost");
   if (!r.u16(key_len)) return Error("request: truncated key length");
   if (key_len > kMaxKeyLength) return Error("request: key too long");
-  if (!r.bytes(key_len, req.key)) return Error("request: truncated key");
+  if (!r.bytes_view(key_len, req.key)) return Error("request: truncated key");
   if (version >= kTracedProtocolVersion) {
     std::uint16_t trace_len = 0;
     if (!r.u16(trace_len)) return Error("request: truncated trace length");
     if (trace_len > kMaxTraceLength) return Error("request: trace too long");
-    if (!r.bytes(trace_len, req.trace_id)) {
+    if (!r.bytes_view(trace_len, req.trace_id)) {
       return Error("request: truncated trace");
     }
   }
   if (!r.at_end()) return Error("request: trailing bytes");
   if (req.key.empty()) return Error("request: empty key");
   return req;
+}
+
+Result<QosRequest> decode_request(std::span<const std::uint8_t> data) {
+  auto view = decode_request_view(data);
+  if (!view.ok()) return Error(view.error().message);
+  return view.value().to_owned();
 }
 
 Result<QosResponse> decode_response(std::span<const std::uint8_t> data) {

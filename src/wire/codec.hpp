@@ -46,4 +46,10 @@ void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out);
 Result<QosRequest> decode_request(std::span<const std::uint8_t> data);
 Result<QosResponse> decode_response(std::span<const std::uint8_t> data);
 
+/// Zero-copy decode: key/trace_id in the result are string_views over
+/// `data`, valid only while the datagram buffer is. The server-side
+/// decision path uses this — no heap allocation per request. Validation is
+/// identical to decode_request (same errors, byte for byte).
+Result<QosRequestView> decode_request_view(std::span<const std::uint8_t> data);
+
 }  // namespace janus::wire

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace janus::wire {
 
@@ -33,6 +34,28 @@ struct QosRequest {
   std::string trace_id;
 
   bool operator==(const QosRequest&) const = default;
+};
+
+/// Zero-copy view of a decoded request: `key` and `trace_id` point into the
+/// datagram buffer handed to decode_request_view() and are valid only while
+/// that buffer is. The server's decision path decodes into this — admission
+/// checks take string_view keys, so the only owning copy ever made is the
+/// table's first-touch entry key (DESIGN.md §9).
+struct QosRequestView {
+  std::uint64_t request_id = 0;
+  RequestType type = RequestType::kCheck;
+  std::uint32_t cost = 1;
+  std::string_view key;
+  std::string_view trace_id;
+
+  /// Materialize an owning QosRequest (non-hot paths, tests).
+  QosRequest to_owned() const {
+    return QosRequest{.request_id = request_id,
+                      .type = type,
+                      .cost = cost,
+                      .key = std::string(key),
+                      .trace_id = std::string(trace_id)};
+  }
 };
 
 struct QosResponse {

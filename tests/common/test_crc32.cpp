@@ -43,6 +43,58 @@ TEST(Crc32Test, HandlesEmbeddedNulAndHighBytes) {
   EXPECT_EQ(crc32(high), crc32(high));
 }
 
+// The router partition function must never change: scalar and slice-by-8
+// must agree byte-for-byte on every length crossing the 8-byte fold
+// boundary, for unseeded, seeded, and chained invocations.
+TEST(Crc32Test, ScalarAndSlice8AgreeOnLengthSweep) {
+  std::string data;
+  data.reserve(64);
+  for (int len = 1; len <= 64; ++len) {
+    data.push_back(static_cast<char>((len * 37) ^ 0xA5));
+    ASSERT_EQ(crc32_scalar(data), crc32_slice8(data)) << "len=" << len;
+    ASSERT_EQ(crc32(data), crc32_scalar(data)) << "len=" << len;
+  }
+}
+
+TEST(Crc32Test, ScalarAndSlice8AgreeWhenSeeded) {
+  const std::string data = "tenant-12345/photos and then some longer tail!";
+  for (std::uint32_t seed : {0u, 1u, 0x9E3779B9u, 0xFFFFFFFFu, 0xCBF43926u}) {
+    for (std::size_t len = 0; len <= data.size(); ++len) {
+      const std::string_view head(data.data(), len);
+      ASSERT_EQ(crc32_scalar(head, seed), crc32_slice8(head, seed))
+          << "seed=" << seed << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32Test, Slice8ChainingMatchesConcatenation) {
+  const std::string whole = "the quick brown fox jumps over the lazy dog!!";
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    const std::string_view a(whole.data(), split);
+    const std::string_view b(whole.data() + split, whole.size() - split);
+    ASSERT_EQ(crc32_slice8(b, crc32_slice8(a)), crc32(whole))
+        << "split=" << split;
+  }
+}
+
+TEST(Crc32Test, KnownVectorsOnBothPaths) {
+  EXPECT_EQ(crc32_slice8(""), 0x00000000u);
+  EXPECT_EQ(crc32_slice8("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32_scalar("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32_slice8("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, Slice8HandlesUnalignedStarts) {
+  // The 8-byte folding loop loads through memcpy; probing every offset into
+  // a buffer catches any alignment assumption that might creep in.
+  const std::string buf = "0123456789abcdefghijklmnopqrstuvwxyz0123456789";
+  for (std::size_t off = 0; off < 9 && off < buf.size(); ++off) {
+    const std::string_view tail(buf.data() + off, buf.size() - off);
+    ASSERT_EQ(crc32_scalar(tail), crc32_slice8(tail)) << "off=" << off;
+  }
+}
+
 TEST(Crc32Test, IsConstexprUsable) {
   constexpr std::uint32_t at_compile_time = crc32("abc");
   static_assert(at_compile_time == 0x352441C2u);

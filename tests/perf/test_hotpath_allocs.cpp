@@ -1,0 +1,214 @@
+// Allocation-count regression harness for the decision hot path (PR 4's
+// zero-allocation contract, DESIGN.md §9): once a key's entry exists, a
+// check/probe decision must not touch the heap — no std::string
+// materialization for the lookup (transparent hash), no buffer churn in the
+// wire codec (decode_request_view aliases the datagram), no per-decision
+// bookkeeping allocations.
+//
+// Mechanism: the global operator new/delete are replaced with counting
+// versions. Counting is armed per-thread around the measured region only, so
+// gtest's own bookkeeping (assertion messages, test registration) never
+// pollutes the count. This file must live in its own test binary — the
+// replacement is program-wide.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/qos_table.hpp"
+#include "wire/codec.hpp"
+#include "wire/message.hpp"
+
+namespace {
+
+thread_local bool g_counting = false;
+thread_local std::uint64_t g_alloc_count = 0;
+
+struct AllocGuard {
+  AllocGuard() {
+    g_alloc_count = 0;
+    g_counting = true;
+  }
+  ~AllocGuard() { g_counting = false; }
+  std::uint64_t count() const { return g_alloc_count; }
+};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting) ++g_alloc_count;
+  void* p = std::malloc(size ? size : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting) ++g_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting) ++g_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace janus {
+namespace {
+
+using core::AdmissionConfig;
+using core::AdmissionController;
+using core::QosRule;
+
+/// Minimal in-memory rule source (no allocation on the warm path because the
+/// warm path never calls it — that is part of what these tests prove).
+class StaticRuleSource : public core::RuleSource {
+ public:
+  std::optional<QosRule> fetch(std::string_view key) override {
+    ++fetches_;
+    return QosRule{.key = std::string(key),
+                   .capacity = 1e9,
+                   .refill_per_sec = 1e6,
+                   .initial_credit = std::nullopt};
+  }
+  int fetches() const { return fetches_; }
+
+ private:
+  int fetches_ = 0;
+};
+
+TEST(HotpathAllocTest, CountingHookObservesAllocations) {
+  // Sanity-check the harness itself: a deliberate allocation must register,
+  // otherwise the zero-assertions below would pass vacuously.
+  AllocGuard guard;
+  auto* p = new std::uint64_t(42);
+  EXPECT_GE(guard.count(), 1u);
+  delete p;
+}
+
+TEST(HotpathAllocTest, WarmKeyAdmissionDecisionIsAllocationFree) {
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  const std::string key = "tenant-42/upload-photo";
+  ASSERT_TRUE(ac.check(key, 1).allowed);  // first touch: entry created
+  ASSERT_EQ(source.fetches(), 1);
+
+  {
+    AllocGuard guard;
+    for (int i = 0; i < 64; ++i) {
+      auto d = ac.check(key, 1);
+      ASSERT_TRUE(d.allowed);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "warm-key check() allocated; transparent-hash lookup regressed";
+  }
+  EXPECT_EQ(source.fetches(), 1);  // still cached
+
+  {
+    AllocGuard guard;
+    auto d = ac.probe(key, 1);
+    ASSERT_TRUE(d.allowed);
+    EXPECT_EQ(guard.count(), 0u) << "warm-key probe() allocated";
+  }
+}
+
+TEST(HotpathAllocTest, WarmTableLookupIsAllocationFree) {
+  core::ShardedQosTable table(8);
+  const std::string key = "tenant-7/list-albums";
+  auto make_entry = [] {
+    return core::QosEntry{core::QosRule{},
+                          core::LeakyBucket(100.0, 10.0, TimePoint{}), false};
+  };
+  table.with_entry_or_create(key, make_entry,
+                             [](core::QosEntry&) { return true; });
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    auto found = table.with_entry(key, [](core::QosEntry&) { return true; });
+    ASSERT_TRUE(found.has_value());
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "warm with_entry() allocated; PrehashedKey find regressed";
+}
+
+TEST(HotpathAllocTest, RequestViewDecodeIsAllocationFree) {
+  wire::QosRequest req;
+  req.request_id = 77;
+  req.type = wire::RequestType::kCheck;
+  req.cost = 3;
+  req.key = "tenant-42/upload-photo";
+  req.trace_id = "0123456789abcdef";
+  std::vector<std::uint8_t> frame;
+  wire::encode_to(req, frame);
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    auto view = wire::decode_request_view(frame);
+    ASSERT_TRUE(view.ok());
+    ASSERT_EQ(view.value().key, "tenant-42/upload-photo");
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "decode_request_view allocated; zero-copy decode regressed";
+}
+
+TEST(HotpathAllocTest, FullWarmDecisionPipelineIsAllocationFree) {
+  // Datagram bytes -> view decode -> admission check, i.e. the exact worker
+  // inner loop (qos_server_node.cpp) minus the socket.
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  wire::QosRequest req;
+  req.request_id = 1;
+  req.type = wire::RequestType::kCheck;
+  req.cost = 1;
+  req.key = "tenant-9/render";
+  std::vector<std::uint8_t> frame;
+  wire::encode_to(req, frame);
+
+  ASSERT_TRUE(ac.check(req.key, 1).allowed);  // warm the entry
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    auto view = wire::decode_request_view(frame);
+    ASSERT_TRUE(view.ok());
+    auto d = ac.check(view.value().key, view.value().cost);
+    ASSERT_TRUE(d.allowed);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "warm decode+decide pipeline allocated on the hot path";
+}
+
+TEST(HotpathAllocTest, ColdKeyStillAllocatesExactlyOnFirstTouch) {
+  // Negative control: creation is *supposed* to allocate (owning key copy +
+  // entry). If this ever reads zero the harness is broken, not the code.
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionController ac(clock, source, AdmissionConfig{});
+
+  AllocGuard guard;
+  ASSERT_TRUE(ac.check("never-seen-before-key", 1).allowed);
+  EXPECT_GE(guard.count(), 1u);
+}
+
+}  // namespace
+}  // namespace janus

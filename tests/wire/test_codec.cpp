@@ -260,5 +260,54 @@ TEST(CodecTest, MaxKeyLengthEnforced) {
   EXPECT_TRUE(decode_request(encode(req)).ok());
 }
 
+
+// -- Zero-copy view decode ---------------------------------------------------
+
+TEST(RequestViewCodecTest, ViewPointsIntoDatagramBuffer) {
+  QosRequest req = sample_request();
+  req.trace_id = "trace-xyz";
+  const auto bytes = encode(req);
+  auto view = decode_request_view(bytes);
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  // Same values as the owning decode...
+  EXPECT_EQ(view.value().request_id, req.request_id);
+  EXPECT_EQ(view.value().type, req.type);
+  EXPECT_EQ(view.value().cost, req.cost);
+  EXPECT_EQ(view.value().key, req.key);
+  EXPECT_EQ(view.value().trace_id, req.trace_id);
+  // ...but the string_views alias the frame, not fresh heap storage.
+  const char* frame_begin = reinterpret_cast<const char*>(bytes.data());
+  const char* frame_end = frame_begin + bytes.size();
+  EXPECT_GE(view.value().key.data(), frame_begin);
+  EXPECT_LT(view.value().key.data(), frame_end);
+  EXPECT_GE(view.value().trace_id.data(), frame_begin);
+  EXPECT_LE(view.value().trace_id.data() + view.value().trace_id.size(),
+            frame_end);
+}
+
+TEST(RequestViewCodecTest, ToOwnedRoundTripsThroughView) {
+  QosRequest req = sample_request();
+  req.trace_id = "t-1";
+  auto view = decode_request_view(encode(req));
+  ASSERT_TRUE(view.ok());
+  // to_owned() copies out of a buffer that is about to die.
+  QosRequest owned = view.value().to_owned();
+  EXPECT_EQ(owned, req);
+}
+
+TEST(RequestViewCodecTest, ViewAndOwningDecodeRejectIdentically) {
+  // Every truncation point must fail the same way on both decoders.
+  QosRequest req = sample_request();
+  req.trace_id = "trace";
+  const auto bytes = encode(req);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_EQ(decode_request(prefix).ok(), decode_request_view(prefix).ok())
+        << "len=" << len;
+    EXPECT_FALSE(decode_request_view(prefix).ok()) << "len=" << len;
+  }
+  EXPECT_TRUE(decode_request_view(bytes).ok());
+}
+
 }  // namespace
 }  // namespace janus::wire

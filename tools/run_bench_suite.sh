@@ -1,0 +1,114 @@
+#!/bin/bash
+# Regenerates BENCH_PR4.json: the hot-path microbenchmark evidence for PR 4
+# (slice-by-8 CRC32, transparent-hash lookups, zero-copy decode, batched UDP
+# syscalls). Runs the relevant bench_micro_hotpath cases in JSON mode and
+# distills the acceptance ratios — most importantly crc32 slice-by-8 vs
+# scalar on 64-byte keys, which must be >= 2.0.
+#
+# Usage:
+#   tools/run_bench_suite.sh                 # writes BENCH_PR4.json at repo root
+#   BUILD_DIR=build-rel tools/run_bench_suite.sh
+#   OUT=/tmp/b.json tools/run_bench_suite.sh
+#
+# See EXPERIMENTS.md ("PR4 — hot-path microbenchmarks") for the recipe and
+# how to read the derived ratios.
+set -euo pipefail
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-"$repo_root/build"}
+out=${OUT:-"$repo_root/BENCH_PR4.json"}
+bin="$build_dir/bench/bench_micro_hotpath"
+
+if [ ! -x "$bin" ]; then
+  echo "run_bench_suite: $bin not built." >&2
+  echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir --target bench_micro_hotpath" >&2
+  exit 1
+fi
+
+filter='BM_Crc32Scalar|BM_Crc32Slice8|BM_TableLookup|BM_WireDecodeRequest|BM_UdpBatchRoundTrip'
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+"$bin" --benchmark_filter="$filter" \
+       --benchmark_format=json \
+       --benchmark_min_time=0.5 > "$raw"
+
+python3 - "$raw" "$out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+rows = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    rows[b["name"]] = {
+        "real_time_ns": b["real_time"],
+        "cpu_time_ns": b["cpu_time"],
+        **({"bytes_per_second": b["bytes_per_second"]}
+           if "bytes_per_second" in b else {}),
+        **({"items_per_second": b["items_per_second"]}
+           if "items_per_second" in b else {}),
+    }
+
+def t(name):
+    return rows[name]["cpu_time_ns"] if name in rows else None
+
+def ratio(slow, fast):
+    a, b = t(slow), t(fast)
+    return round(a / b, 2) if a and b else None
+
+def items_ratio(batched, baseline):
+    a = rows.get(batched, {}).get("items_per_second")
+    b = rows.get(baseline, {}).get("items_per_second")
+    return round(a / b, 2) if a and b else None
+
+derived = {
+    # Tentpole acceptance: >= 2.0 required on the 64-byte row.
+    "crc32_slice8_speedup_16B": ratio("BM_Crc32Scalar/16", "BM_Crc32Slice8/16"),
+    "crc32_slice8_speedup_64B": ratio("BM_Crc32Scalar/64", "BM_Crc32Slice8/64"),
+    "crc32_slice8_speedup_256B": ratio("BM_Crc32Scalar/256",
+                                       "BM_Crc32Slice8/256"),
+    # Heterogeneous find vs temporary-std::string find, same map type.
+    "lookup_transparent_speedup": ratio("BM_TableLookupOwningKey",
+                                        "BM_TableLookupTransparent"),
+    # decode_request_view (aliasing) vs decode_request (two string copies).
+    "decode_view_speedup": ratio("BM_WireDecodeRequest",
+                                 "BM_WireDecodeRequestView"),
+    # Datagram throughput, batch of 32 vs per-datagram syscalls.
+    "udp_batch32_vs_single_throughput": items_ratio(
+        "BM_UdpBatchRoundTrip/32", "BM_UdpBatchRoundTrip/1"),
+    # recvmmsg/sendmmsg vs the fallback loops at the same batch size.
+    "udp_batch32_mmsg_vs_fallback": items_ratio(
+        "BM_UdpBatchRoundTrip/32", "BM_UdpBatchRoundTripFallback/32"),
+}
+
+doc = {
+    "generated_by": "tools/run_bench_suite.sh",
+    "benchmark_binary": "bench/bench_micro_hotpath",
+    "context": {
+        k: report.get("context", {}).get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+    },
+    "derived": derived,
+    "benchmarks": rows,
+}
+
+speedup = derived.get("crc32_slice8_speedup_64B")
+if speedup is None:
+    print("run_bench_suite: missing crc32 64B rows in bench output",
+          file=sys.stderr)
+    sys.exit(1)
+if speedup < 2.0:
+    print(f"run_bench_suite: crc32 slice-by-8 speedup on 64B keys is "
+          f"{speedup}x, below the 2.0x acceptance floor", file=sys.stderr)
+    sys.exit(1)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"run_bench_suite: wrote {out_path} "
+      f"(crc32 64B speedup {speedup}x)")
+PY

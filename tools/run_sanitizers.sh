@@ -38,6 +38,11 @@ cxx=${CXX:-c++}
 # the raw primitive than to catch the race.
 "$repo_root/tools/check_sync_usage.sh" "$repo_root"
 
+# Hot-path doc guard, same spirit: the chaos suites below exercise the
+# batched I/O and zero-allocation paths, so refuse to run them against a
+# DESIGN.md §9 that no longer matches the code.
+"$repo_root/tools/check_hotpath_doc.sh"
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \
