@@ -50,6 +50,16 @@ class SpscQueue {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Racy but monotonic-enough depth estimate: the load-balancing signal
+  /// behind the server.worker_queue_depth gauges (never used for control
+  /// flow — only observability, in the spirit of "balance queuing, not
+  /// load").
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
   std::size_t capacity() const { return mask_; }
 
  private:

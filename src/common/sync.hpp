@@ -93,6 +93,8 @@ enum class LockRank : int {
   kDnsBalancer = 60,      // lb::DnsBalancer::mu_ (leaf)
   kDnsCache = 65,         // lb::CachingResolver::mu_ (leaf; never nests kDnsBalancer)
   kQueue = 70,            // BlockingQueue::mu_ (fifo, http, pool, replication)
+  kWorkerPark = 72,       // QosServerNode per-worker park mu (leaf; guards
+                          // only the parked flag, never held over work)
   kPeriodic = 80,         // PeriodicTask::mu_ (callback runs unlocked)
   kMetricsRegistry = 90,  // MetricsRegistry::mu_
   kMetricsStripe = 95,    // HistogramMetric per-stripe mu (leaf)

@@ -5,6 +5,7 @@
 // and shards>1 quantifies the fix (ablation bench A2).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,36 @@ struct QosEntry {
   /// True when the rule came from the default policy (unknown key); such
   /// entries are refreshed if the key later appears in the database.
   bool is_default = false;
+};
+
+class ShardedQosTable;
+
+/// Capability proving exclusive ownership of a disjoint subset of shards —
+/// the compile-time guard on the unsynchronized accessors below. Only
+/// ShardedQosTable::claim_shards() can mint one (private constructor), so
+/// shared-queue code physically cannot call `*_unlocked`: every such call
+/// site must name a token, and obtaining a token is the act of declaring
+/// the shard-per-worker ownership contract (DESIGN.md §9: "a shard is
+/// touched only by its owning worker; maintenance goes through its queue").
+class ShardOwnerToken {
+ public:
+  std::size_t worker_index() const { return worker_index_; }
+  std::size_t worker_count() const { return worker_count_; }
+
+  /// Shards are remapped onto workers by `shard % worker_count`; every
+  /// shard has exactly one owner and (when shard_count >= worker_count)
+  /// every worker owns at least one shard.
+  bool owns(std::size_t shard_index) const {
+    return shard_index % worker_count_ == worker_index_;
+  }
+
+ private:
+  friend class ShardedQosTable;
+  ShardOwnerToken(std::size_t worker_index, std::size_t worker_count)
+      : worker_index_(worker_index), worker_count_(worker_count) {}
+
+  std::size_t worker_index_;
+  std::size_t worker_count_;
 };
 
 class ShardedQosTable {
@@ -70,6 +101,90 @@ class ShardedQosTable {
     return fn(it->second);
   }
 
+  // ---- shard-per-worker (shared-nothing) owner-token API -------------------
+  //
+  // The unsynchronized accessors skip the shard mutex entirely: the caller's
+  // ShardOwnerToken is the proof that no other thread can touch the shard
+  // (QosServerNode pins each shard to exactly one worker and routes all
+  // maintenance through that worker's command queue). They are annotated
+  // JANUS_NO_THREAD_SAFETY_ANALYSIS because the safety argument is ownership,
+  // not a mutex — the one thing Clang's analysis cannot see. Debug builds
+  // still assert the token actually owns the probed shard.
+
+  /// Mint the ownership capability for worker `worker_index` of
+  /// `worker_count`. The resulting partition is exhaustive and disjoint:
+  /// shard s belongs to worker `s % worker_count`.
+  ShardOwnerToken claim_shards(std::size_t worker_index,
+                               std::size_t worker_count) const {
+    assert(worker_count > 0 && worker_index < worker_count);
+    return ShardOwnerToken(worker_index, worker_count);
+  }
+
+  /// Lock-free equivalent of with_entry(): caller supplies the key's hash
+  /// (computed once on the dispatch path) and its ownership token.
+  template <typename Fn>
+  JANUS_NO_THREAD_SAFETY_ANALYSIS auto with_entry_unlocked(
+      const ShardOwnerToken& token, std::string_view key, std::size_t hash,
+      Fn&& fn) -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
+    const std::size_t si = shard_index_of(hash);
+    assert(token.owns(si));
+    (void)token;
+    Shard& shard = *shards_[si];
+    auto it = shard.entries.find(PrehashedKey{key, hash});
+    if (it == shard.entries.end()) return std::nullopt;
+    return fn(it->second);
+  }
+
+  /// Lock-free equivalent of with_entry_or_create().
+  template <typename Fn, typename Factory>
+  JANUS_NO_THREAD_SAFETY_ANALYSIS auto with_entry_or_create_unlocked(
+      const ShardOwnerToken& token, std::string_view key, std::size_t hash,
+      Factory&& factory, Fn&& fn) -> decltype(fn(std::declval<QosEntry&>())) {
+    const std::size_t si = shard_index_of(hash);
+    assert(token.owns(si));
+    (void)token;
+    Shard& shard = *shards_[si];
+    auto it = shard.entries.find(PrehashedKey{key, hash});
+    if (it == shard.entries.end()) {
+      it = shard.entries.emplace(std::string(key), factory()).first;
+    }
+    return fn(it->second);
+  }
+
+  /// Lock-free erase (kSync invalidation on the owner worker).
+  JANUS_NO_THREAD_SAFETY_ANALYSIS bool erase_unlocked(
+      const ShardOwnerToken& token, std::string_view key, std::size_t hash) {
+    const std::size_t si = shard_index_of(hash);
+    assert(token.owns(si));
+    (void)token;
+    Shard& shard = *shards_[si];
+    auto it = shard.entries.find(PrehashedKey{key, hash});
+    if (it == shard.entries.end()) return false;
+    shard.entries.erase(it);
+    return true;
+  }
+
+  /// Visit every entry of every shard the token owns, without locks — the
+  /// owner-side refill/sync/checkpoint walk.
+  template <typename Fn>
+  JANUS_NO_THREAD_SAFETY_ANALYSIS void for_each_owned(
+      const ShardOwnerToken& token, Fn&& fn) {
+    for (std::size_t si = token.worker_index(); si < shards_.size();
+         si += token.worker_count()) {
+      for (auto& [key, entry] : shards_[si]->entries) fn(key, entry);
+    }
+  }
+
+  /// Shard choice from the upper half of the SplitMix64-finalized CRC: a
+  /// different mixing than the router's plain `crc % N`, so shard choice
+  /// stays independent of server choice (otherwise one server's table would
+  /// collapse into a single shard) — while the whole decision still pays
+  /// for exactly one CRC pass over the key. Public because the
+  /// shard-per-worker listener derives the owning worker from it.
+  std::size_t shard_index_of(std::size_t hash) const {
+    return (hash >> (sizeof(std::size_t) * 4)) % shards_.size();
+  }
+
   bool contains(std::string_view key) const;
   bool erase(std::string_view key);
   std::size_t size() const;
@@ -100,14 +215,6 @@ class ShardedQosTable {
   }
   const Shard& shard_for(std::string_view key) const {
     return *shards_[shard_index(key)];
-  }
-  /// Shard choice from the upper half of the SplitMix64-finalized CRC: a
-  /// different mixing than the router's plain `crc % N`, so shard choice
-  /// stays independent of server choice (otherwise one server's table would
-  /// collapse into a single shard) — while the whole decision still pays
-  /// for exactly one CRC pass over the key.
-  std::size_t shard_index_of(std::size_t hash) const {
-    return (hash >> (sizeof(std::size_t) * 4)) % shards_.size();
   }
   std::size_t shard_index(std::string_view key) const {
     return shard_index_of(TransparentStringHash::hash_bytes(key));

@@ -1,6 +1,8 @@
 #include "server/qos_server_node.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -9,15 +11,47 @@
 
 namespace janus::server {
 
+Result<QosServerConfig> QosServerNode::validate_config(QosServerConfig config) {
+  if (config.worker_threads == 0) {
+    return Error("QosServerConfig: worker_threads must be >= 1");
+  }
+  if (config.admission.table_shards == 0) {
+    return Error("QosServerConfig: admission.table_shards must be >= 1");
+  }
+  if (config.threading == core::ThreadingMode::kShardPerWorker &&
+      config.admission.table_shards < config.worker_threads) {
+    return Error(
+        "QosServerConfig: shard-per-worker requires table_shards >= "
+        "worker_threads (" +
+        std::to_string(config.admission.table_shards) + " shards, " +
+        std::to_string(config.worker_threads) +
+        " workers) — every worker must own at least one shard under the "
+        "shard % workers remap");
+  }
+  // Batch sizes and queue capacity are clamped, not rejected: an oversized
+  // request silently degrades (recvmmsg caps the vector length anyway), and
+  // 0 previously hung the loops — both now land in a working range.
+  config.recv_batch =
+      std::clamp<std::size_t>(config.recv_batch, 1, net::UdpSocket::kMaxBatch);
+  config.send_batch =
+      std::clamp<std::size_t>(config.send_batch, 1, net::UdpSocket::kMaxBatch);
+  config.fifo_capacity =
+      std::clamp<std::size_t>(config.fifo_capacity, 64, 1u << 20);
+  return config;
+}
+
 Result<std::unique_ptr<QosServerNode>> QosServerNode::start(
     const net::SockAddr& listen, db::RuleStore& store,
     QosServerConfig config) {
+  auto validated = validate_config(std::move(config));
+  if (!validated.ok()) return Error(validated.error().message);
   auto socket = net::UdpSocket::bind(listen);
   if (!socket.ok()) return Error(socket.error().message);
   auto addr = socket.value().local_addr();
   if (!addr.ok()) return Error(addr.error().message);
-  return std::unique_ptr<QosServerNode>(new QosServerNode(
-      std::move(socket).take(), addr.value(), store, std::move(config)));
+  return std::unique_ptr<QosServerNode>(
+      new QosServerNode(std::move(socket).take(), addr.value(), store,
+                        std::move(validated).take()));
 }
 
 QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
@@ -37,25 +71,52 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       queue_wait_us_(metrics_.histogram("server.queue_wait_us")),
       service_us_(metrics_.histogram("server.service_us")),
       recv_batch_size_(metrics_.histogram("server.recv_batch")),
-      send_batch_size_(metrics_.histogram("server.send_batch")) {
+      send_batch_size_(metrics_.histogram("server.send_batch")),
+      threading_mode_(metrics_.gauge("server.threading_mode")) {
+  const std::size_t n = config_.worker_threads;
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  threading_mode_.set(sharded ? 1 : 0);
+
+  if (sharded) {
+    // Each worker's SPSC ring takes an equal slice of the configured FIFO
+    // budget, so both modes buffer the same number of in-flight datagrams.
+    const std::size_t per_worker =
+        std::max<std::size_t>(config_.fifo_capacity / n, 64);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto w = std::make_unique<WorkerState>(per_worker,
+                                             admission_->claim_shards(i, n));
+      w->depth = &metrics_.gauge("server.worker_queue_depth.w" +
+                                 std::to_string(i));
+      worker_state_.push_back(std::move(w));
+    }
+  }
+
   listener_ = std::thread([this] { listener_loop(); });
-  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.worker_threads);
-       ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sharded) {
+      workers_.emplace_back([this, i] { worker_loop_sharded(i); });
+    } else {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
   }
   if (config_.admission.refill_mode == core::RefillMode::kPeriodic &&
       config_.refill_interval.count() > 0) {
     maintenance_.push_back(std::make_unique<PeriodicTask>(
-        config_.refill_interval, [this] { admission_->refill_all(); }));
+        config_.refill_interval, [this] {
+          dispatch_maintenance(MaintCmd::Kind::kRefill, /*wait=*/false);
+        }));
   }
   if (config_.sync_interval.count() > 0) {
     maintenance_.push_back(std::make_unique<PeriodicTask>(
-        config_.sync_interval, [this] { admission_->sync_now(); }));
+        config_.sync_interval,
+        [this] { dispatch_maintenance(MaintCmd::Kind::kSync, /*wait=*/true); }));
   }
   if (config_.checkpoint_interval.count() > 0) {
     maintenance_.push_back(std::make_unique<PeriodicTask>(
-        config_.checkpoint_interval,
-        [this] { admission_->checkpoint_now(sink_); }));
+        config_.checkpoint_interval, [this] {
+          dispatch_maintenance(MaintCmd::Kind::kCheckpoint, /*wait=*/true);
+        }));
   }
 }
 
@@ -72,11 +133,25 @@ Result<net::SockAddr> QosServerNode::start_admin(const net::SockAddr& addr,
   return admin_->addr();
 }
 
+void QosServerNode::sync_now() {
+  dispatch_maintenance(MaintCmd::Kind::kSync, /*wait=*/true);
+}
+
+void QosServerNode::checkpoint_now() {
+  dispatch_maintenance(MaintCmd::Kind::kCheckpoint, /*wait=*/true);
+}
+
 void QosServerNode::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Order matters: periodic dispatchers may be blocked waiting on worker
+  // latches, so they are stopped while the workers still drain commands.
   for (auto& task : maintenance_) task->stop();
   fifo_.shutdown();
+  for (auto& w : worker_state_) {
+    MutexLock lock(w->park_mu);
+    w->park_cv.notify_one();
+  }
   if (listener_.joinable()) listener_.join();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -84,14 +159,31 @@ void QosServerNode::stop() {
   if (admin_) admin_->stop();
 }
 
+bool QosServerNode::timing_sampled() {
+  thread_local std::uint64_t seq = 0;
+  return (seq++ & ((1u << kTimingSampleShift) - 1)) == 0;
+}
+
+void QosServerNode::wake_worker(WorkerState& w) {
+  if (!w.parked.load(std::memory_order_acquire)) return;
+  MutexLock lock(w.park_mu);
+  w.park_cv.notify_one();
+}
+
 void QosServerNode::listener_loop() {
   // One wakeup = one recvmmsg draining up to recv_batch datagrams + one
-  // bulk FIFO push. Scratch buffers live across iterations, so a warm
-  // listener's only per-datagram allocation is each Job's owning copy of
-  // the (small) frame — the arena itself is reused.
-  net::UdpSocket::RecvBatch batch(std::max<std::size_t>(1, config_.recv_batch));
+  // bulk push: into the shared FIFO (kSharedQueue) or fanned out to the
+  // owning workers' SPSC rings (kShardPerWorker). Scratch buffers live
+  // across iterations, so a warm listener's only per-datagram allocation is
+  // each Job's owning copy of the (small) frame — the arena itself is
+  // reused.
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  net::UdpSocket::RecvBatch batch(config_.recv_batch);
   std::vector<Job> jobs;
   jobs.reserve(batch.capacity());
+  std::vector<bool> touched(worker_state_.size(), false);
+
   while (!stopping_.load(std::memory_order_relaxed)) {
     auto got = socket_.recv_many(batch, millis(50));
     if (!got.ok()) {
@@ -105,132 +197,314 @@ void QosServerNode::listener_loop() {
     // sample, exactly as when they arrived one syscall apiece.
     received_.inc(static_cast<std::int64_t>(n));
     recv_batch_size_.record(static_cast<std::int64_t>(n));
-    jobs.clear();
+
+    if (!sharded) {
+      jobs.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        const TimePoint enqueued =
+            timing_sampled() ? SteadyClock::instance().now() : kTimeZero;
+        auto data = batch.data(i);
+        jobs.push_back(Job{net::UdpSocket::Datagram{
+                               std::vector<std::uint8_t>(data.begin(),
+                                                         data.end()),
+                               batch.from(i)},
+                           enqueued});
+      }
+      const std::size_t accepted = fifo_.try_push_many(jobs);
+      if (accepted < n) {
+        // FIFO full: drop the overflow. The router's retry covers transient
+        // overload; sustained overload is what the scalability experiments
+        // measure — the fifo_dropped counter (exposed via /metrics) is the
+        // direct saturation signal behind the paper's Fig. 10/12 knees.
+        dropped_.inc(static_cast<std::int64_t>(n - accepted));
+      }
+      continue;
+    }
+
+    // Shard-per-worker fan-out: hash each key once (the same CRC pass the
+    // decision reuses), derive the owning shard from the upper hash bits,
+    // the owning worker from `shard % workers`, and push to that worker's
+    // SPSC ring. Malformed frames carry hash 0 and go to worker 0, which
+    // answers kMalformed exactly as a shared-queue worker would.
+    const core::ShardedQosTable& table = admission_->table();
+    const std::size_t workers = worker_state_.size();
+    std::fill(touched.begin(), touched.end(), false);
     for (std::size_t i = 0; i < n; ++i) {
       const TimePoint enqueued =
-          (listener_seq_++ & ((1u << kTimingSampleShift) - 1)) == 0
-              ? SteadyClock::instance().now()
-              : kTimeZero;
+          timing_sampled() ? SteadyClock::instance().now() : kTimeZero;
       auto data = batch.data(i);
-      jobs.push_back(Job{net::UdpSocket::Datagram{
-                             std::vector<std::uint8_t>(data.begin(), data.end()),
-                             batch.from(i)},
-                         enqueued});
+      std::size_t hash = 0;
+      std::size_t target = 0;
+      if (auto req = wire::decode_request_view(data); req.ok()) {
+        hash = TransparentStringHash::hash_bytes(req.value().key);
+        target = table.shard_index_of(hash) % workers;
+      }
+      WorkerState& w = *worker_state_[target];
+      if (!w.jobs.try_push(Job{net::UdpSocket::Datagram{
+                                   std::vector<std::uint8_t>(data.begin(),
+                                                             data.end()),
+                                   batch.from(i)},
+                               enqueued, hash})) {
+        dropped_.inc();  // this worker's ring is full — same drop semantics
+        continue;
+      }
+      touched[target] = true;
     }
-    const std::size_t accepted = fifo_.try_push_many(jobs);
-    if (accepted < n) {
-      // FIFO full: drop the overflow. The router's retry covers transient
-      // overload; sustained overload is what the scalability experiments
-      // measure — the fifo_dropped counter (exposed via /metrics) is the
-      // direct saturation signal behind the paper's Fig. 10/12 knees.
-      dropped_.inc(static_cast<std::int64_t>(n - accepted));
+    for (std::size_t wi = 0; wi < workers; ++wi) {
+      if (!touched[wi]) continue;
+      WorkerState& w = *worker_state_[wi];
+      w.depth->set(static_cast<std::int64_t>(w.jobs.size_approx()));
+      wake_worker(w);
+    }
+  }
+}
+
+QosServerNode::ReplyBuffers::ReplyBuffers(std::size_t batch)
+    : outs(batch),
+      dequeued_at(batch, TimePoint{kTimeZero}),
+      wait_us(batch, -1) {
+  replies.reserve(batch);
+}
+
+void QosServerNode::run_jobs(std::vector<Job>& jobs,
+                             const core::ShardOwnerToken* token,
+                             ReplyBuffers& buf) {
+  // Decisions are zero-copy: decode_request_view aliases the datagram
+  // buffer and the admission check takes the key as a string_view, so a
+  // warm-key request allocates nothing (tests/perf/test_hotpath_allocs.cpp)
+  // — in shard-per-worker mode it also locks nothing (owner-token path,
+  // reusing the hash the listener computed).
+  buf.replies.clear();
+  send_batch_size_.record(static_cast<std::int64_t>(jobs.size()));
+  auto& faults = testing::FaultInjector::instance();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& job = jobs[i];
+    if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
+      // Service-time inflation (§V's overload knee, provoked on demand):
+      // the worker stalls param µs before touching the request. Fires per
+      // datagram — a batch of N consults the point N times.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          faults.param(testing::FaultPoint::kServerSlowService)));
+    }
+    const bool timed = job.enqueued != kTimeZero;
+    buf.wait_us[i] = -1;
+    buf.dequeued_at[i] = TimePoint{kTimeZero};
+    if (timed) {
+      buf.dequeued_at[i] = SteadyClock::instance().now();
+      buf.wait_us[i] = (buf.dequeued_at[i] - job.enqueued).count() / 1000;
+      queue_wait_us_.record(buf.wait_us[i]);
+    }
+
+    auto req = wire::decode_request_view(job.dg.data);
+    wire::QosResponse resp;
+    if (!req.ok()) {
+      malformed_.inc();
+      resp.status = wire::ResponseStatus::kMalformed;
+      wire::encode_to(resp, buf.outs[i]);
+      buf.replies.push_back({job.dg.from, buf.outs[i]});
+      continue;
+    }
+    const wire::QosRequestView& r = req.value();
+    resp.request_id = r.request_id;
+    resp.status = wire::ResponseStatus::kOk;
+
+    core::Decision decision;
+    switch (r.type) {
+      case wire::RequestType::kCheck:
+        decision = token
+                       ? admission_->check_owned(*token, r.key, job.key_hash,
+                                                 r.cost)
+                       : admission_->check(r.key, r.cost);
+        break;
+      case wire::RequestType::kProbe:
+        decision = token
+                       ? admission_->probe_owned(*token, r.key, job.key_hash,
+                                                 r.cost)
+                       : admission_->probe(r.key, r.cost);
+        break;
+      case wire::RequestType::kSync:
+        if (token) {
+          admission_->invalidate_owned(*token, r.key, job.key_hash);
+          decision = admission_->probe_owned(*token, r.key, job.key_hash, 0);
+        } else {
+          admission_->invalidate(r.key);
+          decision = admission_->probe(r.key, 0);
+        }
+        break;
+    }
+    resp.allowed = decision.allowed;
+    resp.remaining_millicredits = decision.remaining_millicredits;
+
+    wire::encode_to(resp, buf.outs[i]);
+    // Count before sending: a fast client must never observe a response
+    // whose counter update is still pending (metrics are read by tests
+    // and operators the moment a reply lands).
+    answered_.inc();
+    buf.replies.push_back({job.dg.from, buf.outs[i]});
+
+    if (!r.trace_id.empty()) {
+      // wait_us is -1 when this request was not in the 1-in-8 timing
+      // sample. The key/trace views alias the datagram buffer; %.*s
+      // prints them without materializing strings.
+      JLOG_DEBUG("server: trace=%.*s key=%.*s allowed=%d wait_us=%lld",
+                 static_cast<int>(r.trace_id.size()), r.trace_id.data(),
+                 static_cast<int>(r.key.size()), r.key.data(),
+                 decision.allowed ? 1 : 0,
+                 static_cast<long long>(buf.wait_us[i]));
+    }
+  }
+
+  // Fire-and-forget (§III-C): "the worker thread does not care about
+  // whether the request router receives the response or not." One
+  // sendmmsg covers the whole burst.
+  (void)socket_.send_many(buf.replies);
+
+  // service_us spans decide -> reply handed to the kernel, so the batch
+  // flush is inside the measurement; one clock read serves the batch.
+  const TimePoint flushed = SteadyClock::instance().now();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (buf.dequeued_at[i] != kTimeZero) {
+      service_us_.record((flushed - buf.dequeued_at[i]).count() / 1000);
     }
   }
 }
 
 void QosServerNode::worker_loop() {
-  // One wakeup = up to send_batch jobs popped under one FIFO lock, each
-  // decided in place, replies flushed in one sendmmsg. Decisions are
-  // zero-copy: decode_request_view aliases the datagram buffer and the
-  // admission check takes the key as a string_view, so a warm-key request
-  // allocates nothing (tests/perf/test_hotpath_allocs.cpp).
-  const std::size_t batch = std::max<std::size_t>(
-      1, std::min(config_.send_batch, net::UdpSocket::kMaxBatch));
+  // kSharedQueue: one wakeup = up to send_batch jobs popped under one FIFO
+  // lock, decided under shard mutexes, replies flushed in one sendmmsg.
+  const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
   jobs.reserve(batch);
-  std::vector<std::vector<std::uint8_t>> outs(batch);  // reply frames, reused
-  std::vector<net::UdpSocket::OutDatagram> replies;
-  replies.reserve(batch);
-  // Per-job bookkeeping for the timing records that happen after the flush.
-  std::vector<TimePoint> dequeued_at(batch, TimePoint{kTimeZero});
-  std::vector<std::int64_t> wait_us(batch, -1);
+  ReplyBuffers buf(batch);
 
   while (true) {
     jobs.clear();
     if (fifo_.pop_many(jobs, batch) == 0) break;  // shutdown + drained
-    replies.clear();
-    send_batch_size_.record(static_cast<std::int64_t>(jobs.size()));
-    auto& faults = testing::FaultInjector::instance();
+    run_jobs(jobs, /*token=*/nullptr, buf);
+  }
+}
 
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      Job& job = jobs[i];
-      if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
-        // Service-time inflation (§V's overload knee, provoked on demand):
-        // the worker stalls param µs before touching the request. Fires per
-        // datagram — a batch of N consults the point N times.
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            faults.param(testing::FaultPoint::kServerSlowService)));
-      }
-      const bool timed = job.enqueued != kTimeZero;
-      wait_us[i] = -1;
-      dequeued_at[i] = TimePoint{kTimeZero};
-      if (timed) {
-        dequeued_at[i] = SteadyClock::instance().now();
-        wait_us[i] = (dequeued_at[i] - job.enqueued).count() / 1000;
-        queue_wait_us_.record(wait_us[i]);
-      }
+void QosServerNode::worker_loop_sharded(std::size_t index) {
+  // kShardPerWorker: this thread exclusively owns shards
+  // `s % workers == index`. Jobs arrive on its SPSC ring (listener is the
+  // only producer), maintenance arrives as commands on its MPMC queue, and
+  // every table touch goes through the ShardOwnerToken — no mutex anywhere
+  // on the decision path. Idle workers spin briefly, then park on the
+  // kWorkerPark condvar; the bounded wait is the lost-wakeup backstop.
+  WorkerState& st = *worker_state_[index];
+  const std::size_t batch = config_.send_batch;
+  std::vector<Job> jobs;
+  jobs.reserve(batch);
+  ReplyBuffers buf(batch);
+  int idle_spins = 0;
 
-      auto req = wire::decode_request_view(job.dg.data);
-      wire::QosResponse resp;
-      if (!req.ok()) {
-        malformed_.inc();
-        resp.status = wire::ResponseStatus::kMalformed;
-        wire::encode_to(resp, outs[i]);
-        replies.push_back({job.dg.from, outs[i]});
-        continue;
-      }
-      const wire::QosRequestView& r = req.value();
-      resp.request_id = r.request_id;
-      resp.status = wire::ResponseStatus::kOk;
+  while (true) {
+    bool did_work = false;
 
-      core::Decision decision;
-      switch (r.type) {
-        case wire::RequestType::kCheck:
-          decision = admission_->check(r.key, r.cost);
-          break;
-        case wire::RequestType::kProbe:
-          decision = admission_->probe(r.key, r.cost);
-          break;
-        case wire::RequestType::kSync:
-          admission_->invalidate(r.key);
-          decision = admission_->probe(r.key, 0);
-          break;
-      }
-      resp.allowed = decision.allowed;
-      resp.remaining_millicredits = decision.remaining_millicredits;
-
-      wire::encode_to(resp, outs[i]);
-      // Count before sending: a fast client must never observe a response
-      // whose counter update is still pending (metrics are read by tests
-      // and operators the moment a reply lands).
-      answered_.inc();
-      replies.push_back({job.dg.from, outs[i]});
-
-      if (!r.trace_id.empty()) {
-        // wait_us is -1 when this request was not in the 1-in-8 timing
-        // sample. The key/trace views alias the datagram buffer; %.*s
-        // prints them without materializing strings.
-        JLOG_DEBUG("server: trace=%.*s key=%.*s allowed=%d wait_us=%lld",
-                   static_cast<int>(r.trace_id.size()), r.trace_id.data(),
-                   static_cast<int>(r.key.size()), r.key.data(),
-                   decision.allowed ? 1 : 0,
-                   static_cast<long long>(wait_us[i]));
-      }
+    jobs.clear();
+    while (jobs.size() < batch) {
+      auto job = st.jobs.try_pop();
+      if (!job) break;
+      jobs.push_back(std::move(*job));
+    }
+    if (!jobs.empty()) {
+      run_jobs(jobs, &st.token, buf);
+      st.depth->set(static_cast<std::int64_t>(st.jobs.size_approx()));
+      did_work = true;
     }
 
-    // Fire-and-forget (§III-C): "the worker thread does not care about
-    // whether the request router receives the response or not." One
-    // sendmmsg covers the whole burst.
-    (void)socket_.send_many(replies);
-
-    // service_us spans decide -> reply handed to the kernel, so the batch
-    // flush is inside the measurement; one clock read serves the batch.
-    const TimePoint flushed = SteadyClock::instance().now();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (dequeued_at[i] != kTimeZero) {
-        service_us_.record((flushed - dequeued_at[i]).count() / 1000);
+    while (auto cmd = st.maint.try_pop()) {
+      switch (cmd->kind) {
+        case MaintCmd::Kind::kRefill:
+          admission_->refill_owned(st.token);
+          break;
+        case MaintCmd::Kind::kSync:
+          admission_->sync_owned(st.token);
+          break;
+        case MaintCmd::Kind::kCheckpoint:
+          admission_->checkpoint_owned(st.token, sink_);
+          break;
       }
+      if (cmd->done) cmd->done->fetch_add(1, std::memory_order_release);
+      did_work = true;
     }
+
+    if (did_work) {
+      idle_spins = 0;
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) && st.jobs.empty() &&
+        st.maint.size_approx() == 0) {
+      break;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    idle_spins = 0;
+    MutexLock lock(st.park_mu);
+    st.parked.store(true, std::memory_order_release);
+    // Re-check under parked=true before sleeping: a producer that pushed
+    // after our empty drain either sees parked and notifies, or pushed
+    // early enough that this check sees the item. The 10 ms bound covers
+    // the remaining (benign) race windows and shutdown.
+    if (st.jobs.empty() && st.maint.size_approx() == 0 &&
+        !stopping_.load(std::memory_order_acquire)) {
+      st.park_cv.wait_for(st.park_mu, millis(10));
+    }
+    st.parked.store(false, std::memory_order_release);
+  }
+}
+
+void QosServerNode::dispatch_maintenance(MaintCmd::Kind kind, bool wait) {
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  if (!sharded || stopping_.load(std::memory_order_acquire)) {
+    // Shared-queue mode, or the workers are gone (e.g. checkpoint-on-
+    // shutdown after stop()): run the locked pass directly — with no
+    // concurrent owner threads the shard locks are safe again.
+    switch (kind) {
+      case MaintCmd::Kind::kRefill:
+        admission_->refill_all();
+        break;
+      case MaintCmd::Kind::kSync:
+        admission_->sync_now();
+        break;
+      case MaintCmd::Kind::kCheckpoint:
+        admission_->checkpoint_now(sink_);
+        break;
+    }
+    return;
+  }
+
+  // Enqueue the command to every owner; each runs the pass over exactly its
+  // own shards, so the union is one full table pass without a single shard
+  // lock. `done` lives on this stack frame — the wait loop below must not
+  // be skipped when any command was accepted with a latch attached.
+  std::atomic<std::size_t> done{0};
+  std::size_t accepted = 0;
+  for (auto& w : worker_state_) {
+    MaintCmd cmd{kind, wait ? &done : nullptr};
+    bool pushed = false;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      if (w->maint.try_push(cmd)) {
+        pushed = true;
+        break;
+      }
+      // Ring full: the worker is already behind on maintenance; let it
+      // drain. Stop retrying if the node is shutting down underneath us.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+    if (pushed) {
+      ++accepted;
+      wake_worker(*w);
+    }
+  }
+  if (!wait) return;
+  while (done.load(std::memory_order_acquire) < accepted) {
+    std::this_thread::yield();
   }
 }
 

@@ -2,19 +2,34 @@
 // local QoS table, (b) the UDP listener thread, (c) the worker threads, and
 // (d) high-availability and system maintenance threads."
 //
-//   UDP listener ──> bounded FIFO ──> N worker threads ──> sendto(response)
-//   house-keeping thread: refills buckets (periodic-refill mode)
-//   sync thread:          re-reads cached rules from the database
-//   checkpoint thread:    writes credits back to the database
-//   HA thread:            serves table snapshots to the slave (ha.hpp)
+// Two threading modes (core::ThreadingMode, DESIGN.md §9):
+//
+//   kSharedQueue (the paper's architecture):
+//     UDP listener ──> bounded FIFO ──> N worker threads ──> sendmmsg
+//     any worker decides any key under the key's shard mutex
+//
+//   kShardPerWorker (shared-nothing thread-per-core):
+//     UDP listener ──┬─> SPSC ring w0 ──> worker 0 (owns shards 0,N,2N..)
+//                    ├─> SPSC ring w1 ──> worker 1 (owns shards 1,N+1,..)
+//                    └─> ...                        each flushes sendmmsg
+//     the listener hashes each key once, picks the owning worker from the
+//     upper hash bits, and the decision runs with NO mutex at all via the
+//     ShardOwnerToken accessors; refill/sync/checkpoint are *commands*
+//     delivered on each worker's maintenance queue instead of locks taken
+//     by the periodic threads.
 //
 // Workers answer over the same socket the listener reads from; the server
 // never tracks whether a response arrived — the router retries (§III-B).
 //
-// Concurrency model (DESIGN.md §8): the node itself holds no locks. Shared
-// state lives behind the annotated sync layer of its parts — the FIFO's
-// `common.queue` mutex, the table's `core.qos_shard` shards, the periodic
-// threads' `common.periodic` — plus atomics for the stop flag and counters.
+// Concurrency model (DESIGN.md §8): the node itself holds no locks beyond
+// the per-worker park mutex (`server.worker_park`, rank kWorkerPark) that
+// guards only the idle/parked handshake. Shared state lives behind the
+// annotated sync layer of its parts — the shared FIFO's `common.queue`
+// mutex, the table's `core.qos_shard` shards (shared-queue mode only), the
+// periodic threads' `common.periodic` — plus atomics for the stop flag and
+// counters. In shard-per-worker mode a table shard is touched only by its
+// owning worker: no thread may use the locked table accessors while the
+// node runs (HA snapshot replication therefore pairs with kSharedQueue).
 #pragma once
 
 #include <atomic>
@@ -26,6 +41,8 @@
 #include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/periodic.hpp"
+#include "common/spsc_queue.hpp"
+#include "common/sync.hpp"
 #include "core/admission.hpp"
 #include "core/db_rule_adapter.hpp"
 #include "db/rule_store.hpp"
@@ -43,6 +60,9 @@ struct QosServerConfig {
   /// Max jobs a worker pops per wakeup; its replies go out in one sendmmsg.
   /// Clamped to UdpSocket::kMaxBatch. 1 = per-datagram syscalls.
   std::size_t send_batch = 32;
+  /// Decision scheduling: the paper's shared FIFO or shared-nothing
+  /// shard-per-worker (see file header). janusd --threading.
+  core::ThreadingMode threading = core::ThreadingMode::kSharedQueue;
   core::AdmissionConfig admission;
   /// Maintenance intervals; <= 0 disables the corresponding thread.
   Duration refill_interval = millis(10);     // only used in kPeriodic mode
@@ -53,10 +73,18 @@ struct QosServerConfig {
 class QosServerNode {
  public:
   /// Binds the UDP endpoint and starts all threads. `store` (the database
-  /// layer) must outlive the node.
+  /// layer) must outlive the node. The config is validated first:
+  /// worker_threads == 0 is rejected, batch sizes and fifo_capacity are
+  /// clamped to sane ranges, and kShardPerWorker requires
+  /// admission.table_shards >= worker_threads (so every worker owns at
+  /// least one shard under the `shard % workers` remap).
   static Result<std::unique_ptr<QosServerNode>> start(
       const net::SockAddr& listen, db::RuleStore& store,
       QosServerConfig config = {});
+
+  /// The validation start() applies, exposed for tests: returns the
+  /// clamped config or the error that start() would surface.
+  static Result<QosServerConfig> validate_config(QosServerConfig config);
 
   ~QosServerNode();
   QosServerNode(const QosServerNode&) = delete;
@@ -65,6 +93,7 @@ class QosServerNode {
   net::SockAddr addr() const { return addr_; }
   core::AdmissionController& admission() { return *admission_; }
   MetricsRegistry& metrics() { return metrics_; }
+  const QosServerConfig& config() const { return config_; }
 
   /// Mount the admin/observability HTTP endpoint (/metrics, /healthz,
   /// /statusz) — the QoS server's only HTTP surface. Returns the bound
@@ -73,8 +102,10 @@ class QosServerNode {
                                     std::string node_name = "server");
 
   /// Force one maintenance pass (tests; avoids waiting on wall-clock).
-  void sync_now() { admission_->sync_now(); }
-  void checkpoint_now() { admission_->checkpoint_now(sink_); }
+  /// In shard-per-worker mode this enqueues the command to every worker
+  /// and waits for all of them to execute their slice.
+  void sync_now();
+  void checkpoint_now();
 
   void stop();
 
@@ -82,20 +113,81 @@ class QosServerNode {
   QosServerNode(net::UdpSocket socket, net::SockAddr addr,
                 db::RuleStore& store, QosServerConfig config);
 
-  void listener_loop();
-  void worker_loop();
-
   /// Datagram plus its enqueue timestamp, so workers can attribute latency
   /// to queue wait vs. service time (the paper's §V saturation signature is
   /// exactly queue-wait growth). Timing is sampled: the listener stamps one
   /// job in every 1 << kTimingSampleShift and leaves the rest at kTimeZero,
   /// keeping the per-request cost of the latency histograms to a branch
-  /// (bench_micro_hotpath bounds the regression at <5%).
+  /// (bench_micro_hotpath bounds the regression at <5%). The sample counter
+  /// is thread-local (timing_sampled()) — no shared cache line on the path.
+  /// In shard-per-worker mode the listener also carries the key's hash so
+  /// the worker never rehashes (PR 4 single-hash path end to end).
   struct Job {
     net::UdpSocket::Datagram dg;
     TimePoint enqueued{kTimeZero};
+    std::size_t key_hash = 0;
   };
   static constexpr std::uint64_t kTimingSampleShift = 3;  // 1-in-8
+
+  /// Maintenance command delivered on a worker's queue (shard-per-worker):
+  /// the worker runs the pass over its own shards, then increments `done`
+  /// so dispatchers can wait for the whole fleet.
+  struct MaintCmd {
+    enum class Kind : std::uint8_t { kRefill, kSync, kCheckpoint };
+    Kind kind = Kind::kRefill;
+    std::atomic<std::size_t>* done = nullptr;
+  };
+
+  /// Everything one shard-per-worker worker owns. The park handshake: the
+  /// worker sets `parked` under `park_mu` before sleeping; the listener
+  /// (and maintenance dispatchers) only take the mutex when they observe
+  /// parked == true. The bounded cv wait is the lost-wakeup backstop.
+  struct WorkerState {
+    WorkerState(std::size_t job_capacity, core::ShardOwnerToken owner)
+        : jobs(job_capacity), maint(kMaintQueueCapacity), token(owner) {}
+
+    SpscQueue<Job> jobs;        // single producer: the listener
+    MpmcQueue<MaintCmd> maint;  // producers: periodic threads + test hooks
+    core::ShardOwnerToken token;
+    Gauge* depth = nullptr;  // server.worker_queue_depth.w<i>
+
+    std::atomic<bool> parked{false};
+    Mutex park_mu{LockRank::kWorkerPark, "server.worker_park"};
+    CondVar park_cv;
+  };
+  static constexpr std::size_t kMaintQueueCapacity = 64;
+
+  /// Reused per-worker reply scratch: encoded frames, sendmmsg descriptors,
+  /// and the per-job bookkeeping for timing records that happen after the
+  /// batch flush. Sized once; warm batches allocate nothing new.
+  struct ReplyBuffers {
+    explicit ReplyBuffers(std::size_t batch);
+    std::vector<std::vector<std::uint8_t>> outs;
+    std::vector<net::UdpSocket::OutDatagram> replies;
+    std::vector<TimePoint> dequeued_at;
+    std::vector<std::int64_t> wait_us;
+  };
+
+  void listener_loop();
+  void worker_loop();  // kSharedQueue
+  void worker_loop_sharded(std::size_t index);
+
+  /// Process one popped batch: decode, decide (mode-appropriate), flush all
+  /// replies in one sendmmsg, record timings. Shared by both worker loops;
+  /// `token` is null in shared-queue mode (locked decisions) and the
+  /// worker's ShardOwnerToken in shard-per-worker mode (mutex-free).
+  void run_jobs(std::vector<Job>& jobs, const core::ShardOwnerToken* token,
+                ReplyBuffers& buf);
+
+  /// 1-in-2^kTimingSampleShift decimation with a thread-local counter — no
+  /// shared cache line bounces between the listener and anything else.
+  static bool timing_sampled();
+
+  void wake_worker(WorkerState& w);
+  /// Enqueue `kind` to every worker (retrying while queues are full) and,
+  /// if `wait`, block until each accepted command was executed. Falls back
+  /// to the locked maintenance pass when the workers are not running.
+  void dispatch_maintenance(MaintCmd::Kind kind, bool wait);
 
   QosServerConfig config_;
   net::UdpSocket socket_;
@@ -103,7 +195,8 @@ class QosServerNode {
   core::DbRuleSource source_;
   core::DbRuleSink sink_;
   std::unique_ptr<core::AdmissionController> admission_;
-  BlockingQueue<Job> fifo_;
+  BlockingQueue<Job> fifo_;                                 // kSharedQueue
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;  // kShardPerWorker
 
   MetricsRegistry metrics_;
   Counter& received_;
@@ -117,8 +210,7 @@ class QosServerNode {
   // server.send_batch for worker reply bursts.
   HistogramMetric& recv_batch_size_;
   HistogramMetric& send_batch_size_;
-
-  std::uint64_t listener_seq_ = 0;  // listener-thread only; drives sampling
+  Gauge& threading_mode_;  // 0 = shared-queue, 1 = shard-per-worker
 
   std::atomic<bool> stopping_{false};
   std::thread listener_;

@@ -26,6 +26,7 @@ class ChaosStackTest : public ::testing::Test {
 
     server::QosServerConfig scfg;
     scfg.worker_threads = 2;
+    scfg.threading = threading_;
     scfg.sync_interval = Duration{0};
     scfg.checkpoint_interval = Duration{0};
     auto server = server::QosServerNode::start({"127.0.0.1", 0}, *store_, scfg);
@@ -70,6 +71,11 @@ class ChaosStackTest : public ::testing::Test {
     EXPECT_TRUE(resp.ok()) << (resp.ok() ? "" : resp.error().message);
     return resp.ok() ? resp.value().body : std::string();
   }
+
+  /// QoS server threading mode the stack comes up in. Subclasses set this
+  /// before ChaosStackTest::SetUp() runs (it is baked into the server at
+  /// start); every invariant in the suite must hold in either mode.
+  core::ThreadingMode threading_ = core::ThreadingMode::kSharedQueue;
 
   db::Database db_;
   std::unique_ptr<db::RuleStore> store_;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "chaos_stack.hpp"
@@ -23,13 +24,19 @@ using testing::FaultInjector;
 using testing::FaultPoint;
 using testing::ScopedFault;
 
-/// Value-parameterized over the syscall mode: true = recvmmsg/sendmmsg,
-/// false = per-datagram fallback loops.
-class BatchedChaosTest : public ChaosStackTest,
-                         public ::testing::WithParamInterface<bool> {
+/// Value-parameterized over (syscall mode, server threading mode): true =
+/// recvmmsg/sendmmsg, false = per-datagram fallback loops; the server comes
+/// up in kSharedQueue or kShardPerWorker. All four combinations must be
+/// observably identical — batching changes syscall counts, the threading
+/// mode changes scheduling and locking, neither may change fault semantics.
+class BatchedChaosTest
+    : public ChaosStackTest,
+      public ::testing::WithParamInterface<
+          std::tuple<bool, core::ThreadingMode>> {
  protected:
   void SetUp() override {
-    net::UdpSocket::set_batch_syscalls_enabled(GetParam());
+    net::UdpSocket::set_batch_syscalls_enabled(std::get<0>(GetParam()));
+    threading_ = std::get<1>(GetParam());
     ChaosStackTest::SetUp();
   }
   void TearDown() override {
@@ -207,11 +214,21 @@ TEST_P(BatchedChaosTest, CallManyQuotaBoundHoldsUnderPartialLoss) {
   EXPECT_LE(allowed, 5);
 }
 
-INSTANTIATE_TEST_SUITE_P(SyscallModes, BatchedChaosTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "BatchedSyscalls"
-                                             : "FallbackLoops";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    SyscallAndThreadingModes, BatchedChaosTest,
+    ::testing::Combine(
+        ::testing::Bool(),
+        ::testing::Values(core::ThreadingMode::kSharedQueue,
+                          core::ThreadingMode::kShardPerWorker)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, core::ThreadingMode>>&
+           tpi) {
+      std::string name =
+          std::get<0>(tpi.param) ? "BatchedSyscalls" : "FallbackLoops";
+      name += std::get<1>(tpi.param) == core::ThreadingMode::kShardPerWorker
+                  ? "ShardPerWorker"
+                  : "SharedQueue";
+      return name;
+    });
 
 }  // namespace
 }  // namespace janus::chaos

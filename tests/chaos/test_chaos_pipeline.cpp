@@ -17,7 +17,18 @@ using testing::FaultInjector;
 using testing::FaultPoint;
 using testing::ScopedFault;
 
-TEST_F(ChaosStackTest, DefaultReplyAfterExactlyFiveRetries) {
+/// The paper's robustness invariants must hold regardless of how the QoS
+/// server schedules decisions, so the core ones run in both threading modes.
+class ChaosModeTest : public ChaosStackTest,
+                      public ::testing::WithParamInterface<core::ThreadingMode> {
+ protected:
+  void SetUp() override {
+    threading_ = GetParam();
+    ChaosStackTest::SetUp();
+  }
+};
+
+TEST_P(ChaosModeTest, DefaultReplyAfterExactlyFiveRetries) {
   provision("alice", 10);
   ScopedFault drop(FaultPoint::kRouterUdpDropAttempt);
 
@@ -39,7 +50,7 @@ TEST_F(ChaosStackTest, DefaultReplyAfterExactlyFiveRetries) {
   EXPECT_EQ(server_->metrics().counter("server.received").value(), 0);
 }
 
-TEST_F(ChaosStackTest, QuotaRecoversFullyAfterTotalLossClears) {
+TEST_P(ChaosModeTest, QuotaRecoversFullyAfterTotalLossClears) {
   provision("bob", 5);
   {
     ScopedFault drop(FaultPoint::kRouterUdpDropAttempt);
@@ -55,7 +66,7 @@ TEST_F(ChaosStackTest, QuotaRecoversFullyAfterTotalLossClears) {
   EXPECT_EQ(allowed, 5);
 }
 
-TEST_F(ChaosStackTest, QuotaNeverOverAdmittedUnderLoss) {
+TEST_P(ChaosModeTest, QuotaNeverOverAdmittedUnderLoss) {
   // With refill 0, no interleaving of drops, retries, and duplicate charges
   // may ever mint credit: client-observed TRUEs are bounded by capacity.
   // (Lost *responses* can waste credit — at-least-once semantics — but the
@@ -137,7 +148,7 @@ TEST_F(ChaosStackTest, TracingSurvivesLoss) {
   }
 }
 
-TEST_F(ChaosStackTest, SlowServerInflatesServiceTimeNotCorrectness) {
+TEST_P(ChaosModeTest, SlowServerInflatesServiceTimeNotCorrectness) {
   provision("frank", 100);
   FaultInjector::ArmSpec spec;
   spec.param = 1000;  // 1 ms stall per request, well inside the 10 ms window
@@ -152,6 +163,16 @@ TEST_F(ChaosStackTest, SlowServerInflatesServiceTimeNotCorrectness) {
   EXPECT_EQ(FaultInjector::instance().fires(FaultPoint::kServerSlowService),
             5u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ChaosModeTest,
+    ::testing::Values(core::ThreadingMode::kSharedQueue,
+                      core::ThreadingMode::kShardPerWorker),
+    [](const ::testing::TestParamInfo<core::ThreadingMode>& tpi) {
+      return tpi.param == core::ThreadingMode::kShardPerWorker
+                 ? "ShardPerWorker"
+                 : "SharedQueue";
+    });
 
 // Crash-recovery invariant across server + database: after a torn
 // checkpoint append ("crash mid-write"), WAL replay reconstructs exactly

@@ -203,5 +203,106 @@ TEST(SpscQueueTest, TwoThreadStress) {
   EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
 }
 
+TEST(SpscQueueTest, SizeApproxTracksContents) {
+  // Single-threaded, size_approx is exact — the worker_queue_depth gauges
+  // read it after every push burst / drain.
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.size_approx(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size_approx(), 5u);
+  q.try_pop();
+  q.try_pop();
+  EXPECT_EQ(q.size_approx(), 3u);
+  while (q.try_pop()) {
+  }
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
+TEST(SpscQueueTest, SizeApproxCorrectAcrossWraparound) {
+  // The head/tail indices are free-running; the mask arithmetic must stay
+  // right long after both counters exceed the capacity.
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(round));
+    ASSERT_TRUE(q.try_push(round + 1));
+    EXPECT_EQ(q.size_approx(), 2u);
+    EXPECT_EQ(q.try_pop(), std::optional<int>(round));
+    EXPECT_EQ(q.try_pop(), std::optional<int>(round + 1));
+    EXPECT_EQ(q.size_approx(), 0u);
+  }
+}
+
+TEST(SpscQueueTest, MovesNonCopyableTypes) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(11)));
+  auto out = q.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 11);
+}
+
+TEST(SpscQueueTest, FullQueueStressNeverLosesOrReordersAccepted) {
+  // A tiny ring kept near-full: the producer records exactly which items the
+  // queue accepted; the consumer must see precisely that sequence. This is
+  // the shard-per-worker overload regime — the listener drops on a full
+  // ring, and a drop must never corrupt what was already accepted.
+  SpscQueue<int> q(4);
+  constexpr int kAttempts = 100000;
+  std::atomic<long long> accepted_sum{0};
+  std::atomic<int> accepted_count{0};
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kAttempts; ++i) {
+      if (q.try_push(i)) {
+        accepted_sum.fetch_add(i, std::memory_order_relaxed);
+        accepted_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  long long consumed_sum = 0;
+  int consumed_count = 0;
+  int last = -1;
+  while (true) {
+    if (auto v = q.try_pop()) {
+      EXPECT_GT(*v, last);  // accepted subsequence keeps its order
+      last = *v;
+      consumed_sum += *v;
+      ++consumed_count;
+    } else if (done.load(std::memory_order_acquire) && q.empty()) {
+      break;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(consumed_count, accepted_count.load());
+  EXPECT_EQ(consumed_sum, accepted_sum.load());
+  EXPECT_GT(consumed_count, 0);
+  EXPECT_LT(consumed_count, kAttempts);  // the tiny ring did reject some
+}
+
+TEST(SpscQueueTest, TwoThreadStressWithConcurrentSizeApprox) {
+  // size_approx from the consumer side while the producer races: the value
+  // may lag but must stay within [0, capacity] — the gauge contract.
+  SpscQueue<int> q(64);
+  constexpr int kItems = 100000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  int received = 0;
+  while (received < kItems) {
+    const std::size_t depth = q.size_approx();
+    EXPECT_LE(depth, q.capacity());
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(*v, received);
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
 }  // namespace
 }  // namespace janus

@@ -198,6 +198,70 @@ TEST(HotpathAllocTest, FullWarmDecisionPipelineIsAllocationFree) {
       << "warm decode+decide pipeline allocated on the hot path";
 }
 
+TEST(HotpathAllocTest, WarmOwnedDecisionIsAllocationFree) {
+  // PR 5's shard-per-worker path: same zero-allocation contract, but via the
+  // mutex-free owner-token accessors with the listener-computed hash.
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  const std::string key = "tenant-42/upload-photo";
+  const auto token = ac.claim_shards(0, 1);  // one owner, all shards
+  const std::size_t hash = janus::TransparentStringHash::hash_bytes(key);
+  ASSERT_TRUE(ac.check_owned(token, key, hash, 1).allowed);  // first touch
+
+  {
+    AllocGuard guard;
+    for (int i = 0; i < 64; ++i) {
+      auto d = ac.check_owned(token, key, hash, 1);
+      ASSERT_TRUE(d.allowed);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "warm check_owned() allocated; owner-token path regressed";
+  }
+  {
+    AllocGuard guard;
+    auto d = ac.probe_owned(token, key, hash, 1);
+    ASSERT_TRUE(d.allowed);
+    EXPECT_EQ(guard.count(), 0u) << "warm probe_owned() allocated";
+  }
+  EXPECT_EQ(source.fetches(), 1);
+}
+
+TEST(HotpathAllocTest, FullWarmOwnedPipelineIsAllocationFree) {
+  // The shard-per-worker worker inner loop minus the socket: datagram bytes
+  // -> view decode -> check_owned with the hash carried in the Job.
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  wire::QosRequest req;
+  req.request_id = 1;
+  req.type = wire::RequestType::kCheck;
+  req.cost = 1;
+  req.key = "tenant-9/render";
+  std::vector<std::uint8_t> frame;
+  wire::encode_to(req, frame);
+
+  const auto token = ac.claim_shards(0, 1);
+  const std::size_t hash = janus::TransparentStringHash::hash_bytes(req.key);
+  ASSERT_TRUE(ac.check_owned(token, req.key, hash, 1).allowed);  // warm
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    auto view = wire::decode_request_view(frame);
+    ASSERT_TRUE(view.ok());
+    auto d = ac.check_owned(token, view.value().key, hash, view.value().cost);
+    ASSERT_TRUE(d.allowed);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "warm owned decode+decide pipeline allocated on the hot path";
+}
+
 TEST(HotpathAllocTest, ColdKeyStillAllocatesExactlyOnFirstTouch) {
   // Negative control: creation is *supposed* to allocate (owning key copy +
   // entry). If this ever reads zero the harness is broken, not the code.

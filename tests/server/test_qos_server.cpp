@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "router/udp_qos_client.hpp"
 
 namespace janus::server {
@@ -44,7 +49,19 @@ class QosServerTest : public ::testing::Test {
   std::unique_ptr<db::RuleStore> store_;
 };
 
-TEST_F(QosServerTest, AnswersCheckRequests) {
+/// Every end-to-end behavior must hold in both threading modes — the mode
+/// changes scheduling and locking, never observable semantics.
+class QosServerModeTest
+    : public QosServerTest,
+      public ::testing::WithParamInterface<core::ThreadingMode> {
+ protected:
+  std::unique_ptr<QosServerNode> start_server(QosServerConfig cfg = {}) {
+    cfg.threading = GetParam();
+    return QosServerTest::start_server(std::move(cfg));
+  }
+};
+
+TEST_P(QosServerModeTest, AnswersCheckRequests) {
   auto server = start_server();
   auto resp = call(server->addr(), "alice");
   EXPECT_EQ(resp.status, wire::ResponseStatus::kOk);
@@ -52,20 +69,20 @@ TEST_F(QosServerTest, AnswersCheckRequests) {
   EXPECT_LE(resp.remaining_millicredits, 9999);
 }
 
-TEST_F(QosServerTest, EnforcesQuotaAcrossRequests) {
+TEST_P(QosServerModeTest, EnforcesQuotaAcrossRequests) {
   auto server = start_server();
   EXPECT_TRUE(call(server->addr(), "bob").allowed);
   EXPECT_FALSE(call(server->addr(), "bob").allowed);  // capacity 1, refill 0
 }
 
-TEST_F(QosServerTest, UnknownKeyDenied) {
+TEST_P(QosServerModeTest, UnknownKeyDenied) {
   auto server = start_server();
   auto resp = call(server->addr(), "stranger");
   EXPECT_EQ(resp.status, wire::ResponseStatus::kOk);
   EXPECT_FALSE(resp.allowed);
 }
 
-TEST_F(QosServerTest, ProbeLeavesCreditsIntact) {
+TEST_P(QosServerModeTest, ProbeLeavesCreditsIntact) {
   auto server = start_server();
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE(call(server->addr(), "bob", wire::RequestType::kProbe).allowed);
@@ -73,7 +90,7 @@ TEST_F(QosServerTest, ProbeLeavesCreditsIntact) {
   EXPECT_TRUE(call(server->addr(), "bob").allowed);
 }
 
-TEST_F(QosServerTest, MultiCreditCost) {
+TEST_P(QosServerModeTest, MultiCreditCost) {
   auto server = start_server();
   EXPECT_TRUE(call(server->addr(), "alice", wire::RequestType::kCheck, 10)
                   .allowed);
@@ -81,7 +98,7 @@ TEST_F(QosServerTest, MultiCreditCost) {
                    .allowed);  // bucket drained; refill far slower than test
 }
 
-TEST_F(QosServerTest, MalformedDatagramGetsMalformedStatus) {
+TEST_P(QosServerModeTest, MalformedDatagramGetsMalformedStatus) {
   auto server = start_server();
   auto sock = net::UdpSocket::create();
   ASSERT_TRUE(sock.ok());
@@ -96,7 +113,7 @@ TEST_F(QosServerTest, MalformedDatagramGetsMalformedStatus) {
   EXPECT_EQ(server->metrics().snapshot().at("server.malformed"), 1);
 }
 
-TEST_F(QosServerTest, SyncRequestInvalidatesCachedRule) {
+TEST_P(QosServerModeTest, SyncRequestInvalidatesCachedRule) {
   auto server = start_server();
   EXPECT_TRUE(call(server->addr(), "bob").allowed);
   EXPECT_FALSE(call(server->addr(), "bob").allowed);
@@ -107,7 +124,7 @@ TEST_F(QosServerTest, SyncRequestInvalidatesCachedRule) {
   EXPECT_TRUE(call(server->addr(), "bob").allowed);  // fresh rule fetched
 }
 
-TEST_F(QosServerTest, SyncNowPicksUpRuleChanges) {
+TEST_P(QosServerModeTest, SyncNowPicksUpRuleChanges) {
   auto server = start_server();
   EXPECT_TRUE(call(server->addr(), "bob").allowed);
   EXPECT_FALSE(call(server->addr(), "bob").allowed);
@@ -117,14 +134,14 @@ TEST_F(QosServerTest, SyncNowPicksUpRuleChanges) {
   EXPECT_TRUE(call(server->addr(), "bob").allowed);
 }
 
-TEST_F(QosServerTest, CheckpointWritesCreditsBack) {
+TEST_P(QosServerModeTest, CheckpointWritesCreditsBack) {
   auto server = start_server();
   call(server->addr(), "bob");
   server->checkpoint_now();
   EXPECT_DOUBLE_EQ(store_->get("bob")->credit, 0.0);
 }
 
-TEST_F(QosServerTest, MetricsCountTraffic) {
+TEST_P(QosServerModeTest, MetricsCountTraffic) {
   auto server = start_server();
   call(server->addr(), "alice");
   call(server->addr(), "alice");
@@ -133,7 +150,7 @@ TEST_F(QosServerTest, MetricsCountTraffic) {
   EXPECT_GE(snap.at("server.answered"), 2);
 }
 
-TEST_F(QosServerTest, ConcurrentClientsNeverOverAdmit) {
+TEST_P(QosServerModeTest, ConcurrentClientsNeverOverAdmit) {
   ASSERT_TRUE(store_->put({.key = "shared", .refill_per_sec = 0,
                            .capacity = 100, .credit = 100}).ok());
   QosServerConfig cfg;
@@ -167,7 +184,7 @@ TEST_F(QosServerTest, ConcurrentClientsNeverOverAdmit) {
   EXPECT_GE(admitted.load(), 90);  // allow a few retry-consumed credits
 }
 
-TEST_F(QosServerTest, StopIsIdempotentAndFast) {
+TEST_P(QosServerModeTest, StopIsIdempotentAndFast) {
   auto server = start_server();
   const auto start = std::chrono::steady_clock::now();
   server->stop();
@@ -176,7 +193,7 @@ TEST_F(QosServerTest, StopIsIdempotentAndFast) {
             std::chrono::seconds(3));
 }
 
-TEST_F(QosServerTest, PeriodicRefillModeWorksEndToEnd) {
+TEST_P(QosServerModeTest, PeriodicRefillModeWorksEndToEnd) {
   ASSERT_TRUE(store_->put({.key = "tick", .refill_per_sec = 1000,
                            .capacity = 2, .credit = 0}).ok());
   QosServerConfig cfg;
@@ -189,6 +206,167 @@ TEST_F(QosServerTest, PeriodicRefillModeWorksEndToEnd) {
   EXPECT_FALSE(call(server->addr(), "tick").allowed);
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   EXPECT_TRUE(call(server->addr(), "tick").allowed);
+}
+
+TEST_P(QosServerModeTest, ThreadingModeGaugeReflectsMode) {
+  auto server = start_server();
+  const std::int64_t want =
+      GetParam() == core::ThreadingMode::kShardPerWorker ? 1 : 0;
+  EXPECT_EQ(server->metrics().snapshot().at("server.threading_mode"), want);
+}
+
+TEST_P(QosServerModeTest, TimingSamplerSamplesExactlyOneInEight) {
+  // The 1-in-8 decimation uses a thread-local counter on the listener, so a
+  // fresh server samples datagrams 0, 8, 16, ... deterministically: 80
+  // sequential requests land exactly 10 observations in the latency
+  // histograms — in either mode (the sampling decision precedes dispatch).
+  auto server = start_server();
+  router::UdpClientConfig ccfg;
+  ccfg.timeout = millis(500);
+  router::UdpQosClient client(ccfg);
+  for (int i = 0; i < 80; ++i) {
+    wire::QosRequest req;
+    req.key = "alice";
+    req.type = wire::RequestType::kProbe;
+    auto resp = client.call(server->addr(), req);
+    ASSERT_TRUE(resp.ok());
+  }
+  // Precondition: no datagram was retried or dropped, else the sample
+  // phase shifts and the exact count below would be meaningless.
+  ASSERT_EQ(server->metrics().snapshot().at("server.received"), 80);
+  auto hists = server->metrics().snapshot_histograms();
+  EXPECT_EQ(hists.at("server.queue_wait_us").count(), 10u);
+  EXPECT_EQ(hists.at("server.service_us").count(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, QosServerModeTest,
+    ::testing::Values(core::ThreadingMode::kSharedQueue,
+                      core::ThreadingMode::kShardPerWorker),
+    [](const ::testing::TestParamInfo<core::ThreadingMode>& tpi) {
+      return tpi.param == core::ThreadingMode::kShardPerWorker
+                 ? "ShardPerWorker"
+                 : "SharedQueue";
+    });
+
+TEST_F(QosServerTest, ShardPerWorkerExposesDepthGauges) {
+  QosServerConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.threading = core::ThreadingMode::kShardPerWorker;
+  auto server = start_server(cfg);
+  call(server->addr(), "alice");
+  auto snap = server->metrics().snapshot();
+  ASSERT_TRUE(snap.count("server.worker_queue_depth.w0"));
+  ASSERT_TRUE(snap.count("server.worker_queue_depth.w1"));
+  // The gauge is a load signal, not a linearizable count: the listener's
+  // post-push publish can land after the worker already drained, so a just-
+  // answered request may leave a stale 1. Only the range is guaranteed.
+  for (const char* g : {"server.worker_queue_depth.w0",
+                        "server.worker_queue_depth.w1"}) {
+    EXPECT_GE(snap.at(g), 0) << g;
+    EXPECT_LE(snap.at(g), 1) << g;
+  }
+  // Shared-queue mode must NOT register per-worker gauges.
+  auto shared = QosServerTest::start_server();
+  EXPECT_FALSE(
+      shared->metrics().snapshot().count("server.worker_queue_depth.w0"));
+}
+
+TEST_F(QosServerTest, AdminExposesThreadingModeAndDepth) {
+  QosServerConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.threading = core::ThreadingMode::kShardPerWorker;
+  auto server = start_server(cfg);
+  auto admin_addr = server->start_admin({"127.0.0.1", 0});
+  ASSERT_TRUE(admin_addr.ok()) << admin_addr.error().message;
+
+  net::HttpClient http(admin_addr.value(), millis(2000));
+  auto metrics = http.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().body.find("janus_server_threading_mode"),
+            std::string::npos);
+  EXPECT_NE(metrics.value().body.find("janus_server_worker_queue_depth_w0"),
+            std::string::npos);
+
+  auto statusz = http.get("/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_NE(statusz.value().body.find("\"server.threading_mode\":1"),
+            std::string::npos);
+  EXPECT_NE(statusz.value().body.find("server.worker_queue_depth.w1"),
+            std::string::npos);
+}
+
+// --- QosServerConfig validation (the PR 5 bugfix): start() must reject or
+// repair nonsense instead of hanging loops / crashing on modulo-by-zero. ---
+
+TEST(QosServerConfigValidation, RejectsZeroWorkers) {
+  QosServerConfig cfg;
+  cfg.worker_threads = 0;
+  auto v = QosServerNode::validate_config(cfg);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().message.find("worker_threads"), std::string::npos);
+}
+
+TEST(QosServerConfigValidation, RejectsZeroShards) {
+  QosServerConfig cfg;
+  cfg.admission.table_shards = 0;
+  auto v = QosServerNode::validate_config(cfg);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().message.find("table_shards"), std::string::npos);
+}
+
+TEST(QosServerConfigValidation, ShardPerWorkerNeedsShardPerEveryWorker) {
+  QosServerConfig cfg;
+  cfg.worker_threads = 8;
+  cfg.admission.table_shards = 4;
+  cfg.threading = core::ThreadingMode::kShardPerWorker;
+  auto v = QosServerNode::validate_config(cfg);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().message.find("shard-per-worker"), std::string::npos);
+  // The same deficit is fine in shared-queue mode (any worker, any shard).
+  cfg.threading = core::ThreadingMode::kSharedQueue;
+  EXPECT_TRUE(QosServerNode::validate_config(cfg).ok());
+  // And fine sharded once every worker can own at least one shard.
+  cfg.threading = core::ThreadingMode::kShardPerWorker;
+  cfg.admission.table_shards = 8;
+  EXPECT_TRUE(QosServerNode::validate_config(cfg).ok());
+}
+
+TEST(QosServerConfigValidation, ClampsBatchSizesAndFifoCapacity) {
+  QosServerConfig cfg;
+  cfg.recv_batch = 0;      // would spin recv_many(0) forever
+  cfg.send_batch = 100000; // recvmmsg/sendmmsg cap at kMaxBatch
+  cfg.fifo_capacity = 1;   // degenerate queue
+  auto v = QosServerNode::validate_config(cfg);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().recv_batch, 1u);
+  EXPECT_EQ(v.value().send_batch, net::UdpSocket::kMaxBatch);
+  EXPECT_EQ(v.value().fifo_capacity, 64u);
+  cfg.fifo_capacity = std::size_t{1} << 30;
+  EXPECT_EQ(QosServerNode::validate_config(cfg).value().fifo_capacity,
+            std::size_t{1} << 20);
+}
+
+TEST_F(QosServerTest, StartSurfacesValidationError) {
+  QosServerConfig cfg;
+  cfg.worker_threads = 0;
+  auto server = QosServerNode::start({"127.0.0.1", 0}, *store_, cfg);
+  ASSERT_FALSE(server.ok());
+  EXPECT_NE(server.error().message.find("worker_threads"), std::string::npos);
+}
+
+TEST_F(QosServerTest, StartAppliesClampedConfig) {
+  QosServerConfig cfg;
+  cfg.recv_batch = 0;
+  cfg.fifo_capacity = 1;
+  cfg.sync_interval = Duration{0};
+  cfg.checkpoint_interval = Duration{0};
+  auto server = QosServerNode::start({"127.0.0.1", 0}, *store_, cfg);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+  EXPECT_EQ(server.value()->config().recv_batch, 1u);
+  EXPECT_EQ(server.value()->config().fifo_capacity, 64u);
+  // The repaired config still serves traffic.
+  EXPECT_TRUE(call(server.value()->addr(), "alice").allowed);
 }
 
 }  // namespace

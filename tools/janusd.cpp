@@ -2,6 +2,7 @@
 //
 //   janusd server --listen 127.0.0.1:9100 --rules rules.conf
 //                 [--wal janus.wal] [--workers 4] [--shards 16]
+//                 [--threading shared-queue|shard-per-worker]
 //                 [--sync-ms 5000] [--checkpoint-ms 5000]
 //                 [--snapshot janus.snap --compact-ms 60000]
 //                 [--default-rate R --default-capacity C]
@@ -41,7 +42,7 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
 
-/// "--flag value" style argument map; returns false on unknown syntax.
+/// "--flag value" / "--flag=value" argument map; false on unknown syntax.
 bool parse_flags(int argc, char** argv, int first,
                  std::map<std::string, std::string>& out) {
   for (int i = first; i < argc; ++i) {
@@ -51,6 +52,10 @@ bool parse_flags(int argc, char** argv, int first,
       return false;
     }
     std::string name(arg.substr(2));
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      out[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
     if (name == "default-allow") {  // boolean flag
       out[name] = "true";
       continue;
@@ -206,6 +211,19 @@ int run_server(const std::map<std::string, std::string>& flags) {
   cfg.worker_threads = static_cast<std::size_t>(get_int("workers", 4));
   cfg.admission.table_shards =
       static_cast<std::size_t>(get_int("shards", 16));
+  if (auto it = flags.find("threading"); it != flags.end()) {
+    if (it->second == "shard-per-worker") {
+      cfg.threading = core::ThreadingMode::kShardPerWorker;
+    } else if (it->second == "shared-queue") {
+      cfg.threading = core::ThreadingMode::kSharedQueue;
+    } else {
+      std::fprintf(stderr,
+                   "janusd: --threading must be shared-queue or "
+                   "shard-per-worker (got '%s')\n",
+                   it->second.c_str());
+      return 2;
+    }
+  }
   cfg.sync_interval = millis(get_int("sync-ms", 5000));
   cfg.checkpoint_interval = millis(get_int("checkpoint-ms", 5000));
   const double default_rate = get_double("default-rate", 0.0);
@@ -218,9 +236,12 @@ int run_server(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "janusd: %s\n", node.error().message.c_str());
     return 1;
   }
-  std::printf("janusd: QoS server on %s (%zu rules, %zu workers)\n",
+  std::printf("janusd: QoS server on %s (%zu rules, %zu workers, %s)\n",
               node.value()->addr().to_string().c_str(), store.size(),
-              cfg.worker_threads);
+              cfg.worker_threads,
+              cfg.threading == core::ThreadingMode::kShardPerWorker
+                  ? "shard-per-worker"
+                  : "shared-queue");
 
   std::unique_ptr<PeriodicTask> stats_task;
   server::QosServerNode& srv = *node.value();

@@ -43,6 +43,10 @@ cxx=${CXX:-c++}
 # DESIGN.md §9 that no longer matches the code.
 "$repo_root/tools/check_hotpath_doc.sh"
 
+# Threading doc guard: the chaos suites run parameterized over both
+# ThreadingModes, so the §9.1 ownership contract must match the code too.
+"$repo_root/tools/check_threading_doc.sh"
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \
