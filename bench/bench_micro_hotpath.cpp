@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <string_view>
 #include <memory>
 #include <mutex>  // sync-ok: baseline for the janus::Mutex overhead bench
 #include <string>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/transparent_hash.hpp"
 #include "common/histogram.hpp"
 #include "common/metrics.hpp"
@@ -500,4 +503,18 @@ BENCHMARK(BM_ServerDecisionContended)->Arg(0)->Arg(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): JANUS_DEEP_OBS=0 disarms the
+// flight recorder (and with it the sampled hot-key/admission telemetry) so
+// run_bench_suite.sh can measure the recorder-on/off ratio on
+// BM_ServerDecisionContended for BENCH_PR6.json.
+int main(int argc, char** argv) {
+  if (const char* e = std::getenv("JANUS_DEEP_OBS");
+      e != nullptr && std::string_view(e) == "0") {
+    janus::FlightRecorder::set_enabled(false);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

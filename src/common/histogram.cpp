@@ -98,10 +98,13 @@ double Histogram::stddev() const {
 }
 
 std::int64_t Histogram::percentile(double q) const {
-  if (count_ == 0) return 0;
+  if (count_ == 0) return kNoSample;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Clamp the rank to >= 1: q == 0 means "the first sample", and without the
+  // clamp a single-bucket histogram answers q=0 from whichever non-empty
+  // bucket the scan hits with a trivially-satisfied target of zero.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
@@ -136,6 +139,12 @@ namespace {
 std::string format_summary(const Histogram& h, double scale,
                            const char* unit) {
   char buf[256];
+  if (h.count() == 0) {
+    // percentile() returns kNoSample here; printing -0.0us rows would be
+    // the garbage the sentinel exists to prevent.
+    std::snprintf(buf, sizeof(buf), "no samples (n=0)");
+    return buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "avg=%.1f%s p50=%.1f%s p90=%.1f%s p99=%.1f%s p99.9=%.1f%s "
                 "max=%.1f%s n=%llu",

@@ -14,6 +14,12 @@ namespace janus {
 
 class Histogram {
  public:
+  /// Returned by percentile() when the histogram holds no samples. A real
+  /// sample can never produce it (values are clamped to >= 0), so callers
+  /// can distinguish "no data" from "fast" — the old behaviour returned 0,
+  /// which is also a perfectly legal latency.
+  static constexpr std::int64_t kNoSample = -1;
+
   /// Records values in [0, max_value] (values above are clamped) with
   /// `sub_bucket_bits` of precision per power-of-two range (relative error
   /// <= 2^-sub_bucket_bits).
@@ -33,7 +39,9 @@ class Histogram {
   double stddev() const;
 
   /// Value at quantile q in [0,1]; e.g. 0.90 -> P90. Returns the upper edge
-  /// of the containing bucket (pessimistic, like HdrHistogram).
+  /// of the containing bucket (pessimistic, like HdrHistogram), clamped to
+  /// the observed max. Empty histogram -> kNoSample; q <= 0 on a non-empty
+  /// histogram targets the first sample (never an empty leading bucket).
   std::int64_t percentile(double q) const;
 
   /// Number of recorded values in buckets entirely <= `bound` (pessimistic:

@@ -1,0 +1,208 @@
+// Minimal recursive-descent JSON syntax checker. Janus renders all of its
+// admin/trace JSON by hand (no JSON library in the image), so the trace
+// export tool and the observability tests need an independent check that
+// what we emit actually parses. Validation only — no DOM is built, no
+// allocation beyond the call stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace janus::json_lint {
+
+namespace detail {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t depth = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+};
+
+// Hand-rendered traces nest a handful of levels; anything deeper is a bug.
+constexpr std::size_t kMaxDepth = 64;
+
+inline bool fail(std::string* err, const Cursor& c, const char* what) {
+  if (err != nullptr) {
+    *err = std::string(what) + " at offset " + std::to_string(c.pos);
+  }
+  return false;
+}
+
+inline bool parse_value(Cursor& c, std::string* err);
+
+inline bool parse_literal(Cursor& c, std::string_view word,
+                          std::string* err) {
+  if (c.text.substr(c.pos, word.size()) != word) {
+    return fail(err, c, "invalid literal");
+  }
+  c.pos += word.size();
+  return true;
+}
+
+inline bool parse_string(Cursor& c, std::string* err) {
+  ++c.pos;  // opening quote
+  while (!c.done()) {
+    const char ch = c.text[c.pos];
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return fail(err, c, "unescaped control character in string");
+    }
+    if (ch == '"') {
+      ++c.pos;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c.pos;
+      if (c.done()) return fail(err, c, "truncated escape");
+      const char esc = c.text[c.pos];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          ++c.pos;
+          if (c.done()) return fail(err, c, "truncated \\u escape");
+          const char h = c.text[c.pos];
+          const bool hex = (h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                           (h >= 'A' && h <= 'F');
+          if (!hex) return fail(err, c, "bad \\u escape digit");
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return fail(err, c, "bad escape character");
+      }
+    }
+    ++c.pos;
+  }
+  return fail(err, c, "unterminated string");
+}
+
+inline bool parse_number(Cursor& c, std::string* err) {
+  if (c.peek() == '-') ++c.pos;
+  if (c.done()) return fail(err, c, "truncated number");
+  if (c.peek() == '0') {
+    ++c.pos;
+  } else if (c.peek() >= '1' && c.peek() <= '9') {
+    while (!c.done() && c.peek() >= '0' && c.peek() <= '9') ++c.pos;
+  } else {
+    return fail(err, c, "bad number");
+  }
+  if (!c.done() && c.peek() == '.') {
+    ++c.pos;
+    if (c.done() || c.peek() < '0' || c.peek() > '9') {
+      return fail(err, c, "bad fraction");
+    }
+    while (!c.done() && c.peek() >= '0' && c.peek() <= '9') ++c.pos;
+  }
+  if (!c.done() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.pos;
+    if (!c.done() && (c.peek() == '+' || c.peek() == '-')) ++c.pos;
+    if (c.done() || c.peek() < '0' || c.peek() > '9') {
+      return fail(err, c, "bad exponent");
+    }
+    while (!c.done() && c.peek() >= '0' && c.peek() <= '9') ++c.pos;
+  }
+  return true;
+}
+
+inline bool parse_object(Cursor& c, std::string* err) {
+  ++c.pos;  // '{'
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.pos;
+    return true;
+  }
+  while (true) {
+    c.skip_ws();
+    if (c.done() || c.peek() != '"') return fail(err, c, "expected key");
+    if (!parse_string(c, err)) return false;
+    c.skip_ws();
+    if (c.done() || c.peek() != ':') return fail(err, c, "expected ':'");
+    ++c.pos;
+    if (!parse_value(c, err)) return false;
+    c.skip_ws();
+    if (c.done()) return fail(err, c, "unterminated object");
+    if (c.peek() == ',') {
+      ++c.pos;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.pos;
+      return true;
+    }
+    return fail(err, c, "expected ',' or '}'");
+  }
+}
+
+inline bool parse_array(Cursor& c, std::string* err) {
+  ++c.pos;  // '['
+  c.skip_ws();
+  if (!c.done() && c.peek() == ']') {
+    ++c.pos;
+    return true;
+  }
+  while (true) {
+    if (!parse_value(c, err)) return false;
+    c.skip_ws();
+    if (c.done()) return fail(err, c, "unterminated array");
+    if (c.peek() == ',') {
+      ++c.pos;
+      continue;
+    }
+    if (c.peek() == ']') {
+      ++c.pos;
+      return true;
+    }
+    return fail(err, c, "expected ',' or ']'");
+  }
+}
+
+inline bool parse_value(Cursor& c, std::string* err) {
+  c.skip_ws();
+  if (c.done()) return fail(err, c, "expected value");
+  if (++c.depth > kMaxDepth) return fail(err, c, "nesting too deep");
+  bool ok = false;
+  const char ch = c.peek();
+  if (ch == '{') {
+    ok = parse_object(c, err);
+  } else if (ch == '[') {
+    ok = parse_array(c, err);
+  } else if (ch == '"') {
+    ok = parse_string(c, err);
+  } else if (ch == 't') {
+    ok = parse_literal(c, "true", err);
+  } else if (ch == 'f') {
+    ok = parse_literal(c, "false", err);
+  } else if (ch == 'n') {
+    ok = parse_literal(c, "null", err);
+  } else if (ch == '-' || (ch >= '0' && ch <= '9')) {
+    ok = parse_number(c, err);
+  } else {
+    return fail(err, c, "unexpected character");
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace detail
+
+/// True iff `text` is one syntactically valid JSON value (with optional
+/// surrounding whitespace). On failure `err` (if non-null) gets a short
+/// reason with the byte offset.
+inline bool json_syntax_ok(std::string_view text, std::string* err = nullptr) {
+  detail::Cursor c{text};
+  if (!detail::parse_value(c, err)) return false;
+  c.skip_ws();
+  if (!c.done()) return detail::fail(err, c, "trailing garbage");
+  return true;
+}
+
+}  // namespace janus::json_lint

@@ -64,6 +64,42 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+Exemplar& MetricsRegistry::exemplar(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = exemplars_[name];
+  if (!slot) slot = std::make_unique<Exemplar>();
+  return *slot;
+}
+
+ExemplarSample Exemplar::snapshot() const {
+  ExemplarSample out;
+  out.threshold = threshold();
+  out.over_count = over_count_.load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 == 0) break;           // nothing recorded yet
+    if ((v1 & 1) != 0) continue;  // writer mid-claim
+    out.value = value_.load(std::memory_order_relaxed);
+    std::uint32_t tn = trace_len_.load(std::memory_order_relaxed);
+    std::uint32_t kn = key_len_.load(std::memory_order_relaxed);
+    if (tn > kTextBytes) tn = kTextBytes;
+    if (kn > kTextBytes) kn = kTextBytes;
+    out.trace.resize(tn);
+    out.key.resize(kn);
+    for (std::uint32_t i = 0; i < tn; ++i) {
+      out.trace[i] = trace_[i].load(std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < kn; ++i) {
+      out.key[i] = key_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) != v1) continue;
+    out.valid = true;
+    break;
+  }
+  return out;
+}
+
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot() const {
   MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
@@ -100,11 +136,25 @@ std::map<std::string, Histogram> MetricsRegistry::snapshot_histograms() const {
   return out;
 }
 
+std::map<std::string, ExemplarSample> MetricsRegistry::snapshot_exemplars()
+    const {
+  std::vector<std::pair<std::string, const Exemplar*>> items;
+  {
+    MutexLock lock(mu_);
+    items.reserve(exemplars_.size());
+    for (const auto& [name, e] : exemplars_) items.emplace_back(name, e.get());
+  }
+  std::map<std::string, ExemplarSample> out;
+  for (const auto& [name, e] : items) out.emplace(name, e->snapshot());
+  return out;
+}
+
 void MetricsRegistry::reset_all() {
   MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->set(0);
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, e] : exemplars_) e->reset();
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -75,6 +76,89 @@ class HistogramMetric {
   std::array<std::unique_ptr<Stripe>, kStripes> stripes_;
 };
 
+/// A decoded slow-request exemplar (see Exemplar below).
+struct ExemplarSample {
+  bool valid = false;           // false until a sample crossed the threshold
+  std::int64_t value = 0;       // the over-threshold measurement
+  std::int64_t threshold = -1;  // threshold in effect at snapshot time
+  std::uint64_t over_count = 0;  // how many samples ever crossed it
+  std::string trace;            // X-Janus-Trace id of the slow request
+  std::string key;              // QoS key (or backend) of the slow request
+};
+
+/// Slow-request exemplar: remembers the trace id + key of the most recent
+/// sample above a configurable threshold, linking a histogram's tail back
+/// to a concrete flight-recorder trace (DESIGN.md §10). Lock-free and
+/// allocation-free on the record path: fixed atomic char arrays, a
+/// version-CAS claim so concurrent slow samples never interleave their
+/// strings, and relaxed early-out for the (overwhelmingly common) fast
+/// samples. Threshold < 0 disables recording entirely.
+class Exemplar {
+ public:
+  static constexpr std::size_t kTextBytes = 64;
+
+  void set_threshold(std::int64_t threshold) {
+    threshold_.store(threshold, std::memory_order_relaxed);
+  }
+  std::int64_t threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// Remember (value, trace, key) if value crosses the threshold. Strings
+  /// are truncated to kTextBytes; no heap traffic. If two threads cross the
+  /// threshold at once the CAS loser simply drops its sample — "most recent
+  /// exemplar" is advisory, losing one is fine.
+  void record(std::int64_t value, std::string_view trace,
+              std::string_view key) {
+    const std::int64_t threshold = threshold_.load(std::memory_order_relaxed);
+    if (threshold < 0 || value < threshold) return;
+    over_count_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t v = version_.load(std::memory_order_relaxed);
+    if ((v & 1) != 0 ||
+        !version_.compare_exchange_strong(v, v + 1,
+                                          std::memory_order_acquire)) {
+      return;  // another slow sample is mid-write; drop ours
+    }
+    value_.store(value, std::memory_order_relaxed);
+    store_text(trace_, trace_len_, trace);
+    store_text(key_, key_len_, key);
+    version_.store(v + 2, std::memory_order_release);
+  }
+
+  /// Seqlock-consistent copy (allocates; reporting path only).
+  ExemplarSample snapshot() const;
+
+  void reset() {
+    // Tests only; concurrent record() calls must be quiescent.
+    version_.store(0, std::memory_order_relaxed);
+    over_count_.store(0, std::memory_order_relaxed);
+    value_.store(0, std::memory_order_relaxed);
+    trace_len_.store(0, std::memory_order_relaxed);
+    key_len_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  using Text = std::array<std::atomic<char>, kTextBytes>;
+
+  static void store_text(Text& dst, std::atomic<std::uint32_t>& len,
+                         std::string_view src) {
+    const std::size_t n = src.size() < kTextBytes ? src.size() : kTextBytes;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i].store(src[i], std::memory_order_relaxed);
+    }
+    len.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  }
+
+  std::atomic<std::int64_t> threshold_{-1};
+  std::atomic<std::uint64_t> over_count_{0};
+  std::atomic<std::uint64_t> version_{0};  // 0 = no sample yet; odd mid-write
+  std::atomic<std::int64_t> value_{0};
+  Text trace_{};
+  Text key_{};
+  std::atomic<std::uint32_t> trace_len_{0};
+  std::atomic<std::uint32_t> key_len_{0};
+};
+
 /// Named counters/gauges/histograms. Lookup is lock-protected and intended
 /// for setup paths; callers hold the returned reference for hot-path updates.
 class MetricsRegistry {
@@ -82,6 +166,9 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   HistogramMetric& histogram(const std::string& name);
+  /// Exemplars ride alongside the same-named histogram ("server.service_us"
+  /// has both); registering one does not create the histogram or vice versa.
+  Exemplar& exemplar(const std::string& name);
 
   /// Snapshot of all scalar metric values (name -> value), for reporting.
   std::map<std::string, std::int64_t> snapshot() const;
@@ -94,6 +181,9 @@ class MetricsRegistry {
   /// Merged snapshot of every registered histogram (name -> histogram).
   std::map<std::string, Histogram> snapshot_histograms() const;
 
+  /// Decoded snapshot of every registered exemplar (name -> sample).
+  std::map<std::string, ExemplarSample> snapshot_exemplars() const;
+
   void reset_all();
 
  private:
@@ -105,6 +195,8 @@ class MetricsRegistry {
       JANUS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ JANUS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      JANUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Exemplar>> exemplars_
       JANUS_GUARDED_BY(mu_);
 };
 

@@ -98,6 +98,8 @@ enum class LockRank : int {
   kPeriodic = 80,         // PeriodicTask::mu_ (callback runs unlocked)
   kMetricsRegistry = 90,  // MetricsRegistry::mu_
   kMetricsStripe = 95,    // HistogramMetric per-stripe mu (leaf)
+  kFlightRecorder = 96,   // FlightRecorder ring registry (registration +
+                          // snapshot only; legal from a held fault point)
   kWorkloadReport = 98,   // workload::run_ab per-run report mu (leaf)
   kLogging = 100,         // Logger sink mu (innermost: loggable from anywhere)
 };

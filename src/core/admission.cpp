@@ -1,5 +1,7 @@
 #include "core/admission.hpp"
 
+#include "common/flight_recorder.hpp"
+
 namespace janus::core {
 
 AdmissionController::AdmissionController(Clock& clock, RuleSource& source,
@@ -36,14 +38,39 @@ QosEntry AdmissionController::make_entry(std::string_view key, TimePoint now) {
   };
 }
 
+void AdmissionController::note_decision_telemetry(std::string_view key,
+                                                  std::size_t hash,
+                                                  const Decision& d,
+                                                  TimePoint now,
+                                                  const ShardOwnerToken* token) {
+  // 1-in-2^kDecisionSampleShift sampling keeps the armed recorder inside the
+  // <3% BM_ServerDecisionContended budget (BENCH_PR6.json); the sketch adds
+  // the sample stride as weight so reported counts stay approximately true.
+  if (!FlightRecorder::enabled() || !FlightRecorder::decision_sampled()) {
+    return;
+  }
+  const std::uint64_t weight = FlightRecorder::kDecisionSampleWeight;
+  if (token != nullptr) {
+    table_.note_decision_owned(*token, key, hash, d.allowed, weight);
+  } else {
+    table_.note_decision(key, hash, d.allowed, weight);
+  }
+  FlightRecorder::record(
+      TraceEventType::kAdmission, TraceStage::kAdmission, hash,
+      pack_admission_arg(d.allowed, static_cast<std::uint8_t>(d.origin),
+                         d.remaining_millicredits),
+      static_cast<std::uint64_t>(now.count()));
+}
+
 Decision AdmissionController::decide(std::string_view key, std::uint32_t cost,
                                      bool consume) {
   checks_.inc();
   const TimePoint now = clock_.now();
   const bool lazy = config_.refill_mode == RefillMode::kOnAccess;
+  const std::size_t hash = TransparentStringHash::hash_bytes(key);
 
   // Fast path: the bucket is already cached; decide under the shard lock.
-  auto cached = table_.with_entry(key, [&](QosEntry& entry) {
+  auto cached = table_.with_entry_prehashed(key, hash, [&](QosEntry& entry) {
     Decision d;
     d.origin = Decision::Origin::kCached;
     if (lazy) entry.bucket.refill(now);
@@ -56,6 +83,7 @@ Decision AdmissionController::decide(std::string_view key, std::uint32_t cost,
   });
   if (cached) {
     (cached->allowed ? allowed_ : denied_).inc();
+    note_decision_telemetry(key, hash, *cached, now, nullptr);
     return *cached;
   }
 
@@ -65,8 +93,8 @@ Decision AdmissionController::decide(std::string_view key, std::uint32_t cost,
   // discarded and its entry is used — identical to the paper's behaviour
   // where concurrent first touches serialize on the table.
   QosEntry fresh = make_entry(key, now);
-  Decision d = table_.with_entry_or_create(
-      key, [&] { return std::move(fresh); },
+  Decision d = table_.with_entry_or_create_prehashed(
+      key, hash, [&] { return std::move(fresh); },
       [&](QosEntry& entry) {
         Decision inner;
         inner.origin = entry.is_default ? Decision::Origin::kDefault
@@ -81,6 +109,7 @@ Decision AdmissionController::decide(std::string_view key, std::uint32_t cost,
         return inner;
       });
   (d.allowed ? allowed_ : denied_).inc();
+  note_decision_telemetry(key, hash, d, now, nullptr);
   return d;
 }
 
@@ -121,6 +150,7 @@ Decision AdmissionController::decide_owned(const ShardOwnerToken& token,
       table_.with_entry_unlocked(token, key, hash, run);
   if (cached) {
     (cached->allowed ? allowed_ : denied_).inc();
+    note_decision_telemetry(key, hash, *cached, now, &token);
     return *cached;
   }
 
@@ -136,6 +166,7 @@ Decision AdmissionController::decide_owned(const ShardOwnerToken& token,
             return inner;
           });
   (d.allowed ? allowed_ : denied_).inc();
+  note_decision_telemetry(key, hash, d, now, &token);
   return d;
 }
 

@@ -137,11 +137,23 @@ class AdmissionController {
   ShardedQosTable& table() { return table_; }
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Top-k hot keys by decision (or rejection) count, merged across shards.
+  /// Lock-free; callable from any thread in either threading mode.
+  std::vector<HotKeyCount> hot_keys(bool by_rejects = false,
+                                    std::size_t k = 16) const {
+    return table_.hot_keys(by_rejects, k);
+  }
+
  private:
   Decision decide(std::string_view key, std::uint32_t cost, bool consume);
   Decision decide_owned(const ShardOwnerToken& token, std::string_view key,
                         std::size_t hash, std::uint32_t cost, bool consume);
   QosEntry make_entry(std::string_view key, TimePoint now);
+  /// Sampled hot-key sketch note + flight-recorder admission event; shared
+  /// by both deciders (token == nullptr means shared-queue / locked mode).
+  void note_decision_telemetry(std::string_view key, std::size_t hash,
+                               const Decision& d, TimePoint now,
+                               const ShardOwnerToken* token);
 
   Clock& clock_;
   RuleSource& source_;

@@ -1,5 +1,6 @@
 #include "core/qos_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace janus::core {
@@ -65,6 +66,28 @@ std::vector<std::pair<std::string, QosEntry>> ShardedQosTable::snapshot()
     }
   }
   return out;
+}
+
+std::vector<HotKeyCount> ShardedQosTable::hot_keys(bool by_rejects,
+                                                   std::size_t k) const {
+  std::vector<HotKeyCount> rows;
+  rows.reserve(shards_.size() * HotKeySketch::kSlots);
+  // No shard mutex: each slot's seqlock makes the per-shard snapshot safe
+  // even against owner-token writers that never take the mutex. Keys hash
+  // to exactly one shard, so the merge has no duplicates to fold.
+  for (const auto& shard : shards_) {
+    shard->hot_keys.snapshot(rows);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [by_rejects](const HotKeyCount& a, const HotKeyCount& b) {
+              if (by_rejects) {
+                if (a.rejects != b.rejects) return a.rejects > b.rejects;
+              }
+              if (a.hits != b.hits) return a.hits > b.hits;
+              return a.key < b.key;
+            });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
 }
 
 void ShardedQosTable::restore(

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "common/hotkey_sketch.hpp"
 #include "common/sync.hpp"
 #include "common/transparent_hash.hpp"
 #include "core/leaky_bucket.hpp"
@@ -74,10 +75,18 @@ class ShardedQosTable {
   template <typename Fn>
   auto with_entry(std::string_view key, Fn&& fn)
       -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
-    const std::size_t h = TransparentStringHash::hash_bytes(key);
-    Shard& shard = *shards_[shard_index_of(h)];
+    return with_entry_prehashed(key, TransparentStringHash::hash_bytes(key),
+                                std::forward<Fn>(fn));
+  }
+
+  /// with_entry() with a caller-supplied hash — for callers (the admission
+  /// path) that reuse the hash for hot-key accounting after the lookup.
+  template <typename Fn>
+  auto with_entry_prehashed(std::string_view key, std::size_t hash, Fn&& fn)
+      -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
+    Shard& shard = *shards_[shard_index_of(hash)];
     MutexLock lock(shard.mu);
-    auto it = shard.entries.find(PrehashedKey{key, h});
+    auto it = shard.entries.find(PrehashedKey{key, hash});
     if (it == shard.entries.end()) return std::nullopt;
     return fn(it->second);
   }
@@ -91,15 +100,57 @@ class ShardedQosTable {
   template <typename Fn, typename Factory>
   auto with_entry_or_create(std::string_view key, Factory&& factory, Fn&& fn)
       -> decltype(fn(std::declval<QosEntry&>())) {
-    const std::size_t h = TransparentStringHash::hash_bytes(key);
-    Shard& shard = *shards_[shard_index_of(h)];
+    return with_entry_or_create_prehashed(
+        key, TransparentStringHash::hash_bytes(key),
+        std::forward<Factory>(factory), std::forward<Fn>(fn));
+  }
+
+  /// with_entry_or_create() with a caller-supplied hash.
+  template <typename Fn, typename Factory>
+  auto with_entry_or_create_prehashed(std::string_view key, std::size_t hash,
+                                      Factory&& factory, Fn&& fn)
+      -> decltype(fn(std::declval<QosEntry&>())) {
+    Shard& shard = *shards_[shard_index_of(hash)];
     MutexLock lock(shard.mu);
-    auto it = shard.entries.find(PrehashedKey{key, h});
+    auto it = shard.entries.find(PrehashedKey{key, hash});
     if (it == shard.entries.end()) {
       it = shard.entries.emplace(std::string(key), factory()).first;
     }
     return fn(it->second);
   }
+
+  // ---- hot-key top-k telemetry ---------------------------------------------
+  //
+  // Each shard carries a HotKeySketch fed from the admission path with
+  // pre-weighted (sampled) decision counts. The sketch is internally
+  // seqlocked per slot: writers are serialized by the same discipline as the
+  // entry map (shard mutex in shared-queue mode, owner token in
+  // shard-per-worker mode) while hot_keys() readers stay lock-free.
+
+  /// Count a (weighted) decision under the shard lock — shared-queue mode.
+  void note_decision(std::string_view key, std::size_t hash, bool allowed,
+                     std::uint64_t weight) {
+    Shard& shard = *shards_[shard_index_of(hash)];
+    MutexLock lock(shard.mu);
+    shard.hot_keys.note(key, hash, allowed, weight);
+  }
+
+  /// Count a (weighted) decision without the lock — the caller's token
+  /// proves single-writer access to the shard (and thus its sketch).
+  JANUS_NO_THREAD_SAFETY_ANALYSIS void note_decision_owned(
+      const ShardOwnerToken& token, std::string_view key, std::size_t hash,
+      bool allowed, std::uint64_t weight) {
+    const std::size_t si = shard_index_of(hash);
+    assert(token.owns(si));
+    (void)token;
+    shards_[si]->hot_keys.note(key, hash, allowed, weight);
+  }
+
+  /// Merge every shard's sketch and return the top `k` keys by decision
+  /// count (or by rejection count). Lock-free: reads only the per-slot
+  /// seqlocks, so it is safe from any thread in either threading mode.
+  std::vector<HotKeyCount> hot_keys(bool by_rejects = false,
+                                    std::size_t k = 16) const;
 
   // ---- shard-per-worker (shared-nothing) owner-token API -------------------
   //
@@ -208,6 +259,9 @@ class ShardedQosTable {
     std::unordered_map<std::string, QosEntry, TransparentStringHash,
                        TransparentStringEq>
         entries JANUS_GUARDED_BY(mu);
+    // Not guarded by mu: internally seqlocked. Writers follow the entry
+    // map's ownership discipline; readers (hot_keys) are lock-free.
+    HotKeySketch hot_keys;
   };
 
   Shard& shard_for(std::string_view key) {

@@ -1,6 +1,9 @@
 #include "lb/gateway_balancer.hpp"
 
 #include <limits>
+#include <string_view>
+
+#include "common/flight_recorder.hpp"
 
 namespace janus::lb {
 
@@ -25,7 +28,9 @@ GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
       config_(config),
       requests_(metrics_.counter("gateway.requests")),
       backend_errors_(metrics_.counter("gateway.backend_errors")),
-      proxy_us_(metrics_.histogram("gateway.proxy_us")) {
+      proxy_us_(metrics_.histogram("gateway.proxy_us")),
+      proxy_exemplar_(metrics_.exemplar("gateway.proxy_us")) {
+  proxy_exemplar_.set_threshold(config_.slow_exemplar_us);
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     outstanding_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
     forwarded_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
@@ -67,9 +72,23 @@ std::size_t GatewayBalancer::pick_backend() {
 }
 
 net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {
+  FlightRecorder::label_current_thread("gateway.http");
   const TimePoint start = SteadyClock::instance().now();
   requests_.inc();
+
+  std::string_view trace;
+  if (auto h = req.header("X-Janus-Trace")) trace = *h;
+  const std::uint64_t trace_hash =
+      trace.empty() || !FlightRecorder::enabled()
+          ? 0
+          : FlightRecorder::hash_trace(trace);
+
   const std::size_t idx = pick_backend();
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(TraceEventType::kStageEnter,
+                                      TraceStage::kGateway, trace_hash, idx,
+                                      start.count());
+  }
   outstanding_[idx]->fetch_add(1, std::memory_order_relaxed);
   forwarded_[idx]->fetch_add(1, std::memory_order_relaxed);
 
@@ -86,7 +105,16 @@ net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {
   net::HttpRequest forwarded = req;
   auto resp = it->second.request(forwarded);
   outstanding_[idx]->fetch_sub(1, std::memory_order_relaxed);
-  proxy_us_.record((SteadyClock::instance().now() - start).count() / 1000);
+  const TimePoint end = SteadyClock::instance().now();
+  const std::int64_t proxy_us = (end - start).count() / 1000;
+  proxy_us_.record(proxy_us);
+  proxy_exemplar_.record(proxy_us, trace, key);
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(
+        TraceEventType::kStageExit, TraceStage::kGateway, trace_hash,
+        resp.ok() ? static_cast<std::uint64_t>(resp.value().status) : 0,
+        end.count());
+  }
   if (!resp.ok()) {
     backend_errors_.inc();
     return net::HttpResponse::text(503, "backend unavailable");

@@ -28,6 +28,10 @@ struct GatewayConfig {
   RoutingPolicy policy = RoutingPolicy::kRoundRobin;
   Duration backend_timeout = millis(1000);
   std::size_t http_workers = 4;
+  /// Slow-request exemplar threshold (µs) for gateway.proxy_us; < 0
+  /// disables exemplar capture. The exemplar's "key" is the backend
+  /// address, the most useful attribution at this hop.
+  std::int64_t slow_exemplar_us = 20000;
 };
 
 class GatewayBalancer {
@@ -68,6 +72,7 @@ class GatewayBalancer {
   Counter& requests_;
   Counter& backend_errors_;
   HistogramMetric& proxy_us_;
+  Exemplar& proxy_exemplar_;  // slowest-sample trace/backend, /statusz
   std::unique_ptr<net::HttpServer> server_;
   std::unique_ptr<net::AdminServer> admin_;
 };

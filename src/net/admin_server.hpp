@@ -3,7 +3,11 @@
 //
 //   GET /metrics  -> Prometheus text exposition of the node's registry
 //   GET /healthz  -> 200 "ok" (503 when the owner's health probe fails)
-//   GET /statusz  -> JSON: node name, uptime, health, scalar metrics
+//   GET /statusz  -> JSON: node name, uptime, build info, health, scalar
+//                    metrics, slow-request exemplars
+//   GET /tracez   -> flight-recorder rings as Perfetto/chrome://tracing
+//                    JSON; ?trace=<id> keeps one request, ?pid=<n>
+//                    namespaces multi-node merges
 //
 // The admin surface is deliberately separate from the data-plane listener:
 // it binds its own port, runs a single worker by default, and never touches
@@ -29,6 +33,13 @@ struct AdminOptions {
   std::size_t http_workers = 1;
   /// Liveness probe; default healthy. Evaluated per /healthz and /statusz.
   std::function<bool()> healthy;
+  /// Extra Prometheus exposition text appended to /metrics (already
+  /// rendered; must end with '\n'). The node name is passed so the owner
+  /// can label its samples consistently. Used for hot-key top-k families.
+  std::function<std::string(const std::string& node)> extra_metrics;
+  /// Extra JSON appended to the /statusz object — a fragment starting with
+  /// ',' (e.g. ",\"hot_keys\":[...]").
+  std::function<std::string()> extra_statusz;
 };
 
 class AdminServer {
@@ -53,6 +64,7 @@ class AdminServer {
   HttpResponse metrics_response() const;
   HttpResponse healthz_response() const;
   HttpResponse statusz_response() const;
+  HttpResponse tracez_response(std::string_view query) const;
 
   const MetricsRegistry& registry_;
   AdminOptions options_;

@@ -1,5 +1,6 @@
 #include "router/router_node.hpp"
 
+#include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
 #include "wire/http_codec.hpp"
 
@@ -43,7 +44,10 @@ RouterNode::RouterNode(std::vector<std::string> backends,
       retries_(metrics_.counter("router.udp_retries")),
       bad_requests_(metrics_.counter("router.bad_requests")),
       e2e_us_(metrics_.histogram("router.e2e_us")),
-      udp_rtt_us_(metrics_.histogram("router.udp_rtt_us")) {}
+      udp_rtt_us_(metrics_.histogram("router.udp_rtt_us")),
+      e2e_exemplar_(metrics_.exemplar("router.e2e_us")) {
+  e2e_exemplar_.set_threshold(config_.slow_exemplar_us);
+}
 
 RouterNode::~RouterNode() {
   if (server_) server_->stop();
@@ -61,17 +65,36 @@ Result<net::SockAddr> RouterNode::start_admin(const net::SockAddr& addr,
 }
 
 net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
+  FlightRecorder::label_current_thread("router.http");
   const TimePoint start = SteadyClock::instance().now();
   requests_.inc();
 
   std::string trace;
   if (auto h = req.header("X-Janus-Trace")) trace = std::string(*h);
 
-  net::HttpResponse resp = dispatch(req, trace);
+  const std::uint64_t trace_hash =
+      trace.empty() || !FlightRecorder::enabled()
+          ? 0
+          : FlightRecorder::hash_trace(trace);
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(TraceEventType::kStageEnter,
+                                      TraceStage::kRouter, trace_hash, 0,
+                                      start.count());
+  }
+
+  std::string key;
+  net::HttpResponse resp = dispatch(req, trace, &key);
   if (!trace.empty()) resp.headers.push_back({"X-Janus-Trace", trace});
 
   const std::int64_t e2e = us_since(start);
   e2e_us_.record(e2e);
+  e2e_exemplar_.record(e2e, trace, key);
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(
+        TraceEventType::kStageExit, TraceStage::kRouter, trace_hash,
+        static_cast<std::uint64_t>(resp.status),
+        SteadyClock::instance().now().count());
+  }
   if (!trace.empty()) {
     JLOG_DEBUG("router: trace=%s status=%d e2e_us=%lld", trace.c_str(),
                resp.status, static_cast<long long>(e2e));
@@ -80,7 +103,8 @@ net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
 }
 
 net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
-                                       const std::string& trace) {
+                                       const std::string& trace,
+                                       std::string* key_out) {
   auto parsed = wire::parse_qos_target(req.target);
   if (!parsed.ok()) {
     bad_requests_.inc();
@@ -89,6 +113,8 @@ net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
                                                   wire::ResponseStatus::kMalformed))});
     return resp;
   }
+
+  *key_out = parsed.value().request.key;
 
   // The hash-mod-N partition step (Fig. 2).
   const std::size_t slot = key_router_.index_for(parsed.value().request.key);
@@ -108,9 +134,24 @@ net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
 
   // One UDP client per HTTP worker thread: id matching is per-socket.
   thread_local UdpQosClient client(config_.udp);
+  const std::uint64_t trace_hash =
+      trace.empty() || !FlightRecorder::enabled()
+          ? 0
+          : FlightRecorder::hash_trace(trace);
   const TimePoint udp_start = SteadyClock::instance().now();
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(TraceEventType::kStageEnter,
+                                      TraceStage::kRouterUdp, trace_hash,
+                                      slot, udp_start.count());
+  }
   auto result = client.call(backend.value(), qos_req);
   const std::int64_t rtt = us_since(udp_start);
+  if (trace_hash != 0) {
+    FlightRecorder::instance().record(
+        TraceEventType::kStageExit, TraceStage::kRouterUdp, trace_hash,
+        static_cast<std::uint64_t>(client.last_attempts()),
+        SteadyClock::instance().now().count());
+  }
   udp_rtt_us_.record(rtt);
   if (client.last_attempts() > 1) retries_.inc(client.last_attempts() - 1);
   if (!trace.empty()) {

@@ -46,6 +46,9 @@ class StaticResolver final : public Resolver {
 struct RouterConfig {
   UdpClientConfig udp;
   std::size_t http_workers = 4;
+  /// Slow-request exemplar threshold (µs) for router.e2e_us; < 0 disables
+  /// exemplar capture.
+  std::int64_t slow_exemplar_us = 10000;
 };
 
 class RouterNode {
@@ -76,8 +79,10 @@ class RouterNode {
   RouterNode(std::vector<std::string> backends,
              std::shared_ptr<Resolver> resolver, RouterConfig config);
   net::HttpResponse handle(const net::HttpRequest& req);
+  /// `key_out` receives the parsed QoS key (empty on malformed requests) so
+  /// handle() can attribute the e2e exemplar without re-parsing the target.
   net::HttpResponse dispatch(const net::HttpRequest& req,
-                             const std::string& trace);
+                             const std::string& trace, std::string* key_out);
 
   std::vector<std::string> backends_;
   std::shared_ptr<Resolver> resolver_;
@@ -91,6 +96,7 @@ class RouterNode {
   Counter& bad_requests_;
   HistogramMetric& e2e_us_;
   HistogramMetric& udp_rtt_us_;
+  Exemplar& e2e_exemplar_;  // slowest-sample trace/key, /statusz
   std::unique_ptr<net::HttpServer> server_;
   std::unique_ptr<net::AdminServer> admin_;
 };

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <string>
 #include <thread>
 
+#include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
 #include "testing/fault_injector.hpp"
 #include "wire/codec.hpp"
@@ -68,8 +71,12 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       answered_(metrics_.counter("server.answered")),
       malformed_(metrics_.counter("server.malformed")),
       dropped_(metrics_.counter("server.fifo_dropped")),
+      maint_rejected_(metrics_.counter("server.maint_queue_reject")),
+      watchdog_stalls_(metrics_.counter("server.watchdog_stalls")),
       queue_wait_us_(metrics_.histogram("server.queue_wait_us")),
       service_us_(metrics_.histogram("server.service_us")),
+      queue_wait_exemplar_(metrics_.exemplar("server.queue_wait_us")),
+      service_exemplar_(metrics_.exemplar("server.service_us")),
       recv_batch_size_(metrics_.histogram("server.recv_batch")),
       send_batch_size_(metrics_.histogram("server.send_batch")),
       threading_mode_(metrics_.gauge("server.threading_mode")) {
@@ -77,6 +84,8 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
   const bool sharded =
       config_.threading == core::ThreadingMode::kShardPerWorker;
   threading_mode_.set(sharded ? 1 : 0);
+  queue_wait_exemplar_.set_threshold(config_.slow_exemplar_us);
+  service_exemplar_.set_threshold(config_.slow_exemplar_us);
 
   if (sharded) {
     // Each worker's SPSC ring takes an equal slice of the configured FIFO
@@ -88,6 +97,8 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
                                              admission_->claim_shards(i, n));
       w->depth = &metrics_.gauge("server.worker_queue_depth.w" +
                                  std::to_string(i));
+      w->rejects = &metrics_.counter("server.worker_queue_reject.w" +
+                                     std::to_string(i));
       worker_state_.push_back(std::move(w));
     }
   }
@@ -118,6 +129,11 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
           dispatch_maintenance(MaintCmd::Kind::kCheckpoint, /*wait=*/true);
         }));
   }
+  if (config_.watchdog_interval.count() > 0) {
+    watchdog_last_progress_.assign(n, 0);
+    maintenance_.push_back(std::make_unique<PeriodicTask>(
+        config_.watchdog_interval, [this] { watchdog_pass(); }));
+  }
 }
 
 QosServerNode::~QosServerNode() { stop(); }
@@ -127,10 +143,136 @@ Result<net::SockAddr> QosServerNode::start_admin(const net::SockAddr& addr,
   net::AdminOptions opts;
   opts.node_name = std::move(node_name);
   opts.healthy = [this] { return !stopping_.load(std::memory_order_relaxed); };
+  opts.extra_metrics = [this](const std::string& node) {
+    return render_hot_key_metrics(node);
+  };
+  opts.extra_statusz = [this] { return render_hot_key_statusz(); };
   auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
   if (!admin.ok()) return Error(admin.error().message);
   admin_ = std::move(admin).take();
   return admin_->addr();
+}
+
+namespace {
+
+/// Prometheus label-value escaping (backslash, quote, newline) for the
+/// key="" labels on the hot-key families.
+std::string prom_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_hot_key_json(std::string& out,
+                         const std::vector<HotKeyCount>& rows) {
+  out += '[';
+  bool first = true;
+  for (const auto& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"key\":\"";
+    flight_detail::append_json_escaped(out, row.key);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"decisions\":%" PRIu64 ",\"rejects\":%" PRIu64
+                  ",\"overestimate\":%" PRIu64 "}",
+                  row.hits, row.rejects, row.overestimate);
+    out += buf;
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string QosServerNode::render_hot_key_metrics(
+    const std::string& node) const {
+  // Top-16 keys by decision count as a gauge family keyed by the QoS key.
+  // Gauges, not counters: Space-Saving counts can shrink when a slot is
+  // evicted and re-inherited, and scrapes must tolerate key churn.
+  const auto rows = admission_->hot_keys(/*by_rejects=*/false);
+  const auto reject_rows = admission_->hot_keys(/*by_rejects=*/true);
+  const std::string escaped_node = prom_escape(node);
+  std::string out;
+  auto family = [&](const char* fam, const std::vector<HotKeyCount>& list,
+                    bool use_rejects) {
+    out += "# TYPE ";
+    out += fam;
+    out += " gauge\n";
+    for (const auto& row : list) {
+      char buf[96];
+      out += fam;
+      out += "{node=\"" + escaped_node + "\",key=\"" + prom_escape(row.key) +
+             "\"}";
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n",
+                    use_rejects ? row.rejects : row.hits);
+      out += buf;
+    }
+  };
+  family("janus_server_hot_key_decisions", rows, false);
+  family("janus_server_hot_key_rejects", reject_rows, true);
+  return out;
+}
+
+std::string QosServerNode::render_hot_key_statusz() const {
+  std::string out = ",\"hot_keys\":";
+  append_hot_key_json(out, admission_->hot_keys(/*by_rejects=*/false));
+  out += ",\"hot_keys_by_rejects\":";
+  append_hot_key_json(out, admission_->hot_keys(/*by_rejects=*/true));
+  return out;
+}
+
+void QosServerNode::watchdog_pass() {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  const std::uint64_t ts =
+      static_cast<std::uint64_t>(SteadyClock::instance().now().count());
+
+  if (sharded) {
+    for (std::size_t i = 0; i < worker_state_.size(); ++i) {
+      WorkerState& w = *worker_state_[i];
+      const std::uint64_t progress =
+          w.progress.load(std::memory_order_acquire);
+      const bool backlog = !w.jobs.empty() || w.maint.size_approx() > 0;
+      if (backlog && progress == watchdog_last_progress_[i]) {
+        watchdog_stalls_.inc();
+        FlightRecorder::record(TraceEventType::kWatchdogStall,
+                               TraceStage::kWatchdog, /*trace=*/0,
+                               /*arg=*/i, ts);
+        JLOG_WARN(
+            "server: watchdog: worker %zu has backlog but made no progress "
+            "for a full tick (ring=%zu)",
+            i, w.jobs.size_approx());
+        FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+      }
+      watchdog_last_progress_[i] = progress;
+    }
+    return;
+  }
+
+  const auto answered =
+      static_cast<std::uint64_t>(answered_.value());
+  const bool backlog = fifo_.size() > 0;
+  if (backlog && answered == watchdog_last_answered_) {
+    watchdog_stalls_.inc();
+    FlightRecorder::record(TraceEventType::kWatchdogStall,
+                           TraceStage::kWatchdog, /*trace=*/0,
+                           /*arg=*/0, ts);
+    JLOG_WARN(
+        "server: watchdog: shared FIFO has backlog (%zu) but no request "
+        "completed for a full tick",
+        fifo_.size());
+    FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+  }
+  watchdog_last_answered_ = answered;
 }
 
 void QosServerNode::sync_now() {
@@ -179,6 +321,7 @@ void QosServerNode::listener_loop() {
   // reused.
   const bool sharded =
       config_.threading == core::ThreadingMode::kShardPerWorker;
+  FlightRecorder::label_current_thread("server.listener");
   net::UdpSocket::RecvBatch batch(config_.recv_batch);
   std::vector<Job> jobs;
   jobs.reserve(batch.capacity());
@@ -235,9 +378,13 @@ void QosServerNode::listener_loop() {
       auto data = batch.data(i);
       std::size_t hash = 0;
       std::size_t target = 0;
+      std::uint64_t trace_hash = 0;
       if (auto req = wire::decode_request_view(data); req.ok()) {
         hash = TransparentStringHash::hash_bytes(req.value().key);
         target = table.shard_index_of(hash) % workers;
+        if (!req.value().trace_id.empty() && FlightRecorder::enabled()) {
+          trace_hash = FlightRecorder::hash_trace(req.value().trace_id);
+        }
       }
       WorkerState& w = *worker_state_[target];
       if (!w.jobs.try_push(Job{net::UdpSocket::Datagram{
@@ -246,7 +393,28 @@ void QosServerNode::listener_loop() {
                                    batch.from(i)},
                                enqueued, hash})) {
         dropped_.inc();  // this worker's ring is full — same drop semantics
+        w.rejects->inc();
+        if (FlightRecorder::enabled()) {
+          // Rejects are rare (overload only); the extra clock read is off
+          // the common path.
+          FlightRecorder::record(
+              TraceEventType::kQueueReject, TraceStage::kServerListener,
+              trace_hash, target,
+              static_cast<std::uint64_t>(
+                  SteadyClock::instance().now().count()));
+        }
         continue;
+      }
+      if (trace_hash != 0) {
+        // Traced requests record the ring depth they landed behind — the
+        // queueing part of the reconstructed request timeline.
+        FlightRecorder::record(
+            TraceEventType::kQueueDepth, TraceStage::kServerListener,
+            trace_hash, w.jobs.size_approx(),
+            static_cast<std::uint64_t>(
+                enqueued != kTimeZero
+                    ? enqueued.count()
+                    : SteadyClock::instance().now().count()));
       }
       touched[target] = true;
     }
@@ -262,7 +430,9 @@ void QosServerNode::listener_loop() {
 QosServerNode::ReplyBuffers::ReplyBuffers(std::size_t batch)
     : outs(batch),
       dequeued_at(batch, TimePoint{kTimeZero}),
-      wait_us(batch, -1) {
+      wait_us(batch, -1),
+      keys(batch),
+      traces(batch) {
   replies.reserve(batch);
 }
 
@@ -298,6 +468,8 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
 
     auto req = wire::decode_request_view(job.dg.data);
     wire::QosResponse resp;
+    buf.keys[i] = {};
+    buf.traces[i] = {};
     if (!req.ok()) {
       malformed_.inc();
       resp.status = wire::ResponseStatus::kMalformed;
@@ -308,6 +480,25 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
     const wire::QosRequestView& r = req.value();
     resp.request_id = r.request_id;
     resp.status = wire::ResponseStatus::kOk;
+    buf.keys[i] = r.key;
+    buf.traces[i] = r.trace_id;
+    // wait_us is -1 for untimed jobs, so a disabled/unsampled job can never
+    // cross the (non-negative) exemplar threshold.
+    queue_wait_exemplar_.record(buf.wait_us[i], r.trace_id, r.key);
+
+    // Traced requests get an always-on worker span (enter -> reply flushed
+    // is approximated by enter -> decision here; the flush is covered by
+    // service_us). Traced traffic is rare, so the two clock reads stay off
+    // the contended-decision budget.
+    const bool span_traced = !r.trace_id.empty() && FlightRecorder::enabled();
+    std::uint64_t trace_hash = 0;
+    if (span_traced) {
+      trace_hash = FlightRecorder::hash_trace(r.trace_id);
+      FlightRecorder::record(
+          TraceEventType::kStageEnter, TraceStage::kServerWorker, trace_hash,
+          static_cast<std::uint64_t>(r.type),
+          static_cast<std::uint64_t>(SteadyClock::instance().now().count()));
+    }
 
     core::Decision decision;
     switch (r.type) {
@@ -332,6 +523,12 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
           decision = admission_->probe(r.key, 0);
         }
         break;
+    }
+    if (span_traced) {
+      FlightRecorder::record(
+          TraceEventType::kStageExit, TraceStage::kServerWorker, trace_hash,
+          decision.allowed ? 1 : 0,
+          static_cast<std::uint64_t>(SteadyClock::instance().now().count()));
     }
     resp.allowed = decision.allowed;
     resp.remaining_millicredits = decision.remaining_millicredits;
@@ -365,7 +562,11 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
   const TimePoint flushed = SteadyClock::instance().now();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (buf.dequeued_at[i] != kTimeZero) {
-      service_us_.record((flushed - buf.dequeued_at[i]).count() / 1000);
+      const std::int64_t service_us =
+          (flushed - buf.dequeued_at[i]).count() / 1000;
+      service_us_.record(service_us);
+      // keys/traces alias jobs[i].dg.data, still alive here.
+      service_exemplar_.record(service_us, buf.traces[i], buf.keys[i]);
     }
   }
 }
@@ -373,6 +574,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
 void QosServerNode::worker_loop() {
   // kSharedQueue: one wakeup = up to send_batch jobs popped under one FIFO
   // lock, decided under shard mutexes, replies flushed in one sendmmsg.
+  FlightRecorder::label_current_thread("server.worker");
   const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
   jobs.reserve(batch);
@@ -393,6 +595,8 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
   // on the decision path. Idle workers spin briefly, then park on the
   // kWorkerPark condvar; the bounded wait is the lost-wakeup backstop.
   WorkerState& st = *worker_state_[index];
+  FlightRecorder::label_current_thread("server.worker." +
+                                       std::to_string(index));
   const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
   jobs.reserve(batch);
@@ -431,6 +635,7 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
     }
 
     if (did_work) {
+      st.progress.fetch_add(1, std::memory_order_release);
       idle_spins = 0;
       continue;
     }
@@ -500,6 +705,10 @@ void QosServerNode::dispatch_maintenance(MaintCmd::Kind kind, bool wait) {
     if (pushed) {
       ++accepted;
       wake_worker(*w);
+    } else {
+      // MPMC maintenance ring stayed full through every retry: that slice
+      // of the pass is skipped this round. Invisible before this counter.
+      maint_rejected_.inc();
     }
   }
   if (!wait) return;

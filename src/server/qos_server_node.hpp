@@ -34,6 +34,8 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -68,6 +70,14 @@ struct QosServerConfig {
   Duration refill_interval = millis(10);     // only used in kPeriodic mode
   Duration sync_interval = seconds(5);       // "configurable update interval"
   Duration checkpoint_interval = seconds(5); // "configurable update interval"
+  /// Stalled-worker watchdog tick; <= 0 disables it. A worker with queued
+  /// work and no progress across one full tick counts a
+  /// server.watchdog_stalls, records a flight-recorder event, and fires the
+  /// one-shot trace auto-dump (if armed).
+  Duration watchdog_interval = seconds(1);
+  /// Slow-request exemplar threshold (µs) for the server's queue-wait and
+  /// service histograms; < 0 disables exemplar capture.
+  std::int64_t slow_exemplar_us = 5000;
 };
 
 class QosServerNode {
@@ -149,7 +159,11 @@ class QosServerNode {
     SpscQueue<Job> jobs;        // single producer: the listener
     MpmcQueue<MaintCmd> maint;  // producers: periodic threads + test hooks
     core::ShardOwnerToken token;
-    Gauge* depth = nullptr;  // server.worker_queue_depth.w<i>
+    Gauge* depth = nullptr;    // server.worker_queue_depth.w<i>
+    Counter* rejects = nullptr;  // server.worker_queue_reject.w<i>
+    /// Batches completed; the watchdog flags a worker whose ring is
+    /// non-empty while this stands still across a whole tick.
+    std::atomic<std::uint64_t> progress{0};
 
     std::atomic<bool> parked{false};
     Mutex park_mu{LockRank::kWorkerPark, "server.worker_park"};
@@ -166,6 +180,11 @@ class QosServerNode {
     std::vector<net::UdpSocket::OutDatagram> replies;
     std::vector<TimePoint> dequeued_at;
     std::vector<std::int64_t> wait_us;
+    // Per-job key/trace views for the post-flush service exemplar. They
+    // alias each Job's datagram buffer, which outlives the flush (the jobs
+    // vector is cleared only after run_jobs returns).
+    std::vector<std::string_view> keys;
+    std::vector<std::string_view> traces;
   };
 
   void listener_loop();
@@ -189,6 +208,14 @@ class QosServerNode {
   /// to the locked maintenance pass when the workers are not running.
   void dispatch_maintenance(MaintCmd::Kind kind, bool wait);
 
+  /// One watchdog tick (PeriodicTask): flags workers with queued work but
+  /// no progress since the previous tick.
+  void watchdog_pass();
+  /// Hot-key top-k rendered as extra Prometheus families for /metrics.
+  std::string render_hot_key_metrics(const std::string& node) const;
+  /// Hot-key top-k rendered as a ",\"hot_keys\":..." /statusz fragment.
+  std::string render_hot_key_statusz() const;
+
   QosServerConfig config_;
   net::UdpSocket socket_;
   net::SockAddr addr_;
@@ -203,14 +230,23 @@ class QosServerNode {
   Counter& answered_;
   Counter& malformed_;
   Counter& dropped_;
+  Counter& maint_rejected_;    // server.maint_queue_reject
+  Counter& watchdog_stalls_;   // server.watchdog_stalls
   HistogramMetric& queue_wait_us_;
   HistogramMetric& service_us_;
+  Exemplar& queue_wait_exemplar_;  // slowest-sample trace/key, /statusz
+  Exemplar& service_exemplar_;
   // Batch-size distributions: mean(server.recv_batch) is the direct
   // syscalls-amortized signal (datagrams per listener wakeup); likewise
   // server.send_batch for worker reply bursts.
   HistogramMetric& recv_batch_size_;
   HistogramMetric& send_batch_size_;
   Gauge& threading_mode_;  // 0 = shared-queue, 1 = shard-per-worker
+
+  // Watchdog bookkeeping; touched only from the watchdog's PeriodicTask
+  // thread, so plain fields suffice.
+  std::vector<std::uint64_t> watchdog_last_progress_;
+  std::uint64_t watchdog_last_answered_ = 0;
 
   std::atomic<bool> stopping_{false};
   std::thread listener_;

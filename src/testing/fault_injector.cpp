@@ -1,5 +1,7 @@
 #include "testing/fault_injector.hpp"
 
+#include "common/flight_recorder.hpp"
+
 namespace janus::testing {
 
 namespace {
@@ -91,6 +93,17 @@ bool FaultInjector::fire_slow(Point& p) {
   ++p.fire_count;
   if (p.spec.max_fires != 0 && p.fire_count >= p.spec.max_fires) {
     p.armed.store(false, std::memory_order_release);
+  }
+  // Chaos observability hook: the fire lands in the flight recorder (arg =
+  // point index; ts = 0 lets the renderer carry the ring's last timestamp
+  // forward) and trips the one-shot trace auto-dump, so the rings around a
+  // chaos event survive to disk. Legal under p.mu: rank kFaultPoint (40) <
+  // kFlightRecorder (96).
+  if (FlightRecorder::enabled()) {
+    const auto index = static_cast<std::uint64_t>(&p - points_.data());
+    FlightRecorder::instance().record(TraceEventType::kFault,
+                                      TraceStage::kFault, 0, index, 0);
+    FlightRecorder::instance().trigger_auto_dump(kNames[index]);
   }
   return true;
 }

@@ -16,7 +16,33 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.min(), 0);
   EXPECT_EQ(h.max(), 0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
-  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(0.5), Histogram::kNoSample);
+}
+
+TEST(HistogramTest, EmptyPercentileReturnsSentinelNotZero) {
+  // Regression: an empty histogram used to answer 0 for every quantile,
+  // indistinguishable from a genuine 0ns sample.
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), Histogram::kNoSample) << "q=" << q;
+  }
+  EXPECT_NE(h.summary_us().find("no samples"), std::string::npos);
+  h.record(7);
+  EXPECT_GE(h.percentile(0.5), 0);
+  h.reset();
+  EXPECT_EQ(h.percentile(0.5), Histogram::kNoSample);
+}
+
+TEST(HistogramTest, SingleBucketPercentilesAreConsistent) {
+  // Regression: with every sample in one bucket, q=0 used to resolve with a
+  // target rank of zero; all quantiles must agree on the one bucket.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(42);
+  const std::int64_t p100 = h.percentile(1.0);
+  EXPECT_EQ(p100, 42);
+  for (double q : {0.0, 0.001, 0.5, 0.999}) {
+    EXPECT_EQ(h.percentile(q), p100) << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, SingleValue) {

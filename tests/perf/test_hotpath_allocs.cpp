@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
+#include "common/metrics.hpp"
 #include "core/admission.hpp"
 #include "core/qos_table.hpp"
 #include "wire/codec.hpp"
@@ -73,6 +75,15 @@ using core::AdmissionConfig;
 using core::AdmissionController;
 using core::QosRule;
 
+/// The flight recorder registers this thread's ring (one heap allocation,
+/// ever) on the first recorded event. Decisions are 1-in-16 sampled into it,
+/// so a guarded 64-iteration loop WILL record — pre-register the ring so the
+/// guarded region only sees the steady-state (allocation-free) writes.
+void warm_flight_recorder() {
+  FlightRecorder::record(TraceEventType::kQueueDepth, TraceStage::kAdmission,
+                         0, 0, 0);
+}
+
 /// Minimal in-memory rule source (no allocation on the warm path because the
 /// warm path never calls it — that is part of what these tests prove).
 class StaticRuleSource : public core::RuleSource {
@@ -109,6 +120,7 @@ TEST(HotpathAllocTest, WarmKeyAdmissionDecisionIsAllocationFree) {
   const std::string key = "tenant-42/upload-photo";
   ASSERT_TRUE(ac.check(key, 1).allowed);  // first touch: entry created
   ASSERT_EQ(source.fetches(), 1);
+  warm_flight_recorder();
 
   {
     AllocGuard guard;
@@ -186,6 +198,7 @@ TEST(HotpathAllocTest, FullWarmDecisionPipelineIsAllocationFree) {
   wire::encode_to(req, frame);
 
   ASSERT_TRUE(ac.check(req.key, 1).allowed);  // warm the entry
+  warm_flight_recorder();
 
   AllocGuard guard;
   for (int i = 0; i < 64; ++i) {
@@ -211,6 +224,7 @@ TEST(HotpathAllocTest, WarmOwnedDecisionIsAllocationFree) {
   const auto token = ac.claim_shards(0, 1);  // one owner, all shards
   const std::size_t hash = janus::TransparentStringHash::hash_bytes(key);
   ASSERT_TRUE(ac.check_owned(token, key, hash, 1).allowed);  // first touch
+  warm_flight_recorder();
 
   {
     AllocGuard guard;
@@ -250,6 +264,7 @@ TEST(HotpathAllocTest, FullWarmOwnedPipelineIsAllocationFree) {
   const auto token = ac.claim_shards(0, 1);
   const std::size_t hash = janus::TransparentStringHash::hash_bytes(req.key);
   ASSERT_TRUE(ac.check_owned(token, req.key, hash, 1).allowed);  // warm
+  warm_flight_recorder();
 
   AllocGuard guard;
   for (int i = 0; i < 64; ++i) {
@@ -260,6 +275,49 @@ TEST(HotpathAllocTest, FullWarmOwnedPipelineIsAllocationFree) {
   }
   EXPECT_EQ(guard.count(), 0u)
       << "warm owned decode+decide pipeline allocated on the hot path";
+}
+
+TEST(HotpathAllocTest, WarmDecisionWithRecorderArmedIsAllocationFree) {
+  // PR 6's acceptance bullet, stated directly: the recorder is ARMED (the
+  // default) and the warm decision path still never touches the heap — the
+  // sampled admission events and hot-key sketch notes write into
+  // preallocated fixed-size structures only.
+  ASSERT_TRUE(FlightRecorder::enabled());
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  const std::string key = "tenant-3/traced-op";
+  ASSERT_TRUE(ac.check(key, 1).allowed);
+  warm_flight_recorder();
+
+  AllocGuard guard;
+  // 256 decisions cross the 1-in-16 sample gate ~16 times: ring writes and
+  // Space-Saving sketch updates both land inside the guarded region.
+  for (int i = 0; i < 256; ++i) {
+    auto d = ac.check(key, 1);
+    ASSERT_TRUE(d.allowed);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "recorder-armed warm decision allocated; telemetry path regressed";
+}
+
+TEST(HotpathAllocTest, ExemplarRecordIsAllocationFree) {
+  // Slow-request exemplar capture sits on the worker's post-decision path;
+  // over-threshold samples copy trace/key into fixed byte arrays.
+  Exemplar ex;
+  ex.set_threshold(0);
+  const std::string trace = "0123456789abcdef";
+  const std::string key = "tenant-8/slow-op";
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    ex.record(1000 + i, trace, key);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "Exemplar::record allocated; fixed-buffer capture regressed";
 }
 
 TEST(HotpathAllocTest, ColdKeyStillAllocatesExactlyOnFirstTouch) {

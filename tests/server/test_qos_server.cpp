@@ -7,7 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
+#include "common/json_lint.hpp"
 #include "router/udp_qos_client.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace janus::server {
 namespace {
@@ -298,6 +301,78 @@ TEST_F(QosServerTest, AdminExposesThreadingModeAndDepth) {
 
 // --- QosServerConfig validation (the PR 5 bugfix): start() must reject or
 // repair nonsense instead of hanging loops / crashing on modulo-by-zero. ---
+
+TEST_P(QosServerModeTest, WatchdogFlagsStalledWorker) {
+  // A worker that sleeps through whole watchdog ticks while work is queued
+  // must be flagged. The slow-service fault inflates each job by 150 ms
+  // against a 20 ms watchdog tick.
+  QosServerConfig cfg;
+  cfg.worker_threads = 1;  // one worker: the backlog cannot drain elsewhere
+  cfg.watchdog_interval = millis(20);
+  cfg.admission.table_shards = 4;
+  auto server = start_server(cfg);
+
+  testing::ScopedFault slow(testing::FaultPoint::kServerSlowService,
+                            {.max_fires = 4, .param = 150000});
+
+  // Fire-and-forget: a 5 ms client timeout abandons each reply, leaving the
+  // datagrams queued behind the sleeping worker.
+  router::UdpClientConfig ccfg;
+  ccfg.timeout = millis(5);
+  ccfg.max_retries = 1;
+  router::UdpQosClient client(ccfg);
+  for (int i = 0; i < 4; ++i) {
+    wire::QosRequest req;
+    req.key = "alice";
+    req.type = wire::RequestType::kCheck;
+    req.cost = 1;
+    (void)client.call(server->addr(), req);
+  }
+
+  auto& stalls = server->metrics().counter("server.watchdog_stalls");
+  for (int i = 0; i < 300 && stalls.value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(stalls.value(), 0)
+      << "watchdog never flagged the sleeping worker";
+  server->stop();
+}
+
+TEST_F(QosServerTest, ChaosFaultFireTriggersParseableAutoDump) {
+  // The chaos observability loop end to end: arm the one-shot auto-dump,
+  // fire a fault on the decision path, read back a valid Perfetto JSON file.
+  const std::string path =
+      ::testing::TempDir() + "/janus_chaos_autodump.json";
+  std::remove(path.c_str());
+  FlightRecorder::instance().set_auto_dump_path(path);
+
+  QosServerConfig cfg;
+  cfg.worker_threads = 1;
+  auto server = start_server(cfg);
+  {
+    testing::ScopedFault slow(testing::FaultPoint::kServerSlowService,
+                              {.max_fires = 1, .param = 1000});
+    auto resp = call(server->addr(), "alice");
+    EXPECT_EQ(resp.status, wire::ResponseStatus::kOk);
+  }
+  server->stop();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "fault fire did not produce the auto-dump file";
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  FlightRecorder::instance().set_auto_dump_path("");
+
+  std::string err;
+  EXPECT_TRUE(json_lint::json_syntax_ok(content, &err)) << err;
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  // The fault fire itself is on the timeline.
+  EXPECT_NE(content.find("\"name\":\"fault_fire\""), std::string::npos);
+}
 
 TEST(QosServerConfigValidation, RejectsZeroWorkers) {
   QosServerConfig cfg;

@@ -1,0 +1,154 @@
+// janus_trace_export: fetch the flight-recorder rings from one or more
+// Janus admin endpoints (/tracez) and merge them into a single Perfetto /
+// chrome://tracing JSON file. Each node is exported under its own pid so a
+// gateway + router + server capture lines up as three process lanes on one
+// timeline.
+//
+//   janus_trace_export [-o FILE] [--trace=ID] HOST:PORT [HOST:PORT ...]
+//
+//   -o FILE      write to FILE instead of stdout
+//   --trace=ID   keep only the request with X-Janus-Trace: ID
+//
+// The merged document is syntax-checked with json_lint before it is written;
+// a malformed merge exits non-zero rather than producing a file Perfetto
+// will reject.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json_lint.hpp"
+#include "net/http.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using janus::net::HttpClient;
+using janus::net::SockAddr;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-o FILE] [--trace=ID] HOST:PORT [HOST:PORT ...]\n",
+               argv0);
+}
+
+bool parse_addr(std::string_view s, SockAddr& out) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= s.size()) return false;
+  const long port = std::strtol(std::string(s.substr(colon + 1)).c_str(),
+                                nullptr, 10);
+  if (port <= 0 || port > 65535) return false;
+  out.ip = std::string(s.substr(0, colon));
+  if (out.ip == "localhost") out.ip = "127.0.0.1";
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+/// Pull the contents of "traceEvents":[...] out of one /tracez response.
+/// The admin server renders the array as the final member of the document,
+/// so everything between the opening '[' and the last ']' is the event list.
+bool extract_events(const std::string& body, std::string& out) {
+  static constexpr std::string_view kKey = "\"traceEvents\":[";
+  const std::size_t start = body.find(kKey);
+  if (start == std::string::npos) return false;
+  const std::size_t open = start + kKey.size();
+  const std::size_t close = body.rfind(']');
+  if (close == std::string::npos || close < open) return false;
+  out = body.substr(open, close - open);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string trace_id;
+  std::vector<SockAddr> nodes;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_id = std::string(arg.substr(std::strlen("--trace=")));
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      SockAddr addr;
+      if (!parse_addr(arg, addr)) {
+        std::fprintf(stderr, "janus_trace_export: bad address '%.*s'\n",
+                     static_cast<int>(arg.size()), arg.data());
+        return 2;
+      }
+      nodes.push_back(std::move(addr));
+    }
+  }
+  if (nodes.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string merged =
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":"
+      "\"janus_trace_export\"},\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::string target = "/tracez?pid=" + std::to_string(i + 1);
+    if (!trace_id.empty()) target += "&trace=" + trace_id;
+    HttpClient client(nodes[i]);
+    auto resp = client.get(target);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "janus_trace_export: %s: %s\n",
+                   nodes[i].to_string().c_str(),
+                   resp.error().message.c_str());
+      return 1;
+    }
+    if (resp.value().status != 200) {
+      std::fprintf(stderr, "janus_trace_export: %s: HTTP %d\n",
+                   nodes[i].to_string().c_str(), resp.value().status);
+      return 1;
+    }
+    std::string events;
+    if (!extract_events(resp.value().body, events)) {
+      std::fprintf(stderr,
+                   "janus_trace_export: %s: no traceEvents in response\n",
+                   nodes[i].to_string().c_str());
+      return 1;
+    }
+    if (events.empty()) continue;
+    if (!first) merged += ',';
+    first = false;
+    merged += events;
+  }
+  merged += "]}\n";
+
+  std::string err;
+  if (!janus::json_lint::json_syntax_ok(merged, &err)) {
+    std::fprintf(stderr, "janus_trace_export: merged trace invalid: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "janus_trace_export: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(merged.data(), 1, merged.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "janus_trace_export: wrote %zu bytes to %s\n",
+               merged.size(), out_path.c_str());
+  return 0;
+}

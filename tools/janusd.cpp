@@ -11,9 +11,13 @@
 //                 [--timeout-us 100] [--retries 5] [--default-allow]
 //
 // Observability flags (both roles):
-//   --admin ip:port    mount /metrics (Prometheus), /healthz, /statusz
+//   --admin ip:port    mount /metrics (Prometheus), /healthz, /statusz,
+//                      /tracez (flight-recorder Perfetto JSON)
 //   --stats-ms N       log a one-line metrics snapshot every N ms
 //   --log-level L      debug|info|warn|error|off (default info)
+//   --trace-dump PATH  arm the one-shot flight-recorder auto-dump: the next
+//                      chaos fault fire or stalled-worker watchdog hit
+//                      writes the rings to PATH as Perfetto JSON
 //
 // The rules file is `key = rate capacity [credit]` per line, e.g.:
 //
@@ -27,6 +31,7 @@
 #include <fstream>
 #include <functional>
 
+#include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/periodic.hpp"
@@ -123,6 +128,17 @@ bool setup_observability(
         millis(interval), [&registry] {
           JLOG_INFO("stats: %s", format_stats_line(registry).c_str());
         });
+  }
+  if (auto it = flags.find("trace-dump"); it != flags.end()) {
+    if (it->second.empty()) {
+      std::fprintf(stderr, "janusd: --trace-dump needs a path\n");
+      return false;
+    }
+    // One-shot: the next chaos fault fire or watchdog-detected stall dumps
+    // the flight-recorder rings here as Perfetto JSON (DESIGN.md §10).
+    FlightRecorder::instance().set_auto_dump_path(it->second);
+    std::printf("janusd: %s trace auto-dump armed -> %s\n", role,
+                it->second.c_str());
   }
   return true;
 }

@@ -47,6 +47,10 @@ cxx=${CXX:-c++}
 # ThreadingModes, so the §9.1 ownership contract must match the code too.
 "$repo_root/tools/check_threading_doc.sh"
 
+# Observability doc guard: the flight-recorder suites below lean on the §10
+# event schema and the BENCH_PR6 overhead ceiling; keep them honest first.
+"$repo_root/tools/check_observability_doc.sh"
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \
