@@ -1,0 +1,300 @@
+#include "cluster/coordinator.hpp"
+
+#include "cluster/frame_io.hpp"
+#include "common/flight_recorder.hpp"
+#include "common/logging.hpp"
+
+namespace janus::cluster {
+
+ClusterCoordinator::ClusterCoordinator(ShardMapHolder& holder,
+                                       CoordinatorOptions options,
+                                       Clock& clock)
+    : holder_(holder), options_(std::move(options)), clock_(clock) {}
+
+ClusterCoordinator::~ClusterCoordinator() { stop(); }
+
+void ClusterCoordinator::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Move sessions out from under mu_ before destroying them: a session
+  // thread may be inside on_bfd_change waiting on mu_ right now, and
+  // destroying its BfdSession joins that thread.
+  std::vector<std::unique_ptr<net::BfdSession>> sessions;
+  {
+    MutexLock lock(mu_);
+    for (Slot& slot : slots_) {
+      if (slot.bfd) sessions.push_back(std::move(slot.bfd));
+    }
+    for (auto& s : graveyard_) sessions.push_back(std::move(s));
+    graveyard_.clear();
+  }
+  sessions.clear();
+}
+
+void ClusterCoordinator::retire_sessions(
+    std::vector<std::unique_ptr<net::BfdSession>> retired) {
+  std::vector<std::unique_ptr<net::BfdSession>> deferred;
+  for (auto& session : retired) {
+    if (!session) continue;
+    session->request_stop();
+    // A BFD-triggered failover retires the session that detected it — this
+    // very thread. Joining it here would self-deadlock; park it instead and
+    // join from the next user-thread entry point (or stop()).
+    if (session->on_session_thread()) deferred.push_back(std::move(session));
+  }
+  retired.clear();  // joins the rest; their loops exit within one poll tick
+  if (!deferred.empty()) {
+    MutexLock lock(mu_);
+    for (auto& s : deferred) graveyard_.push_back(std::move(s));
+  }
+}
+
+void ClusterCoordinator::drain_graveyard() {
+  std::vector<std::unique_ptr<net::BfdSession>> dead;
+  {
+    MutexLock lock(mu_);
+    dead.swap(graveyard_);
+  }
+  dead.clear();
+}
+
+Result<std::uint64_t> ClusterCoordinator::bootstrap(
+    std::vector<MemberSpec> members) {
+  drain_graveyard();
+  std::vector<std::unique_ptr<net::BfdSession>> retired;
+  Result<std::uint64_t> out = Error("coordinator: unpublished");
+  {
+    MutexLock lock(mu_);
+    if (!slots_.empty()) return Error("coordinator: already bootstrapped");
+    out = publish_locked(std::move(members), {}, retired);
+  }
+  retire_sessions(std::move(retired));
+  return out;
+}
+
+Result<std::uint64_t> ClusterCoordinator::reshard(
+    std::vector<MemberSpec> members) {
+  std::vector<std::unique_ptr<net::BfdSession>> retired;
+  Result<std::uint64_t> out = Error("coordinator: unpublished");
+  {
+    MutexLock lock(mu_);
+    if (slots_.empty()) return Error("coordinator: not bootstrapped");
+    // Members of the old map that are absent (by name) from the new one
+    // must still hear about the epoch so they hand their keys off and go
+    // quiet.
+    std::vector<Member> leaving;
+    for (const Slot& slot : slots_) {
+      bool kept = false;
+      for (const MemberSpec& next : members) {
+        if (next.member.name == slot.spec.member.name) {
+          kept = true;
+          break;
+        }
+      }
+      if (!kept) leaving.push_back(slot.spec.member);
+    }
+    out = publish_locked(std::move(members), std::move(leaving), retired);
+  }
+  retire_sessions(std::move(retired));
+  drain_graveyard();
+  return out;
+}
+
+Result<std::uint64_t> ClusterCoordinator::fail_over_internal(
+    std::size_t index, std::optional<std::uint64_t> expected_generation) {
+  std::vector<std::unique_ptr<net::BfdSession>> retired;
+  Result<std::uint64_t> published = Error("coordinator: unpublished");
+  std::string name;
+  std::string promoted_addr;
+  {
+    MutexLock lock(mu_);
+    if (expected_generation && *expected_generation != generation_) {
+      return Error("coordinator: stale bfd session");
+    }
+    if (index >= slots_.size()) return Error("coordinator: bad member index");
+    MemberSpec& spec = slots_[index].spec;
+    if (!spec.standby) {
+      return Error("coordinator: no standby for " + spec.member.name);
+    }
+    // Promote in place: the standby keeps the slot's name so CRC32 mod N
+    // ownership (and therefore every key's owner) is unchanged — only the
+    // address moves. Its credit state comes from the HA snapshots it has
+    // been restoring all along (paper §III-C).
+    name = spec.member.name;
+    Member promoted = *spec.standby;
+    promoted.name = name;
+    promoted_addr = promoted.udp_addr.to_string();
+    std::vector<MemberSpec> next;
+    next.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      MemberSpec copy = slots_[i].spec;
+      if (i == index) {
+        copy.member = promoted;
+        copy.bfd_addr = copy.standby_bfd_addr;
+        copy.standby.reset();
+        copy.standby_bfd_addr = net::SockAddr{"0.0.0.0", 0};
+      }
+      next.push_back(std::move(copy));
+    }
+    published = publish_locked(std::move(next), {}, retired);
+  }
+  // On the BFD-triggered path this frame runs ON a retired session's thread;
+  // retire_sessions parks that one in the graveyard instead of self-joining.
+  retire_sessions(std::move(retired));
+  if (published.ok()) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.metrics) {
+      options_.metrics->counter("cluster.failovers").inc();
+    }
+    JLOG_WARN("cluster: failed over %s to standby %s (epoch %llu)",
+              name.c_str(), promoted_addr.c_str(),
+              static_cast<unsigned long long>(published.value()));
+  }
+  return published;
+}
+
+net::BfdState ClusterCoordinator::member_liveness(std::size_t index) const {
+  MutexLock lock(mu_);
+  if (index >= slots_.size()) return net::BfdState::kDown;
+  const Slot& slot = slots_[index];
+  return slot.bfd ? slot.bfd->state() : net::BfdState::kUp;
+}
+
+Result<std::uint64_t> ClusterCoordinator::publish_locked(
+    std::vector<MemberSpec> specs, std::vector<Member> leaving,
+    std::vector<std::unique_ptr<net::BfdSession>>& retired) {
+  if (specs.empty()) return Error("coordinator: empty membership");
+  ShardMap map;
+  map.epoch = holder_.epoch() + 1;
+  map.members.reserve(specs.size());
+  for (const MemberSpec& spec : specs) map.members.push_back(spec.member);
+
+  // Install locally BEFORE telling any server: the instant a server flips,
+  // it NACKs old-epoch frames, and the router must already hold the new
+  // map to re-route them.
+  if (!holder_.publish(map)) {
+    return Error("coordinator: stale epoch on publish");
+  }
+  if (options_.metrics) {
+    options_.metrics->gauge("cluster.epoch")
+        .set(static_cast<std::int64_t>(map.epoch));
+    options_.metrics->gauge("cluster.members")
+        .set(static_cast<std::int64_t>(map.members.size()));
+  }
+
+  // Park old BFD sessions in `retired` (addresses may all change) and swap
+  // in the new slot list; the caller destroys them after releasing mu_.
+  for (Slot& slot : slots_) {
+    if (slot.bfd) retired.push_back(std::move(slot.bfd));
+  }
+  slots_.clear();
+  for (MemberSpec& spec : specs) {
+    slots_.push_back(Slot{.spec = std::move(spec), .bfd = nullptr});
+  }
+  ++generation_;
+
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < map.members.size(); ++i) {
+    if (map.members[i].cluster_addr.port == 0) continue;  // in-process member
+    auto update = to_epoch_update(map, static_cast<std::uint16_t>(i));
+    if (push_update(map.members[i].cluster_addr, update).ok()) {
+      ++delivered;
+    } else {
+      publish_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.metrics) {
+        options_.metrics->counter("cluster.publish_errors").inc();
+      }
+    }
+  }
+  for (const Member& gone : leaving) {
+    if (gone.cluster_addr.port == 0) continue;
+    auto update = to_epoch_update(map, wire::kNotAMember);
+    if (!push_update(gone.cluster_addr, update).ok()) {
+      publish_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.metrics) {
+        options_.metrics->counter("cluster.publish_errors").inc();
+      }
+    }
+  }
+  JLOG_INFO("cluster: published epoch %llu to %zu/%zu members",
+            static_cast<unsigned long long>(map.epoch), delivered,
+            map.members.size());
+
+  if (options_.enable_bfd) start_bfd_locked();
+  return map.epoch;
+}
+
+void ClusterCoordinator::start_bfd_locked() {
+  const std::uint64_t gen = generation_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.bfd || slot.spec.bfd_addr.port == 0) continue;
+    auto session = net::BfdSession::start(
+        net::BfdSession::Options{
+            .peer = slot.spec.bfd_addr,
+            .timers = options_.bfd,
+            .local_disc = static_cast<std::uint32_t>(i + 1),
+            .on_change =
+                [this, gen, i](net::BfdState from, net::BfdState to) {
+                  on_bfd_change(gen, i, from, to);
+                }},
+        clock_);
+    if (session.ok()) {
+      slot.bfd = std::move(session).take();
+    } else {
+      JLOG_WARN("cluster: bfd session for %s failed: %s",
+                slot.spec.member.name.c_str(),
+                session.error().message.c_str());
+    }
+  }
+}
+
+Status ClusterCoordinator::push_update(const net::SockAddr& target,
+                                       const wire::EpochUpdate& update) {
+  auto stream = net::TcpStream::connect(target, options_.publish_timeout);
+  if (!stream.ok()) return Error(stream.error().message);
+  net::TcpStream conn = std::move(stream).take();
+  auto frame = wire::encode_frame(update);
+  if (auto st = conn.write_all(frame); !st.ok()) return st;
+  auto reply = read_cluster_frame(conn, options_.publish_timeout);
+  if (!reply.ok()) return Error(reply.error().message);
+  const auto* ack = std::get_if<wire::ClusterAck>(&reply.value());
+  if (ack == nullptr) return Error("cluster: expected ack");
+  if (ack->status != wire::ClusterAckStatus::kOk) {
+    return Error("cluster: peer rejected epoch update");
+  }
+  return Status::success();
+}
+
+void ClusterCoordinator::on_bfd_change(std::uint64_t generation,
+                                       std::size_t index, net::BfdState from,
+                                       net::BfdState to) {
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::record(TraceEventType::kStageExit,
+                           TraceStage::kClusterBfd, 0,
+                           (std::uint64_t{index} << 16) |
+                               (std::uint64_t{static_cast<std::uint8_t>(from)}
+                                << 8) |
+                               std::uint64_t{static_cast<std::uint8_t>(to)},
+                           0);
+  }
+  if (from == net::BfdState::kUp && to == net::BfdState::kDown) {
+    std::string failed_name;
+    {
+      MutexLock lock(mu_);
+      if (generation != generation_ || index >= slots_.size()) return;
+      failed_name = slots_[index].spec.member.name;
+    }
+    auto result = fail_over_internal(index, generation);
+    if (!result.ok()) {
+      JLOG_WARN("cluster: %s down but not failed over: %s",
+                failed_name.c_str(), result.error().message.c_str());
+      return;
+    }
+    // DNS tier convergence — outside every coordinator lock.
+    if (options_.on_failover) options_.on_failover(failed_name);
+  }
+}
+
+}  // namespace janus::cluster

@@ -1,0 +1,144 @@
+// The cluster coordinator (DESIGN.md §11.2-§11.4): the router-side control
+// plane. It owns the authoritative shard map, publishes epoch E+1 to every
+// affected janusd process over the cluster TCP port on membership change
+// (the servers then migrate bucket state among themselves), and runs one
+// BFD liveness session per active member so a dead master is detected in
+// detect_multiplier x tx_interval and its standby promoted — the paper's
+// §III-C/D master/standby failover, but in hundreds of milliseconds
+// instead of a DNS TTL.
+//
+// Lock order: mu_ (kClusterCoordinator, 54) -> ShardMapHolder::mu_
+// (kClusterMap, 58). BFD state-change callbacks arrive on session threads
+// with no BFD lock held (kBfdSession, 56, is never held across the
+// callback), so taking mu_ inside the callback respects the global order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/result.hpp"
+#include "common/sync.hpp"
+#include "net/bfd.hpp"
+
+namespace janus::cluster {
+
+/// One logical shard slot: the active member plus an optional standby that
+/// is promoted in place (same name, same slot) when BFD declares the
+/// active down. `bfd_addr` is the active's responder port (0 = unprobed).
+struct MemberSpec {
+  Member member;
+  net::SockAddr bfd_addr{"0.0.0.0", 0};
+  std::optional<Member> standby;
+  net::SockAddr standby_bfd_addr{"0.0.0.0", 0};
+};
+
+struct CoordinatorOptions {
+  net::BfdTimers bfd;
+  /// Probe members that advertise a bfd_addr. Off = manual failover only.
+  bool enable_bfd = true;
+  /// TCP connect/read budget for one EpochUpdate publish.
+  Duration publish_timeout = std::chrono::milliseconds(500);
+  /// Invoked (no coordinator lock held) with the member name after a
+  /// standby promotion — wire this to lb::DnsBalancer::force_failover so
+  /// the DNS tier converges with the shard map instead of waiting out TTLs.
+  std::function<void(const std::string& member_name)> on_failover;
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ClusterCoordinator {
+ public:
+  ClusterCoordinator(ShardMapHolder& holder, CoordinatorOptions options,
+                     Clock& clock);
+  ~ClusterCoordinator();
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Install the initial membership and publish epoch `current + 1` to all
+  /// members. Returns the published epoch.
+  Result<std::uint64_t> bootstrap(std::vector<MemberSpec> members);
+
+  /// Replace the membership (N -> M reshard), bump the epoch, and publish
+  /// to the union of old and new members — leaving servers get
+  /// kNotAMember so they stream away everything they own.
+  Result<std::uint64_t> reshard(std::vector<MemberSpec> members);
+
+  /// Promote slot `index`'s standby: the standby (which has been restoring
+  /// the master's HA snapshots) becomes the active member at the same slot
+  /// and name, the epoch bumps, and the new map is published to the
+  /// survivors. No-op error if the slot has no standby.
+  Result<std::uint64_t> fail_over(std::size_t index) {
+    return fail_over_internal(index, std::nullopt);
+  }
+
+  void stop();
+
+  std::uint64_t epoch() const { return holder_.epoch(); }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t publish_errors() const {
+    return publish_errors_.load(std::memory_order_relaxed);
+  }
+  /// Live BFD state for slot `index` (kUp when unprobed — absence of
+  /// probing must not read as an outage).
+  net::BfdState member_liveness(std::size_t index) const;
+
+ private:
+  struct Slot {
+    MemberSpec spec;
+    std::unique_ptr<net::BfdSession> bfd;
+  };
+
+  /// Builds the map at `epoch` from `specs` and pushes EpochUpdate frames;
+  /// `leaving` members receive the update with self_index = kNotAMember.
+  /// Old BFD sessions are moved into `retired`, NOT destroyed: destroying
+  /// one joins its thread, which may itself be blocked on mu_ inside a
+  /// state-change callback — callers hand `retired` to retire_sessions()
+  /// after releasing mu_.
+  Result<std::uint64_t> publish_locked(
+      std::vector<MemberSpec> specs, std::vector<Member> leaving,
+      std::vector<std::unique_ptr<net::BfdSession>>& retired) JANUS_REQUIRES(mu_);
+  /// Destroys retired sessions safely: a session being retired FROM ITS OWN
+  /// callback thread (a BFD-triggered failover retires the very session that
+  /// detected the outage) cannot be joined here — it is asked to stop and
+  /// parked in graveyard_, joined later from a user thread.
+  void retire_sessions(std::vector<std::unique_ptr<net::BfdSession>> retired);
+  void drain_graveyard();
+  void start_bfd_locked() JANUS_REQUIRES(mu_);
+  Status push_update(const net::SockAddr& target,
+                     const wire::EpochUpdate& update);
+  /// `expected_generation` set = BFD-triggered: the promotion is skipped if
+  /// the membership changed since that session was started (a retired
+  /// session's last callback must not act on the new slot list).
+  Result<std::uint64_t> fail_over_internal(
+      std::size_t index, std::optional<std::uint64_t> expected_generation);
+  void on_bfd_change(std::uint64_t generation, std::size_t index,
+                     net::BfdState from, net::BfdState to);
+
+  ShardMapHolder& holder_;
+  CoordinatorOptions options_;
+  Clock& clock_;
+  mutable Mutex mu_{LockRank::kClusterCoordinator, "cluster.coordinator"};
+  std::vector<Slot> slots_ JANUS_GUARDED_BY(mu_);
+  /// Sessions retired from their own callback thread; request_stop() has
+  /// been issued, so by the time a user thread drains this the loop is done
+  /// and the join is instant.
+  std::vector<std::unique_ptr<net::BfdSession>> graveyard_
+      JANUS_GUARDED_BY(mu_);
+  /// Bumped on every publish; BFD callbacks carry the generation they were
+  /// started under and are ignored once it is stale.
+  std::uint64_t generation_ JANUS_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> publish_errors_{0};
+};
+
+}  // namespace janus::cluster

@@ -1,0 +1,53 @@
+// Blocking length-prefixed frame I/O over TcpStream for the cluster
+// control plane. Shared by the coordinator (publish side) and the server's
+// peer listener (receive side).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "net/socket.hpp"
+#include "wire/cluster_codec.hpp"
+
+namespace janus::cluster {
+
+/// Read exactly one length-prefixed cluster frame off `stream`. `timeout`
+/// bounds each read_some call, not the whole frame (frames are tiny).
+inline Result<wire::ClusterMessage> read_cluster_frame(net::TcpStream& stream,
+                                                       Duration timeout) {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[16 * 1024];
+  std::size_t need = 4;  // length prefix first
+  bool have_len = false;
+  std::uint32_t payload_len = 0;
+  for (;;) {
+    if (buf.size() >= need) {
+      if (!have_len) {
+        payload_len = 0;
+        for (int i = 0; i < 4; ++i) {
+          payload_len |= std::uint32_t{buf[static_cast<std::size_t>(i)]}
+                         << (8 * i);
+        }
+        if (payload_len == 0 || payload_len > wire::kMaxClusterFrame) {
+          return Error("cluster: bad frame length");
+        }
+        need = 4 + payload_len;
+        have_len = true;
+        continue;
+      }
+      if (buf.size() != need) return Error("cluster: trailing frame bytes");
+      return wire::decode_cluster_message(
+          std::span(buf).subspan(4, payload_len));
+    }
+    auto n = stream.read_some(chunk, timeout);
+    if (!n.ok()) return Error(n.error().message);
+    if (!n.value()) return Error("cluster: frame read timeout");
+    if (*n.value() == 0) return Error("cluster: peer closed mid-frame");
+    buf.insert(buf.end(), chunk, chunk + *n.value());
+  }
+}
+
+}  // namespace janus::cluster

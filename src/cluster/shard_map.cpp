@@ -1,0 +1,62 @@
+#include "cluster/shard_map.hpp"
+
+namespace janus::cluster {
+
+bool key_migrates(const ShardMap& from, const ShardMap& to,
+                  std::string_view key) {
+  if (from.members.empty() || to.members.empty()) return false;
+  const std::uint32_t h = crc32(key);
+  const std::size_t old_owner = from.owner_of_hash(h);
+  const std::size_t new_owner = to.owner_of_hash(h);
+  if (old_owner == new_owner &&
+      from.members[old_owner].name == to.members[new_owner].name) {
+    return false;
+  }
+  return true;
+}
+
+wire::EpochUpdate to_epoch_update(const ShardMap& map,
+                                  std::uint16_t self_index) {
+  wire::EpochUpdate update;
+  update.epoch = map.epoch;
+  update.self_index = self_index;
+  update.members.reserve(map.members.size());
+  for (const Member& m : map.members) {
+    update.members.push_back(wire::ClusterMemberInfo{
+        .name = m.name,
+        .udp_addr = m.udp_addr.to_string(),
+        .cluster_addr = m.cluster_addr.to_string()});
+  }
+  return update;
+}
+
+Result<ShardMap> shard_map_from_update(const wire::EpochUpdate& update) {
+  if (update.epoch == 0) return Error("shard map: zero epoch");
+  if (update.members.empty()) return Error("shard map: empty membership");
+  ShardMap map;
+  map.epoch = update.epoch;
+  map.members.reserve(update.members.size());
+  for (const wire::ClusterMemberInfo& m : update.members) {
+    auto udp = net::SockAddr::parse(m.udp_addr);
+    if (!udp.ok()) return Error("shard map: " + udp.error().message);
+    auto ctl = m.cluster_addr.empty()
+                   ? Result<net::SockAddr>(net::SockAddr{"0.0.0.0", 0})
+                   : net::SockAddr::parse(m.cluster_addr);
+    if (!ctl.ok()) return Error("shard map: " + ctl.error().message);
+    map.members.push_back(Member{.name = m.name,
+                                 .udp_addr = udp.value(),
+                                 .cluster_addr = ctl.value()});
+  }
+  return map;
+}
+
+bool ShardMapHolder::publish(ShardMap next) {
+  if (next.members.empty() || next.epoch == 0) return false;
+  auto fresh = std::make_shared<const ShardMap>(std::move(next));
+  MutexLock lock(mu_);
+  if (map_ && map_->epoch >= fresh->epoch) return false;
+  map_ = std::move(fresh);
+  return true;
+}
+
+}  // namespace janus::cluster

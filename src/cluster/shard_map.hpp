@@ -1,0 +1,99 @@
+// The epoch-versioned shard map (DESIGN.md §11). Cluster mode keeps the
+// paper's routing rule — owner = CRC32(key) mod N (Fig. 2) — but makes N a
+// versioned quantity: every map carries a monotonically increasing epoch,
+// the router stamps the epoch it routed against onto each v3 UDP frame, and
+// a server that has already moved to a newer map NACKs stale frames
+// (ResponseStatus::kStaleEpoch) instead of deciding against the wrong
+// partition. Membership changes therefore never split a key's bucket
+// between two owners: at any epoch exactly one server owns each key, and
+// requests caught mid-flip are retried against the new map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/result.hpp"
+#include "common/sync.hpp"
+#include "net/socket.hpp"
+#include "wire/cluster_codec.hpp"
+
+namespace janus::cluster {
+
+/// One QoS-server process in the map.
+struct Member {
+  std::string name;           // backend name ("qos-0"), stable across epochs
+  net::SockAddr udp_addr;     // data-plane QoS socket
+  net::SockAddr cluster_addr; // control-plane TCP socket (port 0 = none)
+
+  bool operator==(const Member&) const = default;
+};
+
+/// An immutable shard map at one epoch. Routers and servers share snapshots
+/// via shared_ptr<const ShardMap>; a map is never mutated after publish.
+struct ShardMap {
+  std::uint64_t epoch = 0;
+  std::vector<Member> members;
+
+  std::size_t size() const { return members.size(); }
+
+  /// The paper's rule: CRC32(key) mod N. Callers must ensure non-empty
+  /// membership (publish and decode both reject empty maps).
+  std::size_t owner_of(std::string_view key) const {
+    return crc32(key) % members.size();
+  }
+
+  /// Owner lookup from a precomputed CRC32 (the router hashes each key
+  /// once; see core::KeyRouter for the single-process equivalent).
+  std::size_t owner_of_hash(std::uint32_t key_crc) const {
+    return key_crc % members.size();
+  }
+
+  bool operator==(const ShardMap&) const = default;
+};
+
+/// True when `key` changes owner between two maps — i.e. its bucket state
+/// must migrate when the cluster moves from `from` to `to`. Maps with the
+/// same member count never migrate anything (CRC32 mod N is stable in N).
+bool key_migrates(const ShardMap& from, const ShardMap& to,
+                  std::string_view key);
+
+/// Wire conversions for the control plane (EpochUpdate frames).
+wire::EpochUpdate to_epoch_update(const ShardMap& map,
+                                  std::uint16_t self_index);
+Result<ShardMap> shard_map_from_update(const wire::EpochUpdate& update);
+
+/// Thread-safe holder of the current map. Readers take an atomic-ish
+/// snapshot (shared_ptr copy under a rank-58 mutex held for the copy only);
+/// publishers swap in a strictly newer epoch. This is the only mutable
+/// cluster-routing state in a router or server process.
+class ShardMapHolder {
+ public:
+  ShardMapHolder() = default;
+
+  /// nullptr until the first publish (cluster mode not yet configured).
+  std::shared_ptr<const ShardMap> snapshot() const {
+    MutexLock lock(mu_);
+    return map_;
+  }
+
+  std::uint64_t epoch() const {
+    MutexLock lock(mu_);
+    return map_ ? map_->epoch : 0;
+  }
+
+  /// Install `next` if it is strictly newer than the current map. Returns
+  /// false (and leaves the current map) on a stale or equal epoch, or on an
+  /// empty membership — late control-plane messages can never roll the map
+  /// backwards.
+  bool publish(ShardMap next);
+
+ private:
+  mutable Mutex mu_{LockRank::kClusterMap, "cluster.map"};
+  std::shared_ptr<const ShardMap> map_ JANUS_GUARDED_BY(mu_);
+};
+
+}  // namespace janus::cluster

@@ -60,6 +60,8 @@ enum class TraceStage : std::uint8_t {
   kAdmission,       // AdmissionController verdicts (sampled, always-on)
   kWatchdog,        // stalled-worker watchdog
   kFault,           // testing::FaultInjector fires
+  kClusterMigrate,  // cluster resharding: extract/stream/install spans
+  kClusterBfd,      // BFD liveness session state changes
   kStageCount,
 };
 
@@ -79,6 +81,7 @@ inline std::string_view trace_stage_name(TraceStage s) {
   static constexpr std::string_view kNames[] = {
       "gateway",   "router",    "router.udp", "server.listener",
       "server.worker", "admission", "watchdog",   "fault",
+      "cluster.migrate", "cluster.bfd",
   };
   const auto i = static_cast<std::size_t>(s);
   return i < static_cast<std::size_t>(TraceStage::kStageCount) ? kNames[i]

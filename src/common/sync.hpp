@@ -90,6 +90,11 @@ enum class LockRank : int {
   kDbWal = 30,            // db::Wal::mu_ (under commit during append/sync)
   kFaultPoint = 40,       // testing::FaultInjector per-point mu (under WAL)
   kQosShard = 50,         // core::ShardedQosTable per-shard mu (leaf)
+  kClusterCoordinator = 54,  // cluster::ClusterCoordinator::mu_ (may publish
+                             // while taking kClusterMap + kDnsBalancer)
+  kBfdSession = 56,       // net::BfdSession::mu_ (state only; callbacks and
+                          // socket I/O run unlocked)
+  kClusterMap = 58,       // cluster::ShardMapHolder::mu_ (snapshot swap only)
   kDnsBalancer = 60,      // lb::DnsBalancer::mu_ (leaf)
   kDnsCache = 65,         // lb::CachingResolver::mu_ (leaf; never nests kDnsBalancer)
   kQueue = 70,            // BlockingQueue::mu_ (fifo, http, pool, replication)

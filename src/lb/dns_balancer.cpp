@@ -82,6 +82,19 @@ bool DnsBalancer::failed_over(const std::string& name) const {
   return it != failover_.end() && it->second.on_secondary;
 }
 
+bool DnsBalancer::force_failover(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = failover_.find(name);
+  if (it == failover_.end() || it->second.on_secondary) return false;
+  it->second.on_secondary = true;
+  // Reset the probe counters: the next health-check rounds judge the
+  // secondary from a clean slate, and a recovered primary still needs
+  // healthy_threshold consecutive successes to flip back.
+  it->second.consecutive_failures = 0;
+  it->second.consecutive_successes = 0;
+  return true;
+}
+
 void DnsBalancer::rotate_failover(const std::string& name,
                                   net::SockAddr new_secondary) {
   MutexLock lock(mu_);

@@ -59,6 +59,14 @@ class DnsBalancer {
   /// True if `name` currently resolves to its secondary (failed over).
   bool failed_over(const std::string& name) const;
 
+  /// Flip `name` to its secondary immediately, bypassing the probe
+  /// thresholds. Wired to ClusterCoordinator::on_failover (DESIGN.md §11.4):
+  /// BFD detects the dead master in hundreds of milliseconds, so the DNS
+  /// tier must not wait out `unhealthy_threshold` probe rounds to agree
+  /// with the shard map. Returns false if `name` has no failover record or
+  /// is already on its secondary.
+  bool force_failover(const std::string& name);
+
   /// Replace a failover pair after a completed failover: the promoted
   /// secondary becomes primary and `new_secondary` takes its place
   /// ("terminate the original failed master node and launch a new slave").

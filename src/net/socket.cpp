@@ -61,6 +61,25 @@ SockAddr SockAddr::from_native(const sockaddr_in& sa) {
   return SockAddr{buf, ntohs(sa.sin_port)};
 }
 
+Result<SockAddr> SockAddr::parse(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Error("expected ip:port, got " + std::string(text));
+  }
+  std::uint32_t port = 0;
+  const std::string_view digits = text.substr(colon + 1);
+  if (digits.empty() || digits.size() > 5) {
+    return Error("bad port in " + std::string(text));
+  }
+  for (char c : digits) {
+    if (c < '0' || c > '9') return Error("bad port in " + std::string(text));
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (port > 65535) return Error("bad port in " + std::string(text));
+  return SockAddr{std::string(text.substr(0, colon)),
+                  static_cast<std::uint16_t>(port)};
+}
+
 Fd::~Fd() { reset(); }
 
 Fd& Fd::operator=(Fd&& other) noexcept {

@@ -39,6 +39,9 @@ struct SockAddr {
 
   Result<sockaddr_in> to_native() const;
   static SockAddr from_native(const sockaddr_in& sa);
+  /// Parse "ip:port" (the inverse of to_string). Rejects missing colon and
+  /// out-of-range ports; does not validate the dotted quad (to_native does).
+  static Result<SockAddr> parse(std::string_view text);
 };
 
 /// Owning file descriptor.

@@ -43,6 +43,7 @@ RouterNode::RouterNode(std::vector<std::string> backends,
       defaults_(metrics_.counter("router.default_replies")),
       retries_(metrics_.counter("router.udp_retries")),
       bad_requests_(metrics_.counter("router.bad_requests")),
+      stale_reroutes_(metrics_.counter("router.stale_epoch_reroutes")),
       e2e_us_(metrics_.histogram("router.e2e_us")),
       udp_rtt_us_(metrics_.histogram("router.udp_rtt_us")),
       e2e_exemplar_(metrics_.exemplar("router.e2e_us")) {
@@ -116,21 +117,16 @@ net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
 
   *key_out = parsed.value().request.key;
 
-  // The hash-mod-N partition step (Fig. 2).
-  const std::size_t slot = key_router_.index_for(parsed.value().request.key);
-  const std::string& backend_name = backends_[slot];
-  auto backend = resolver_->resolve(backend_name);
-  if (!backend.ok()) {
-    defaults_.inc();
-    auto resp = net::HttpResponse::text(
-        503, config_.udp.default_allow ? "TRUE" : "FALSE");
-    resp.headers.push_back({"X-Janus-Status", std::string(wire::status_header_value(
-                                                  wire::ResponseStatus::kDefaultReply))});
-    return resp;
-  }
-
   wire::QosRequest qos_req = parsed.value().request;
   qos_req.trace_id = trace;
+
+  // Cluster mode: route by the epoch-versioned shard map when attached;
+  // static hash-mod-N over the configured backend list otherwise. Both are
+  // the paper's CRC32(key) mod N (Fig. 2) — the map just makes N versioned.
+  const cluster::ShardMapHolder* cluster_map =
+      shard_map_.load(std::memory_order_acquire);
+  std::shared_ptr<const cluster::ShardMap> map;
+  if (cluster_map) map = cluster_map->snapshot();
 
   // One UDP client per HTTP worker thread: id matching is per-socket.
   thread_local UdpQosClient client(config_.udp);
@@ -138,39 +134,89 @@ net::HttpResponse RouterNode::dispatch(const net::HttpRequest& req,
       trace.empty() || !FlightRecorder::enabled()
           ? 0
           : FlightRecorder::hash_trace(trace);
-  const TimePoint udp_start = SteadyClock::instance().now();
-  if (trace_hash != 0) {
-    FlightRecorder::instance().record(TraceEventType::kStageEnter,
-                                      TraceStage::kRouterUdp, trace_hash,
-                                      slot, udp_start.count());
-  }
-  auto result = client.call(backend.value(), qos_req);
-  const std::int64_t rtt = us_since(udp_start);
-  if (trace_hash != 0) {
-    FlightRecorder::instance().record(
-        TraceEventType::kStageExit, TraceStage::kRouterUdp, trace_hash,
-        static_cast<std::uint64_t>(client.last_attempts()),
-        SteadyClock::instance().now().count());
-  }
-  udp_rtt_us_.record(rtt);
-  if (client.last_attempts() > 1) retries_.inc(client.last_attempts() - 1);
-  if (!trace.empty()) {
-    JLOG_DEBUG("router: trace=%s key=%s slot=%zu backend=%s attempts=%d "
-               "udp_rtt_us=%lld",
-               trace.c_str(), qos_req.key.c_str(), slot, backend_name.c_str(),
-               client.last_attempts(), static_cast<long long>(rtt));
-  }
-  if (!result.ok()) {
-    JLOG_WARN("router: udp failure: %s", result.error().message.c_str());
-    defaults_.inc();
-    auto resp = net::HttpResponse::text(
-        503, config_.udp.default_allow ? "TRUE" : "FALSE");
-    resp.headers.push_back({"X-Janus-Status", std::string(wire::status_header_value(
-                                                  wire::ResponseStatus::kDefaultReply))});
-    return resp;
+
+  Result<wire::QosResponse> result = Error("router: unrouted");
+  for (int route_attempt = 0;; ++route_attempt) {
+    std::size_t slot;
+    const std::string* backend_name;
+    net::SockAddr backend_addr;
+    if (map) {
+      slot = map->owner_of(qos_req.key);
+      backend_name = &map->members[slot].name;
+      backend_addr = map->members[slot].udp_addr;
+      qos_req.epoch = map->epoch;  // the v3 epoch stamp servers check
+    } else {
+      slot = key_router_.index_for(qos_req.key);
+      backend_name = &backends_[slot];
+      auto backend = resolver_->resolve(*backend_name);
+      if (!backend.ok()) {
+        defaults_.inc();
+        auto resp = net::HttpResponse::text(
+            503, config_.udp.default_allow ? "TRUE" : "FALSE");
+        resp.headers.push_back(
+            {"X-Janus-Status", std::string(wire::status_header_value(
+                                   wire::ResponseStatus::kDefaultReply))});
+        return resp;
+      }
+      backend_addr = backend.value();
+    }
+
+    const TimePoint udp_start = SteadyClock::instance().now();
+    if (trace_hash != 0) {
+      FlightRecorder::instance().record(TraceEventType::kStageEnter,
+                                        TraceStage::kRouterUdp, trace_hash,
+                                        slot, udp_start.count());
+    }
+    result = client.call(backend_addr, qos_req);
+    const std::int64_t rtt = us_since(udp_start);
+    if (trace_hash != 0) {
+      FlightRecorder::instance().record(
+          TraceEventType::kStageExit, TraceStage::kRouterUdp, trace_hash,
+          static_cast<std::uint64_t>(client.last_attempts()),
+          SteadyClock::instance().now().count());
+    }
+    udp_rtt_us_.record(rtt);
+    if (client.last_attempts() > 1) retries_.inc(client.last_attempts() - 1);
+    if (!trace.empty()) {
+      JLOG_DEBUG("router: trace=%s key=%s slot=%zu backend=%s attempts=%d "
+                 "udp_rtt_us=%lld",
+                 trace.c_str(), qos_req.key.c_str(), slot,
+                 backend_name->c_str(), client.last_attempts(),
+                 static_cast<long long>(rtt));
+    }
+    if (!result.ok()) {
+      JLOG_WARN("router: udp failure: %s", result.error().message.c_str());
+      defaults_.inc();
+      auto resp = net::HttpResponse::text(
+          503, config_.udp.default_allow ? "TRUE" : "FALSE");
+      resp.headers.push_back(
+          {"X-Janus-Status", std::string(wire::status_header_value(
+                                 wire::ResponseStatus::kDefaultReply))});
+      return resp;
+    }
+
+    // kStaleEpoch NACK: the server already moved to a newer map. The
+    // coordinator installs maps locally before publishing, so one fresh
+    // snapshot is enough to route against the epoch the server is on;
+    // a second NACK (publish still in flight elsewhere) falls through to
+    // the default reply rather than looping.
+    if (map && route_attempt == 0 &&
+        result.value().status == wire::ResponseStatus::kStaleEpoch) {
+      stale_reroutes_.inc();
+      map = cluster_map->snapshot();
+      continue;
+    }
+    break;
   }
 
-  const wire::QosResponse& qr = result.value();
+  wire::QosResponse qr = result.value();
+  if (qr.status == wire::ResponseStatus::kStaleEpoch) {
+    // Re-route did not converge: fail closed (or open, per policy) exactly
+    // like an unanswered request — never admit against a stale partition.
+    defaults_.inc();
+    qr.status = wire::ResponseStatus::kDefaultReply;
+    qr.allowed = config_.udp.default_allow;
+  }
   if (qr.status == wire::ResponseStatus::kDefaultReply) {
     defaults_.inc();
   } else {

@@ -5,11 +5,13 @@
 // be added or removed without coordination.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/shard_map.hpp"
 #include "common/metrics.hpp"
 #include "core/key_router.hpp"
 #include "net/admin_server.hpp"
@@ -70,6 +72,17 @@ class RouterNode {
   Result<net::SockAddr> start_admin(const net::SockAddr& addr,
                                     std::string node_name = "router");
 
+  /// Cluster mode (DESIGN.md §11.3): route by the epoch-versioned shard map
+  /// instead of the static backend list. Each dispatch snapshots the holder,
+  /// routes by `CRC32(key) mod N` over the map's members, stamps the map's
+  /// epoch onto the v3 UDP frame, and — on a kStaleEpoch NACK — re-snapshots
+  /// and re-routes exactly once (router.stale_epoch_reroutes). The holder
+  /// (typically fed by a ClusterCoordinator in the same process) must
+  /// outlive the router. Pass nullptr to fall back to static routing.
+  void attach_shard_map(const cluster::ShardMapHolder* holder) {
+    shard_map_.store(holder, std::memory_order_release);
+  }
+
   void stop() {
     server_->stop();
     if (admin_) admin_->stop();
@@ -89,11 +102,13 @@ class RouterNode {
   RouterConfig config_;
   core::KeyRouter key_router_;
   MetricsRegistry metrics_;
+  std::atomic<const cluster::ShardMapHolder*> shard_map_{nullptr};
   Counter& requests_;
   Counter& forwarded_;
   Counter& defaults_;
   Counter& retries_;
   Counter& bad_requests_;
+  Counter& stale_reroutes_;  // router.stale_epoch_reroutes
   HistogramMetric& e2e_us_;
   HistogramMetric& udp_rtt_us_;
   Exemplar& e2e_exemplar_;  // slowest-sample trace/key, /statusz

@@ -79,7 +79,12 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       service_exemplar_(metrics_.exemplar("server.service_us")),
       recv_batch_size_(metrics_.histogram("server.recv_batch")),
       send_batch_size_(metrics_.histogram("server.send_batch")),
-      threading_mode_(metrics_.gauge("server.threading_mode")) {
+      threading_mode_(metrics_.gauge("server.threading_mode")),
+      stale_nacks_(metrics_.counter("server.stale_epoch_nacks")),
+      cluster_deferred_(metrics_.counter("server.cluster_deferred")),
+      migrated_in_(metrics_.counter("server.migrated_in")),
+      migrated_out_(metrics_.counter("server.migrated_out")),
+      cluster_epoch_gauge_(metrics_.gauge("server.cluster_epoch")) {
   const std::size_t n = config_.worker_threads;
   const bool sharded =
       config_.threading == core::ThreadingMode::kShardPerWorker;
@@ -146,7 +151,9 @@ Result<net::SockAddr> QosServerNode::start_admin(const net::SockAddr& addr,
   opts.extra_metrics = [this](const std::string& node) {
     return render_hot_key_metrics(node);
   };
-  opts.extra_statusz = [this] { return render_hot_key_statusz(); };
+  opts.extra_statusz = [this] {
+    return render_hot_key_statusz() + render_cluster_statusz();
+  };
   auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
   if (!admin.ok()) return Error(admin.error().message);
   admin_ = std::move(admin).take();
@@ -286,15 +293,25 @@ void QosServerNode::checkpoint_now() {
 void QosServerNode::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
-  // Order matters: periodic dispatchers may be blocked waiting on worker
-  // latches, so they are stopped while the workers still drain commands.
+  // Order matters twice over. Periodic dispatchers may be blocked waiting on
+  // worker latches, so they are stopped while the workers still drain
+  // commands. And the listener must be joined BEFORE the workers are allowed
+  // to exit: it is the sole SPSC producer, and a worker that observed
+  // stopping_ with an empty ring could otherwise exit while the listener's
+  // final batch was still being fanned out — stranding accepted jobs that
+  // would never be answered (the shutdown-ordering regression in
+  // tests/server/test_server_shutdown.cpp). listener_done_ is the gate the
+  // sharded workers wait on; the shared FIFO gets the same guarantee from
+  // shutting it down only after the producer is gone (pop_many drains
+  // whatever was pushed before returning 0).
   for (auto& task : maintenance_) task->stop();
+  if (listener_.joinable()) listener_.join();
+  listener_done_.store(true, std::memory_order_release);
   fifo_.shutdown();
   for (auto& w : worker_state_) {
     MutexLock lock(w->park_mu);
     w->park_cv.notify_one();
   }
-  if (listener_.joinable()) listener_.join();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -482,6 +499,34 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
     resp.status = wire::ResponseStatus::kOk;
     buf.keys[i] = r.key;
     buf.traces[i] = r.trace_id;
+
+    // Cluster epoch gate (DESIGN.md §11.3). Outside cluster mode every
+    // frame carries epoch 0 and this is one never-taken branch — the warm
+    // path stays zero-allocation and mutex-free. A stale frame is NACKed
+    // with the current epoch so the router re-routes against the new map
+    // instead of this node deciding against a partition it no longer owns.
+    if (r.epoch != 0) {
+      const std::uint64_t current =
+          cluster_epoch_.load(std::memory_order_acquire);
+      if (r.epoch != current) {
+        stale_nacks_.inc();
+        stale_nacks_count_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = wire::ResponseStatus::kStaleEpoch;
+        resp.epoch = current;
+        wire::encode_to(resp, buf.outs[i]);
+        answered_.inc();
+        buf.replies.push_back({job.dg.from, buf.outs[i]});
+        continue;
+      }
+      resp.epoch = current;
+      if (defer_for_migration(r.key, job.key_hash, token)) {
+        // Inbound-migration window: this key's bucket is still in flight
+        // from the old owner. No reply — the router's retry (or its
+        // default-deny on exhaustion) guarantees zero over-admission.
+        cluster_deferred_.inc();
+        continue;
+      }
+    }
     // wait_us is -1 for untimed jobs, so a disabled/unsampled job can never
     // cross the (non-negative) exemplar threshold.
     queue_wait_exemplar_.record(buf.wait_us[i], r.trace_id, r.key);
@@ -629,6 +674,11 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
         case MaintCmd::Kind::kCheckpoint:
           admission_->checkpoint_owned(st.token, sink_);
           break;
+        case MaintCmd::Kind::kClusterFn:
+          // Migration extract/install slice: the dispatcher blocks on the
+          // done latch, so *cmd->fn outlives this call.
+          if (cmd->fn) (*cmd->fn)(st.token);
+          break;
       }
       if (cmd->done) cmd->done->fetch_add(1, std::memory_order_release);
       did_work = true;
@@ -639,7 +689,8 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
       idle_spins = 0;
       continue;
     }
-    if (stopping_.load(std::memory_order_acquire) && st.jobs.empty() &&
+    if (stopping_.load(std::memory_order_acquire) &&
+        listener_done_.load(std::memory_order_acquire) && st.jobs.empty() &&
         st.maint.size_approx() == 0) {
       break;
     }
@@ -662,6 +713,227 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
   }
 }
 
+void QosServerNode::set_cluster_epoch(std::uint64_t epoch) {
+  cluster_epoch_.store(epoch, std::memory_order_release);
+  cluster_epoch_gauge_.set(static_cast<std::int64_t>(epoch));
+}
+
+void QosServerNode::open_migration_window(Duration window) {
+  if (window.count() <= 0) return;
+  const std::int64_t until =
+      (SteadyClock::instance().now() + window).count();
+  migrate_window_until_.store(until, std::memory_order_release);
+}
+
+bool QosServerNode::defer_for_migration(std::string_view key, std::size_t hash,
+                                        const core::ShardOwnerToken* token) {
+  const std::int64_t until =
+      migrate_window_until_.load(std::memory_order_acquire);
+  if (until == 0) return false;
+  const std::int64_t now = SteadyClock::instance().now().count();
+  if (now >= until) {
+    // Window elapsed: self-close so the steady state goes back to one
+    // relaxed load. Racing workers may CAS-fail; either way it is closed.
+    std::int64_t expected = until;
+    migrate_window_until_.compare_exchange_strong(expected, 0);
+    return false;
+  }
+  const bool present =
+      token != nullptr
+          ? admission_->table()
+                // unlocked-ok: owner-token call site (shard-per-worker)
+                .with_entry_unlocked(*token, key, hash,
+                                     [](core::QosEntry&) { return true; })
+                .has_value()
+          : admission_->table().contains(key);
+  return !present;
+}
+
+namespace {
+
+wire::MigrationEntry to_migration_entry(const std::string& key,
+                                        const core::QosEntry& entry) {
+  return wire::MigrationEntry{.key = key,
+                              .capacity = entry.rule.capacity,
+                              .refill_per_sec = entry.rule.refill_per_sec,
+                              .credit = entry.bucket.credit(),
+                              .is_default = entry.is_default};
+}
+
+core::QosEntry from_migration_entry(const wire::MigrationEntry& e,
+                                    TimePoint now) {
+  // Mirrors ha.cpp restore_table: the migrated credit is the authoritative
+  // water level; the bucket resumes refilling from `now` on the new owner.
+  core::QosRule rule{.key = e.key,
+                     .capacity = e.capacity,
+                     .refill_per_sec = e.refill_per_sec,
+                     .initial_credit = e.credit};
+  return core::QosEntry{
+      .rule = rule,
+      .bucket = core::LeakyBucket(e.capacity, e.refill_per_sec, e.credit, now),
+      .is_default = e.is_default};
+}
+
+}  // namespace
+
+std::vector<std::vector<wire::MigrationEntry>> QosServerNode::extract_disowned(
+    const cluster::ShardMap& map, std::size_t self_index) {
+  std::vector<std::vector<wire::MigrationEntry>> out(map.size());
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  const std::uint64_t ts =
+      static_cast<std::uint64_t>(SteadyClock::instance().now().count());
+  FlightRecorder::record(TraceEventType::kStageEnter,
+                         TraceStage::kClusterMigrate, /*trace=*/0,
+                         /*arg=*/map.epoch, ts);
+
+  if (!sharded || stopping_.load(std::memory_order_acquire)) {
+    // Shared-queue (or post-stop) path: the shard locks are the discipline.
+    std::vector<std::string> doomed;
+    admission_->table().for_each(
+        [&](const std::string& key, core::QosEntry& entry) {
+          const std::size_t owner = map.owner_of(key);
+          if (owner == self_index) return;
+          out[owner].push_back(to_migration_entry(key, entry));
+          doomed.push_back(key);
+        });
+    for (const std::string& key : doomed) admission_->table().erase(key);
+  } else {
+    // Shard-per-worker: each owner extracts its own slice on its own
+    // thread; slices land in per-worker slots (no shared mutation).
+    std::vector<std::vector<std::vector<wire::MigrationEntry>>> slices(
+        worker_state_.size(),
+        std::vector<std::vector<wire::MigrationEntry>>(map.size()));
+    std::function<void(const core::ShardOwnerToken&)> fn =
+        [&](const core::ShardOwnerToken& token) {
+          auto& mine = slices[token.worker_index()];
+          std::vector<std::string> doomed;
+          // unlocked-ok: owner-token call site (shard-per-worker)
+          admission_->table().for_each_owned(
+              token, [&](const std::string& key, core::QosEntry& entry) {
+                const std::size_t owner = map.owner_of(key);
+                if (owner == self_index) return;
+                mine[owner].push_back(to_migration_entry(key, entry));
+                doomed.push_back(key);
+              });
+          for (const std::string& key : doomed) {
+            // unlocked-ok: owner-token call site (shard-per-worker)
+            admission_->table().erase_unlocked(
+                token, key, TransparentStringHash::hash_bytes(key));
+          }
+        };
+    run_on_owners(fn);
+    for (auto& slice : slices) {
+      for (std::size_t owner = 0; owner < slice.size(); ++owner) {
+        auto& bucket = slice[owner];
+        out[owner].insert(out[owner].end(),
+                          std::make_move_iterator(bucket.begin()),
+                          std::make_move_iterator(bucket.end()));
+      }
+    }
+  }
+
+  std::size_t total = 0;
+  for (const auto& bucket : out) total += bucket.size();
+  migrated_out_.inc(static_cast<std::int64_t>(total));
+  migrated_out_count_.fetch_add(total, std::memory_order_relaxed);
+  FlightRecorder::record(
+      TraceEventType::kStageExit, TraceStage::kClusterMigrate, /*trace=*/0,
+      /*arg=*/total,
+      static_cast<std::uint64_t>(SteadyClock::instance().now().count()));
+  return out;
+}
+
+std::size_t QosServerNode::install_migrated(
+    const std::vector<wire::MigrationEntry>& entries) {
+  const bool sharded =
+      config_.threading == core::ThreadingMode::kShardPerWorker;
+  const TimePoint now = SteadyClock::instance().now();
+  FlightRecorder::record(TraceEventType::kStageEnter,
+                         TraceStage::kClusterMigrate, /*trace=*/0,
+                         /*arg=*/entries.size(),
+                         static_cast<std::uint64_t>(now.count()));
+
+  if (!sharded || stopping_.load(std::memory_order_acquire)) {
+    for (const wire::MigrationEntry& e : entries) {
+      admission_->table().with_entry_or_create(
+          e.key, [&] { return from_migration_entry(e, now); },
+          [&](core::QosEntry& cur) { cur = from_migration_entry(e, now); });
+    }
+  } else {
+    // Broadcast the whole batch; each worker installs only the entries
+    // whose shard it owns (the same `shard % workers` remap the listener
+    // routes by), so every entry is installed exactly once.
+    core::ShardedQosTable& table = admission_->table();
+    std::function<void(const core::ShardOwnerToken&)> fn =
+        [&](const core::ShardOwnerToken& token) {
+          for (const wire::MigrationEntry& e : entries) {
+            const std::size_t hash = TransparentStringHash::hash_bytes(e.key);
+            if (!token.owns(table.shard_index_of(hash))) continue;
+            // unlocked-ok: owner-token call site (shard-per-worker)
+            table.with_entry_or_create_unlocked(
+                token, e.key, hash,
+                [&] { return from_migration_entry(e, now); },
+                [&](core::QosEntry& cur) {
+                  cur = from_migration_entry(e, now);
+                });
+          }
+        };
+    run_on_owners(fn);
+  }
+
+  migrated_in_.inc(static_cast<std::int64_t>(entries.size()));
+  migrated_in_count_.fetch_add(entries.size(), std::memory_order_relaxed);
+  FlightRecorder::record(
+      TraceEventType::kStageExit, TraceStage::kClusterMigrate, /*trace=*/0,
+      /*arg=*/entries.size(),
+      static_cast<std::uint64_t>(SteadyClock::instance().now().count()));
+  return entries.size();
+}
+
+void QosServerNode::run_on_owners(
+    const std::function<void(const core::ShardOwnerToken&)>& fn) {
+  std::atomic<std::size_t> done{0};
+  std::size_t accepted = 0;
+  for (auto& w : worker_state_) {
+    MaintCmd cmd{MaintCmd::Kind::kClusterFn, &done, &fn};
+    bool pushed = false;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      if (w->maint.try_push(cmd)) {
+        pushed = true;
+        break;
+      }
+      if (stopping_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+    if (pushed) {
+      ++accepted;
+      wake_worker(*w);
+    } else {
+      // A skipped slice here loses migrating bucket state; unlike periodic
+      // maintenance there is no next round, so make it loud.
+      maint_rejected_.inc();
+      JLOG_WARN("server: cluster pass could not reach worker (queue full)");
+    }
+  }
+  while (done.load(std::memory_order_acquire) < accepted) {
+    std::this_thread::yield();
+  }
+}
+
+std::string QosServerNode::render_cluster_statusz() const {
+  const std::uint64_t epoch = cluster_epoch_.load(std::memory_order_acquire);
+  if (epoch == 0) return {};
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                ",\"cluster\":{\"epoch\":%" PRIu64 ",\"migrated_in\":%" PRIu64
+                ",\"migrated_out\":%" PRIu64 ",\"stale_nacks\":%" PRIu64 "}",
+                epoch, migrated_in_count_.load(std::memory_order_relaxed),
+                migrated_out_count_.load(std::memory_order_relaxed),
+                stale_nacks_count_.load(std::memory_order_relaxed));
+  return buf;
+}
+
 void QosServerNode::dispatch_maintenance(MaintCmd::Kind kind, bool wait) {
   const bool sharded =
       config_.threading == core::ThreadingMode::kShardPerWorker;
@@ -679,6 +951,8 @@ void QosServerNode::dispatch_maintenance(MaintCmd::Kind kind, bool wait) {
       case MaintCmd::Kind::kCheckpoint:
         admission_->checkpoint_now(sink_);
         break;
+      case MaintCmd::Kind::kClusterFn:
+        break;  // never dispatched through here (run_on_owners only)
     }
     return;
   }

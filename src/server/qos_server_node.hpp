@@ -33,12 +33,14 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "cluster/shard_map.hpp"
 #include "common/clock.hpp"
 #include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
@@ -50,6 +52,7 @@
 #include "db/rule_store.hpp"
 #include "net/admin_server.hpp"
 #include "net/socket.hpp"
+#include "wire/cluster_codec.hpp"
 
 namespace janus::server {
 
@@ -117,6 +120,54 @@ class QosServerNode {
   void sync_now();
   void checkpoint_now();
 
+  // ---- cluster runtime hooks (DESIGN.md §11, driven by ClusterAgent) -------
+  //
+  // The warm-path contract: when the node is not in cluster mode
+  // (cluster_epoch_ == 0 and every inbound frame carries epoch 0) the whole
+  // feature costs one predictable branch per request and zero allocations
+  // (tests/perf/test_hotpath_allocs.cpp pins this). In cluster mode a frame
+  // stamped with a stale epoch is NACKed with kStaleEpoch + the current
+  // epoch instead of being decided against the wrong partition.
+
+  /// Flip the node's cluster epoch. Called by the ClusterAgent the moment an
+  /// EpochUpdate lands — BEFORE any migration work, so stale frames start
+  /// bouncing immediately.
+  void set_cluster_epoch(std::uint64_t epoch);
+  std::uint64_t cluster_epoch() const {
+    return cluster_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Open the inbound-migration window: until it elapses, current-epoch
+  /// requests for keys NOT yet in the local table are silently dropped
+  /// (server.cluster_deferred) instead of first-touch-created — admitting
+  /// against a fresh default bucket while the old owner's bucket is still in
+  /// flight is exactly the double-spend resharding must prevent. The router
+  /// retry covers the dropped requests. The window self-closes on the warm
+  /// path (one clock read, only while the window is open).
+  void open_migration_window(Duration window);
+
+  /// Remove every entry whose owner under `map` is not `self_index` and
+  /// return them grouped by new owner index (entries[i] -> map.members[i]).
+  /// Pass wire::kNotAMember to extract everything (this node is leaving).
+  /// Honors the threading mode: shard-per-worker extraction rides each
+  /// owner's maintenance queue; shared-queue uses the shard locks.
+  std::vector<std::vector<wire::MigrationEntry>> extract_disowned(
+      const cluster::ShardMap& map, std::size_t self_index);
+
+  /// Install entries streamed from an old owner (MigrationBatch). Existing
+  /// entries are overwritten — the migrated credit is authoritative.
+  std::size_t install_migrated(const std::vector<wire::MigrationEntry>& entries);
+
+  std::uint64_t migrated_in() const {
+    return migrated_in_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t migrated_out() const {
+    return migrated_out_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stale_epoch_nacks() const {
+    return stale_nacks_count_.load(std::memory_order_relaxed);
+  }
+
   void stop();
 
  private:
@@ -141,11 +192,14 @@ class QosServerNode {
 
   /// Maintenance command delivered on a worker's queue (shard-per-worker):
   /// the worker runs the pass over its own shards, then increments `done`
-  /// so dispatchers can wait for the whole fleet.
+  /// so dispatchers can wait for the whole fleet. kClusterFn carries an
+  /// arbitrary owner-token pass (migration extract/install) — the function
+  /// object outlives the command because the dispatcher blocks on `done`.
   struct MaintCmd {
-    enum class Kind : std::uint8_t { kRefill, kSync, kCheckpoint };
+    enum class Kind : std::uint8_t { kRefill, kSync, kCheckpoint, kClusterFn };
     Kind kind = Kind::kRefill;
     std::atomic<std::size_t>* done = nullptr;
+    const std::function<void(const core::ShardOwnerToken&)>* fn = nullptr;
   };
 
   /// Everything one shard-per-worker worker owns. The park handshake: the
@@ -207,6 +261,17 @@ class QosServerNode {
   /// if `wait`, block until each accepted command was executed. Falls back
   /// to the locked maintenance pass when the workers are not running.
   void dispatch_maintenance(MaintCmd::Kind kind, bool wait);
+  /// Run `fn` once per worker with that worker's owner token, on the owning
+  /// worker thread (kClusterFn command), and wait for all of them. The
+  /// shard-per-worker leg of the migration extract/install paths.
+  void run_on_owners(const std::function<void(const core::ShardOwnerToken&)>& fn);
+  /// True when the migration window is open and `key` is not yet locally
+  /// present — the request must be deferred (dropped) until its bucket
+  /// arrives or the window elapses.
+  bool defer_for_migration(std::string_view key, std::size_t hash,
+                           const core::ShardOwnerToken* token);
+  /// ",\"cluster\":{...}" /statusz fragment (empty outside cluster mode).
+  std::string render_cluster_statusz() const;
 
   /// One watchdog tick (PeriodicTask): flags workers with queued work but
   /// no progress since the previous tick.
@@ -242,13 +307,32 @@ class QosServerNode {
   HistogramMetric& recv_batch_size_;
   HistogramMetric& send_batch_size_;
   Gauge& threading_mode_;  // 0 = shared-queue, 1 = shard-per-worker
+  Counter& stale_nacks_;       // server.stale_epoch_nacks
+  Counter& cluster_deferred_;  // server.cluster_deferred (migration window)
+  Counter& migrated_in_;       // server.migrated_in (entries)
+  Counter& migrated_out_;      // server.migrated_out (entries)
+  Gauge& cluster_epoch_gauge_; // server.cluster_epoch
 
   // Watchdog bookkeeping; touched only from the watchdog's PeriodicTask
   // thread, so plain fields suffice.
   std::vector<std::uint64_t> watchdog_last_progress_;
   std::uint64_t watchdog_last_answered_ = 0;
 
+  /// 0 = cluster mode off (every epoch check short-circuits on the first
+  /// operand). Set only by the ClusterAgent under its own serialization.
+  std::atomic<std::uint64_t> cluster_epoch_{0};
+  /// Steady-clock ns deadline of the inbound-migration window; 0 = closed.
+  std::atomic<std::int64_t> migrate_window_until_{0};
+  std::atomic<std::uint64_t> migrated_in_count_{0};
+  std::atomic<std::uint64_t> migrated_out_count_{0};
+  std::atomic<std::uint64_t> stale_nacks_count_{0};
+
   std::atomic<bool> stopping_{false};
+  /// Set after the listener thread is joined: shard-per-worker workers must
+  /// not exit while the listener may still be pushing into their rings
+  /// (tests/server/test_server_shutdown.cpp pins the no-stranded-job
+  /// invariant).
+  std::atomic<bool> listener_done_{false};
   std::thread listener_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<PeriodicTask>> maintenance_;

@@ -11,6 +11,7 @@ constexpr std::string_view kNames[kFaultPointCount] = {
     "net.tcp.reset",          "net.tcp.short_read",
     "router.udp.drop_attempt", "db.wal.partial_write",
     "db.wal.corrupt_crc",     "db.wal.sync_fail", "server.slow_service",
+    "cluster.bfd.drop",       "cluster.migrate.stall",
 };
 
 constexpr std::uint64_t kDefaultSeed = 0x6A616E7573'F417ull;  // "janus"+fault

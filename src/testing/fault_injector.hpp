@@ -40,6 +40,10 @@ enum class FaultPoint : std::size_t {
   kDbWalCorruptCrc,       // db.wal.corrupt_crc: record lands with bad CRC
   kDbWalSyncFail,         // db.wal.sync_fail: fsync reports failure
   kServerSlowService,     // server.slow_service: inflate service by param µs
+  kClusterBfdDrop,        // cluster.bfd.drop: liveness probe packet lost
+                          // (partition simulation for the BFD session)
+  kClusterMigrateStall,   // cluster.migrate.stall: sleep param µs before a
+                          // migration batch is sent (slow hand-off)
   kCount,
 };
 

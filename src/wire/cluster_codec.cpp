@@ -1,0 +1,260 @@
+#include "wire/cluster_codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace janus::wire {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > data_.size()) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > data_.size()) return false;
+    out = static_cast<std::uint16_t>(data_[pos_] |
+                                     (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > data_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) out |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > data_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) out |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool str(std::string& out) {
+    std::uint16_t len = 0;
+    if (!u16(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> with_header(ClusterMsgType type) {
+  std::vector<std::uint8_t> out;
+  // Reserve the length-prefix slot; patched by seal().
+  put_u32(out, 0);
+  put_u16(out, kClusterMagic);
+  put_u8(out, kClusterCodecVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  return out;
+}
+
+void seal(std::vector<std::uint8_t>& frame) {
+  const std::uint32_t payload = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((payload >> (8 * i)) & 0xFF);
+  }
+}
+
+Result<EpochUpdate> decode_epoch_update(Reader& r) {
+  EpochUpdate msg;
+  std::uint16_t count = 0;
+  if (!r.u64(msg.epoch)) return Error("cluster: truncated epoch");
+  if (msg.epoch == 0) return Error("cluster: zero epoch");
+  if (!r.u16(msg.self_index)) return Error("cluster: truncated self index");
+  if (!r.u16(count)) return Error("cluster: truncated member count");
+  if (count == 0) return Error("cluster: empty membership");
+  if (count > kMaxClusterMembers) return Error("cluster: too many members");
+  if (msg.self_index >= count && msg.self_index != kNotAMember) {
+    return Error("cluster: self index out of range");
+  }
+  msg.members.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    ClusterMemberInfo m;
+    if (!r.str(m.name) || !r.str(m.udp_addr) || !r.str(m.cluster_addr)) {
+      return Error("cluster: truncated member");
+    }
+    if (m.name.empty() || m.udp_addr.empty()) {
+      return Error("cluster: member missing name or address");
+    }
+    msg.members.push_back(std::move(m));
+  }
+  return msg;
+}
+
+Result<MigrationBatch> decode_migration_batch(Reader& r) {
+  MigrationBatch msg;
+  std::uint8_t final_flag = 0;
+  std::uint32_t count = 0;
+  if (!r.u64(msg.epoch)) return Error("cluster: truncated epoch");
+  if (msg.epoch == 0) return Error("cluster: zero epoch");
+  if (!r.u16(msg.from_index)) return Error("cluster: truncated from index");
+  if (!r.u8(final_flag) || final_flag > 1) {
+    return Error("cluster: bad final flag");
+  }
+  msg.final_batch = final_flag == 1;
+  if (!r.u32(count)) return Error("cluster: truncated entry count");
+  // Each entry is at least 2 + 8*3 + 1 bytes; a count that cannot fit in the
+  // remaining payload is rejected before reserving (bad-peer safety).
+  if (count > kMaxClusterFrame / 27) return Error("cluster: too many entries");
+  msg.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MigrationEntry e;
+    std::uint8_t is_default = 0;
+    if (!r.str(e.key) || !r.f64(e.capacity) || !r.f64(e.refill_per_sec) ||
+        !r.f64(e.credit) || !r.u8(is_default)) {
+      return Error("cluster: truncated entry");
+    }
+    if (e.key.empty()) return Error("cluster: empty entry key");
+    if (is_default > 1) return Error("cluster: bad default flag");
+    e.is_default = is_default == 1;
+    msg.entries.push_back(std::move(e));
+  }
+  return msg;
+}
+
+Result<ClusterAck> decode_ack(Reader& r) {
+  ClusterAck msg;
+  std::uint8_t status = 0;
+  if (!r.u64(msg.epoch)) return Error("cluster: truncated epoch");
+  if (!r.u8(status) ||
+      status > static_cast<std::uint8_t>(ClusterAckStatus::kError)) {
+    return Error("cluster: bad ack status");
+  }
+  msg.status = static_cast<ClusterAckStatus>(status);
+  return msg;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const EpochUpdate& msg) {
+  auto out = with_header(ClusterMsgType::kEpochUpdate);
+  put_u64(out, msg.epoch);
+  put_u16(out, msg.self_index);
+  put_u16(out, static_cast<std::uint16_t>(msg.members.size()));
+  for (const auto& m : msg.members) {
+    put_str(out, m.name);
+    put_str(out, m.udp_addr);
+    put_str(out, m.cluster_addr);
+  }
+  seal(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(const MigrationBatch& msg) {
+  auto out = with_header(ClusterMsgType::kMigrationBatch);
+  put_u64(out, msg.epoch);
+  put_u16(out, msg.from_index);
+  put_u8(out, msg.final_batch ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(msg.entries.size()));
+  for (const auto& e : msg.entries) {
+    put_str(out, e.key);
+    put_f64(out, e.capacity);
+    put_f64(out, e.refill_per_sec);
+    put_f64(out, e.credit);
+    put_u8(out, e.is_default ? 1 : 0);
+  }
+  seal(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(const ClusterAck& msg) {
+  auto out = with_header(ClusterMsgType::kAck);
+  put_u64(out, msg.epoch);
+  put_u8(out, static_cast<std::uint8_t>(msg.status));
+  seal(out);
+  return out;
+}
+
+Result<ClusterMessage> decode_cluster_message(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  if (!r.u16(magic) || magic != kClusterMagic) {
+    return Error("cluster: bad magic");
+  }
+  if (!r.u8(version) || version != kClusterCodecVersion) {
+    return Error("cluster: unsupported version");
+  }
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(ClusterMsgType::kAck)) {
+    return Error("cluster: bad message type");
+  }
+
+  ClusterMessage out;
+  switch (static_cast<ClusterMsgType>(type)) {
+    case ClusterMsgType::kEpochUpdate: {
+      auto msg = decode_epoch_update(r);
+      if (!msg.ok()) return Error(msg.error().message);
+      out = std::move(msg).take();
+      break;
+    }
+    case ClusterMsgType::kMigrationBatch: {
+      auto msg = decode_migration_batch(r);
+      if (!msg.ok()) return Error(msg.error().message);
+      out = std::move(msg).take();
+      break;
+    }
+    case ClusterMsgType::kAck: {
+      auto msg = decode_ack(r);
+      if (!msg.ok()) return Error(msg.error().message);
+      out = std::move(msg).take();
+      break;
+    }
+  }
+  if (!r.at_end()) return Error("cluster: trailing bytes");
+  return out;
+}
+
+}  // namespace janus::wire

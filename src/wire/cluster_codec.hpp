@@ -1,0 +1,116 @@
+// Control-plane codec for cluster mode (DESIGN.md §11): epoch-versioned
+// shard-map updates and bucket-state migration batches, carried over TCP
+// between the coordinator (router side) and janusd QoS servers, and between
+// servers during live resharding. Frames are little-endian, length-prefixed
+// (u32), strictly bounds-checked on decode — same discipline as codec.hpp.
+//
+// Frame payload layout:
+//   u16 magic 0x4A43 ("JC")  u8 version  u8 msg_type  body
+// Bodies:
+//   kEpochUpdate:    u64 epoch  u16 self_index  u16 member_count
+//                    { str name  str udp_addr  str cluster_addr } x count
+//   kMigrationBatch: u64 epoch  u16 from_index  u8 final  u32 entry_count
+//                    { str key  f64 capacity  f64 refill_per_sec
+//                      f64 credit  u8 is_default } x count
+//   kAck:            u64 epoch  u8 status
+// where str = u16 length + bytes and f64 = IEEE-754 bit pattern as u64.
+//
+// The MigrationEntry shape deliberately mirrors the HA snapshot entry
+// (server/ha.cpp) — a migration is a partial, targeted snapshot of exactly
+// the keys whose CRC32-mod-N owner changed between two epochs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace janus::wire {
+
+inline constexpr std::uint16_t kClusterMagic = 0x4A43;  // "JC"
+inline constexpr std::uint8_t kClusterCodecVersion = 1;
+/// Upper bound on one decoded frame payload; a reader must reject larger
+/// length prefixes before buffering (memory-safety against bad peers).
+inline constexpr std::size_t kMaxClusterFrame = 4u << 20;
+inline constexpr std::size_t kMaxClusterMembers = 1024;
+
+enum class ClusterMsgType : std::uint8_t {
+  kEpochUpdate = 0,     // coordinator -> server: new shard map is live
+  kMigrationBatch = 1,  // old owner -> new owner: bucket state hand-off
+  kAck = 2,             // receiver -> sender: applied / rejected
+};
+
+enum class ClusterAckStatus : std::uint8_t {
+  kOk = 0,
+  kStaleEpoch = 1,  // receiver already moved past this epoch
+  kError = 2,
+};
+
+struct ClusterMemberInfo {
+  std::string name;          // backend name, e.g. "qos-0"
+  std::string udp_addr;      // data-plane QoS socket, "ip:port"
+  std::string cluster_addr;  // control-plane TCP socket, "ip:port"
+
+  bool operator==(const ClusterMemberInfo&) const = default;
+};
+
+/// self_index sentinel: the receiver is NOT in the new map (it is being
+/// removed by this reshard) — it must flip its epoch, stream everything it
+/// owns to the new owners, and serve nothing afterwards.
+inline constexpr std::uint16_t kNotAMember = 0xFFFF;
+
+struct EpochUpdate {
+  std::uint64_t epoch = 0;
+  /// Receiver's own index in `members` (its shard id under CRC32 mod N),
+  /// or kNotAMember when the receiver is leaving the cluster.
+  std::uint16_t self_index = 0;
+  std::vector<ClusterMemberInfo> members;
+
+  bool operator==(const EpochUpdate&) const = default;
+};
+
+struct MigrationEntry {
+  std::string key;
+  double capacity = 0;
+  double refill_per_sec = 0;
+  double credit = 0;
+  bool is_default = false;
+
+  bool operator==(const MigrationEntry&) const = default;
+};
+
+struct MigrationBatch {
+  std::uint64_t epoch = 0;       // epoch the sender migrated under
+  std::uint16_t from_index = 0;  // sender's shard index in the NEW map
+  /// Last batch from this sender for this epoch: after it, the receiver has
+  /// every key this peer owed it and may close its migration window early.
+  bool final_batch = false;
+  std::vector<MigrationEntry> entries;
+
+  bool operator==(const MigrationBatch&) const = default;
+};
+
+struct ClusterAck {
+  std::uint64_t epoch = 0;
+  ClusterAckStatus status = ClusterAckStatus::kOk;
+
+  bool operator==(const ClusterAck&) const = default;
+};
+
+using ClusterMessage = std::variant<EpochUpdate, MigrationBatch, ClusterAck>;
+
+/// Encode one message as a length-prefixed frame (u32 payload length, then
+/// payload) ready to write to a TCP stream.
+std::vector<std::uint8_t> encode_frame(const EpochUpdate& msg);
+std::vector<std::uint8_t> encode_frame(const MigrationBatch& msg);
+std::vector<std::uint8_t> encode_frame(const ClusterAck& msg);
+
+/// Decode one frame payload (WITHOUT the u32 length prefix — the transport
+/// strips it after buffering exactly that many bytes).
+Result<ClusterMessage> decode_cluster_message(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace janus::wire

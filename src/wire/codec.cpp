@@ -77,17 +77,21 @@ class Reader {
 
 void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out) {
   const bool traced = !req.trace_id.empty();
+  const bool clustered = req.epoch != 0;
   out.clear();
   out.reserve(kRequestHeaderSize + req.key.size() +
-              (traced ? 2 + req.trace_id.size() : 0));
+              ((traced || clustered) ? 2 + req.trace_id.size() : 0) +
+              (clustered ? 8 : 0));
   put_u16(out, kRequestMagic);
-  out.push_back(traced ? kTracedProtocolVersion : kProtocolVersion);
+  out.push_back(clustered ? kClusterProtocolVersion
+                          : (traced ? kTracedProtocolVersion
+                                    : kProtocolVersion));
   out.push_back(static_cast<std::uint8_t>(req.type));
   put_u64(out, req.request_id);
   put_u32(out, req.cost);
   put_u16(out, static_cast<std::uint16_t>(req.key.size()));
   out.insert(out.end(), req.key.begin(), req.key.end());
-  if (traced) {
+  if (traced || clustered) {
     put_u16(out, static_cast<std::uint16_t>(
                      std::min(req.trace_id.size(), kMaxTraceLength)));
     out.insert(out.end(), req.trace_id.begin(),
@@ -95,17 +99,20 @@ void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out) {
                    static_cast<std::ptrdiff_t>(
                        std::min(req.trace_id.size(), kMaxTraceLength)));
   }
+  if (clustered) put_u64(out, req.epoch);
 }
 
 void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out) {
+  const bool clustered = resp.epoch != 0;
   out.clear();
-  out.reserve(kResponseSize);
+  out.reserve(kResponseSize + (clustered ? 8 : 0));
   put_u16(out, kResponseMagic);
-  out.push_back(kProtocolVersion);
+  out.push_back(clustered ? kClusterProtocolVersion : kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(resp.status));
   put_u64(out, resp.request_id);
   out.push_back(resp.allowed ? 1 : 0);
   put_u64(out, static_cast<std::uint64_t>(resp.remaining_millicredits));
+  if (clustered) put_u64(out, resp.epoch);
 }
 
 std::vector<std::uint8_t> encode(const QosRequest& req) {
@@ -131,8 +138,8 @@ Result<QosRequestView> decode_request_view(
   if (!r.u16(magic) || magic != kRequestMagic) {
     return Error("request: bad magic");
   }
-  if (!r.u8(version) ||
-      (version != kProtocolVersion && version != kTracedProtocolVersion)) {
+  if (!r.u8(version) || version < kProtocolVersion ||
+      version > kClusterProtocolVersion) {
     return Error("request: unsupported version");
   }
   if (!r.u8(type) || type > static_cast<std::uint8_t>(RequestType::kSync)) {
@@ -152,6 +159,10 @@ Result<QosRequestView> decode_request_view(
     if (!r.bytes_view(trace_len, req.trace_id)) {
       return Error("request: truncated trace");
     }
+  }
+  if (version >= kClusterProtocolVersion) {
+    if (!r.u64(req.epoch)) return Error("request: truncated epoch");
+    if (req.epoch == 0) return Error("request: zero epoch in cluster frame");
   }
   if (!r.at_end()) return Error("request: trailing bytes");
   if (req.key.empty()) return Error("request: empty key");
@@ -175,11 +186,12 @@ Result<QosResponse> decode_response(std::span<const std::uint8_t> data) {
   if (!r.u16(magic) || magic != kResponseMagic) {
     return Error("response: bad magic");
   }
-  if (!r.u8(version) || version != kProtocolVersion) {
+  if (!r.u8(version) ||
+      (version != kProtocolVersion && version != kClusterProtocolVersion)) {
     return Error("response: unsupported version");
   }
   if (!r.u8(status) ||
-      status > static_cast<std::uint8_t>(ResponseStatus::kOverloaded)) {
+      status > static_cast<std::uint8_t>(ResponseStatus::kStaleEpoch)) {
     return Error("response: bad status");
   }
   resp.status = static_cast<ResponseStatus>(status);
@@ -188,6 +200,10 @@ Result<QosResponse> decode_response(std::span<const std::uint8_t> data) {
   resp.allowed = allowed == 1;
   if (!r.u64(credits)) return Error("response: truncated credits");
   resp.remaining_millicredits = static_cast<std::int64_t>(credits);
+  if (version >= kClusterProtocolVersion) {
+    if (!r.u64(resp.epoch)) return Error("response: truncated epoch");
+    if (resp.epoch == 0) return Error("response: zero epoch in cluster frame");
+  }
   if (!r.at_end()) return Error("response: trailing bytes");
   return resp;
 }

@@ -5,15 +5,19 @@
 // Request layout (little endian):
 //   u16 magic 0x4A51 ("JQ")  u8 version  u8 type  u64 request_id
 //   u32 cost  u16 key_len  key bytes
-//   [v2 only] u16 trace_len  trace bytes
+//   [v2+] u16 trace_len  trace bytes   (trace_len may be 0 in v3)
+//   [v3 only] u64 epoch
 // Response layout:
 //   u16 magic 0x4A52 ("JR")  u8 version  u8 status  u64 request_id
 //   u8 allowed  i64 remaining_millicredits
+//   [v3 only] u64 epoch
 //
-// Version gating: requests encode as v1 when trace_id is empty — untraced
-// traffic is byte-identical to the original protocol, and old peers keep
-// parsing it. A non-empty trace_id produces a v2 frame; decoders accept
-// both versions.
+// Version gating: requests encode as v1 when trace_id is empty and epoch is
+// 0 — untraced single-process traffic is byte-identical to the original
+// protocol, and old peers keep parsing it. A non-empty trace_id produces a
+// v2 frame; a non-zero epoch (cluster mode, DESIGN.md §11) produces a v3
+// frame whose trace length field is always present (0 when untraced).
+// Decoders accept all three versions.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +35,7 @@ inline constexpr std::uint16_t kRequestMagic = 0x4A51;
 inline constexpr std::uint16_t kResponseMagic = 0x4A52;
 inline constexpr std::uint8_t kProtocolVersion = 1;
 inline constexpr std::uint8_t kTracedProtocolVersion = 2;
+inline constexpr std::uint8_t kClusterProtocolVersion = 3;
 inline constexpr std::size_t kMaxKeyLength = 4096;
 inline constexpr std::size_t kMaxTraceLength = 128;
 inline constexpr std::size_t kRequestHeaderSize = 2 + 1 + 1 + 8 + 4 + 2;

@@ -66,6 +66,8 @@ std::string_view status_header_value(ResponseStatus status) {
       return "malformed";
     case ResponseStatus::kOverloaded:
       return "overloaded";
+    case ResponseStatus::kStaleEpoch:
+      return "stale-epoch";
   }
   return "unknown";
 }
@@ -75,6 +77,7 @@ std::optional<ResponseStatus> parse_status_header(std::string_view value) {
   if (value == "default-reply") return ResponseStatus::kDefaultReply;
   if (value == "malformed") return ResponseStatus::kMalformed;
   if (value == "overloaded") return ResponseStatus::kOverloaded;
+  if (value == "stale-epoch") return ResponseStatus::kStaleEpoch;
   return std::nullopt;
 }
 

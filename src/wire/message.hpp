@@ -21,6 +21,9 @@ enum class ResponseStatus : std::uint8_t {
   kDefaultReply = 1,  // router exhausted retries; default policy applied
   kMalformed = 2,     // peer could not parse the request
   kOverloaded = 3,    // server FIFO full; request dropped
+  kStaleEpoch = 4,    // cluster: request carried an old shard-map epoch; the
+                      // server NACKs without deciding and the router re-routes
+                      // against a refreshed map (DESIGN.md §11)
 };
 
 struct QosRequest {
@@ -32,6 +35,11 @@ struct QosRequest {
   /// Propagated router -> server inside the UDP frame (codec v2); both ends
   /// emit debug spans carrying it. Empty = untraced (codec v1 frame).
   std::string trace_id;
+  /// Cluster shard-map epoch the sender routed against. 0 = not clustered
+  /// (codec v1/v2 frame, byte-identical to the pre-cluster protocol). A
+  /// non-zero epoch produces a v3 frame; a server whose live epoch differs
+  /// replies kStaleEpoch instead of deciding.
+  std::uint64_t epoch = 0;
 
   bool operator==(const QosRequest&) const = default;
 };
@@ -47,6 +55,7 @@ struct QosRequestView {
   std::uint32_t cost = 1;
   std::string_view key;
   std::string_view trace_id;
+  std::uint64_t epoch = 0;
 
   /// Materialize an owning QosRequest (non-hot paths, tests).
   QosRequest to_owned() const {
@@ -54,7 +63,8 @@ struct QosRequestView {
                       .type = type,
                       .cost = cost,
                       .key = std::string(key),
-                      .trace_id = std::string(trace_id)};
+                      .trace_id = std::string(trace_id),
+                      .epoch = epoch};
   }
 };
 
@@ -65,6 +75,10 @@ struct QosResponse {
   /// Remaining credit after the decision, in milli-credits (floor; -1 when
   /// unknown, e.g. default replies). Lets clients implement backoff.
   std::int64_t remaining_millicredits = -1;
+  /// Cluster shard-map epoch the responder is live on. 0 = not clustered
+  /// (v1 frame). Carried on kStaleEpoch NACKs so the router learns how far
+  /// behind its map is without a control-plane round trip.
+  std::uint64_t epoch = 0;
 
   bool operator==(const QosResponse&) const = default;
 };

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/shard_map.hpp"
 #include "db/rule_store.hpp"
 #include "lb/gateway_balancer.hpp"
 #include "router/router_node.hpp"
@@ -16,6 +17,12 @@
 #include "testing/fault_injector.hpp"
 
 namespace janus::chaos {
+
+/// How the stack routes to its QoS server. kCluster runs the same pipeline
+/// through the epoch-stamped v3 path: a one-member shard map attached to
+/// the router, the server flipped to epoch 1 — so every chaos invariant is
+/// also proven with the cluster epoch gate in the hot path (DESIGN.md §11).
+enum class Topology { kSingleProcess, kCluster };
 
 class ChaosStackTest : public ::testing::Test {
  protected:
@@ -43,6 +50,16 @@ class ChaosStackTest : public ::testing::Test {
                                             resolver, rcfg);
     ASSERT_TRUE(router.ok()) << router.error().message;
     router_ = std::move(router).take();
+
+    if (topology_ == Topology::kCluster) {
+      cluster::ShardMap map;
+      map.epoch = 1;
+      map.members.push_back(cluster::Member{.name = "qos-0",
+                                            .udp_addr = server_->addr()});
+      ASSERT_TRUE(holder_.publish(map));
+      router_->attach_shard_map(&holder_);
+      server_->set_cluster_epoch(1);
+    }
 
     lb::GatewayConfig gcfg;
     gcfg.http_workers = 2;
@@ -76,6 +93,9 @@ class ChaosStackTest : public ::testing::Test {
   /// before ChaosStackTest::SetUp() runs (it is baked into the server at
   /// start); every invariant in the suite must hold in either mode.
   core::ThreadingMode threading_ = core::ThreadingMode::kSharedQueue;
+  /// Routing topology; subclasses set before SetUp(), like threading_.
+  Topology topology_ = Topology::kSingleProcess;
+  cluster::ShardMapHolder holder_;
 
   db::Database db_;
   std::unique_ptr<db::RuleStore> store_;

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <tuple>
 #include <unistd.h>
 
 #include "chaos_stack.hpp"
@@ -18,12 +19,17 @@ using testing::FaultPoint;
 using testing::ScopedFault;
 
 /// The paper's robustness invariants must hold regardless of how the QoS
-/// server schedules decisions, so the core ones run in both threading modes.
-class ChaosModeTest : public ChaosStackTest,
-                      public ::testing::WithParamInterface<core::ThreadingMode> {
+/// server schedules decisions AND regardless of topology — the cluster's
+/// epoch-stamped v3 path must not change a single verdict — so the core
+/// ones run across {threading mode} x {single-process, cluster}.
+class ChaosModeTest
+    : public ChaosStackTest,
+      public ::testing::WithParamInterface<
+          std::tuple<core::ThreadingMode, Topology>> {
  protected:
   void SetUp() override {
-    threading_ = GetParam();
+    threading_ = std::get<0>(GetParam());
+    topology_ = std::get<1>(GetParam());
     ChaosStackTest::SetUp();
   }
 };
@@ -166,12 +172,19 @@ TEST_P(ChaosModeTest, SlowServerInflatesServiceTimeNotCorrectness) {
 
 INSTANTIATE_TEST_SUITE_P(
     Modes, ChaosModeTest,
-    ::testing::Values(core::ThreadingMode::kSharedQueue,
-                      core::ThreadingMode::kShardPerWorker),
-    [](const ::testing::TestParamInfo<core::ThreadingMode>& tpi) {
-      return tpi.param == core::ThreadingMode::kShardPerWorker
-                 ? "ShardPerWorker"
-                 : "SharedQueue";
+    ::testing::Combine(
+        ::testing::Values(core::ThreadingMode::kSharedQueue,
+                          core::ThreadingMode::kShardPerWorker),
+        ::testing::Values(Topology::kSingleProcess, Topology::kCluster)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<core::ThreadingMode, Topology>>& tpi) {
+      std::string name =
+          std::get<0>(tpi.param) == core::ThreadingMode::kShardPerWorker
+              ? "ShardPerWorker"
+              : "SharedQueue";
+      name += std::get<1>(tpi.param) == Topology::kCluster ? "Cluster"
+                                                           : "SingleProcess";
+      return name;
     });
 
 // Crash-recovery invariant across server + database: after a torn

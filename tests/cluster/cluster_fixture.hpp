@@ -1,0 +1,224 @@
+// ClusterFixture: forks REAL janusd QoS-server processes on ephemeral ports
+// and supervises them for the process-level cluster suite (ISSUE 7). The
+// control plane (ShardMapHolder + ClusterCoordinator) and the router run
+// in-process, so tests can drive resharding/failover directly and arm
+// FaultInjector points (e.g. cluster.bfd.drop) against the coordinator side.
+//
+// Per-process stdout/stderr land in <JANUS_CLUSTER_LOG_DIR>/<test>-<name>.log;
+// the fixture parses the flushed "janusd: ... on ip:port" lines for the bound
+// ephemeral ports. TearDown SIGKILLs and reaps every process still running
+// and FAILS the test if a janusd child could not be reaped — an orphan would
+// outlive the suite and poison later runs.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <string_view>
+#include <fcntl.h>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/socket.hpp"
+#include "testing/fault_injector.hpp"
+
+#ifndef JANUS_JANUSD_BIN
+#error "tests/cluster needs JANUS_JANUSD_BIN (set by tests/CMakeLists.txt)"
+#endif
+#ifndef JANUS_CLUSTER_LOG_DIR
+#define JANUS_CLUSTER_LOG_DIR "cluster-logs"
+#endif
+
+namespace janus::cluster_test {
+
+struct ServerProcess {
+  std::string name;
+  pid_t pid = -1;
+  std::string log_path;
+  net::SockAddr udp{"0.0.0.0", 0};      // data-plane QoS socket
+  net::SockAddr cluster{"0.0.0.0", 0};  // control-plane TCP (agent)
+  net::SockAddr bfd{"0.0.0.0", 0};      // liveness responder
+  net::SockAddr ha{"0.0.0.0", 0};       // HA snapshot port
+};
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FaultInjector::instance().disarm_all();
+    ::mkdir(JANUS_CLUSTER_LOG_DIR, 0755);
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    test_tag_ = std::string(info->test_suite_name()) + "." + info->name();
+    rules_path_ = std::string(JANUS_CLUSTER_LOG_DIR) + "/" + test_tag_ +
+                  ".rules.conf";
+  }
+
+  void TearDown() override {
+    testing::FaultInjector::instance().disarm_all();
+    std::string orphans;
+    for (ServerProcess& p : procs_) {
+      if (p.pid <= 0) continue;
+      ::kill(p.pid, SIGKILL);
+      if (!reap(p, /*timeout=*/seconds(5))) orphans += " " + p.name;
+    }
+    procs_.clear();
+    // An unreaped janusd would keep running past the suite — that is the
+    // exact failure tools/run_cluster_tests.sh guards against process-wide.
+    EXPECT_TRUE(orphans.empty()) << "orphaned janusd processes:" << orphans;
+  }
+
+  /// Write the suite's rules file (shared by every server in the cluster —
+  /// all members must agree on rules, exactly like the paper's shared DB).
+  void write_rules(const std::string& contents) {
+    std::FILE* f = std::fopen(rules_path_.c_str(), "w");
+    ASSERT_NE(f, nullptr) << rules_path_;
+    std::fputs(contents.c_str(), f);
+    std::fclose(f);
+  }
+
+  /// Fork+exec one janusd QoS server with `extra` flags appended after
+  ///   server --listen 127.0.0.1:0 --rules <rules> --cluster-listen ...
+  /// and parse its bound ports from the log. Asserts on any spawn failure.
+  ServerProcess& spawn_server(const std::string& name,
+                              std::vector<std::string> extra = {},
+                              bool with_cluster_port = true) {
+    ServerProcess proc;
+    proc.name = name;
+    proc.log_path =
+        std::string(JANUS_CLUSTER_LOG_DIR) + "/" + test_tag_ + "-" + name +
+        ".log";
+    // Remove any previous run's log BEFORE forking: wait_for_addr polls the
+    // file and must never parse a stale run's ports (the child's O_TRUNC
+    // races the parent's first poll).
+    std::remove(proc.log_path.c_str());
+    std::vector<std::string> args = {JANUS_JANUSD_BIN, "server",
+                                     "--listen", "127.0.0.1:0",
+                                     "--rules", rules_path_};
+    if (with_cluster_port) {
+      args.push_back("--cluster-listen");
+      args.push_back("127.0.0.1:0");
+    }
+    for (auto& a : extra) args.push_back(std::move(a));
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: stdout+stderr -> log file, then exec janusd.
+      const int fd = ::open(proc.log_path.c_str(),
+                            O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::perror("execv janusd");
+      ::_exit(127);
+    }
+    EXPECT_GT(pid, 0) << "fork failed for " << name;
+    proc.pid = pid;
+
+    proc.udp = wait_for_addr(proc, "QoS server on ");
+    if (with_cluster_port) proc.cluster = wait_for_addr(proc, "cluster agent on ");
+    if (flag_present(args, "--bfd-listen")) {
+      proc.bfd = wait_for_addr(proc, "bfd responder on ");
+    }
+    if (flag_present(args, "--ha-listen")) {
+      proc.ha = wait_for_addr(proc, "ha snapshot server on ");
+    }
+    procs_.push_back(std::move(proc));
+    return procs_.back();
+  }
+
+  /// SIGKILL — the chaos rounds' "process dies mid-load" primitive.
+  void sigkill(ServerProcess& p) {
+    ASSERT_GT(p.pid, 0);
+    ASSERT_EQ(::kill(p.pid, SIGKILL), 0);
+    ASSERT_TRUE(reap(p, seconds(5))) << p.name << " did not die on SIGKILL";
+  }
+
+  /// SIGTERM + reap — orderly shutdown (janusd's signal handler drains).
+  void terminate(ServerProcess& p) {
+    if (p.pid <= 0) return;
+    ::kill(p.pid, SIGTERM);
+    EXPECT_TRUE(reap(p, seconds(10))) << p.name << " ignored SIGTERM";
+  }
+
+  bool running(const ServerProcess& p) const {
+    return p.pid > 0 && ::kill(p.pid, 0) == 0;
+  }
+
+  /// Reap the child; returns false if it is still alive after `timeout`.
+  /// Sets pid to -1 once reaped so TearDown does not double-wait.
+  bool reap(ServerProcess& p, Duration timeout) {
+    const TimePoint deadline = SteadyClock::instance().now() + timeout;
+    while (SteadyClock::instance().now() < deadline) {
+      int status = 0;
+      const pid_t r = ::waitpid(p.pid, &status, WNOHANG);
+      if (r == p.pid || (r == -1 && errno == ECHILD)) {
+        p.pid = -1;
+        return true;
+      }
+      ::usleep(2000);
+    }
+    return false;
+  }
+
+  /// Poll the process log until "janusd: <marker>ip:port" appears. Asserts
+  /// (test-fatally) if the line does not show up within 10 seconds.
+  net::SockAddr wait_for_addr(const ServerProcess& p,
+                              const std::string& marker) {
+    const TimePoint deadline = SteadyClock::instance().now() + seconds(10);
+    while (SteadyClock::instance().now() < deadline) {
+      const std::string log = slurp(p.log_path);
+      const auto pos = log.find(marker);
+      if (pos != std::string::npos) {
+        const std::size_t start = pos + marker.size();
+        std::size_t end = start;
+        while (end < log.size() && log[end] != ' ' && log[end] != '\n') ++end;
+        auto addr = net::SockAddr::parse(log.substr(start, end - start));
+        if (addr.ok()) return addr.value();
+      }
+      ::usleep(5000);
+    }
+    ADD_FAILURE() << p.name << ": '" << marker << "' never appeared in "
+                  << p.log_path << "\n--- log ---\n" << slurp(p.log_path);
+    return {"0.0.0.0", 0};
+  }
+
+  std::string slurp(const std::string& path) const {
+    std::string out;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+  }
+
+  static bool flag_present(const std::vector<std::string>& args,
+                           std::string_view flag) {
+    for (const auto& a : args) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+  std::string test_tag_;
+  std::string rules_path_;
+  // deque: spawn_server hands out references that must survive later spawns.
+  std::deque<ServerProcess> procs_;
+};
+
+}  // namespace janus::cluster_test

@@ -1,0 +1,284 @@
+// Seeded property tests for the epoch-versioned shard map (DESIGN.md §11.1):
+//
+//   1. Ownership is a partition: at any epoch, every key is owned by exactly
+//      one member — the slot predicate `owner_of_hash(h) == i` is true for
+//      precisely one i, it agrees with owner_of(key), and it survives the
+//      EpochUpdate wire round-trip (the map a server decodes routes every key
+//      to the same slot as the map the coordinator published).
+//
+//   2. Migration is exactly-once: simulating the agent protocol (each old
+//      owner extracts the keys it no longer owns and addresses them to their
+//      new owner), every migrating key appears in exactly one outgoing batch,
+//      addressed to exactly its new owner, and every non-migrating key
+//      appears in none.
+//
+// Failures shrink: a greedy delta-debugging pass removes keys (and then
+// members) while the property still fails, so the assertion message carries
+// a minimal counterexample instead of a 400-key haystack.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+
+namespace janus::cluster {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xC1057E12ull;
+
+ShardMap make_map(std::uint64_t epoch, std::size_t n,
+                  std::size_t name_offset = 0) {
+  ShardMap map;
+  map.epoch = epoch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t id = i + name_offset;
+    map.members.push_back(Member{
+        .name = "qos-" + std::to_string(id),
+        .udp_addr = {"127.0.0.1", static_cast<std::uint16_t>(9100 + id)},
+        .cluster_addr = {"127.0.0.1", static_cast<std::uint16_t>(9500 + id)}});
+  }
+  return map;
+}
+
+std::vector<std::string> random_keys(Rng& rng, std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string k = "tenant-" + std::to_string(rng.next_below(1'000'000));
+    if (rng.chance(0.2)) k += ":" + std::to_string(rng.next_below(64));
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+/// A property over (membership, keys): empty optional = holds, otherwise a
+/// human-readable description of the violation.
+using Property = std::function<std::optional<std::string>(
+    const ShardMap& map, const std::vector<std::string>& keys)>;
+
+/// Greedy delta-debugging shrink: drop keys one at a time (then members, as
+/// long as the map stays non-empty) while the property keeps failing.
+std::string shrink_and_report(ShardMap map, std::vector<std::string> keys,
+                              const Property& prop) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      std::vector<std::string> fewer = keys;
+      fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(i));
+      if (prop(map, fewer).has_value()) {
+        keys = std::move(fewer);
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    for (std::size_t i = 0; map.members.size() > 1 && i < map.members.size();
+         ++i) {
+      ShardMap smaller = map;
+      smaller.members.erase(smaller.members.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (prop(smaller, keys).has_value()) {
+        map = std::move(smaller);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  std::string out = "minimal counterexample: " + *prop(map, keys) +
+                    "\n  members(" + std::to_string(map.members.size()) + "):";
+  for (const Member& m : map.members) out += " " + m.name;
+  out += "\n  keys(" + std::to_string(keys.size()) + "):";
+  for (const std::string& k : keys) out += " " + k;
+  return out;
+}
+
+void check_property(const ShardMap& map, const std::vector<std::string>& keys,
+                    const Property& prop) {
+  if (auto failure = prop(map, keys)) {
+    FAIL() << shrink_and_report(map, keys, prop);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: exactly one owner per key per epoch.
+
+std::optional<std::string> exactly_one_owner(
+    const ShardMap& map, const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) {
+    const std::uint32_t h = crc32(key);
+    std::size_t claims = 0;
+    std::size_t claimed_by = 0;
+    // The predicate each member evaluates locally (extract_disowned /
+    // defer_for_migration use owner_of_hash against their own index).
+    for (std::size_t i = 0; i < map.members.size(); ++i) {
+      if (map.owner_of_hash(h) == i) {
+        ++claims;
+        claimed_by = i;
+      }
+    }
+    if (claims != 1) {
+      return "key '" + key + "' claimed by " + std::to_string(claims) +
+             " members";
+    }
+    if (map.owner_of(key) != claimed_by) {
+      return "key '" + key + "': owner_of=" +
+             std::to_string(map.owner_of(key)) +
+             " != owner_of_hash=" + std::to_string(claimed_by);
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(ShardMapPropertyTest, EveryKeyHasExactlyOneOwnerPerEpoch) {
+  Rng rng(kSeed);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.next_below(16);
+    const ShardMap map = make_map(1 + rng.next_below(100), n);
+    check_property(map, random_keys(rng, 200), exactly_one_owner);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardMapPropertyTest, OwnershipSurvivesWireRoundTrip) {
+  Rng rng(kSeed ^ 0xA5);
+  const Property round_trip_preserves_owner =
+      [](const ShardMap& map,
+         const std::vector<std::string>& keys) -> std::optional<std::string> {
+    auto decoded = shard_map_from_update(to_epoch_update(map, 0));
+    if (!decoded.ok()) return "decode failed: " + decoded.error().message;
+    if (decoded.value().epoch != map.epoch) return "epoch changed";
+    for (const std::string& key : keys) {
+      if (decoded.value().owner_of(key) != map.owner_of(key)) {
+        return "key '" + key + "' re-routed by wire round-trip";
+      }
+      if (decoded.value().members[decoded.value().owner_of(key)].name !=
+          map.members[map.owner_of(key)].name) {
+        return "key '" + key + "' owner renamed by wire round-trip";
+      }
+    }
+    return std::nullopt;
+  };
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.next_below(16);
+    const ShardMap map = make_map(1 + rng.next_below(1000), n);
+    check_property(map, random_keys(rng, 100), round_trip_preserves_owner);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: migration transfers each migrating key exactly once.
+
+/// Simulates the agent-side extract step of every old owner: member i of
+/// `from` emits (key -> new owner index in `to`) for each key it owns under
+/// `from` but not under `to`. Mirrors QosServerNode::extract_disowned.
+std::map<std::string, std::vector<std::size_t>> simulate_migration(
+    const ShardMap& from, const ShardMap& to,
+    const std::vector<std::string>& keys) {
+  std::map<std::string, std::vector<std::size_t>> transfers;
+  for (std::size_t i = 0; i < from.members.size(); ++i) {
+    for (const std::string& key : keys) {
+      const std::uint32_t h = crc32(key);
+      if (from.owner_of_hash(h) != i) continue;  // not ours to migrate
+      const std::size_t new_owner = to.owner_of_hash(h);
+      // Keys whose slot AND member identity are unchanged stay put.
+      if (new_owner == i && to.members[new_owner].name == from.members[i].name) {
+        continue;
+      }
+      transfers[key].push_back(new_owner);
+    }
+  }
+  return transfers;
+}
+
+std::optional<std::string> migrates_exactly_once(
+    const ShardMap& from, const ShardMap& to,
+    const std::vector<std::string>& keys) {
+  const auto transfers = simulate_migration(from, to, keys);
+  for (const std::string& key : keys) {
+    const bool should_move = key_migrates(from, to, key);
+    const auto it = transfers.find(key);
+    const std::size_t times = it == transfers.end() ? 0 : it->second.size();
+    if (should_move && times != 1) {
+      return "migrating key '" + key + "' transferred " +
+             std::to_string(times) + " times";
+    }
+    if (!should_move && times != 0) {
+      return "stationary key '" + key + "' transferred " +
+             std::to_string(times) + " times";
+    }
+    if (times == 1 && it->second[0] != to.owner_of(key)) {
+      return "key '" + key + "' sent to slot " +
+             std::to_string(it->second[0]) + " instead of its new owner " +
+             std::to_string(to.owner_of(key));
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(ShardMapPropertyTest, ReshardMigratesEachMovingKeyExactlyOnce) {
+  Rng rng(kSeed ^ 0x5A5A);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.next_below(12);
+    // Grow, shrink, or replace: N -> N+1, N -> max(1, N-1), or a disjoint
+    // membership of the same size (every key migrates by identity change).
+    std::size_t m;
+    std::size_t offset = 0;
+    switch (rng.next_below(3)) {
+      case 0: m = n + 1; break;
+      case 1: m = n > 1 ? n - 1 : n + 1; break;
+      default:
+        m = n;
+        offset = 100;  // same N, all-new member names
+        break;
+    }
+    const ShardMap from = make_map(7, n);
+    const ShardMap to = make_map(8, m, offset);
+    const std::vector<std::string> keys = random_keys(rng, 300);
+    const Property prop = [&from, &to](const ShardMap&,
+                                       const std::vector<std::string>& ks) {
+      return migrates_exactly_once(from, to, ks);
+    };
+    check_property(from, keys, prop);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardMapPropertyTest, SameMembershipMigratesNothing) {
+  Rng rng(kSeed ^ 0xFEED);
+  const ShardMap map = make_map(3, 8);
+  ShardMap next = map;
+  next.epoch = 4;
+  for (const std::string& key : random_keys(rng, 500)) {
+    EXPECT_FALSE(key_migrates(map, next, key)) << key;
+  }
+}
+
+// Holder monotonicity rides along: a late EpochUpdate can never roll the
+// routing map backwards (the property the stale-epoch NACK depends on).
+TEST(ShardMapPropertyTest, HolderRejectsStaleAndEqualEpochs) {
+  Rng rng(kSeed ^ 0xD0);
+  ShardMapHolder holder;
+  EXPECT_EQ(holder.snapshot(), nullptr);
+  EXPECT_FALSE(holder.publish(make_map(0, 2)));  // zero epoch never valid
+  EXPECT_FALSE(holder.publish(ShardMap{.epoch = 3, .members = {}}));
+  std::uint64_t high_water = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t epoch = 1 + rng.next_below(50);
+    const bool installed = holder.publish(make_map(epoch, 1 + rng.next_below(4)));
+    EXPECT_EQ(installed, epoch > high_water) << "epoch " << epoch;
+    if (installed) high_water = epoch;
+    ASSERT_NE(holder.snapshot(), nullptr);
+    EXPECT_EQ(holder.epoch(), high_water);
+  }
+}
+
+}  // namespace
+}  // namespace janus::cluster

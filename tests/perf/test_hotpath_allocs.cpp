@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -275,6 +276,82 @@ TEST(HotpathAllocTest, FullWarmOwnedPipelineIsAllocationFree) {
   }
   EXPECT_EQ(guard.count(), 0u)
       << "warm owned decode+decide pipeline allocated on the hot path";
+}
+
+TEST(HotpathAllocTest, ClusterEpochGateIsAllocationFree) {
+  // DESIGN.md §11.3: in cluster mode every frame is v3 and the worker adds
+  // exactly one branch — compare the frame's epoch against the node's —
+  // before the unchanged warm decision path. This pins the whole clustered
+  // inner loop (v3 view decode -> epoch compare -> check -> v3 response
+  // encode into a reused buffer) at zero heap allocations, both when the
+  // epoch matches and when it is stale (NACK encode).
+  ManualClock clock;
+  StaticRuleSource source;
+  AdmissionConfig cfg;
+  cfg.table_shards = 8;
+  AdmissionController ac(clock, source, cfg);
+
+  wire::QosRequest req;
+  req.request_id = 9;
+  req.type = wire::RequestType::kCheck;
+  req.cost = 1;
+  req.key = "tenant-11/cluster-op";
+  req.epoch = 7;  // non-zero => v3 frame
+  std::vector<std::uint8_t> frame;
+  wire::encode_to(req, frame);
+
+  std::atomic<std::uint64_t> node_epoch{7};  // same atomic load the server does
+  ASSERT_TRUE(ac.check(req.key, 1).allowed);  // warm the entry
+  warm_flight_recorder();
+
+  wire::QosResponse resp;
+  resp.epoch = 7;  // warm-up must be v3-sized, or the first real encode grows
+  std::vector<std::uint8_t> out;
+  wire::encode_to(resp, out);  // warm the reply buffer's capacity
+
+  {
+    AllocGuard guard;
+    for (int i = 0; i < 64; ++i) {
+      auto view = wire::decode_request_view(frame);
+      ASSERT_TRUE(view.ok());
+      ASSERT_EQ(view.value().epoch, 7u);
+      const std::uint64_t current =
+          node_epoch.load(std::memory_order_acquire);
+      ASSERT_EQ(view.value().epoch, current);  // the one-branch epoch gate
+      auto d = ac.check(view.value().key, view.value().cost);
+      ASSERT_TRUE(d.allowed);
+      resp.request_id = view.value().request_id;
+      resp.allowed = d.allowed;
+      resp.epoch = current;  // v3 reply
+      out.clear();
+      wire::encode_to(resp, out);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "clustered warm pipeline allocated; epoch gate regressed";
+  }
+
+  {
+    // Stale frame: the NACK short-circuit (status + current epoch into the
+    // reused buffer, no decision) must also stay off the heap — it runs on
+    // the worker thread during every reshard window.
+    AllocGuard guard;
+    for (int i = 0; i < 64; ++i) {
+      auto view = wire::decode_request_view(frame);
+      ASSERT_TRUE(view.ok());
+      node_epoch.store(8, std::memory_order_release);
+      const std::uint64_t current =
+          node_epoch.load(std::memory_order_acquire);
+      ASSERT_NE(view.value().epoch, current);
+      resp.request_id = view.value().request_id;
+      resp.status = wire::ResponseStatus::kStaleEpoch;
+      resp.allowed = false;
+      resp.epoch = current;
+      out.clear();
+      wire::encode_to(resp, out);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "stale-epoch NACK encode allocated; reshard window would churn";
+  }
 }
 
 TEST(HotpathAllocTest, WarmDecisionWithRecorderArmedIsAllocationFree) {

@@ -1,0 +1,209 @@
+// Wire tests for cluster mode (DESIGN.md §11): the v3 epoch-stamped data
+// frames and the control-plane cluster codec. Two back-compat guarantees
+// are pinned byte-for-byte: epoch 0 never changes the v1/v2 encodings, and
+// a non-zero epoch round-trips through v3 on both request and response.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wire/cluster_codec.hpp"
+#include "wire/codec.hpp"
+
+namespace janus::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// v3 data-plane frames.
+
+TEST(ClusterWireTest, RequestEpochRoundTripsAsV3) {
+  QosRequest req;
+  req.request_id = 42;
+  req.key = "tenant-7";
+  req.cost = 3;
+  req.epoch = 1234567890123ull;
+  const auto bytes = encode(req);
+  EXPECT_EQ(bytes[2], kClusterProtocolVersion);
+
+  auto decoded = decode_request(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().epoch, req.epoch);
+  EXPECT_EQ(decoded.value().key, req.key);
+
+  auto view = decode_request_view(bytes);
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  EXPECT_EQ(view.value().epoch, req.epoch);
+}
+
+TEST(ClusterWireTest, TracedRequestWithEpochKeepsTrace) {
+  QosRequest req;
+  req.key = "k";
+  req.trace_id = "trace-123";
+  req.epoch = 9;
+  auto decoded = decode_request(encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().trace_id, "trace-123");
+  EXPECT_EQ(decoded.value().epoch, 9u);
+}
+
+TEST(ClusterWireTest, ZeroEpochStaysByteIdenticalToPreClusterFrames) {
+  // Untraced + epoch 0 => v1, byte for byte. Traced + epoch 0 => v2. A
+  // cluster-unaware peer keeps parsing both.
+  QosRequest v1;
+  v1.request_id = 7;
+  v1.key = "legacy";
+  EXPECT_EQ(encode(v1)[2], kProtocolVersion);
+  QosRequest v2 = v1;
+  v2.trace_id = "t";
+  EXPECT_EQ(encode(v2)[2], kTracedProtocolVersion);
+
+  QosResponse resp;
+  resp.request_id = 7;
+  resp.allowed = true;
+  EXPECT_EQ(encode(resp).size(), kResponseSize);  // no epoch tail
+  EXPECT_EQ(encode(resp)[2], kProtocolVersion);
+}
+
+TEST(ClusterWireTest, ResponseEpochRoundTripsAndMarksStaleNack) {
+  QosResponse resp;
+  resp.request_id = 99;
+  resp.status = ResponseStatus::kStaleEpoch;
+  resp.allowed = false;
+  resp.epoch = 17;  // the CURRENT epoch, for the router to re-route against
+  const auto bytes = encode(resp);
+  EXPECT_EQ(bytes[2], kClusterProtocolVersion);
+  EXPECT_EQ(bytes.size(), kResponseSize + 8);
+  auto decoded = decode_response(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().status, ResponseStatus::kStaleEpoch);
+  EXPECT_EQ(decoded.value().epoch, 17u);
+}
+
+TEST(ClusterWireTest, TruncatedV3FramesAreRejectedNotMisread) {
+  QosRequest req;
+  req.key = "abc";
+  req.epoch = 5;
+  auto bytes = encode(req);
+  // Chop the epoch tail byte by byte: every prefix must decode as an error
+  // (a v3 header promises the epoch field), never as epoch-0 success.
+  for (std::size_t cut = 1; cut <= 8; ++cut) {
+    auto short_frame = bytes;
+    short_frame.resize(bytes.size() - cut);
+    EXPECT_FALSE(decode_request(short_frame).ok()) << "cut=" << cut;
+    EXPECT_FALSE(decode_request_view(short_frame).ok()) << "cut=" << cut;
+  }
+  QosResponse resp;
+  resp.epoch = 5;
+  auto rbytes = encode(resp);
+  for (std::size_t cut = 1; cut <= 8; ++cut) {
+    auto short_frame = rbytes;
+    short_frame.resize(rbytes.size() - cut);
+    EXPECT_FALSE(decode_response(short_frame).ok()) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane cluster codec.
+
+EpochUpdate sample_update() {
+  EpochUpdate update;
+  update.epoch = 4;
+  update.self_index = 1;
+  update.members = {
+      {.name = "qos-0", .udp_addr = "127.0.0.1:9100",
+       .cluster_addr = "127.0.0.1:9500"},
+      {.name = "qos-1", .udp_addr = "127.0.0.1:9101",
+       .cluster_addr = "127.0.0.1:9501"},
+  };
+  return update;
+}
+
+MigrationBatch sample_batch() {
+  MigrationBatch batch;
+  batch.epoch = 4;
+  batch.from_index = 0;
+  batch.final_batch = true;
+  batch.entries = {
+      {.key = "tenant-a", .capacity = 100, .refill_per_sec = 10,
+       .credit = 41.5, .is_default = false},
+      {.key = "tenant-b", .capacity = 1, .refill_per_sec = 0, .credit = 0,
+       .is_default = true},
+  };
+  return batch;
+}
+
+/// Frames are [u32 len][payload]; peel the prefix as the transport does.
+std::span<const std::uint8_t> payload_of(const std::vector<std::uint8_t>& f) {
+  return std::span(f).subspan(4);
+}
+
+TEST(ClusterCodecTest, EpochUpdateRoundTrips) {
+  const EpochUpdate update = sample_update();
+  auto decoded = decode_cluster_message(payload_of(encode_frame(update)));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_TRUE(std::holds_alternative<EpochUpdate>(decoded.value()));
+  EXPECT_EQ(std::get<EpochUpdate>(decoded.value()), update);
+}
+
+TEST(ClusterCodecTest, LeavingMemberSentinelRoundTrips) {
+  EpochUpdate update = sample_update();
+  update.self_index = kNotAMember;
+  auto decoded = decode_cluster_message(payload_of(encode_frame(update)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<EpochUpdate>(decoded.value()).self_index, kNotAMember);
+}
+
+TEST(ClusterCodecTest, MigrationBatchRoundTripsCreditBitsExactly) {
+  const MigrationBatch batch = sample_batch();
+  auto decoded = decode_cluster_message(payload_of(encode_frame(batch)));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_TRUE(std::holds_alternative<MigrationBatch>(decoded.value()));
+  EXPECT_EQ(std::get<MigrationBatch>(decoded.value()), batch);
+}
+
+TEST(ClusterCodecTest, AckRoundTrips) {
+  const ClusterAck ack{.epoch = 9, .status = ClusterAckStatus::kStaleEpoch};
+  auto decoded = decode_cluster_message(payload_of(encode_frame(ack)));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(std::holds_alternative<ClusterAck>(decoded.value()));
+  EXPECT_EQ(std::get<ClusterAck>(decoded.value()), ack);
+}
+
+TEST(ClusterCodecTest, EveryTruncationIsRejected) {
+  for (const auto& frame :
+       {encode_frame(sample_update()), encode_frame(sample_batch()),
+        encode_frame(ClusterAck{.epoch = 1})}) {
+    const auto payload = payload_of(frame);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(decode_cluster_message(payload.subspan(0, len)).ok())
+          << "truncation at " << len << "/" << payload.size();
+    }
+  }
+}
+
+TEST(ClusterCodecTest, BadMagicVersionAndTypeAreRejected) {
+  auto frame = encode_frame(sample_update());
+  auto payload_vec =
+      std::vector<std::uint8_t>(frame.begin() + 4, frame.end());
+  {
+    auto bad = payload_vec;
+    bad[0] ^= 0xFF;  // magic
+    EXPECT_FALSE(decode_cluster_message(bad).ok());
+  }
+  {
+    auto bad = payload_vec;
+    bad[2] = kClusterCodecVersion + 1;
+    EXPECT_FALSE(decode_cluster_message(bad).ok());
+  }
+  {
+    auto bad = payload_vec;
+    bad[3] = 0x7F;  // unknown msg_type
+    EXPECT_FALSE(decode_cluster_message(bad).ok());
+  }
+}
+
+}  // namespace
+}  // namespace janus::wire

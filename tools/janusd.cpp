@@ -6,9 +6,25 @@
 //                 [--sync-ms 5000] [--checkpoint-ms 5000]
 //                 [--snapshot janus.snap --compact-ms 60000]
 //                 [--default-rate R --default-capacity C]
+//                 [--cluster-listen ip:port] [--bfd-listen ip:port]
+//                 [--migrate-window-ms 250]
+//                 [--ha-listen ip:port] [--ha-master ip:port --ha-ms 500]
 //   janusd router --listen 127.0.0.1:8080
 //                 --backends 127.0.0.1:9100,127.0.0.1:9101
 //                 [--timeout-us 100] [--retries 5] [--default-allow]
+//   janusd router --listen 127.0.0.1:8080 --cluster
+//                 --members udp:port/cluster:port/bfd:port,...
+//                 [--standbys udp:port/cluster:port/bfd:port|-,...]
+//                 [--bfd-ms 50] [--bfd-mult 3]
+//
+// Cluster mode (DESIGN.md §11): `--cluster-listen` starts the server's
+// control-plane agent (EpochUpdate / MigrationBatch over TCP) and
+// `--bfd-listen` its liveness responder. A `--cluster` router embeds the
+// coordinator: `--members` lists each slot's data/control/BFD endpoints
+// (slashes separate the three ip:port fields; the latter two may be empty),
+// `--standbys` optionally pairs each slot with a standby ("-" = none). All
+// bound ports are printed on stdout (and flushed) so test fixtures can
+// parse them when binding port 0.
 //
 // Observability flags (both roles):
 //   --admin ip:port    mount /metrics (Prometheus), /healthz, /statusz,
@@ -31,13 +47,17 @@
 #include <fstream>
 #include <functional>
 
+#include "cluster/coordinator.hpp"
 #include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/periodic.hpp"
 #include "common/string_util.hpp"
 #include "db/rule_store.hpp"
+#include "net/bfd.hpp"
 #include "router/router_node.hpp"
+#include "server/cluster_agent.hpp"
+#include "server/ha.hpp"
 #include "server/qos_server_node.hpp"
 
 using namespace janus;
@@ -61,7 +81,7 @@ bool parse_flags(int argc, char** argv, int first,
       out[name.substr(0, eq)] = name.substr(eq + 1);
       continue;
     }
-    if (name == "default-allow") {  // boolean flag
+    if (name == "default-allow" || name == "cluster") {  // boolean flags
       out[name] = "true";
       continue;
     }
@@ -141,6 +161,33 @@ bool setup_observability(
                 it->second.c_str());
   }
   return true;
+}
+
+/// Cluster member spec: "udpip:port[/clusterip:port[/bfdip:port]]" — the
+/// control-plane and BFD fields may be empty or omitted.
+Result<cluster::MemberSpec> parse_member_spec(std::string_view text,
+                                              std::string name) {
+  auto fields = split(text, '/');
+  if (fields.empty() || fields.size() > 3) {
+    return Error("bad member spec: " + std::string(text));
+  }
+  cluster::MemberSpec spec;
+  spec.member.name = std::move(name);
+  auto udp = parse_addr(std::string(fields[0]));
+  if (!udp.ok()) return Error(udp.error().message);
+  spec.member.udp_addr = udp.value();
+  spec.member.cluster_addr = net::SockAddr{"0.0.0.0", 0};
+  if (fields.size() >= 2 && !fields[1].empty()) {
+    auto addr = parse_addr(std::string(fields[1]));
+    if (!addr.ok()) return Error(addr.error().message);
+    spec.member.cluster_addr = addr.value();
+  }
+  if (fields.size() >= 3 && !fields[2].empty()) {
+    auto addr = parse_addr(std::string(fields[2]));
+    if (!addr.ok()) return Error(addr.error().message);
+    spec.bfd_addr = addr.value();
+  }
+  return spec;
 }
 
 Status load_rules(db::RuleStore& store, const std::string& path) {
@@ -258,6 +305,9 @@ int run_server(const std::map<std::string, std::string>& flags) {
               cfg.threading == core::ThreadingMode::kShardPerWorker
                   ? "shard-per-worker"
                   : "shared-queue");
+  // Flushed line-by-line: cluster test fixtures parse bound ports from a
+  // pipe, where stdout is block-buffered by default.
+  std::fflush(stdout);
 
   std::unique_ptr<PeriodicTask> stats_task;
   server::QosServerNode& srv = *node.value();
@@ -269,6 +319,104 @@ int run_server(const std::map<std::string, std::string>& flags) {
           stats_task)) {
     return 2;
   }
+
+  // Cluster-mode companions: the HA snapshot master/replica threads, the
+  // control-plane agent, and the BFD liveness responder (DESIGN.md §11).
+  // HA comes first so the agent's promotion hook can capture the replica.
+  std::unique_ptr<server::HaSnapshotServer> ha_server;
+  std::unique_ptr<server::HaReplicaClient> ha_replica;
+  if (flags.count("ha-listen") || flags.count("ha-master")) {
+    if (cfg.threading == core::ThreadingMode::kShardPerWorker) {
+      // HA replication walks the table through the locked accessors, which
+      // the shard-per-worker ownership discipline forbids while workers run.
+      std::fprintf(stderr,
+                   "janusd: HA snapshot replication requires --threading "
+                   "shared-queue\n");
+      return 2;
+    }
+  }
+  if (auto it = flags.find("ha-listen"); it != flags.end()) {
+    auto addr = parse_addr(it->second);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: --ha-listen: %s\n",
+                   addr.error().message.c_str());
+      return 2;
+    }
+    auto ha = server::HaSnapshotServer::start(addr.value(), srv.admission());
+    if (!ha.ok()) {
+      std::fprintf(stderr, "janusd: ha server: %s\n",
+                   ha.error().message.c_str());
+      return 1;
+    }
+    ha_server = std::move(ha).take();
+    std::printf("janusd: ha snapshot server on %s\n",
+                ha_server->addr().to_string().c_str());
+  }
+  if (auto it = flags.find("ha-master"); it != flags.end()) {
+    auto addr = parse_addr(it->second);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: --ha-master: %s\n",
+                   addr.error().message.c_str());
+      return 2;
+    }
+    ha_replica = std::make_unique<server::HaReplicaClient>(
+        addr.value(), srv.admission(), SteadyClock::instance(),
+        millis(get_int("ha-ms", 500)));
+    std::printf("janusd: ha replica pulling from %s\n",
+                it->second.c_str());
+  }
+  std::unique_ptr<server::ClusterAgent> cluster_agent;
+  if (auto it = flags.find("cluster-listen"); it != flags.end()) {
+    auto addr = parse_addr(it->second);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: --cluster-listen: %s\n",
+                   addr.error().message.c_str());
+      return 2;
+    }
+    server::ClusterAgentOptions copts;
+    copts.migrate_window = millis(get_int("migrate-window-ms", 250));
+    // Promotion to active member halts snapshot restores from the old
+    // master: a partitioned-but-alive master would otherwise keep handing
+    // this node pre-failover credit, double-spending it (split brain).
+    copts.on_promoted = [&ha_replica] {
+      if (!ha_replica) return;
+      ha_replica->stop();
+      std::printf("janusd: ha replica stopped (promoted to active)\n");
+      std::fflush(stdout);
+    };
+    auto agent = server::ClusterAgent::start(addr.value(), srv, copts);
+    if (!agent.ok()) {
+      std::fprintf(stderr, "janusd: cluster agent: %s\n",
+                   agent.error().message.c_str());
+      return 1;
+    }
+    cluster_agent = std::move(agent).take();
+    std::printf("janusd: cluster agent on %s\n",
+                cluster_agent->local_addr().to_string().c_str());
+  }
+  std::unique_ptr<net::BfdResponder> bfd;
+  if (auto it = flags.find("bfd-listen"); it != flags.end()) {
+    auto addr = parse_addr(it->second);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: --bfd-listen: %s\n",
+                   addr.error().message.c_str());
+      return 2;
+    }
+    auto responder = net::BfdResponder::start(
+        net::BfdResponder::Options{.listen = addr.value(),
+                                   .timers = net::BfdTimers{},
+                                   .local_disc = 2},
+        SteadyClock::instance());
+    if (!responder.ok()) {
+      std::fprintf(stderr, "janusd: bfd responder: %s\n",
+                   responder.error().message.c_str());
+      return 1;
+    }
+    bfd = std::move(responder).take();
+    std::printf("janusd: bfd responder on %s\n",
+                bfd->local_addr().to_string().c_str());
+  }
+  std::fflush(stdout);
 
   // Optional WAL compaction: periodic snapshot + log truncation, so the
   // check-point churn does not grow the WAL without bound.
@@ -291,15 +439,27 @@ int run_server(const std::map<std::string, std::string>& flags) {
   std::printf("janusd: stopping\n");
   if (stats_task) stats_task->stop();
   if (compactor) compactor->stop();
+  // The agent drives migration passes through the node's worker queues, so
+  // it must stop before the node's workers do.
+  if (cluster_agent) cluster_agent->stop();
+  if (bfd) bfd->stop();
+  if (ha_replica) ha_replica->stop();
+  if (ha_server) ha_server->stop();
   node.value()->checkpoint_now();
   return 0;
 }
 
 int run_router(const std::map<std::string, std::string>& flags) {
+  const bool cluster_mode = flags.count("cluster") > 0;
   auto listen_it = flags.find("listen");
   auto backends_it = flags.find("backends");
-  if (listen_it == flags.end() || backends_it == flags.end()) {
-    std::fprintf(stderr, "janusd router: --listen and --backends required\n");
+  auto members_it = flags.find("members");
+  if (listen_it == flags.end() ||
+      (!cluster_mode && backends_it == flags.end()) ||
+      (cluster_mode && members_it == flags.end())) {
+    std::fprintf(stderr,
+                 "janusd router: --listen and --backends (or --cluster "
+                 "--members) required\n");
     return 2;
   }
   auto listen = parse_addr(listen_it->second);
@@ -308,17 +468,60 @@ int run_router(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
+  auto get_int = [&](const char* name, std::int64_t fallback) {
+    auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    return parse_i64(it->second).value_or(fallback);
+  };
+
   auto resolver = std::make_shared<router::StaticResolver>();
   std::vector<std::string> names;
-  for (auto part : split(backends_it->second, ',')) {
-    auto addr = parse_addr(std::string(part));
-    if (!addr.ok()) {
-      std::fprintf(stderr, "janusd: %s\n", addr.error().message.c_str());
-      return 2;
+  std::vector<cluster::MemberSpec> member_specs;
+  if (cluster_mode) {
+    for (auto part : split(members_it->second, ',')) {
+      auto spec = parse_member_spec(part,
+                                    "qos-" + std::to_string(names.size()));
+      if (!spec.ok()) {
+        std::fprintf(stderr, "janusd: --members: %s\n",
+                     spec.error().message.c_str());
+        return 2;
+      }
+      resolver->add(spec.value().member.name, spec.value().member.udp_addr);
+      names.push_back(spec.value().member.name);
+      member_specs.push_back(std::move(spec).take());
     }
-    std::string name = "backend-" + std::to_string(names.size());
-    resolver->add(name, addr.value());
-    names.push_back(std::move(name));
+    if (auto it = flags.find("standbys"); it != flags.end()) {
+      std::size_t slot = 0;
+      for (auto part : split(it->second, ',')) {
+        if (slot >= member_specs.size()) {
+          std::fprintf(stderr, "janusd: more --standbys than --members\n");
+          return 2;
+        }
+        if (part != "-" && !part.empty()) {
+          auto standby = parse_member_spec(
+              part, member_specs[slot].member.name + "-standby");
+          if (!standby.ok()) {
+            std::fprintf(stderr, "janusd: --standbys: %s\n",
+                         standby.error().message.c_str());
+            return 2;
+          }
+          member_specs[slot].standby = standby.value().member;
+          member_specs[slot].standby_bfd_addr = standby.value().bfd_addr;
+        }
+        ++slot;
+      }
+    }
+  } else {
+    for (auto part : split(backends_it->second, ',')) {
+      auto addr = parse_addr(std::string(part));
+      if (!addr.ok()) {
+        std::fprintf(stderr, "janusd: %s\n", addr.error().message.c_str());
+        return 2;
+      }
+      std::string name = "backend-" + std::to_string(names.size());
+      resolver->add(name, addr.value());
+      names.push_back(std::move(name));
+    }
   }
 
   router::RouterConfig cfg;
@@ -331,6 +534,10 @@ int run_router(const std::map<std::string, std::string>& flags) {
   }
   cfg.udp.default_allow = flags.count("default-allow") > 0;
 
+  // Declared before the router node so the map holder outlives it (the
+  // router snapshots it on every dispatch).
+  cluster::ShardMapHolder holder;
+
   auto node = router::RouterNode::start(listen.value(), names, resolver, cfg);
   if (!node.ok()) {
     std::fprintf(stderr, "janusd: %s\n", node.error().message.c_str());
@@ -338,6 +545,7 @@ int run_router(const std::map<std::string, std::string>& flags) {
   }
   std::printf("janusd: request router on %s (%zu backends)\n",
               node.value()->addr().to_string().c_str(), names.size());
+  std::fflush(stdout);
 
   std::unique_ptr<PeriodicTask> stats_task;
   router::RouterNode& rn = *node.value();
@@ -350,11 +558,37 @@ int run_router(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
+  // Embedded cluster coordinator (DESIGN.md §11.2): bootstraps the epoch-1
+  // map, publishes it to every member's control port, and probes the
+  // members over BFD so a dead master's standby is promoted in
+  // detect_multiplier x tx_interval.
+  std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+  if (cluster_mode) {
+    cluster::CoordinatorOptions copts;
+    copts.bfd.tx_interval = millis(get_int("bfd-ms", 50));
+    copts.bfd.detect_multiplier =
+        static_cast<std::uint8_t>(get_int("bfd-mult", 3));
+    copts.metrics = &rn.metrics();
+    coordinator = std::make_unique<cluster::ClusterCoordinator>(
+        holder, copts, SteadyClock::instance());
+    auto epoch = coordinator->bootstrap(std::move(member_specs));
+    if (!epoch.ok()) {
+      std::fprintf(stderr, "janusd: cluster bootstrap: %s\n",
+                   epoch.error().message.c_str());
+      return 1;
+    }
+    rn.attach_shard_map(&holder);
+    std::printf("janusd: cluster epoch %llu (%zu members)\n",
+                static_cast<unsigned long long>(epoch.value()), names.size());
+    std::fflush(stdout);
+  }
+
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("janusd: stopping\n");
   if (stats_task) stats_task->stop();
+  if (coordinator) coordinator->stop();
   return 0;
 }
 

@@ -12,6 +12,10 @@
 #     shard-per-worker drain with the flight recorder armed (default) vs
 #     disarmed (JANUS_DEEP_OBS=0); recorder_overhead_ratio (armed real_time
 #     / disarmed real_time) must be <= 1.03.
+#   BENCH_PR7.json — PR 7 cluster acceptance: bench_cluster_failover runs
+#     real master/standby/coordinator failover rounds (BFD 20ms x 3) and a
+#     two-member clustered throughput pass; failover_p99_ms — kill to first
+#     admitted decision on the promoted standby — must be < 1000.
 #
 # The PR 5 ratio is derived from *real time*, never items_per_second or CPU
 # time: google-benchmark attributes only the main thread's CPU to the run,
@@ -21,7 +25,8 @@
 # Usage:
 #   tools/run_bench_suite.sh                 # writes both files at repo root
 #   BUILD_DIR=build-rel tools/run_bench_suite.sh
-#   OUT=/tmp/b4.json OUT5=/tmp/b5.json OUT6=/tmp/b6.json tools/run_bench_suite.sh
+#   OUT=/tmp/b4.json OUT5=/tmp/b5.json OUT6=/tmp/b6.json OUT7=/tmp/b7.json \
+#     tools/run_bench_suite.sh
 #
 # See EXPERIMENTS.md ("PR4 — hot-path microbenchmarks", "PR5 — threading
 # mode comparison") for the recipes and how to read the derived ratios.
@@ -32,11 +37,18 @@ build_dir=${BUILD_DIR:-"$repo_root/build"}
 out=${OUT:-"$repo_root/BENCH_PR4.json"}
 out5=${OUT5:-"$repo_root/BENCH_PR5.json"}
 out6=${OUT6:-"$repo_root/BENCH_PR6.json"}
+out7=${OUT7:-"$repo_root/BENCH_PR7.json"}
 bin="$build_dir/bench/bench_micro_hotpath"
+cluster_bin="$build_dir/bench/bench_cluster_failover"
 
 if [ ! -x "$bin" ]; then
   echo "run_bench_suite: $bin not built." >&2
   echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir --target bench_micro_hotpath" >&2
+  exit 1
+fi
+if [ ! -x "$cluster_bin" ]; then
+  echo "run_bench_suite: $cluster_bin not built." >&2
+  echo "  cmake --build $build_dir --target bench_cluster_failover" >&2
   exit 1
 fi
 
@@ -44,7 +56,8 @@ filter='BM_Crc32Scalar|BM_Crc32Slice8|BM_TableLookup|BM_WireDecodeRequest|BM_Udp
 raw=$(mktemp)
 raw5=$(mktemp)
 raw6=$(mktemp)
-trap 'rm -f "$raw" "$raw5" "$raw6"' EXIT
+raw7=$(mktemp)
+trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7"' EXIT
 
 "$bin" --benchmark_filter="$filter" \
        --benchmark_format=json \
@@ -58,13 +71,34 @@ trap 'rm -f "$raw" "$raw5" "$raw6"' EXIT
        --benchmark_min_time=1 \
        --benchmark_repetitions=5 > "$raw5"
 
-# Recorder-off baseline for the PR 6 overhead ratio: same shard-per-worker
-# drain, flight recorder (and sampled telemetry behind its gate) disarmed.
-# The armed side reuses the raw5 run — the default build records.
-JANUS_DEEP_OBS=0 "$bin" --benchmark_filter='BM_ServerDecisionContended/1' \
-       --benchmark_format=json \
-       --benchmark_min_time=1 \
-       --benchmark_repetitions=5 > "$raw6"
+# Recorder overhead for PR 6: same shard-per-worker drain with the flight
+# recorder armed (default) vs disarmed (JANUS_DEEP_OBS=0). Runs ALTERNATE
+# armed/disarmed and the ratio is taken over each side's MINIMUM wall
+# clock: on a small (often single-CPU) host the scheduler can inflate any
+# individual run by tens of percent, and two multi-minute blocks measured
+# back to back inherit whatever the machine was doing in between — the
+# minimum of interleaved runs is the load-independent estimate of the true
+# cost, which is what the 1.03x ceiling is about.
+: > "$raw6"
+for _rep in 1 2 3 4 5; do
+  "$bin" --benchmark_filter='BM_ServerDecisionContended/1' \
+         --benchmark_format=json --benchmark_min_time=1 2>/dev/null \
+    | python3 -c 'import json,sys
+for b in json.load(sys.stdin)["benchmarks"]:
+    if b.get("run_type") != "aggregate":
+        print("armed", b["real_time"])' >> "$raw6"
+  JANUS_DEEP_OBS=0 "$bin" --benchmark_filter='BM_ServerDecisionContended/1' \
+         --benchmark_format=json --benchmark_min_time=1 2>/dev/null \
+    | python3 -c 'import json,sys
+for b in json.load(sys.stdin)["benchmarks"]:
+    if b.get("run_type") != "aggregate":
+        print("disarmed", b["real_time"])' >> "$raw6"
+done
+
+# Failover rounds: the binary already emits JSON (it is not a
+# google-benchmark suite — each datum is a full cluster lifecycle, so it
+# drives its own repetitions). Coordinator WARN lines ride stderr.
+"$cluster_bin" > "$raw7"
 
 python3 - "$raw" "$out" <<'PY'
 import json, sys
@@ -211,57 +245,45 @@ print(f"run_bench_suite: wrote {out_path} "
       f"(shard-per-worker speedup {speedup}x)")
 PY
 
-python3 - "$raw5" "$raw6" "$out6" <<'PY'
-import json, sys
+python3 - "$raw6" "$out6" <<'PY'
+import sys
 
-armed_path, disarmed_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path = sys.argv[1], sys.argv[2]
+import json
 
+armed, disarmed = [], []
+with open(raw_path) as f:
+    for line in f:
+        side, _, value = line.partition(" ")
+        if side == "armed":
+            armed.append(float(value))
+        elif side == "disarmed":
+            disarmed.append(float(value))
 
-def median_rows(path):
-    with open(path) as f:
-        report = json.load(f)
-    rows = {}
-    for b in report.get("benchmarks", []):
-        if (b.get("run_type") != "aggregate"
-                or b.get("aggregate_name") != "median"):
-            continue
-        rows[b["name"]] = {
-            "real_time_ns": b["real_time"],
-            "cpu_time_ns": b["cpu_time"],
-        }
-    return report, rows
-
-
-armed_report, armed = median_rows(armed_path)
-_, disarmed = median_rows(disarmed_path)
-
-KEY = "BM_ServerDecisionContended/1/real_time_median"
-armed_t = armed.get(KEY, {}).get("real_time_ns")
-disarmed_t = disarmed.get(KEY, {}).get("real_time_ns")
-if not armed_t or not disarmed_t:
-    print("run_bench_suite: missing BM_ServerDecisionContended/1 medians "
+if not armed or not disarmed:
+    print("run_bench_suite: missing BM_ServerDecisionContended/1 runs "
           "for the recorder overhead ratio", file=sys.stderr)
     sys.exit(1)
 
-# Armed wall clock over disarmed wall clock on the identical backlog: the
-# direct price of always-on deep observability on the contended decision
-# path. ISSUE 6 acceptance requires <= 1.03.
-ratio = round(armed_t / disarmed_t, 3)
+# Minimum armed wall clock over minimum disarmed wall clock on the
+# identical backlog: the load-independent price of always-on deep
+# observability on the contended decision path (see the collection-loop
+# comment for why min-of-alternating, not median-of-blocks). ISSUE 6
+# acceptance requires <= 1.03.
+ratio = round(min(armed) / min(disarmed), 3)
 
 doc = {
     "generated_by": "tools/run_bench_suite.sh",
     "benchmark_binary": "bench/bench_micro_hotpath",
-    "context": {
-        k: armed_report.get("context", {}).get(k)
-        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
-    },
     "derived": {
         # PR 6 tentpole acceptance: <= 1.03 (recorder armed vs disarmed).
         "recorder_overhead_ratio": ratio,
     },
     "benchmarks": {
-        "recorder_armed": armed.get(KEY),
-        "recorder_disarmed": disarmed.get(KEY),
+        "recorder_armed": {"min_real_time_ns": min(armed),
+                           "real_time_ns_runs": armed},
+        "recorder_disarmed": {"min_real_time_ns": min(disarmed),
+                              "real_time_ns_runs": disarmed},
     },
 }
 
@@ -275,4 +297,49 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"run_bench_suite: wrote {out_path} "
       f"(recorder overhead {ratio}x)")
+PY
+
+python3 - "$raw7" "$out7" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+p99 = raw.get("failover_p99_ms")
+failures = raw.get("failover_failures", 0)
+if p99 is None or p99 < 0:
+    print("run_bench_suite: bench_cluster_failover produced no failover "
+          "latency (all rounds failed?)", file=sys.stderr)
+    sys.exit(1)
+if failures:
+    print(f"run_bench_suite: {failures} failover round(s) never promoted",
+          file=sys.stderr)
+    sys.exit(1)
+
+doc = {
+    "generated_by": "tools/run_bench_suite.sh",
+    "benchmark_binary": "bench/bench_cluster_failover",
+    "derived": {
+        # PR 7 tentpole acceptance: kill -> first admitted decision on the
+        # promoted standby, P99 across rounds, must land under a second.
+        # The floor of the number is detection (tx_interval x multiplier)
+        # plus the standby's inbound-migration window (default 250 ms).
+        "failover_p99_ms": p99,
+        "failover_p50_ms": raw.get("failover_p50_ms"),
+        "cluster_decisions_per_sec": raw.get("cluster_decisions_per_sec"),
+    },
+    "raw": raw,
+}
+
+if p99 >= 1000:
+    print(f"run_bench_suite: failover P99 is {p99} ms, at or above the "
+          f"1000 ms acceptance ceiling", file=sys.stderr)
+    sys.exit(1)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"run_bench_suite: wrote {out_path} "
+      f"(failover P99 {p99} ms)")
 PY

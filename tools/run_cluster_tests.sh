@@ -1,0 +1,88 @@
+#!/bin/sh
+# Build and run the cluster suite (tests/cluster/) under AddressSanitizer:
+# the shard-map property tests, the BFD state-machine table, the in-process
+# agent/coordinator integration, and the three process-level chaos rounds
+# that fork real janusd binaries (SIGKILL mid-load, reshard mid-load, BFD
+# partition). Per-process logs land in <build>/cluster-logs/ — one
+# stdout+stderr file per forked janusd, named after the test — and the
+# script FAILS if any janusd outlives the suite: an orphaned server means a
+# fixture leaked a child, and a leaked child poisons every later benchmark
+# and test on the machine (ports, CPU, stale logs).
+#
+# Usage:
+#   tools/run_cluster_tests.sh              # ASan build + full suite
+#   tools/run_cluster_tests.sh --no-asan    # plain build (debugging runs)
+#   BUILD_DIR=build-x tools/run_cluster_tests.sh
+#
+# Exit codes: 0 success, 77 toolchain lacks ASan (CTest SKIP_RETURN_CODE),
+# anything else a real failure. The build tree is shared with
+# tools/run_sanitizers.sh (build-san-address/) so the gate never pays for a
+# second sanitizer configure.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) asan=0 ;;
+    *) echo "run_cluster_tests: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+cxx=${CXX:-c++}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [ "$asan" -eq 1 ]; then
+  if ! printf 'int main(){return 0;}\n' \
+      | "$cxx" -fsanitize=address -x c++ - -o /dev/null >/dev/null 2>&1; then
+    echo "run_cluster_tests: $cxx does not support -fsanitize=address" >&2
+    exit 77
+  fi
+  build_dir=${BUILD_DIR:-"$repo_root/build-san-address"}
+  cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DJANUS_SANITIZE=address \
+    -DJANUS_SANITIZER_CTEST=OFF >/dev/null
+else
+  build_dir=${BUILD_DIR:-"$repo_root/build"}
+  cmake -S "$repo_root" -B "$build_dir" >/dev/null
+fi
+
+cmake --build "$build_dir" -j "$jobs" \
+  --target janus_test_cluster janusd >/dev/null
+
+log_dir="$build_dir/cluster-logs"
+janusd_bin="$build_dir/tools/janusd"
+
+# Anything already running from THIS build's binary is an orphan of a
+# previous (crashed) run — refuse to start on a dirty machine, the suite's
+# fixtures poll per-process logs and stale twins corrupt the run.
+if pgrep -f "$janusd_bin" >/dev/null 2>&1; then
+  echo "run_cluster_tests: janusd processes from $janusd_bin already running:" >&2
+  pgrep -af "$janusd_bin" >&2
+  echo "run_cluster_tests: kill them (pkill -f $janusd_bin) and re-run" >&2
+  exit 1
+fi
+
+rc=0
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=0}" \
+  "$build_dir/tests/janus_test_cluster" --gtest_brief=1 || rc=$?
+
+# The fixtures SIGKILL and reap every child; any survivor is a bug in the
+# harness (or a test that exited before TearDown). Report, reap, fail.
+sleep 1
+if pgrep -f "$janusd_bin" >/dev/null 2>&1; then
+  echo "run_cluster_tests: ORPHANED janusd processes after the suite:" >&2
+  pgrep -af "$janusd_bin" >&2
+  pkill -9 -f "$janusd_bin" 2>/dev/null || true
+  echo "run_cluster_tests: per-process logs in $log_dir" >&2
+  exit 1
+fi
+
+if [ "$rc" -ne 0 ]; then
+  echo "run_cluster_tests: suite failed (rc=$rc); per-process logs in $log_dir" >&2
+  exit "$rc"
+fi
+
+echo "run_cluster_tests: cluster suite passed; logs in $log_dir"

@@ -51,6 +51,10 @@ cxx=${CXX:-c++}
 # event schema and the BENCH_PR6 overhead ceiling; keep them honest first.
 "$repo_root/tools/check_observability_doc.sh"
 
+# Cluster doc guard: full mode runs the cluster suite (below), which forks
+# janusd processes against the §11 protocol — refuse drifted docs first.
+"$repo_root/tools/check_cluster_doc.sh"
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \
@@ -69,6 +73,13 @@ run_suites() {
   "$bindir/tests/janus_test_common" --gtest_brief=1 --gtest_filter='FaultInjectorTest.*'
   "$bindir/tests/janus_test_db" --gtest_brief=1 --gtest_filter='WalFaultTest.*'
   "$bindir/tests/janus_test_router" --gtest_brief=1 --gtest_filter='UdpClientFaultTest.*'
+  # Cluster control plane + process-level chaos rounds, via the dedicated
+  # runner (per-process logs + orphaned-janusd detection). Only under ASan:
+  # forked children each pay full sanitizer startup, and the BFD/agent races
+  # the other presets would catch are covered in-process above.
+  if [ "$bindir" = "$repo_root/build-san-address" ]; then
+    BUILD_DIR="$bindir" "$repo_root/tools/run_cluster_tests.sh"
+  fi
 }
 
 ran=0
