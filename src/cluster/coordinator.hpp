@@ -63,22 +63,24 @@ class ClusterCoordinator {
 
   /// Install the initial membership and publish epoch `current + 1` to all
   /// members. Returns the published epoch.
-  Result<std::uint64_t> bootstrap(std::vector<MemberSpec> members);
+  Result<std::uint64_t> bootstrap(std::vector<MemberSpec> members)
+      JANUS_EXCLUDES(mu_);
 
   /// Replace the membership (N -> M reshard), bump the epoch, and publish
   /// to the union of old and new members — leaving servers get
   /// kNotAMember so they stream away everything they own.
-  Result<std::uint64_t> reshard(std::vector<MemberSpec> members);
+  Result<std::uint64_t> reshard(std::vector<MemberSpec> members)
+      JANUS_EXCLUDES(mu_);
 
   /// Promote slot `index`'s standby: the standby (which has been restoring
   /// the master's HA snapshots) becomes the active member at the same slot
   /// and name, the epoch bumps, and the new map is published to the
   /// survivors. No-op error if the slot has no standby.
-  Result<std::uint64_t> fail_over(std::size_t index) {
+  Result<std::uint64_t> fail_over(std::size_t index) JANUS_EXCLUDES(mu_) {
     return fail_over_internal(index, std::nullopt);
   }
 
-  void stop();
+  void stop() JANUS_EXCLUDES(mu_);
 
   std::uint64_t epoch() const { return holder_.epoch(); }
   std::uint64_t failovers() const {
@@ -89,7 +91,7 @@ class ClusterCoordinator {
   }
   /// Live BFD state for slot `index` (kUp when unprobed — absence of
   /// probing must not read as an outage).
-  net::BfdState member_liveness(std::size_t index) const;
+  net::BfdState member_liveness(std::size_t index) const JANUS_EXCLUDES(mu_);
 
  private:
   struct Slot {
@@ -110,18 +112,24 @@ class ClusterCoordinator {
   /// callback thread (a BFD-triggered failover retires the very session that
   /// detected the outage) cannot be joined here — it is asked to stop and
   /// parked in graveyard_, joined later from a user thread.
-  void retire_sessions(std::vector<std::unique_ptr<net::BfdSession>> retired);
-  void drain_graveyard();
+  void retire_sessions(std::vector<std::unique_ptr<net::BfdSession>> retired)
+      JANUS_EXCLUDES(mu_);
+  void drain_graveyard() JANUS_EXCLUDES(mu_);
   void start_bfd_locked() JANUS_REQUIRES(mu_);
+  /// Blocking TCP publish of one EpochUpdate. Runs under mu_ (only caller is
+  /// publish_locked) — which is why kFaultPoint ranks above
+  /// kClusterCoordinator: the TCP read path consults fault points while the
+  /// coordinator lock is held (see DESIGN.md §8 and the §12 lock-order check).
   Status push_update(const net::SockAddr& target,
-                     const wire::EpochUpdate& update);
+                     const wire::EpochUpdate& update) JANUS_REQUIRES(mu_);
   /// `expected_generation` set = BFD-triggered: the promotion is skipped if
   /// the membership changed since that session was started (a retired
   /// session's last callback must not act on the new slot list).
   Result<std::uint64_t> fail_over_internal(
-      std::size_t index, std::optional<std::uint64_t> expected_generation);
+      std::size_t index, std::optional<std::uint64_t> expected_generation)
+      JANUS_EXCLUDES(mu_);
   void on_bfd_change(std::uint64_t generation, std::size_t index,
-                     net::BfdState from, net::BfdState to);
+                     net::BfdState from, net::BfdState to) JANUS_EXCLUDES(mu_);
 
   ShardMapHolder& holder_;
   CoordinatorOptions options_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "common/hot_path.hpp"
 #include "common/result.hpp"
 #include "common/sync.hpp"
 #include "net/socket.hpp"
@@ -42,13 +43,13 @@ struct ShardMap {
 
   /// The paper's rule: CRC32(key) mod N. Callers must ensure non-empty
   /// membership (publish and decode both reject empty maps).
-  std::size_t owner_of(std::string_view key) const {
+  JANUS_HOT_PATH std::size_t owner_of(std::string_view key) const {
     return crc32(key) % members.size();
   }
 
   /// Owner lookup from a precomputed CRC32 (the router hashes each key
   /// once; see core::KeyRouter for the single-process equivalent).
-  std::size_t owner_of_hash(std::uint32_t key_crc) const {
+  JANUS_HOT_PATH std::size_t owner_of_hash(std::uint32_t key_crc) const {
     return key_crc % members.size();
   }
 
@@ -75,7 +76,9 @@ class ShardMapHolder {
   ShardMapHolder() = default;
 
   /// nullptr until the first publish (cluster mode not yet configured).
-  std::shared_ptr<const ShardMap> snapshot() const {
+  /// On the router's per-request path: the rank-58 mutex is held only for
+  /// the shared_ptr copy, so the locks flavor is the honest contract.
+  JANUS_HOT_PATH_LOCKS std::shared_ptr<const ShardMap> snapshot() const {
     MutexLock lock(mu_);
     return map_;
   }

@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/sync.hpp"
 #include "common/transparent_hash.hpp"
 
@@ -178,11 +179,12 @@ class FlightRecorder {
   /// sites pass the timestamp they already computed; clock-less sites
   /// (fault fires) pass 0 and the renderer carries the ring's last seen
   /// timestamp forward.
-  static void record(TraceEventType type, TraceStage stage,
-                     std::uint64_t trace, std::uint64_t arg,
-                     std::uint64_t ts_ns) {
+  JANUS_HOT_PATH static void record(TraceEventType type, TraceStage stage,
+                                    std::uint64_t trace, std::uint64_t arg,
+                                    std::uint64_t ts_ns) {
     if (!enabled()) return;
     Ring* ring = tl_ring_;
+    // purity-ok: once per thread — first event registers the ring under mu_
     if (ring == nullptr) ring = instance().register_ring();
     const std::uint64_t n = ring->next++;
     Slot& slot = ring->slots[n & (kRingCapacity - 1)];
@@ -206,9 +208,12 @@ class FlightRecorder {
     if (labeled || !enabled()) return;
     labeled = true;
     Ring* ring = tl_ring_;
+    // purity-ok: once per thread — first event registers the ring under mu_
     if (ring == nullptr) ring = instance().register_ring();
     FlightRecorder& fr = instance();
+    // purity-ok: once per thread — labeling is latched by `labeled` above
     MutexLock lock(fr.mu_);
+    // purity-ok: once per thread — labeling is latched by `labeled` above
     ring->label.assign(name);
   }
 

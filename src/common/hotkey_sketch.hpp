@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hot_path.hpp"
+
 namespace janus {
 
 /// One merged row of the top-k view.
@@ -43,8 +45,8 @@ class HotKeySketch {
   /// Count one (weighted) decision for `key`. Single writer per sketch —
   /// the shard owner thread or a holder of the shard mutex; concurrent
   /// note() calls on the same sketch are a contract violation.
-  void note(std::string_view key, std::uint64_t hash, bool allowed,
-            std::uint64_t weight) {
+  JANUS_HOT_PATH void note(std::string_view key, std::uint64_t hash,
+                           bool allowed, std::uint64_t weight) {
     Slot* min_slot = nullptr;
     std::uint64_t min_hits = ~std::uint64_t{0};
     for (Slot& slot : slots_) {

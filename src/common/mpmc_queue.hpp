@@ -141,6 +141,8 @@ class BlockingQueue {
       if (shutdown_) return 0;
       for (auto& item : items) {
         if (capacity_ != 0 && items_.size() >= capacity_) break;
+        // purity-ok: bounded deque node churn — the documented shared-queue
+        // purity-ok: cost; sharded mode bypasses this queue entirely (§9)
         items_.push_back(std::move(item));
         ++accepted;
       }
@@ -162,6 +164,7 @@ class BlockingQueue {
     while (items_.empty() && !shutdown_) cv_.wait(mu_);
     std::size_t popped = 0;
     while (!items_.empty() && popped < max) {
+      // purity-ok: amortized growth into the worker's reserved batch vector
       out.push_back(std::move(items_.front()));
       items_.pop_front();
       ++popped;

@@ -27,14 +27,17 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
+    // purity-ok: programmer-error guard — unreachable after an ok() check
     if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
     return std::get<T>(value_);
   }
   T& value() & {
+    // purity-ok: programmer-error guard — unreachable after an ok() check
     if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
     return std::get<T>(value_);
   }
   T&& take() && {
+    // purity-ok: programmer-error guard — unreachable after an ok() check
     if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
     return std::get<T>(std::move(value_));
   }

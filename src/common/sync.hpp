@@ -88,7 +88,6 @@ enum class LockRank : int {
   kDbCommit = 10,         // db::Database::commit_mu_ (outermost: WAL sequence)
   kDbTable = 20,          // db::Table::mu_ (under commit during apply)
   kDbWal = 30,            // db::Wal::mu_ (under commit during append/sync)
-  kFaultPoint = 40,       // testing::FaultInjector per-point mu (under WAL)
   kQosShard = 50,         // core::ShardedQosTable per-shard mu (leaf)
   kClusterCoordinator = 54,  // cluster::ClusterCoordinator::mu_ (may publish
                              // while taking kClusterMap + kDnsBalancer)
@@ -102,6 +101,13 @@ enum class LockRank : int {
                           // only the parked flag, never held over work)
   kPeriodic = 80,         // PeriodicTask::mu_ (callback runs unlocked)
   kMetricsRegistry = 90,  // MetricsRegistry::mu_
+  kFaultPoint = 94,       // testing::FaultInjector per-point mu. Leaf: fault
+                          // sites are compiled into arbitrary production code
+                          // (WAL append, TCP reads under the coordinator
+                          // lock), so this must rank above every lock that
+                          // can be held at a fault site — but below
+                          // kFlightRecorder, which a firing fault acquires
+                          // for the chaos auto-dump
   kMetricsStripe = 95,    // HistogramMetric per-stripe mu (leaf)
   kFlightRecorder = 96,   // FlightRecorder ring registry (registration +
                           // snapshot only; legal from a held fault point)

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "common/crc32.hpp"
+#include "common/hot_path.hpp"
 
 namespace janus {
 
@@ -46,7 +47,8 @@ struct TransparentStringHash {
     return static_cast<std::size_t>(h);
   }
 
-  static constexpr std::size_t hash_bytes(std::string_view s) noexcept {
+  JANUS_HOT_PATH static constexpr std::size_t hash_bytes(
+      std::string_view s) noexcept {
     return finalize(crc32(s));
   }
 

@@ -53,6 +53,7 @@ void AdmissionController::note_decision_telemetry(std::string_view key,
   if (token != nullptr) {
     table_.note_decision_owned(*token, key, hash, d.allowed, weight);
   } else {
+    // purity-ok: shared-queue branch only — never taken under an owner token
     table_.note_decision(key, hash, d.allowed, weight);
   }
   FlightRecorder::record(
@@ -92,6 +93,7 @@ Decision AdmissionController::decide(std::string_view key, std::uint32_t cost,
   // create-if-absent. If another thread won the race our fetched rule is
   // discarded and its entry is used — identical to the paper's behaviour
   // where concurrent first touches serialize on the table.
+  // purity-ok: first-touch cold branch (DB fetch + rule/key copy)
   QosEntry fresh = make_entry(key, now);
   Decision d = table_.with_entry_or_create_prehashed(
       key, hash, [&] { return std::move(fresh); },
@@ -154,6 +156,7 @@ Decision AdmissionController::decide_owned(const ShardOwnerToken& token,
     return *cached;
   }
 
+  // purity-ok: first-touch cold branch (DB fetch + rule/key copy)
   QosEntry fresh = make_entry(key, now);
   const bool is_default = fresh.is_default;
   Decision d =  // unlocked-ok: owner-token call site (shard-per-worker)

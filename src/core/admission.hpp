@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "common/clock.hpp"
+#include "common/hot_path.hpp"
 #include "common/metrics.hpp"
 #include "core/qos_rule.hpp"
 #include "core/qos_table.hpp"
@@ -85,10 +86,12 @@ class AdmissionController {
 
   /// Decide whether to admit `cost` units for `key` (the paper's composite
   /// read-modify-write, executed under one shard lock).
-  Decision check(std::string_view key, std::uint32_t cost = 1);
+  JANUS_HOT_PATH_LOCKS Decision check(std::string_view key,
+                                      std::uint32_t cost = 1);
 
   /// Non-consuming variant (kProbe requests).
-  Decision probe(std::string_view key, std::uint32_t cost = 1);
+  JANUS_HOT_PATH_LOCKS Decision probe(std::string_view key,
+                                      std::uint32_t cost = 1);
 
   /// House-keeping refill pass over every bucket (periodic mode).
   void refill_all();
@@ -118,10 +121,12 @@ class AdmissionController {
     return table_.claim_shards(worker_index, worker_count);
   }
 
-  Decision check_owned(const ShardOwnerToken& token, std::string_view key,
-                       std::size_t hash, std::uint32_t cost = 1);
-  Decision probe_owned(const ShardOwnerToken& token, std::string_view key,
-                       std::size_t hash, std::uint32_t cost = 1);
+  JANUS_HOT_PATH Decision check_owned(const ShardOwnerToken& token,
+                                      std::string_view key, std::size_t hash,
+                                      std::uint32_t cost = 1);
+  JANUS_HOT_PATH Decision probe_owned(const ShardOwnerToken& token,
+                                      std::string_view key, std::size_t hash,
+                                      std::uint32_t cost = 1);
   bool invalidate_owned(const ShardOwnerToken& token, std::string_view key,
                         std::size_t hash);
   void refill_owned(const ShardOwnerToken& token);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "common/hot_path.hpp"
 #include "common/hotkey_sketch.hpp"
 #include "common/sync.hpp"
 #include "common/transparent_hash.hpp"
@@ -82,7 +83,8 @@ class ShardedQosTable {
   /// with_entry() with a caller-supplied hash — for callers (the admission
   /// path) that reuse the hash for hot-key accounting after the lookup.
   template <typename Fn>
-  auto with_entry_prehashed(std::string_view key, std::size_t hash, Fn&& fn)
+  JANUS_HOT_PATH_LOCKS auto with_entry_prehashed(std::string_view key,
+                                                 std::size_t hash, Fn&& fn)
       -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
     Shard& shard = *shards_[shard_index_of(hash)];
     MutexLock lock(shard.mu);
@@ -107,13 +109,14 @@ class ShardedQosTable {
 
   /// with_entry_or_create() with a caller-supplied hash.
   template <typename Fn, typename Factory>
-  auto with_entry_or_create_prehashed(std::string_view key, std::size_t hash,
-                                      Factory&& factory, Fn&& fn)
+  JANUS_HOT_PATH_LOCKS auto with_entry_or_create_prehashed(
+      std::string_view key, std::size_t hash, Factory&& factory, Fn&& fn)
       -> decltype(fn(std::declval<QosEntry&>())) {
     Shard& shard = *shards_[shard_index_of(hash)];
     MutexLock lock(shard.mu);
     auto it = shard.entries.find(PrehashedKey{key, hash});
     if (it == shard.entries.end()) {
+      // purity-ok: first touch only — owning key string built exactly once
       it = shard.entries.emplace(std::string(key), factory()).first;
     }
     return fn(it->second);
@@ -128,8 +131,9 @@ class ShardedQosTable {
   // shard-per-worker mode) while hot_keys() readers stay lock-free.
 
   /// Count a (weighted) decision under the shard lock — shared-queue mode.
-  void note_decision(std::string_view key, std::size_t hash, bool allowed,
-                     std::uint64_t weight) {
+  JANUS_HOT_PATH_LOCKS void note_decision(std::string_view key,
+                                          std::size_t hash, bool allowed,
+                                          std::uint64_t weight) {
     Shard& shard = *shards_[shard_index_of(hash)];
     MutexLock lock(shard.mu);
     shard.hot_keys.note(key, hash, allowed, weight);
@@ -137,7 +141,7 @@ class ShardedQosTable {
 
   /// Count a (weighted) decision without the lock — the caller's token
   /// proves single-writer access to the shard (and thus its sketch).
-  JANUS_NO_THREAD_SAFETY_ANALYSIS void note_decision_owned(
+  JANUS_HOT_PATH JANUS_NO_THREAD_SAFETY_ANALYSIS void note_decision_owned(
       const ShardOwnerToken& token, std::string_view key, std::size_t hash,
       bool allowed, std::uint64_t weight) {
     const std::size_t si = shard_index_of(hash);
@@ -174,7 +178,7 @@ class ShardedQosTable {
   /// Lock-free equivalent of with_entry(): caller supplies the key's hash
   /// (computed once on the dispatch path) and its ownership token.
   template <typename Fn>
-  JANUS_NO_THREAD_SAFETY_ANALYSIS auto with_entry_unlocked(
+  JANUS_HOT_PATH JANUS_NO_THREAD_SAFETY_ANALYSIS auto with_entry_unlocked(
       const ShardOwnerToken& token, std::string_view key, std::size_t hash,
       Fn&& fn) -> std::optional<decltype(fn(std::declval<QosEntry&>()))> {
     const std::size_t si = shard_index_of(hash);
@@ -188,22 +192,25 @@ class ShardedQosTable {
 
   /// Lock-free equivalent of with_entry_or_create().
   template <typename Fn, typename Factory>
-  JANUS_NO_THREAD_SAFETY_ANALYSIS auto with_entry_or_create_unlocked(
-      const ShardOwnerToken& token, std::string_view key, std::size_t hash,
-      Factory&& factory, Fn&& fn) -> decltype(fn(std::declval<QosEntry&>())) {
+  JANUS_HOT_PATH JANUS_NO_THREAD_SAFETY_ANALYSIS auto
+  with_entry_or_create_unlocked(const ShardOwnerToken& token,
+                                std::string_view key, std::size_t hash,
+                                Factory&& factory, Fn&& fn)
+      -> decltype(fn(std::declval<QosEntry&>())) {
     const std::size_t si = shard_index_of(hash);
     assert(token.owns(si));
     (void)token;
     Shard& shard = *shards_[si];
     auto it = shard.entries.find(PrehashedKey{key, hash});
     if (it == shard.entries.end()) {
+      // purity-ok: first touch only — owning key string built exactly once
       it = shard.entries.emplace(std::string(key), factory()).first;
     }
     return fn(it->second);
   }
 
   /// Lock-free erase (kSync invalidation on the owner worker).
-  JANUS_NO_THREAD_SAFETY_ANALYSIS bool erase_unlocked(
+  JANUS_HOT_PATH JANUS_NO_THREAD_SAFETY_ANALYSIS bool erase_unlocked(
       const ShardOwnerToken& token, std::string_view key, std::size_t hash) {
     const std::size_t si = shard_index_of(hash);
     assert(token.owns(si));
@@ -232,7 +239,7 @@ class ShardedQosTable {
   /// collapse into a single shard) — while the whole decision still pays
   /// for exactly one CRC pass over the key. Public because the
   /// shard-per-worker listener derives the owning worker from it.
-  std::size_t shard_index_of(std::size_t hash) const {
+  JANUS_HOT_PATH std::size_t shard_index_of(std::size_t hash) const {
     return (hash >> (sizeof(std::size_t) * 4)) % shards_.size();
   }
 

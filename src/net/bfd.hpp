@@ -150,7 +150,9 @@ class BfdSession {
 
  private:
   BfdSession(Options options, Clock& clock, UdpSocket socket);
-  void loop();
+  // Takes mu_ per iteration and releases it before the on_change callback
+  // fires — handlers may take coordinator locks (rank 54 < 56) safely.
+  void loop() JANUS_EXCLUDES(mu_);
   void transition_locked(BfdState next) JANUS_REQUIRES(mu_);
 
   Options options_;
@@ -195,7 +197,7 @@ class BfdResponder {
  private:
   BfdResponder(Options options, Clock& clock, UdpSocket socket,
                SockAddr addr);
-  void loop();
+  void loop() JANUS_EXCLUDES(mu_);
 
   Options options_;
   Clock& clock_;

@@ -100,6 +100,10 @@ class ClusterAgent {
   net::SockAddr addr_;
   cluster::ShardMapHolder holder_;
   std::atomic<std::uint16_t> self_index_{wire::kNotAMember};
+  /// Deliberately NOT JANUS_GUARDED_BY anything: the accept loop is the only
+  /// writer and only reader (single-threaded by construction, see the header
+  /// comment); the one cross-thread surface is the atomics below plus
+  /// holder_, which carries its own kClusterMap lock.
   bool promoted_ = false;  // agent thread only
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> epoch_updates_{0};

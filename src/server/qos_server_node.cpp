@@ -341,12 +341,14 @@ void QosServerNode::listener_loop() {
   FlightRecorder::label_current_thread("server.listener");
   net::UdpSocket::RecvBatch batch(config_.recv_batch);
   std::vector<Job> jobs;
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
   jobs.reserve(batch.capacity());
   std::vector<bool> touched(worker_state_.size(), false);
 
   while (!stopping_.load(std::memory_order_relaxed)) {
     auto got = socket_.recv_many(batch, millis(50));
     if (!got.ok()) {
+      // purity-ok: recv-error path only — never taken for healthy traffic
       JLOG_WARN("server: recv failed: %s", got.error().message.c_str());
       continue;
     }
@@ -364,10 +366,12 @@ void QosServerNode::listener_loop() {
         const TimePoint enqueued =
             timing_sampled() ? SteadyClock::instance().now() : kTimeZero;
         auto data = batch.data(i);
-        jobs.push_back(Job{net::UdpSocket::Datagram{
-                               std::vector<std::uint8_t>(data.begin(),
-                                                         data.end()),
-                               batch.from(i)},
+        // purity-ok: per-datagram owning copy — the one documented
+        // purity-ok: decision-path allocation (io_uring item removes it)
+        std::vector<std::uint8_t> payload(data.begin(), data.end());
+        // purity-ok: amortized growth into the reserved jobs scratch vector
+        jobs.push_back(Job{net::UdpSocket::Datagram{std::move(payload),
+                                                    batch.from(i)},
                            enqueued});
       }
       const std::size_t accepted = fifo_.try_push_many(jobs);
@@ -404,10 +408,11 @@ void QosServerNode::listener_loop() {
         }
       }
       WorkerState& w = *worker_state_[target];
-      if (!w.jobs.try_push(Job{net::UdpSocket::Datagram{
-                                   std::vector<std::uint8_t>(data.begin(),
-                                                             data.end()),
-                                   batch.from(i)},
+      // purity-ok: per-datagram owning copy — the one documented
+      // purity-ok: decision-path allocation (io_uring item removes it)
+      std::vector<std::uint8_t> payload(data.begin(), data.end());
+      if (!w.jobs.try_push(Job{net::UdpSocket::Datagram{std::move(payload),
+                                                        batch.from(i)},
                                enqueued, hash})) {
         dropped_.inc();  // this worker's ring is full — same drop semantics
         w.rejects->inc();
@@ -471,6 +476,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
       // Service-time inflation (§V's overload knee, provoked on demand):
       // the worker stalls param µs before touching the request. Fires per
       // datagram — a batch of N consults the point N times.
+      // purity-ok: deterministic fault injection — chaos builds only
       std::this_thread::sleep_for(std::chrono::microseconds(
           faults.param(testing::FaultPoint::kServerSlowService)));
     }
@@ -491,6 +497,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
       malformed_.inc();
       resp.status = wire::ResponseStatus::kMalformed;
       wire::encode_to(resp, buf.outs[i]);
+      // purity-ok: amortized growth into the reserved reply descriptor list
       buf.replies.push_back({job.dg.from, buf.outs[i]});
       continue;
     }
@@ -515,6 +522,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
         resp.epoch = current;
         wire::encode_to(resp, buf.outs[i]);
         answered_.inc();
+        // purity-ok: amortized growth into the reserved reply descriptor list
         buf.replies.push_back({job.dg.from, buf.outs[i]});
         continue;
       }
@@ -583,12 +591,14 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
     // whose counter update is still pending (metrics are read by tests
     // and operators the moment a reply lands).
     answered_.inc();
+    // purity-ok: amortized growth into the reserved reply descriptor list
     buf.replies.push_back({job.dg.from, buf.outs[i]});
 
     if (!r.trace_id.empty()) {
       // wait_us is -1 when this request was not in the 1-in-8 timing
       // sample. The key/trace views alias the datagram buffer; %.*s
       // prints them without materializing strings.
+      // purity-ok: traced requests only — rare by construction
       JLOG_DEBUG("server: trace=%.*s key=%.*s allowed=%d wait_us=%lld",
                  static_cast<int>(r.trace_id.size()), r.trace_id.data(),
                  static_cast<int>(r.key.size()), r.key.data(),
@@ -622,6 +632,7 @@ void QosServerNode::worker_loop() {
   FlightRecorder::label_current_thread("server.worker");
   const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
   jobs.reserve(batch);
   ReplyBuffers buf(batch);
 
@@ -640,10 +651,13 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
   // on the decision path. Idle workers spin briefly, then park on the
   // kWorkerPark condvar; the bounded wait is the lost-wakeup backstop.
   WorkerState& st = *worker_state_[index];
+  // purity-ok: one-time thread labeling — allocates the label string once
   FlightRecorder::label_current_thread("server.worker." +
+                                       // purity-ok: one-time thread labeling
                                        std::to_string(index));
   const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
   jobs.reserve(batch);
   ReplyBuffers buf(batch);
   int idle_spins = 0;
@@ -655,6 +669,7 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
     while (jobs.size() < batch) {
       auto job = st.jobs.try_pop();
       if (!job) break;
+      // purity-ok: amortized growth into the reserved jobs scratch vector
       jobs.push_back(std::move(*job));
     }
     if (!jobs.empty()) {
@@ -666,12 +681,15 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
     while (auto cmd = st.maint.try_pop()) {
       switch (cmd->kind) {
         case MaintCmd::Kind::kRefill:
+          // purity-ok: maintenance slice — command path, not per-request
           admission_->refill_owned(st.token);
           break;
         case MaintCmd::Kind::kSync:
+          // purity-ok: maintenance slice — command path, not per-request
           admission_->sync_owned(st.token);
           break;
         case MaintCmd::Kind::kCheckpoint:
+          // purity-ok: maintenance slice — command path, not per-request
           admission_->checkpoint_owned(st.token, sink_);
           break;
         case MaintCmd::Kind::kClusterFn:

@@ -42,6 +42,7 @@
 
 #include "cluster/shard_map.hpp"
 #include "common/clock.hpp"
+#include "common/hot_path.hpp"
 #include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/periodic.hpp"
@@ -241,16 +242,17 @@ class QosServerNode {
     std::vector<std::string_view> traces;
   };
 
-  void listener_loop();
-  void worker_loop();  // kSharedQueue
-  void worker_loop_sharded(std::size_t index);
+  JANUS_HOT_PATH_IO void listener_loop();
+  JANUS_HOT_PATH_IO void worker_loop();  // kSharedQueue
+  JANUS_HOT_PATH_IO void worker_loop_sharded(std::size_t index);
 
   /// Process one popped batch: decode, decide (mode-appropriate), flush all
   /// replies in one sendmmsg, record timings. Shared by both worker loops;
   /// `token` is null in shared-queue mode (locked decisions) and the
   /// worker's ShardOwnerToken in shard-per-worker mode (mutex-free).
-  void run_jobs(std::vector<Job>& jobs, const core::ShardOwnerToken* token,
-                ReplyBuffers& buf);
+  JANUS_HOT_PATH_LOCKS void run_jobs(std::vector<Job>& jobs,
+                                     const core::ShardOwnerToken* token,
+                                     ReplyBuffers& buf);
 
   /// 1-in-2^kTimingSampleShift decimation with a thread-local counter — no
   /// shared cache line bounces between the listener and anything else.

@@ -98,7 +98,7 @@ bool FaultInjector::fire_slow(Point& p) {
   // Chaos observability hook: the fire lands in the flight recorder (arg =
   // point index; ts = 0 lets the renderer carry the ring's last timestamp
   // forward) and trips the one-shot trace auto-dump, so the rings around a
-  // chaos event survive to disk. Legal under p.mu: rank kFaultPoint (40) <
+  // chaos event survive to disk. Legal under p.mu: rank kFaultPoint (94) <
   // kFlightRecorder (96).
   if (FlightRecorder::enabled()) {
     const auto index = static_cast<std::uint64_t>(&p - points_.data());

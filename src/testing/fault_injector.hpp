@@ -94,8 +94,11 @@ class FaultInjector {
  private:
   struct Point {
     std::atomic<bool> armed{false};
-    // Leaf rank above the WAL: Wal::append consults fault points while
-    // holding the WAL lock, never the other way around.
+    // Leaf rank: fault sites live in arbitrary production code (WAL
+    // append, TCP reads under the coordinator lock), so the per-point mu
+    // must out-rank every lock that can be held at a site. Only the
+    // flight-recorder registry (96) and the logger sit above it — the
+    // chaos auto-dump fires from under p.mu.
     mutable Mutex mu{LockRank::kFaultPoint, "testing.fault_point"};
     ArmSpec spec JANUS_GUARDED_BY(mu);
     std::uint64_t rng JANUS_GUARDED_BY(mu) = 0;  // SplitMix64 state

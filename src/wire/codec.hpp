@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/result.hpp"
 #include "wire/message.hpp"
 
@@ -44,9 +45,12 @@ inline constexpr std::size_t kResponseSize = 2 + 1 + 1 + 8 + 1 + 8;
 std::vector<std::uint8_t> encode(const QosRequest& req);
 std::vector<std::uint8_t> encode(const QosResponse& resp);
 
-/// Append-encoding variants for buffer reuse on hot paths.
+/// Append-encoding variants for buffer reuse on hot paths. The response
+/// encoder is on the server decision path (run_jobs reuses one scratch
+/// vector per reply batch), so it is held to the strict purity ruleset.
 void encode_to(const QosRequest& req, std::vector<std::uint8_t>& out);
-void encode_to(const QosResponse& resp, std::vector<std::uint8_t>& out);
+JANUS_HOT_PATH void encode_to(const QosResponse& resp,
+                              std::vector<std::uint8_t>& out);
 
 Result<QosRequest> decode_request(std::span<const std::uint8_t> data);
 Result<QosResponse> decode_response(std::span<const std::uint8_t> data);
@@ -55,6 +59,7 @@ Result<QosResponse> decode_response(std::span<const std::uint8_t> data);
 /// `data`, valid only while the datagram buffer is. The server-side
 /// decision path uses this — no heap allocation per request. Validation is
 /// identical to decode_request (same errors, byte for byte).
-Result<QosRequestView> decode_request_view(std::span<const std::uint8_t> data);
+JANUS_HOT_PATH Result<QosRequestView> decode_request_view(
+    std::span<const std::uint8_t> data);
 
 }  // namespace janus::wire

@@ -1,0 +1,28 @@
+// Fixture: a genuinely pure hot path — arithmetic and a call to another
+// pure function. The analyzer must report nothing.
+//
+// EXPECT-NONE
+#include <cstdint>
+#include <string_view>
+
+#include "common/hot_path.hpp"
+
+namespace fixture {
+
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+JANUS_HOT_PATH std::uint64_t pure_bucket(std::string_view key,
+                                         std::uint64_t nbuckets) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return mix(h) % (nbuckets == 0 ? 1 : nbuckets);
+}
+
+}  // namespace fixture

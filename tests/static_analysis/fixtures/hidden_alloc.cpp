@@ -1,0 +1,25 @@
+// Fixture: an allocation hidden two calls below an annotated root. The
+// analyzer must walk hot_entry -> helper_outer -> helper_inner and report
+// the std::string construction with the full chain.
+//
+// EXPECT-FINDING: alloc
+#include <string>
+#include <string_view>
+
+#include "common/hot_path.hpp"
+
+namespace fixture {
+
+std::string helper_inner(std::string_view s) {
+  return std::string(s);  // the hidden allocation
+}
+
+std::size_t helper_outer(std::string_view s) {
+  return helper_inner(s).size();
+}
+
+JANUS_HOT_PATH std::size_t hot_entry(std::string_view s) {
+  return helper_outer(s);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: a janus lock guard inside a strict (JANUS_HOT_PATH) root. The
+// locks flavor would allow this; the strict flavor must flag it.
+//
+// EXPECT-FINDING: lock
+#include "common/hot_path.hpp"
+#include "common/sync.hpp"
+
+namespace fixture {
+
+class Locked {
+ public:
+  JANUS_HOT_PATH int hot_get() const {
+    MutexLock lock(mu_);  // illegal under the strict flavor
+    return v_;
+  }
+
+ private:
+  mutable Mutex mu_{LockRank::kQosShard, "fixture.locked"};
+  int v_ = 0;
+};
+
+}  // namespace fixture

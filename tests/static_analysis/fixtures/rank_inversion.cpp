@@ -1,0 +1,24 @@
+// Fixture: acquires a low-rank lock while holding a high-rank one. Rank
+// values come from the real src/common/sync.hpp enum
+// (kFlightRecorder > kQosShard), so the inversion survives renumbering.
+//
+// EXPECT-FINDING: lock-order
+#include "common/sync.hpp"
+
+namespace fixture {
+
+class BadNest {
+ public:
+  int nested_wrong_way() {
+    MutexLock outer(hi_mu_);
+    MutexLock inner(lo_mu_);  // rank inversion: high held, low acquired
+    return v_;
+  }
+
+ private:
+  mutable Mutex hi_mu_{LockRank::kFlightRecorder, "fixture.hi"};
+  mutable Mutex lo_mu_{LockRank::kQosShard, "fixture.lo"};
+  int v_ = 0;
+};
+
+}  // namespace fixture

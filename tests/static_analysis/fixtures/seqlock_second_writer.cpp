@@ -1,0 +1,30 @@
+// Fixture: seqlock discipline breaches — a store to a seq word from a
+// function that is not a designated writer, and a reader that loads the
+// seq word only once (no double-load retry).
+//
+// EXPECT-FINDING: seqlock-second-writer
+// EXPECT-FINDING: seqlock-single-load
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};
+  std::uint64_t payload = 0;
+};
+
+class RogueWriter {
+ public:
+  void rogue_store(Slot& slot, std::uint64_t v) {
+    slot.seq.store(1, std::memory_order_relaxed);  // not a designated writer
+    slot.payload = v;
+  }
+
+  std::uint64_t single_load_reader(const Slot& slot) {
+    if (slot.seq.load(std::memory_order_acquire) & 1u) return 0;
+    return slot.payload;  // torn read: seq never re-checked
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a throw on a strict root and a sleep on a locks-flavor root
+// (the locks flavor relaxes lock guards, never blocking).
+//
+// EXPECT-FINDING: throw
+// EXPECT-FINDING: blocking
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/hot_path.hpp"
+
+namespace fixture {
+
+JANUS_HOT_PATH int hot_divide(int a, int b) {
+  if (b == 0) throw std::runtime_error("divide by zero");
+  return a / b;
+}
+
+JANUS_HOT_PATH_LOCKS void hot_but_sleepy() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a real violation carrying a `// purity-ok:` waiver — the
+// analyzer must stay quiet (waivers suppress both the primitive match
+// and call-graph descent on the waived line).
+//
+// EXPECT-NONE
+#include <string>
+#include <string_view>
+
+#include "common/hot_path.hpp"
+
+namespace fixture {
+
+JANUS_HOT_PATH std::size_t warm_path(std::string_view key) {
+  // purity-ok: fixture — modeled on the first-touch cold branch
+  return std::string(key).size();
+}
+
+}  // namespace fixture

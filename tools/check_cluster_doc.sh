@@ -1,86 +1,54 @@
 #!/bin/bash
 # Doc-drift guard for cluster mode (DESIGN.md §11). The epoch-versioned
 # shard map, coordinator, agent/migration protocol and BFD liveness are a
-# cross-process contract; every piece is documented in §11. Two directions,
-# same as check_observability_doc.sh:
-#
-#   1. every cluster symbol §11 documents must exist in src/
-#   2. every symbol that exists must still be named in DESIGN.md
-#
-# Also pins the companion artifacts: BENCH_PR7.json must exist, carry
-# failover_p99_ms, and meet the < 1000 ms acceptance ceiling.
-set -euo pipefail
+# cross-process contract; every piece is documented in §11. Two directions
+# (dg_symbol_sync), plus the companion artifacts: BENCH_PR7.json must
+# exist, carry failover_p99_ms, and stay under the 1000 ms acceptance
+# ceiling.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_cluster_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src"
-
-[ -f "$design" ] || { echo "check_cluster_doc: $design not found" >&2; exit 1; }
-
-if ! grep -qE '^## 11\. Cluster mode' "$design"; then
-  echo "check_cluster_doc: DESIGN.md lost its '## 11. Cluster mode' section" >&2
-  exit 1
-fi
+dg_require_section '^## 11\. Cluster mode'
 
 # symbol -> file that must define it. Keep in lock-step with DESIGN.md §11.
-symbols="
-ShardMap:$src/cluster/shard_map.hpp
-ShardMapHolder:$src/cluster/shard_map.hpp
-owner_of:$src/cluster/shard_map.hpp
-key_migrates:$src/cluster/shard_map.hpp
-ClusterCoordinator:$src/cluster/coordinator.hpp
-MemberSpec:$src/cluster/coordinator.hpp
-fail_over:$src/cluster/coordinator.hpp
-reshard:$src/cluster/coordinator.hpp
-on_failover:$src/cluster/coordinator.hpp
-ClusterAgent:$src/server/cluster_agent.hpp
-migrate_window:$src/server/cluster_agent.hpp
-on_promoted:$src/server/cluster_agent.hpp
-EpochUpdate:$src/wire/cluster_codec.hpp
-MigrationBatch:$src/wire/cluster_codec.hpp
-kNotAMember:$src/wire/cluster_codec.hpp
-kStaleEpoch:$src/wire/message.hpp
-BfdStateMachine:$src/net/bfd.hpp
-BfdSession:$src/net/bfd.hpp
-BfdResponder:$src/net/bfd.hpp
-detect_multiplier:$src/net/bfd.hpp
-request_stop:$src/net/bfd.hpp
-set_cluster_epoch:$src/server/qos_server_node.hpp
-attach_shard_map:$src/router/router_node.hpp
-kClusterMigrate:$src/common/flight_recorder.hpp
-kClusterBfd:$src/common/flight_recorder.hpp
-"
-
-failed=0
-for pair in $symbols; do
-  sym=${pair%%:*}
-  file=${pair#*:}
-  if ! grep -q "$sym" "$file"; then
-    echo "check_cluster_doc: '$sym' documented in DESIGN.md §11 but gone from $file" >&2
-    failed=1
-  fi
-  if ! grep -q "$sym" "$design"; then
-    echo "check_cluster_doc: '$sym' exists in src/ but DESIGN.md no longer mentions it" >&2
-    failed=1
-  fi
-done
+dg_symbol_sync "§11" \
+  "ShardMap:$src/cluster/shard_map.hpp" \
+  "ShardMapHolder:$src/cluster/shard_map.hpp" \
+  "owner_of:$src/cluster/shard_map.hpp" \
+  "key_migrates:$src/cluster/shard_map.hpp" \
+  "ClusterCoordinator:$src/cluster/coordinator.hpp" \
+  "MemberSpec:$src/cluster/coordinator.hpp" \
+  "fail_over:$src/cluster/coordinator.hpp" \
+  "reshard:$src/cluster/coordinator.hpp" \
+  "on_failover:$src/cluster/coordinator.hpp" \
+  "ClusterAgent:$src/server/cluster_agent.hpp" \
+  "migrate_window:$src/server/cluster_agent.hpp" \
+  "on_promoted:$src/server/cluster_agent.hpp" \
+  "EpochUpdate:$src/wire/cluster_codec.hpp" \
+  "MigrationBatch:$src/wire/cluster_codec.hpp" \
+  "kNotAMember:$src/wire/cluster_codec.hpp" \
+  "kStaleEpoch:$src/wire/message.hpp" \
+  "BfdStateMachine:$src/net/bfd.hpp" \
+  "BfdSession:$src/net/bfd.hpp" \
+  "BfdResponder:$src/net/bfd.hpp" \
+  "detect_multiplier:$src/net/bfd.hpp" \
+  "request_stop:$src/net/bfd.hpp" \
+  "set_cluster_epoch:$src/server/qos_server_node.hpp" \
+  "attach_shard_map:$src/router/router_node.hpp" \
+  "kClusterMigrate:$src/common/flight_recorder.hpp" \
+  "kClusterBfd:$src/common/flight_recorder.hpp"
 
 # The §6 metric inventory and §7 fault table must carry the cluster rows,
 # and the §8 rank table the three cluster locks.
-for needle in 'router.stale_epoch_reroutes' 'server.stale_epoch_nacks' \
-              'server.cluster_deferred' 'server.cluster_epoch' \
-              'server.migrated_in' 'server.migrated_out' \
-              'cluster.failovers' 'cluster.publish_errors' \
-              'cluster.bfd.drop' 'cluster.migrate.stall' \
-              'cluster.coordinator' 'net.bfd_session' 'cluster.map'; do
-  if ! grep -qF "\`$needle" "$design"; then
-    echo "check_cluster_doc: DESIGN.md lost its \`$needle\` row" >&2
-    failed=1
-  fi
-done
+dg_require_backticked "§6/§7/§8" \
+  router.stale_epoch_reroutes server.stale_epoch_nacks \
+  server.cluster_deferred server.cluster_epoch \
+  server.migrated_in server.migrated_out \
+  cluster.failovers cluster.publish_errors \
+  cluster.bfd.drop cluster.migrate.stall \
+  cluster.coordinator net.bfd_session cluster.map
 
-# Companion artifacts the section points at.
-for artifact in \
+dg_require_artifacts "§11" \
   "$repo_root/BENCH_PR7.json" \
   "$repo_root/bench/bench_cluster_failover.cpp" \
   "$repo_root/tools/run_cluster_tests.sh" \
@@ -88,37 +56,9 @@ for artifact in \
   "$repo_root/tests/cluster/test_bfd_state_machine.cpp" \
   "$repo_root/tests/cluster/test_cluster_agent.cpp" \
   "$repo_root/tests/cluster/test_cluster_chaos.cpp" \
-  "$repo_root/tests/cluster/cluster_fixture.hpp"; do
-  if [ ! -f "$artifact" ]; then
-    echo "check_cluster_doc: missing ${artifact#"$repo_root"/} (referenced by DESIGN.md §11)" >&2
-    failed=1
-  fi
-done
+  "$repo_root/tests/cluster/cluster_fixture.hpp"
 
-# BENCH_PR7.json must carry the acceptance number and meet the ceiling.
-if [ -f "$repo_root/BENCH_PR7.json" ]; then
-  if ! python3 - "$repo_root/BENCH_PR7.json" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-p99 = doc.get("derived", {}).get("failover_p99_ms")
-if p99 is None:
-    print("check_cluster_doc: BENCH_PR7.json lacks derived.failover_p99_ms",
-          file=sys.stderr)
-    sys.exit(1)
-if p99 >= 1000:
-    print(f"check_cluster_doc: recorded failover P99 {p99} ms is at or above "
-          "the 1000 ms acceptance ceiling — rerun tools/run_bench_suite.sh",
-          file=sys.stderr)
-    sys.exit(1)
-PY
-  then
-    failed=1
-  fi
-fi
+dg_bench_bound "$repo_root/BENCH_PR7.json" derived.failover_p99_ms \
+  ceiling 1000
 
-if [ "$failed" -ne 0 ]; then
-  echo "check_cluster_doc: DESIGN.md §11 is out of sync with the cluster code" >&2
-  exit 1
-fi
-echo "check_cluster_doc: OK"
+dg_finish

@@ -2,41 +2,16 @@
 # Fails if any fault point named in src/testing/fault_injector.cpp is missing
 # from the DESIGN.md fault-point table. Companion to check_metrics_doc.sh;
 # registered as a CTest so the table cannot rot as points are added.
-set -euo pipefail
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_faults_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src/testing/fault_injector.cpp"
-
-[ -f "$design" ] || { echo "check_faults_doc: $design not found" >&2; exit 1; }
-[ -f "$src" ] || { echo "check_faults_doc: $src not found" >&2; exit 1; }
+fault_src="$src/testing/fault_injector.cpp"
+[ -f "$fault_src" ] || { echo "check_faults_doc: $fault_src not found" >&2; exit 1; }
 
 # Fault point names are dotted lowercase literals in the kNames table
 # (e.g. "net.udp.drop_rx"). Match the shape, not the variable, so a renamed
-# array cannot silently disable the guard. grep exit 1 (no match) is handled
-# below; >1 is a real error and must not read as "no fault points".
-set +e
-raw=$(grep -hoE '"[a-z]+(\.[a-z_]+)+"' "$src")
-rc=$?
-set -e
-if [ "$rc" -gt 1 ]; then
-  echo "check_faults_doc: grep failed scanning $src (exit $rc)" >&2
-  exit 2
-fi
-names=$(echo "$raw" | tr -d '"' | sort -u)
+# array cannot silently disable the guard.
+names=$(dg_grep -hoE '"[a-z]+(\.[a-z_]+)+"' "$fault_src" | tr -d '"' | sort -u)
+dg_names_documented "fault point" "$names"
 
-[ -n "$names" ] || { echo "check_faults_doc: no fault point names found in $src" >&2; exit 1; }
-
-missing=0
-for name in $names; do
-  if ! grep -qF "\`$name\`" "$design"; then
-    echo "check_faults_doc: fault point '$name' is defined in src/testing/ but not documented in DESIGN.md" >&2
-    missing=1
-  fi
-done
-
-if [ "$missing" -ne 0 ]; then
-  echo "check_faults_doc: add the missing rows to the DESIGN.md fault-point table" >&2
-  exit 1
-fi
-echo "check_faults_doc: all $(echo "$names" | wc -l | tr -d ' ') fault points documented"
+dg_finish

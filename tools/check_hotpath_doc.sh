@@ -3,95 +3,37 @@
 # The zero-allocation decision path is held together by a handful of
 # load-bearing symbols; if one is renamed or removed in src/ the section
 # must follow, and if the section loses one the contract is rotting. Two
-# directions, same as the metric/fault guards:
-#
-#   1. every hot-path symbol below that §9 documents must still exist in src/
-#   2. every symbol that exists must still be named (backticked or plain)
-#      in DESIGN.md
-#
-# Also pins the companion artifacts §9 points at: the bench evidence
-# (BENCH_PR4.json + tools/run_bench_suite.sh) and the allocation harness.
-set -euo pipefail
+# directions (dg_symbol_sync), plus the companion artifacts §9 points at:
+# the bench evidence (BENCH_PR4.json + tools/run_bench_suite.sh) and the
+# allocation harness.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_hotpath_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src"
-
-[ -f "$design" ] || { echo "check_hotpath_doc: $design not found" >&2; exit 1; }
-
-# The §9 section header itself must exist.
-if ! grep -qE '^## 9\. Hot-path architecture' "$design"; then
-  echo "check_hotpath_doc: DESIGN.md lost its '## 9. Hot-path architecture' section" >&2
-  exit 1
-fi
+dg_require_section '^## 9\. Hot-path architecture'
 
 # symbol -> file that must define it. Keep in lock-step with DESIGN.md §9.
-symbols="
-crc32_slice8:$src/common/crc32.hpp
-crc32_scalar:$src/common/crc32.hpp
-TransparentStringHash:$src/common/transparent_hash.hpp
-PrehashedKey:$src/common/transparent_hash.hpp
-decode_request_view:$src/wire/codec.hpp
-recv_many:$src/net/socket.hpp
-send_many:$src/net/socket.hpp
-RecvBatch:$src/net/socket.hpp
-set_batch_syscalls_enabled:$src/net/socket.hpp
-try_push_many:$src/common/mpmc_queue.hpp
-pop_many:$src/common/mpmc_queue.hpp
-call_many:$src/router/udp_qos_client.hpp
-with_entry_or_create:$src/core/qos_table.hpp
-"
+dg_symbol_sync "§9" \
+  "crc32_slice8:$src/common/crc32.hpp" \
+  "crc32_scalar:$src/common/crc32.hpp" \
+  "TransparentStringHash:$src/common/transparent_hash.hpp" \
+  "PrehashedKey:$src/common/transparent_hash.hpp" \
+  "decode_request_view:$src/wire/codec.hpp" \
+  "recv_many:$src/net/socket.hpp" \
+  "send_many:$src/net/socket.hpp" \
+  "RecvBatch:$src/net/socket.hpp" \
+  "set_batch_syscalls_enabled:$src/net/socket.hpp" \
+  "try_push_many:$src/common/mpmc_queue.hpp" \
+  "pop_many:$src/common/mpmc_queue.hpp" \
+  "call_many:$src/router/udp_qos_client.hpp" \
+  "with_entry_or_create:$src/core/qos_table.hpp"
 
-failed=0
-for pair in $symbols; do
-  sym=${pair%%:*}
-  file=${pair#*:}
-  if ! grep -q "$sym" "$file"; then
-    echo "check_hotpath_doc: '$sym' documented in DESIGN.md §9 but gone from $file" >&2
-    failed=1
-  fi
-  if ! grep -q "$sym" "$design"; then
-    echo "check_hotpath_doc: '$sym' exists in src/ but DESIGN.md no longer mentions it" >&2
-    failed=1
-  fi
-done
-
-# Companion artifacts the section points at.
-for artifact in \
+dg_require_artifacts "§9" \
   "$repo_root/BENCH_PR4.json" \
   "$repo_root/tools/run_bench_suite.sh" \
   "$repo_root/tests/perf/test_hotpath_allocs.cpp" \
-  "$repo_root/tests/chaos/test_chaos_batching.cpp"; do
-  if [ ! -f "$artifact" ]; then
-    echo "check_hotpath_doc: missing ${artifact#"$repo_root"/} (referenced by DESIGN.md §9)" >&2
-    failed=1
-  fi
-done
+  "$repo_root/tests/chaos/test_chaos_batching.cpp"
 
-# BENCH_PR4.json must carry the acceptance ratio and meet the floor.
-if [ -f "$repo_root/BENCH_PR4.json" ]; then
-  if ! python3 - "$repo_root/BENCH_PR4.json" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-speedup = doc.get("derived", {}).get("crc32_slice8_speedup_64B")
-if speedup is None:
-    print("check_hotpath_doc: BENCH_PR4.json lacks crc32_slice8_speedup_64B",
-          file=sys.stderr)
-    sys.exit(1)
-if speedup < 2.0:
-    print(f"check_hotpath_doc: recorded crc32 64B speedup {speedup}x is below "
-          "the 2.0x acceptance floor — rerun tools/run_bench_suite.sh",
-          file=sys.stderr)
-    sys.exit(1)
-PY
-  then
-    failed=1
-  fi
-fi
+dg_bench_bound "$repo_root/BENCH_PR4.json" derived.crc32_slice8_speedup_64B \
+  floor 2.0
 
-if [ "$failed" -ne 0 ]; then
-  echo "check_hotpath_doc: DESIGN.md §9 is out of sync with the hot-path code" >&2
-  exit 1
-fi
-echo "check_hotpath_doc: OK"
+dg_finish

@@ -2,38 +2,11 @@
 # Fails if any metric registered in src/ (registry.counter/gauge/histogram
 # calls) is missing from the DESIGN.md §6 metric inventory table. Run from
 # anywhere; registered as a CTest so the table cannot rot.
-set -euo pipefail
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_metrics_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src"
+names=$(dg_grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' "$src" |
+  sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+dg_names_documented "metric" "$names"
 
-[ -f "$design" ] || { echo "check_metrics_doc: $design not found" >&2; exit 1; }
-
-# grep exits 1 on "no match" and >1 on real errors (bad path, I/O); a real
-# error must fail the guard loudly rather than read as "nothing registered".
-set +e
-raw=$(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' "$src")
-rc=$?
-set -e
-if [ "$rc" -gt 1 ]; then
-  echo "check_metrics_doc: grep failed scanning $src (exit $rc)" >&2
-  exit 2
-fi
-names=$(echo "$raw" | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
-
-[ -n "$names" ] || { echo "check_metrics_doc: no metrics found in $src" >&2; exit 1; }
-
-missing=0
-for name in $names; do
-  if ! grep -qF "\`$name\`" "$design"; then
-    echo "check_metrics_doc: '$name' is registered in src/ but not documented in DESIGN.md" >&2
-    missing=1
-  fi
-done
-
-if [ "$missing" -ne 0 ]; then
-  echo "check_metrics_doc: add the missing rows to the DESIGN.md §6 metric table" >&2
-  exit 1
-fi
-echo "check_metrics_doc: all $(echo "$names" | wc -l | tr -d ' ') metric names documented"
+dg_finish

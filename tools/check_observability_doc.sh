@@ -2,116 +2,54 @@
 # Doc-drift guard for the deep-observability section (DESIGN.md §10).
 # The flight recorder, hot-key sketch and slow-request exemplars are a
 # cross-layer contract — event schema, ring sizing, sampling rate, overhead
-# budget — and every piece is documented in §10. Two directions, same as
-# check_threading_doc.sh:
-#
-#   1. every observability symbol below that §10 documents must exist in src/
-#   2. every symbol that exists must still be named (backticked or plain)
-#      in DESIGN.md
-#
-# Also pins the companion artifacts: BENCH_PR6.json must exist, carry the
-# recorder_overhead_ratio, and meet the 1.03x acceptance ceiling.
-set -euo pipefail
+# budget — and every piece is documented in §10. Two directions
+# (dg_symbol_sync), plus the companion artifacts: BENCH_PR6.json must
+# exist, carry the recorder_overhead_ratio, and stay under the 1.03x
+# acceptance ceiling.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_observability_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src"
-
-[ -f "$design" ] || { echo "check_observability_doc: $design not found" >&2; exit 1; }
-
-# The §10 section header itself must exist.
-if ! grep -qE '^## 10\. Deep observability' "$design"; then
-  echo "check_observability_doc: DESIGN.md lost its '## 10. Deep observability' section" >&2
-  exit 1
-fi
+dg_require_section '^## 10\. Deep observability'
 
 # symbol -> file that must define it. Keep in lock-step with DESIGN.md §10.
-symbols="
-FlightRecorder:$src/common/flight_recorder.hpp
-TraceStage:$src/common/flight_recorder.hpp
-TraceEventType:$src/common/flight_recorder.hpp
-kRingCapacity:$src/common/flight_recorder.hpp
-kDecisionSampleShift:$src/common/flight_recorder.hpp
-decision_sampled:$src/common/flight_recorder.hpp
-hash_trace:$src/common/flight_recorder.hpp
-render_trace_json:$src/common/flight_recorder.hpp
-trigger_auto_dump:$src/common/flight_recorder.hpp
-set_auto_dump_path:$src/common/flight_recorder.hpp
-label_current_thread:$src/common/flight_recorder.hpp
-HotKeySketch:$src/common/hotkey_sketch.hpp
-HotKeyCount:$src/common/hotkey_sketch.hpp
-note_decision_owned:$src/core/qos_table.hpp
-hot_keys:$src/core/qos_table.hpp
-Exemplar:$src/common/metrics.hpp
-ExemplarSample:$src/common/metrics.hpp
-snapshot_exemplars:$src/common/metrics.hpp
-tracez_response:$src/net/admin_server.hpp
-watchdog_pass:$src/server/qos_server_node.hpp
-json_syntax_ok:$src/common/json_lint.hpp
-"
-
-failed=0
-for pair in $symbols; do
-  sym=${pair%%:*}
-  file=${pair#*:}
-  if ! grep -q "$sym" "$file"; then
-    echo "check_observability_doc: '$sym' documented in DESIGN.md §10 but gone from $file" >&2
-    failed=1
-  fi
-  if ! grep -q "$sym" "$design"; then
-    echo "check_observability_doc: '$sym' exists in src/ but DESIGN.md no longer mentions it" >&2
-    failed=1
-  fi
-done
+dg_symbol_sync "§10" \
+  "FlightRecorder:$src/common/flight_recorder.hpp" \
+  "TraceStage:$src/common/flight_recorder.hpp" \
+  "TraceEventType:$src/common/flight_recorder.hpp" \
+  "kRingCapacity:$src/common/flight_recorder.hpp" \
+  "kDecisionSampleShift:$src/common/flight_recorder.hpp" \
+  "decision_sampled:$src/common/flight_recorder.hpp" \
+  "hash_trace:$src/common/flight_recorder.hpp" \
+  "render_trace_json:$src/common/flight_recorder.hpp" \
+  "trigger_auto_dump:$src/common/flight_recorder.hpp" \
+  "set_auto_dump_path:$src/common/flight_recorder.hpp" \
+  "label_current_thread:$src/common/flight_recorder.hpp" \
+  "HotKeySketch:$src/common/hotkey_sketch.hpp" \
+  "HotKeyCount:$src/common/hotkey_sketch.hpp" \
+  "note_decision_owned:$src/core/qos_table.hpp" \
+  "hot_keys:$src/core/qos_table.hpp" \
+  "Exemplar:$src/common/metrics.hpp" \
+  "ExemplarSample:$src/common/metrics.hpp" \
+  "snapshot_exemplars:$src/common/metrics.hpp" \
+  "tracez_response:$src/net/admin_server.hpp" \
+  "watchdog_pass:$src/server/qos_server_node.hpp" \
+  "json_syntax_ok:$src/common/json_lint.hpp"
 
 # The metric inventory (§6) must carry the new observability rows and the
 # lock-rank table (§8) the recorder's mutex.
-for needle in 'server.worker_queue_reject.w' 'server.watchdog_stalls' \
-              'server.maint_queue_reject' 'common.flight_recorder' \
-              'janus_server_hot_key_decisions' 'janus_server_hot_key_rejects'; do
-  if ! grep -qF "\`$needle" "$design"; then
-    echo "check_observability_doc: DESIGN.md lost its \`$needle\` row" >&2
-    failed=1
-  fi
-done
+dg_require_backticked "§6/§8" \
+  server.worker_queue_reject.w server.watchdog_stalls \
+  server.maint_queue_reject common.flight_recorder \
+  janus_server_hot_key_decisions janus_server_hot_key_rejects
 
-# Companion artifacts the section points at.
-for artifact in \
+dg_require_artifacts "§10" \
   "$repo_root/BENCH_PR6.json" \
   "$repo_root/tools/janus_trace_export.cpp" \
   "$repo_root/tools/run_bench_suite.sh" \
   "$repo_root/tests/common/test_flight_recorder.cpp" \
-  "$repo_root/tests/perf/test_hotpath_allocs.cpp"; do
-  if [ ! -f "$artifact" ]; then
-    echo "check_observability_doc: missing ${artifact#"$repo_root"/} (referenced by DESIGN.md §10)" >&2
-    failed=1
-  fi
-done
+  "$repo_root/tests/perf/test_hotpath_allocs.cpp"
 
-# BENCH_PR6.json must carry the acceptance ratio and meet the ceiling.
-if [ -f "$repo_root/BENCH_PR6.json" ]; then
-  if ! python3 - "$repo_root/BENCH_PR6.json" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-ratio = doc.get("derived", {}).get("recorder_overhead_ratio")
-if ratio is None:
-    print("check_observability_doc: BENCH_PR6.json lacks recorder_overhead_ratio",
-          file=sys.stderr)
-    sys.exit(1)
-if ratio > 1.03:
-    print(f"check_observability_doc: recorded recorder overhead {ratio}x "
-          "is above the 1.03x acceptance ceiling — rerun tools/run_bench_suite.sh",
-          file=sys.stderr)
-    sys.exit(1)
-PY
-  then
-    failed=1
-  fi
-fi
+dg_bench_bound "$repo_root/BENCH_PR6.json" derived.recorder_overhead_ratio \
+  ceiling 1.03
 
-if [ "$failed" -ne 0 ]; then
-  echo "check_observability_doc: DESIGN.md §10 is out of sync with the observability code" >&2
-  exit 1
-fi
-echo "check_observability_doc: OK"
+dg_finish

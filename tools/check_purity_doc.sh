@@ -1,0 +1,35 @@
+#!/bin/bash
+# Doc-drift guard for the static-analysis section (DESIGN.md §12). The
+# purity analyzer's contract — annotation macros, waiver grammar, rule
+# categories, the fixture suite — is documented in §12; if a load-bearing
+# symbol is renamed or the analyzer/fixtures go missing, this guard fails
+# the test run. Two directions (dg_symbol_sync), same as the other
+# check_*_doc.sh guards; first consumer of tools/lib/doc_guard.sh.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_purity_doc
+
+dg_require_section '^## 12\. Static analysis'
+
+# symbol -> file that must define it. Keep in lock-step with DESIGN.md §12.
+dg_symbol_sync "§12" \
+  "JANUS_HOT_PATH:$src/common/hot_path.hpp" \
+  "JANUS_HOT_PATH_LOCKS:$src/common/hot_path.hpp" \
+  "JANUS_HOT_PATH_IO:$src/common/hot_path.hpp" \
+  "annotate:$src/common/hot_path.hpp" \
+  "purity-ok:$repo_root/tools/janus_purity_lint.py" \
+  "seqlock-second-writer:$repo_root/tools/janus_purity_lint.py" \
+  "lock-order:$repo_root/tools/janus_purity_lint.py"
+
+# The waiver grammar and the analyzer's checks must stay documented.
+dg_require_backticked "§12" \
+  "// purity-ok:" JANUS_HOT_PATH tools/janus_purity_lint.py
+
+dg_require_artifacts "§12" \
+  "$repo_root/tools/janus_purity_lint.py" \
+  "$repo_root/src/common/hot_path.hpp" \
+  "$repo_root/tests/static_analysis/fixtures/hidden_alloc.cpp" \
+  "$repo_root/tests/static_analysis/fixtures/rank_inversion.cpp" \
+  "$repo_root/tests/static_analysis/fixtures/seqlock_second_writer.cpp" \
+  "$repo_root/tests/static_analysis/fixtures/waived_violation.cpp"
+
+dg_finish

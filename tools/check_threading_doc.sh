@@ -4,109 +4,46 @@
 # owner token, the owned accessors, the per-worker queues, the maintenance
 # command plumbing. If one of those symbols is renamed or removed the
 # section must follow, and if the section loses one the ownership rule is
-# rotting. Two directions, same as check_hotpath_doc.sh:
-#
-#   1. every threading symbol below that §9.1 documents must exist in src/
-#   2. every symbol that exists must still be named (backticked or plain)
-#      in DESIGN.md
-#
-# Also pins the companion artifacts: BENCH_PR5.json must exist, carry the
-# shard_per_worker_speedup ratio, and meet the 1.5x acceptance floor.
-set -euo pipefail
+# rotting. Two directions (dg_symbol_sync), plus the companion artifacts:
+# BENCH_PR5.json must exist, carry the shard_per_worker_speedup ratio, and
+# meet the 1.5x acceptance floor.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_threading_doc
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-design="$repo_root/DESIGN.md"
-src="$repo_root/src"
-
-[ -f "$design" ] || { echo "check_threading_doc: $design not found" >&2; exit 1; }
-
-# The §9.1 section header itself must exist.
-if ! grep -qE '^### 9\.1 Threading modes' "$design"; then
-  echo "check_threading_doc: DESIGN.md lost its '### 9.1 Threading modes' section" >&2
-  exit 1
-fi
+dg_require_section '^### 9\.1 Threading modes'
 
 # symbol -> file that must define it. Keep in lock-step with DESIGN.md §9.1.
-symbols="
-ThreadingMode:$src/core/admission.hpp
-kShardPerWorker:$src/core/admission.hpp
-ShardOwnerToken:$src/core/qos_table.hpp
-claim_shards:$src/core/qos_table.hpp
-shard_index_of:$src/core/qos_table.hpp
-with_entry_unlocked:$src/core/qos_table.hpp
-with_entry_or_create_unlocked:$src/core/qos_table.hpp
-check_owned:$src/core/admission.hpp
-probe_owned:$src/core/admission.hpp
-refill_owned:$src/core/admission.hpp
-sync_owned:$src/core/admission.hpp
-checkpoint_owned:$src/core/admission.hpp
-SpscQueue:$src/common/spsc_queue.hpp
-MaintCmd:$src/server/qos_server_node.hpp
-dispatch_maintenance:$src/server/qos_server_node.hpp
-worker_loop_sharded:$src/server/qos_server_node.hpp
-validate_config:$src/server/qos_server_node.hpp
-"
-
-failed=0
-for pair in $symbols; do
-  sym=${pair%%:*}
-  file=${pair#*:}
-  if ! grep -q "$sym" "$file"; then
-    echo "check_threading_doc: '$sym' documented in DESIGN.md §9.1 but gone from $file" >&2
-    failed=1
-  fi
-  if ! grep -q "$sym" "$design"; then
-    echo "check_threading_doc: '$sym' exists in src/ but DESIGN.md no longer mentions it" >&2
-    failed=1
-  fi
-done
+dg_symbol_sync "§9.1" \
+  "ThreadingMode:$src/core/admission.hpp" \
+  "kShardPerWorker:$src/core/admission.hpp" \
+  "ShardOwnerToken:$src/core/qos_table.hpp" \
+  "claim_shards:$src/core/qos_table.hpp" \
+  "shard_index_of:$src/core/qos_table.hpp" \
+  "with_entry_unlocked:$src/core/qos_table.hpp" \
+  "with_entry_or_create_unlocked:$src/core/qos_table.hpp" \
+  "check_owned:$src/core/admission.hpp" \
+  "probe_owned:$src/core/admission.hpp" \
+  "refill_owned:$src/core/admission.hpp" \
+  "sync_owned:$src/core/admission.hpp" \
+  "checkpoint_owned:$src/core/admission.hpp" \
+  "SpscQueue:$src/common/spsc_queue.hpp" \
+  "MaintCmd:$src/server/qos_server_node.hpp" \
+  "dispatch_maintenance:$src/server/qos_server_node.hpp" \
+  "worker_loop_sharded:$src/server/qos_server_node.hpp" \
+  "validate_config:$src/server/qos_server_node.hpp"
 
 # The lock-rank table must carry the park handshake row (§8) and the metric
 # table the mode gauge (§6) — both are part of the threading contract.
-for needle in 'server.worker_park' 'server.threading_mode' \
-              'server.worker_queue_depth.w'; do
-  if ! grep -qF "\`$needle" "$design"; then
-    echo "check_threading_doc: DESIGN.md lost its \`$needle\` row" >&2
-    failed=1
-  fi
-done
+dg_require_backticked "§8/§6" \
+  server.worker_park server.threading_mode server.worker_queue_depth.w
 
-# Companion artifacts the section points at.
-for artifact in \
+dg_require_artifacts "§9.1" \
   "$repo_root/BENCH_PR5.json" \
   "$repo_root/tools/run_bench_suite.sh" \
   "$repo_root/tests/perf/test_hotpath_allocs.cpp" \
-  "$repo_root/tests/sim/test_deployment.cpp"; do
-  if [ ! -f "$artifact" ]; then
-    echo "check_threading_doc: missing ${artifact#"$repo_root"/} (referenced by DESIGN.md §9.1)" >&2
-    failed=1
-  fi
-done
+  "$repo_root/tests/sim/test_deployment.cpp"
 
-# BENCH_PR5.json must carry the acceptance ratio and meet the floor.
-if [ -f "$repo_root/BENCH_PR5.json" ]; then
-  if ! python3 - "$repo_root/BENCH_PR5.json" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-speedup = doc.get("derived", {}).get("shard_per_worker_speedup")
-if speedup is None:
-    print("check_threading_doc: BENCH_PR5.json lacks shard_per_worker_speedup",
-          file=sys.stderr)
-    sys.exit(1)
-if speedup < 1.5:
-    print(f"check_threading_doc: recorded shard-per-worker speedup {speedup}x "
-          "is below the 1.5x acceptance floor — rerun tools/run_bench_suite.sh",
-          file=sys.stderr)
-    sys.exit(1)
-PY
-  then
-    failed=1
-  fi
-fi
+dg_bench_bound "$repo_root/BENCH_PR5.json" derived.shard_per_worker_speedup \
+  floor 1.5
 
-if [ "$failed" -ne 0 ]; then
-  echo "check_threading_doc: DESIGN.md §9.1 is out of sync with the threading code" >&2
-  exit 1
-fi
-echo "check_threading_doc: OK"
+dg_finish

@@ -1,0 +1,169 @@
+# Shared helpers for the tools/check_*_doc.sh doc-drift guards.
+#
+# Each guard sources this file and composes the checks it needs:
+#
+#   source "$(dirname -- "$0")/lib/doc_guard.sh"
+#   dg_init check_foo_doc
+#   dg_require_section '^## 12\. Static analysis'
+#   dg_symbol_sync "§12" "SymbolA:$src/a.hpp" "SymbolB:$src/b.hpp"
+#   dg_require_backticked "§12" some.lock.name other.lock.name
+#   dg_require_artifacts "§12" "$repo_root/tools/foo.py"
+#   dg_bench_bound "$repo_root/BENCH.json" derived.speedup floor 2.0
+#   dg_finish
+#
+# Conventions (shared with every guard that predates this library):
+#   - `set -euo pipefail` is active; helpers never mask real errors.
+#   - grep exit 1 (no match) is a finding; exit >1 (bad path, I/O) is a
+#     hard error and exits 2 instead of reading as "nothing found".
+#   - Failures accumulate in DG_FAILED so one run reports every problem;
+#     dg_finish exits 1 if anything failed.
+
+set -euo pipefail
+
+DG_NAME=""
+DG_FAILED=0
+repo_root=""
+design=""
+src=""
+
+dg_init() {
+  DG_NAME=$1
+  DG_FAILED=0
+  # Caller is tools/<guard>.sh; the repo root is one level up.
+  repo_root=$(CDPATH= cd -- "$(dirname -- "${BASH_SOURCE[1]}")/.." && pwd)
+  design="$repo_root/DESIGN.md"
+  src="$repo_root/src"
+  [ -f "$design" ] || { echo "$DG_NAME: $design not found" >&2; exit 1; }
+}
+
+dg_fail() {
+  echo "$DG_NAME: $*" >&2
+  DG_FAILED=1
+}
+
+# dg_require_section <grep -E pattern> — the DESIGN.md section header must
+# still exist (guards anchor their claims to one section).
+dg_require_section() {
+  if ! grep -qE "$1" "$design"; then
+    dg_fail "DESIGN.md lost its section matching '$1'"
+    echo "$DG_NAME: DESIGN.md section missing — aborting" >&2
+    exit 1
+  fi
+}
+
+# dg_grep <grep args...> — grep that distinguishes "no match" (prints
+# nothing, returns 0) from a real error (exits 2). Use instead of bare
+# grep when harvesting names, so a bad path can never read as "none".
+dg_grep() {
+  local out rc
+  set +e
+  out=$(grep "$@")
+  rc=$?
+  set -e
+  if [ "$rc" -gt 1 ]; then
+    echo "$DG_NAME: grep $* failed (exit $rc)" >&2
+    exit 2
+  fi
+  printf '%s\n' "$out"
+}
+
+# dg_symbol_sync <section label> <sym:file>... — two directions:
+#   1. the symbol must still exist in the named source file
+#   2. DESIGN.md must still mention the symbol
+dg_symbol_sync() {
+  local section=$1
+  shift
+  local pair sym file
+  for pair in "$@"; do
+    sym=${pair%%:*}
+    file=${pair#*:}
+    if ! grep -q "$sym" "$file"; then
+      dg_fail "'$sym' documented in DESIGN.md $section but gone from ${file#"$repo_root"/}"
+    fi
+    if ! grep -q "$sym" "$design"; then
+      dg_fail "'$sym' exists in src/ but DESIGN.md no longer mentions it"
+    fi
+  done
+}
+
+# dg_require_backticked <section label> <name>... — each name must appear
+# backticked in DESIGN.md (table rows, lock names, metric names).
+dg_require_backticked() {
+  local section=$1
+  shift
+  local needle
+  for needle in "$@"; do
+    if ! grep -qF "\`$needle" "$design"; then
+      dg_fail "DESIGN.md $section lost its \`$needle\` row"
+    fi
+  done
+}
+
+# dg_names_documented <what> <newline-separated names> — every harvested
+# name must appear backticked in DESIGN.md; the list must be non-empty.
+dg_names_documented() {
+  local what=$1 names=$2 name
+  if [ -z "$names" ]; then
+    echo "$DG_NAME: no $what found — harvest regex rotted?" >&2
+    exit 1
+  fi
+  for name in $names; do
+    if ! grep -qF "\`$name\`" "$design"; then
+      dg_fail "$what '$name' exists in src/ but is not documented in DESIGN.md"
+    fi
+  done
+}
+
+# dg_require_artifacts <section label> <path>... — companion files the
+# section points at must exist.
+dg_require_artifacts() {
+  local section=$1
+  shift
+  local artifact
+  for artifact in "$@"; do
+    if [ ! -f "$artifact" ]; then
+      dg_fail "missing ${artifact#"$repo_root"/} (referenced by DESIGN.md $section)"
+    fi
+  done
+}
+
+# dg_bench_bound <json> <dotted.key> <floor|ceiling> <limit> — the recorded
+# bench number must exist and respect the acceptance bound. Missing file is
+# handled by dg_require_artifacts; here a missing file is skipped so the
+# two failures do not double-report.
+dg_bench_bound() {
+  local json=$1 key=$2 kind=$3 limit=$4
+  [ -f "$json" ] || return 0
+  if ! python3 - "$json" "$key" "$kind" "$limit" <<'PY'
+import json, sys
+path, key, kind, limit = sys.argv[1:5]
+with open(path) as f:
+    doc = json.load(f)
+value = doc
+for part in key.split("."):
+    value = value.get(part) if isinstance(value, dict) else None
+if value is None:
+    print(f"bench json {path} lacks {key}", file=sys.stderr)
+    sys.exit(1)
+limit = float(limit)
+if kind == "floor" and value < limit:
+    print(f"recorded {key} = {value} is below the {limit} acceptance floor "
+          "— rerun tools/run_bench_suite.sh", file=sys.stderr)
+    sys.exit(1)
+if kind == "ceiling" and value >= limit:
+    print(f"recorded {key} = {value} is at or above the {limit} acceptance "
+          "ceiling — rerun tools/run_bench_suite.sh", file=sys.stderr)
+    sys.exit(1)
+PY
+  then
+    DG_FAILED=1
+  fi
+}
+
+dg_finish() {
+  if [ "$DG_FAILED" -ne 0 ]; then
+    echo "$DG_NAME: DESIGN.md is out of sync with the code — see above" >&2
+    exit 1
+  fi
+  echo "$DG_NAME: OK"
+}

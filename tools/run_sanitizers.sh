@@ -55,6 +55,19 @@ cxx=${CXX:-c++}
 # janusd processes against the §11 protocol — refuse drifted docs first.
 "$repo_root/tools/check_cluster_doc.sh"
 
+# Static-analysis doc guard: §12 must match the analyzer and fixtures.
+"$repo_root/tools/check_purity_doc.sh"
+
+# Full mode also runs the hot-path purity analyzer itself (plus its fixture
+# self-test) up front: it needs only python3, and a purity regression should
+# fail fast here rather than surface minutes later via run_static_analysis.
+if [ "$mode" = full ]; then
+  echo "== purity lint (tools/janus_purity_lint.py) =="
+  "$repo_root/tools/janus_purity_lint.py" --engine=auto --check=all \
+    --repo "$repo_root"
+  "$repo_root/tools/janus_purity_lint.py" --self-test --repo "$repo_root"
+fi
+
 # Probe: a toolchain without sanitizer runtimes should skip, not fail.
 supports() {
   printf 'int main(){return 0;}\n' \

@@ -4,12 +4,16 @@
 # bugprone-*, concurrency-*, performance-*, plus modernize-use-override /
 # modernize-use-nullptr) over the compilation database.
 #
-# Also always runs tools/check_sync_usage.sh, which needs no toolchain.
+# Also always runs the toolchain-free layers: tools/check_sync_usage.sh and
+# the hot-path purity analyzer (tools/janus_purity_lint.py, DESIGN.md §12) —
+# both enforce on a GCC-only box, before the clang availability probe.
 #
 # Exit codes: 0 = clean, 1 = findings, 77 = clang toolchain unavailable
-# (ctest SKIP_RETURN_CODE; mirrors tools/run_sanitizers.sh).
+# (ctest SKIP_RETURN_CODE; mirrors tools/run_sanitizers.sh). A 77 means the
+# clang layers were skipped, NOT that nothing ran: the sync-usage guard and
+# the purity lint (textual engine) have already passed by then.
 #
-# Usage: tools/run_static_analysis.sh [--tidy-only|--build-only]
+# Usage: tools/run_static_analysis.sh [--tidy-only|--build-only|--purity-only]
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,14 +24,28 @@ mode="${1:-all}"
 # std::mutex must fail this gate even on a GCC-only box.
 tools/check_sync_usage.sh "$root"
 
+# Hot-path purity / seqlock / lock-order analyzer (DESIGN.md §12). --engine=auto
+# uses libclang when importable and falls back to the textual engine otherwise,
+# so this layer enforces everywhere python3 exists.
+echo "== purity lint (tools/janus_purity_lint.py) =="
+tools/janus_purity_lint.py --engine=auto --check=all --repo "$root"
+tools/janus_purity_lint.py --self-test --repo "$root"
+
+if [ "$mode" = "--purity-only" ]; then
+    echo "run_static_analysis: OK (purity-only)"
+    exit 0
+fi
+
 CLANG_CXX="${CLANG_CXX:-clang++}"
 CLANG_C="${CLANG_C:-clang}"
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 
 if ! command -v "$CLANG_CXX" >/dev/null 2>&1; then
-    echo "run_static_analysis: $CLANG_CXX not found; skipping (exit 77)." >&2
-    echo "run_static_analysis: the thread-safety annotations still guard" >&2
-    echo "run_static_analysis: Clang builds elsewhere (cmake -DJANUS_ANALYZE=ON)." >&2
+    echo "run_static_analysis: $CLANG_CXX not found; skipping the Clang layers" >&2
+    echo "run_static_analysis: (thread-safety build + clang-tidy) with exit 77." >&2
+    echo "run_static_analysis: sync-usage guard and purity lint already passed;" >&2
+    echo "run_static_analysis: install clang/clang-tidy or set CLANG_CXX to run" >&2
+    echo "run_static_analysis: the rest (cmake -DJANUS_ANALYZE=ON)." >&2
     exit 77
 fi
 
@@ -48,12 +66,17 @@ fi
 if [ "$mode" != "--build-only" ]; then
     if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
         echo "run_static_analysis: $CLANG_TIDY not found; skipping tidy (exit 77)." >&2
+        echo "run_static_analysis: the thread-safety build above passed; install" >&2
+        echo "run_static_analysis: clang-tidy or set CLANG_TIDY to finish the gate." >&2
         exit 77
     fi
-    echo "== clang-tidy over the compilation database =="
+    echo "== clang-tidy over the compilation database (warnings are errors) =="
     # First-party translation units only; the compile DB covers the rest.
+    # --warnings-as-errors='*' promotes every enabled check: the .clang-tidy
+    # Checks list is already curated down to correctness-leaning families, so
+    # anything it emits should fail the gate, not scroll past.
     mapfile -t tus < <(find src bench -name '*.cpp' | sort)
-    "$CLANG_TIDY" -p "$build_dir" --quiet "${tus[@]}"
+    "$CLANG_TIDY" -p "$build_dir" --quiet --warnings-as-errors='*' "${tus[@]}"
 fi
 
 echo "run_static_analysis: OK"
