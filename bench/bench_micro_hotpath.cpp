@@ -24,7 +24,9 @@
 #include "common/sync.hpp"
 #include "core/admission.hpp"
 #include "core/key_router.hpp"
+#include "db/rule_store.hpp"
 #include "net/socket.hpp"
+#include "server/qos_server_node.hpp"
 #include "wire/codec.hpp"
 
 namespace {
@@ -499,6 +501,106 @@ void BM_ServerDecisionContended(benchmark::State& state) {
                           static_cast<std::int64_t>(kOpsPerIter));
 }
 BENCHMARK(BM_ServerDecisionContended)->Arg(0)->Arg(1)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// PR 9 acceptance pair: the SAME contended decision workload, but end to
+// end through a real QosServerNode over loopback UDP — socket included,
+// which is exactly what the in-process benchmark above cannot see. Arg(0)
+// runs the server's listener on the mmsg provider (kShardPerWorker,
+// listener thread + one worker, SPSC hand-off with a per-datagram payload
+// copy); Arg(1) runs io_uring, which in shard-per-worker mode comes up as
+// the fused run-to-completion loop (listener IS the worker, decisions made
+// inline over the registered receive buffers — no hand-off, no copy). The
+// client half is identical in both runs (mmsg send_many/recv_many), so the
+// wall-clock ratio isolates the server's data path. BENCH_PR9.json derives
+// uring_vs_mmsg_decision_speedup from the real_time medians; the
+// acceptance floor is 1.3x.
+void BM_ServerDecisionEndToEnd(benchmark::State& state) {
+  const bool use_uring = state.range(0) == 1;
+  if (use_uring && !net::UdpSocket::uring_supported()) {
+    state.SkipWithError("kernel lacks usable io_uring");
+    return;
+  }
+  constexpr std::size_t kBurst = 32;
+  constexpr std::size_t kBursts = 256;  // 8192 decisions per iteration
+  constexpr std::size_t kKeys = 64;
+
+  db::Database db;
+  db::RuleStore store(db);
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    std::string key = "tenant-" + std::to_string(i) + "/checkout.place-order";
+    key.resize(64, 'x');
+    if (!store.put({.key = key, .refill_per_sec = 1e9, .capacity = 1e12,
+                    .credit = 1e12}).ok()) {
+      state.SkipWithError("rule provision failed");
+      return;
+    }
+    keys.push_back(std::move(key));
+  }
+
+  server::QosServerConfig scfg;
+  scfg.worker_threads = 1;
+  scfg.threading = core::ThreadingMode::kShardPerWorker;
+  scfg.data_path = use_uring ? net::UdpSocket::DataPath::kUring
+                             : net::UdpSocket::DataPath::kMmsg;
+  scfg.sync_interval = Duration{0};
+  scfg.checkpoint_interval = Duration{0};
+  auto server = server::QosServerNode::start({"127.0.0.1", 0}, store, scfg);
+  if (!server.ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  const net::SockAddr addr = server.value()->addr();
+
+  auto client_r = net::UdpSocket::create();
+  if (!client_r.ok()) {
+    state.SkipWithError("client socket failed");
+    return;
+  }
+  net::UdpSocket client = std::move(client_r).take();
+  client.set_data_path(net::UdpSocket::DataPath::kMmsg);
+
+  // Hot mix as above: half the burst hammers keys 0..3, the rest
+  // round-robins — pre-encoded once, reused every iteration.
+  std::vector<std::vector<std::uint8_t>> frames(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    wire::QosRequest req;
+    req.request_id = i;
+    req.type = wire::RequestType::kCheck;
+    req.cost = 1;
+    req.key = keys[i];
+    wire::encode_to(req, frames[i]);
+  }
+  std::vector<net::UdpSocket::OutDatagram> burst(kBurst);
+  net::UdpSocket::RecvBatch replies(kBurst);
+
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < kBursts; ++b) {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        const std::size_t seq = b * kBurst + i;
+        const std::size_t k = (seq % 100) < 50 ? seq % 4 : seq % kKeys;
+        burst[i] = {addr, frames[k]};
+      }
+      if (!client.send_many(burst).ok()) {
+        state.SkipWithError("send_many failed");
+        return;
+      }
+      std::size_t got = 0;
+      while (got < kBurst) {
+        auto n = client.recv_many(replies, seconds(5));
+        if (!n.ok() || n.value() == 0) {
+          state.SkipWithError("reply batch lost");
+          return;
+        }
+        got += n.value();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBurst * kBursts));
+}
+BENCHMARK(BM_ServerDecisionEndToEnd)->Arg(0)->Arg(1)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace

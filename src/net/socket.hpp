@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -28,6 +30,10 @@
 #endif
 
 namespace janus::net {
+
+namespace detail {
+struct UringState;  // socket.cpp: per-socket io_uring rings + stats
+}
 
 /// An IPv4 endpoint ("127.0.0.1", 8080).
 struct SockAddr {
@@ -95,8 +101,10 @@ class UdpSocket {
   /// Reusable scratch for recv_many: slot buffers and address storage are
   /// allocated once here and reused across calls, so a steady-state
   /// listener performs no per-wakeup heap allocation inside the socket
-  /// layer. Results are views into the arena — valid until the next
-  /// recv_many call on this batch.
+  /// layer. Results are views into this batch's arena (mmsg/fallback
+  /// providers) or into the socket's registered receive buffers (uring
+  /// provider) — valid until the next recv_many call on this batch or on
+  /// the socket that filled it, whichever comes first.
   class RecvBatch {
    public:
     explicit RecvBatch(std::size_t capacity,
@@ -108,6 +116,15 @@ class UdpSocket {
     std::span<const std::uint8_t> data(std::size_t i) const;
     const SockAddr& from(std::size_t i) const { return froms_[i]; }
 
+    /// Per-slot payload capacity this batch was built with.
+    std::size_t slot_bytes() const { return slot_bytes_; }
+    /// Providers revalidate batch geometry before reuse: a batch built with
+    /// smaller slots than the provider's per-datagram payload capacity is
+    /// grown in place (results from any earlier call are discarded — the
+    /// batch must be between recv_many calls, asserted via size()==0 inside
+    /// recv_many). Growing is one-way; a larger batch is never shrunk.
+    void ensure_slot_bytes(std::size_t min_slot_bytes);
+
    private:
     friend class UdpSocket;
     std::size_t capacity_;
@@ -116,7 +133,7 @@ class UdpSocket {
     std::vector<std::uint8_t> arena_;    // capacity_ * slot_bytes_
     std::vector<sockaddr_in> addrs_;     // kernel-filled source addresses
     std::vector<std::uint32_t> lens_;    // per-result datagram length
-    std::vector<std::uint32_t> slots_;   // result index -> arena slot
+    std::vector<const std::uint8_t*> ptrs_;  // result index -> payload start
     std::vector<SockAddr> froms_;        // converted source addresses
   };
 
@@ -126,6 +143,49 @@ class UdpSocket {
     SockAddr to;
     std::span<const std::uint8_t> data;
   };
+
+  /// Batched-I/O provider for recv_many/send_many (DESIGN.md §13).
+  ///
+  ///   kAuto     — mmsg when available and the process-wide batch-syscall
+  ///               toggle is on, else the recvfrom/sendto fallback. The
+  ///               default: existing callers see no behavior change.
+  ///   kFallback — force the recvfrom/sendto loops.
+  ///   kMmsg     — force recvmmsg/sendmmsg.
+  ///   kUring    — io_uring: multishot recvmsg feeding RecvBatch from
+  ///               registered receive buffers (zero per-datagram syscalls,
+  ///               zero copies into the batch), batched sendmsg
+  ///               submissions for send_many. Requires kernel support —
+  ///               see set_data_path.
+  enum class DataPath { kAuto = 0, kFallback, kMmsg, kUring };
+
+  /// Select this socket's provider. Returns false — leaving the provider
+  /// unchanged — when `path` is kUring and the end-to-end capability probe
+  /// says the kernel cannot run it; callers treat false as "degraded to
+  /// the mmsg path". Not thread-safe with concurrent recv/send on the same
+  /// socket: switch before the I/O threads start.
+  bool set_data_path(DataPath path);
+  DataPath data_path() const { return data_path_; }
+  /// The provider recv_many/send_many will actually use right now (kAuto
+  /// resolved to kMmsg or kFallback; kUring only when active).
+  DataPath resolved_data_path() const;
+
+  /// Process-wide result of the io_uring end-to-end capability probe.
+  static bool uring_supported();
+  static const char* data_path_name(DataPath path);
+  static std::optional<DataPath> data_path_from_name(std::string_view name);
+
+  /// Uring provider counters (all zero when the provider never activated).
+  /// Snapshot is monotonic; safe to poll from an admin thread.
+  struct UringStats {
+    std::uint64_t recv_batches = 0;    // recv_many calls served by uring
+    std::uint64_t recv_datagrams = 0;  // datagrams delivered via uring
+    std::uint64_t send_batches = 0;    // send_many flushes via uring
+    std::uint64_t send_datagrams = 0;  // datagrams submitted via uring
+    std::uint64_t rearms = 0;          // multishot recvmsg (re)arms
+    std::uint64_t buf_recycles = 0;    // receive buffers returned to kernel
+    std::uint64_t send_errors = 0;     // per-datagram sendmsg CQE failures
+  };
+  UringStats uring_stats() const;
 
   /// Wait up to `timeout` for readability, then drain up to
   /// batch.capacity() datagrams in one recvmmsg (or a non-blocking recvfrom
@@ -151,9 +211,21 @@ class UdpSocket {
 
   int fd() const { return fd_.get(); }
 
+  // Out of line: detail::UringState is incomplete here.
+  ~UdpSocket();
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
  private:
-  explicit UdpSocket(Fd fd) : fd_(std::move(fd)) {}
+  explicit UdpSocket(Fd fd);  // out of line: members need complete UringState
+  Result<std::size_t> recv_many_uring(RecvBatch& batch, Duration timeout);
+  Status send_many_uring(std::span<const OutDatagram> batch);
+  void arm_uring_recv();
   Fd fd_;
+  DataPath data_path_ = DataPath::kAuto;
+  std::unique_ptr<detail::UringState> uring_;  // non-null iff kUring active
   static std::atomic<bool> batch_syscalls_enabled_;
 };
 

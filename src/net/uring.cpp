@@ -1,0 +1,438 @@
+#include "net/uring.hpp"
+
+#if JANUS_HAVE_URING
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace janus::net::uring {
+namespace {
+
+// Raw syscall wrappers: no liburing in the image, and the kernel header
+// provides the full ABI anyway. `io_uring_enter` is the one the purity
+// analyzer treats as a blocking primitive (tools/janus_purity_lint.py):
+// with IORING_ENTER_GETEVENTS it parks the thread exactly like poll(2).
+int io_uring_setup(unsigned entries, io_uring_params* p) {
+  int rc = static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+  return rc < 0 ? -errno : rc;
+}
+
+int io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                   unsigned flags, const void* arg, std::size_t argsz) {
+  int rc = static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                      min_complete, flags, arg, argsz));
+  return rc < 0 ? -errno : rc;
+}
+
+int io_uring_register(int fd, unsigned opcode, const void* arg,
+                      unsigned nr_args) {
+  int rc =
+      static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                 nr_args));
+  return rc < 0 ? -errno : rc;
+}
+
+unsigned load_acquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+bool Ring::init(unsigned sq_entries, unsigned cq_entries, std::string* err) {
+  close();
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE | IORING_SETUP_COOP_TASKRUN;
+  p.cq_entries = cq_entries;
+  int fd = io_uring_setup(sq_entries, &p);
+  if (fd == -EINVAL) {
+    // Pre-5.19 kernel without COOP_TASKRUN: the optimization is optional.
+    p = io_uring_params{};
+    p.flags = IORING_SETUP_CQSIZE;
+    p.cq_entries = cq_entries;
+    fd = io_uring_setup(sq_entries, &p);
+  }
+  if (fd < 0) {
+    if (err) *err = "io_uring_setup failed (errno " + std::to_string(-fd) + ")";
+    return false;
+  }
+  // EXT_ARG gives enter() a timeout without a timeout SQE; SINGLE_MMAP maps
+  // SQ+CQ in one region. Both predate multishot recvmsg (the real floor),
+  // so a kernel missing either cannot run this data path at all.
+  if (!(p.features & IORING_FEAT_EXT_ARG) ||
+      !(p.features & IORING_FEAT_SINGLE_MMAP)) {
+    ::close(fd);
+    if (err) *err = "kernel io_uring lacks EXT_ARG/SINGLE_MMAP";
+    return false;
+  }
+
+  std::size_t sq_bytes = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  std::size_t cq_bytes = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  std::size_t ring_bytes = sq_bytes > cq_bytes ? sq_bytes : cq_bytes;
+  void* ring = ::mmap(nullptr, ring_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring == MAP_FAILED) {
+    ::close(fd);
+    if (err) *err = "io_uring SQ/CQ mmap failed";
+    return false;
+  }
+  std::size_t sqes_bytes = p.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = ::mmap(nullptr, sqes_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    ::munmap(ring, ring_bytes);
+    ::close(fd);
+    if (err) *err = "io_uring SQE mmap failed";
+    return false;
+  }
+
+  fd_ = fd;
+  sq_entries_ = p.sq_entries;
+  sq_ring_ptr_ = ring;
+  sq_ring_bytes_ = ring_bytes;
+  auto* base = static_cast<unsigned char*>(ring);
+  sq_khead_ = reinterpret_cast<unsigned*>(base + p.sq_off.head);
+  sq_ktail_ = reinterpret_cast<unsigned*>(base + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(base + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(base + p.sq_off.array);
+  sqes_ = static_cast<io_uring_sqe*>(sqes);
+  sqes_bytes_ = sqes_bytes;
+  sq_tail_ = load_acquire(sq_ktail_);
+  // Identity map: slot i of the SQ array always points at SQE i, so
+  // next_sqe() only ever touches the SQE itself.
+  for (unsigned i = 0; i < sq_entries_; ++i) sq_array_[i] = i;
+
+  cq_ring_ptr_ = ring;  // SINGLE_MMAP: same region, CQ offsets
+  cq_ring_bytes_ = 0;   // owned via sq_ring_ptr_
+  cq_khead_ = reinterpret_cast<unsigned*>(base + p.cq_off.head);
+  cq_ktail_ = reinterpret_cast<unsigned*>(base + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(base + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(base + p.cq_off.cqes);
+  cq_head_local_ = load_acquire(cq_khead_);
+  return true;
+}
+
+bool Ring::init_buf_ring(unsigned entries, std::uint32_t slot_bytes,
+                         BufMode mode, std::string* err) {
+  if (fd_ < 0 || buf_entries_ != 0 || entries == 0 ||
+      (entries & (entries - 1)) != 0) {
+    if (err) *err = "init_buf_ring: bad state or non-power-of-two entries";
+    return false;
+  }
+  if (mode == BufMode::kBufRing) {
+    std::size_t ring_bytes = entries * sizeof(io_uring_buf);
+    // MAP_SHARED, not MAP_PRIVATE: the kernel pins these pages at
+    // registration time, and a private mapping can COW-split afterwards,
+    // leaving the kernel reading a page userspace no longer writes.
+    void* ring = ::mmap(nullptr, ring_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (ring == MAP_FAILED) {
+      if (err) *err = "pbuf ring mmap failed";
+      return false;
+    }
+    io_uring_buf_reg reg{};
+    reg.ring_addr = reinterpret_cast<std::uint64_t>(ring);
+    reg.ring_entries = entries;
+    reg.bgid = kRecvBufGroup;
+    int rc = io_uring_register(fd_, IORING_REGISTER_PBUF_RING, &reg, 1);
+    if (rc < 0) {
+      ::munmap(ring, ring_bytes);
+      if (err) {
+        *err = "IORING_REGISTER_PBUF_RING failed (errno " +
+               std::to_string(-rc) + ")";
+      }
+      return false;
+    }
+    buf_ring_ = static_cast<io_uring_buf_ring*>(ring);
+    buf_ring_bytes_ = ring_bytes;
+  }
+  buf_mode_ = mode;
+  buf_entries_ = entries;
+  buf_mask_ = entries - 1;
+  buf_tail_ = 0;
+  buf_slot_bytes_ = slot_bytes;
+  buf_arena_.resize(static_cast<std::size_t>(entries) * slot_bytes);
+  pending_bids_.clear();
+  pending_bids_.reserve(entries);
+  for (unsigned bid = 0; bid < entries; ++bid) buf_recycle(bid);
+  buf_publish();
+  if (mode == BufMode::kLegacy) {
+    // The initial PROVIDE_BUFFERS must complete before any recv arms, and
+    // its CQE must not leak to the consumer: submit-and-wait, then reap.
+    int rc = enter(1, 200'000'000);
+    bool ok = false;
+    while (cq_ready() > 0) {
+      const io_uring_cqe* cqe = cq_at(0);
+      if (cqe->user_data == kProvideUserData) ok = cqe->res >= 0;
+      cq_advance(1);
+    }
+    if (rc < 0 || !ok) {
+      if (err) *err = "initial IORING_OP_PROVIDE_BUFFERS failed";
+      buf_entries_ = buf_mask_ = buf_tail_ = 0;
+      buf_arena_.clear();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Ring::close() {
+  if (buf_ring_ != nullptr) {
+    if (fd_ >= 0) {
+      io_uring_buf_reg reg{};
+      reg.bgid = kRecvBufGroup;
+      (void)io_uring_register(fd_, IORING_UNREGISTER_PBUF_RING, &reg, 1);
+    }
+    ::munmap(buf_ring_, buf_ring_bytes_);
+    buf_ring_ = nullptr;
+  }
+  if (sqes_ != nullptr) {
+    ::munmap(sqes_, sqes_bytes_);
+    sqes_ = nullptr;
+  }
+  if (sq_ring_ptr_ != nullptr) {
+    ::munmap(sq_ring_ptr_, sq_ring_bytes_);
+    sq_ring_ptr_ = nullptr;
+    cq_ring_ptr_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sq_entries_ = sq_mask_ = sq_tail_ = 0;
+  sq_khead_ = sq_ktail_ = sq_array_ = nullptr;
+  cq_khead_ = cq_ktail_ = nullptr;
+  cq_mask_ = cq_head_local_ = 0;
+  cqes_ = nullptr;
+  buf_entries_ = buf_mask_ = buf_tail_ = 0;
+  buf_slot_bytes_ = 0;
+  buf_arena_.clear();
+  buf_arena_.shrink_to_fit();
+  pending_bids_.clear();
+  pending_bids_.shrink_to_fit();
+}
+
+void Ring::steal(Ring& other) {
+  fd_ = other.fd_;
+  sq_entries_ = other.sq_entries_;
+  sq_ring_ptr_ = other.sq_ring_ptr_;
+  sq_ring_bytes_ = other.sq_ring_bytes_;
+  sq_khead_ = other.sq_khead_;
+  sq_ktail_ = other.sq_ktail_;
+  sq_mask_ = other.sq_mask_;
+  sq_array_ = other.sq_array_;
+  sqes_ = other.sqes_;
+  sqes_bytes_ = other.sqes_bytes_;
+  sq_tail_ = other.sq_tail_;
+  cq_ring_ptr_ = other.cq_ring_ptr_;
+  cq_ring_bytes_ = other.cq_ring_bytes_;
+  cq_khead_ = other.cq_khead_;
+  cq_ktail_ = other.cq_ktail_;
+  cq_mask_ = other.cq_mask_;
+  cqes_ = other.cqes_;
+  cq_head_local_ = other.cq_head_local_;
+  buf_mode_ = other.buf_mode_;
+  buf_ring_ = other.buf_ring_;
+  buf_ring_bytes_ = other.buf_ring_bytes_;
+  buf_entries_ = other.buf_entries_;
+  buf_mask_ = other.buf_mask_;
+  buf_tail_ = other.buf_tail_;
+  buf_slot_bytes_ = other.buf_slot_bytes_;
+  buf_arena_ = std::move(other.buf_arena_);
+  pending_bids_ = std::move(other.pending_bids_);
+  other.fd_ = -1;
+  other.sq_ring_ptr_ = nullptr;
+  other.cq_ring_ptr_ = nullptr;
+  other.sqes_ = nullptr;
+  other.buf_ring_ = nullptr;
+}
+
+io_uring_sqe* Ring::next_sqe() {
+  unsigned head = load_acquire(sq_khead_);
+  if (sq_tail_ - head >= sq_entries_) return nullptr;
+  io_uring_sqe* sqe = &sqes_[sq_tail_ & sq_mask_];
+  std::memset(sqe, 0, sizeof(*sqe));
+  ++sq_tail_;
+  return sqe;
+}
+
+unsigned Ring::sq_pending() const {
+  return sq_tail_ - load_acquire(sq_khead_);
+}
+
+int Ring::enter(unsigned min_complete, long long timeout_ns) {
+  store_release(sq_ktail_, sq_tail_);
+  unsigned to_submit = sq_tail_ - load_acquire(sq_khead_);
+  unsigned flags = 0;
+  io_uring_getevents_arg arg{};
+  const void* argp = nullptr;
+  std::size_t argsz = 0;
+  __kernel_timespec ts{};
+  if (min_complete > 0) {
+    flags |= IORING_ENTER_GETEVENTS;
+    if (timeout_ns >= 0) {
+      ts.tv_sec = timeout_ns / 1'000'000'000;
+      ts.tv_nsec = timeout_ns % 1'000'000'000;
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      argp = &arg;
+      argsz = sizeof(arg);
+      flags |= IORING_ENTER_EXT_ARG;
+    }
+  }
+  // Callers bound the wait themselves: receive paths pass a timeout (or
+  // min_complete=0), and the send path waits only for sendmsg completions,
+  // which land as soon as the datagrams hit the socket buffer.
+  // purity-ok: caller-bounded wait (timeout or local completion)
+  return io_uring_enter(fd_, to_submit, min_complete, flags, argp, argsz);
+}
+
+unsigned Ring::cq_ready() const {
+  return load_acquire(cq_ktail_) - cq_head_local_;
+}
+
+void Ring::cq_advance(unsigned n) {
+  cq_head_local_ += n;
+  store_release(cq_khead_, cq_head_local_);
+}
+
+void Ring::buf_recycle(unsigned bid) {
+  if (buf_mode_ == BufMode::kBufRing) {
+    io_uring_buf* b = &buf_ring_->bufs[buf_tail_ & buf_mask_];
+    // Field-wise on purpose: bufs[0].resv aliases the ring tail (kernel ABI
+    // union) — a memset here would corrupt the published tail.
+    b->addr = reinterpret_cast<std::uint64_t>(buf_slot(bid));
+    b->len = buf_slot_bytes_;
+    b->bid = static_cast<std::uint16_t>(bid);
+    ++buf_tail_;
+    return;
+  }
+  // kLegacy: capacity was reserved at init (buf_entries_ slots total), so
+  // this push never reallocates on the hot path.
+  // purity-ok: reserved to ring capacity at init, never reallocates
+  pending_bids_.push_back(bid);
+}
+
+void Ring::buf_publish() {
+  if (buf_mode_ == BufMode::kBufRing) {
+    std::atomic_ref<std::uint16_t>(buf_ring_->tail)
+        .store(static_cast<std::uint16_t>(buf_tail_),
+               std::memory_order_release);
+    return;
+  }
+  // kLegacy: one PROVIDE_BUFFERS SQE per contiguous bid run (slot addresses
+  // are contiguous in the arena, so a bid run is an address run). The SQEs
+  // ride the caller's next enter(); if the SQ is momentarily full the
+  // remaining bids stay pending for the next publish.
+  std::size_t i = 0;
+  while (i < pending_bids_.size()) {
+    unsigned start = pending_bids_[i];
+    std::size_t run = 1;
+    while (i + run < pending_bids_.size() &&
+           pending_bids_[i + run] == start + run) {
+      ++run;
+    }
+    io_uring_sqe* sqe = next_sqe();
+    if (sqe == nullptr) break;
+    sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+    sqe->fd = static_cast<int>(run);  // nbufs
+    sqe->addr = reinterpret_cast<std::uint64_t>(buf_slot(start));
+    sqe->len = buf_slot_bytes_;
+    sqe->off = start;  // starting bid
+    sqe->buf_group = kRecvBufGroup;
+    sqe->user_data = kProvideUserData;
+    i += run;
+  }
+  pending_bids_.erase(pending_bids_.begin(),
+                      pending_bids_.begin() + static_cast<long>(i));
+}
+
+namespace {
+
+// End-to-end probe of one buffer mode: arm multishot recvmsg with
+// BUFFER_SELECT on a loopback socket, send it a datagram, and require the
+// payload to come back through a provided buffer. Registration success is
+// deliberately NOT trusted: some hardened kernels accept
+// IORING_REGISTER_PBUF_RING yet never serve picks from the ring.
+bool probe_mode(BufMode mode) {
+  Ring r;
+  if (!r.init(8, 64, nullptr)) return false;
+  if (!r.init_buf_ring(8, 2048, mode, nullptr)) return false;
+  int sfd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (sfd < 0) return false;
+  sockaddr_in a{};
+  a.sin_family = AF_INET;
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  a.sin_port = 0;
+  socklen_t alen = sizeof(a);
+  if (::bind(sfd, reinterpret_cast<sockaddr*>(&a), sizeof(a)) != 0 ||
+      ::getsockname(sfd, reinterpret_cast<sockaddr*>(&a), &alen) != 0) {
+    ::close(sfd);
+    return false;
+  }
+  msghdr mh{};
+  mh.msg_namelen = sizeof(sockaddr_in);
+  io_uring_sqe* sqe = r.next_sqe();
+  sqe->opcode = IORING_OP_RECVMSG;
+  sqe->fd = sfd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&mh);
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = kRecvBufGroup;
+  if (r.enter(0, -1) < 0) {
+    ::close(sfd);
+    return false;
+  }
+  const char ping[] = "janus-uring-probe";
+  if (::sendto(sfd, ping, sizeof(ping), 0, reinterpret_cast<sockaddr*>(&a),
+               sizeof(a)) < 0) {
+    ::close(sfd);
+    return false;
+  }
+  (void)r.enter(1, 200'000'000);
+  bool ok = false;
+  while (r.cq_ready() > 0) {
+    const io_uring_cqe* cqe = r.cq_at(0);
+    if (cqe->user_data != kProvideUserData && cqe->res > 0 &&
+        (cqe->flags & IORING_CQE_F_BUFFER) != 0) {
+      unsigned bid = cqe->flags >> IORING_CQE_BUFFER_SHIFT;
+      const auto* out =
+          reinterpret_cast<const io_uring_recvmsg_out*>(r.buf_slot(bid));
+      ok = out->payloadlen == sizeof(ping);
+    }
+    r.cq_advance(1);
+  }
+  ::close(sfd);
+  return ok;
+}
+
+}  // namespace
+
+Support probed_support() {
+  static std::atomic<int> cached{-1};  // -1 unknown, else Support value
+  int c = cached.load(std::memory_order_acquire);
+  if (c >= 0) return static_cast<Support>(c);
+  Support s = Support::kNone;
+  if (probe_mode(BufMode::kBufRing)) {
+    s = Support::kBufRing;
+  } else if (probe_mode(BufMode::kLegacy)) {
+    s = Support::kLegacyBufs;
+  }
+  cached.store(static_cast<int>(s), std::memory_order_release);
+  return s;
+}
+
+bool kernel_supports_uring() { return probed_support() != Support::kNone; }
+
+}  // namespace janus::net::uring
+
+#endif  // JANUS_HAVE_URING

@@ -1,0 +1,193 @@
+// Minimal raw-syscall io_uring wrapper for the UDP data path (DESIGN.md §13).
+//
+// The container has no liburing, so this speaks the kernel ABI directly:
+// io_uring_setup(2) + two mmap regions (SQ/CQ rings, SQE array), and
+// io_uring_register(2) for the provided-buffer ring that feeds multishot
+// recvmsg completions. One Ring owns one kernel ring; UdpSocket keeps two
+// (recv + send) so multishot recv CQEs never interleave with send CQEs and
+// each side can reason about its queue depth independently.
+//
+// Hot methods (next_sqe / enter / cq_* / buf_*) are JANUS_HOT_PATH_IO roots
+// for the purity analyzer: they touch only the mmap'd rings — no allocation,
+// no locks, no hidden syscalls beyond the explicit io_uring_enter.
+#pragma once
+
+#if defined(__linux__)
+#define JANUS_HAVE_URING 1
+#else
+#define JANUS_HAVE_URING 0
+#endif
+
+#if JANUS_HAVE_URING
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/hot_path.hpp"
+
+namespace janus::net::uring {
+
+/// How receive buffers are handed to the kernel for BUFFER_SELECT picks.
+///
+///   kBufRing — a registered provided-buffer ring (IORING_REGISTER_PBUF_RING):
+///              recycling a slot is two ring writes + a release store, zero
+///              syscalls. The preferred mode.
+///   kLegacy  — IORING_OP_PROVIDE_BUFFERS SQEs: recycling queues a provide
+///              SQE that rides along with the next enter(), so it is still
+///              batched, just not free. Needed on kernels (including some
+///              hardened sandbox kernels) that accept PBUF_RING registration
+///              but never serve picks from it — registration success alone
+///              cannot be trusted, which is why the capability probe below
+///              is end-to-end.
+enum class BufMode { kBufRing, kLegacy };
+
+/// Uring data-path support tiers, probed once per process.
+enum class Support { kNone, kLegacyBufs, kBufRing };
+
+/// One-shot cached end-to-end probe: builds a throwaway ring + loopback UDP
+/// socket, arms a multishot recvmsg with BUFFER_SELECT, sends itself a
+/// datagram, and requires the payload to actually come back through a
+/// provided buffer. Tries kBufRing first, then kLegacy. Never throws.
+Support probed_support();
+
+/// Convenience: any uring data path at all.
+bool kernel_supports_uring();
+
+/// Buffer-group id used for the receive provided-buffer group. One group
+/// per Ring is plenty: each UdpSocket owns its rings outright.
+inline constexpr std::uint16_t kRecvBufGroup = 7;
+
+/// user_data tag for internal buffer-provide SQEs (legacy mode); their CQEs
+/// carry it so consumers can skip them when reaping receive completions.
+inline constexpr std::uint64_t kProvideUserData = ~0ULL;
+
+/// A single io_uring instance: submission + completion rings and (optionally)
+/// a registered provided-buffer ring with its backing arena. Move-only.
+class Ring {
+ public:
+  Ring() = default;
+  ~Ring() { close(); }
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+  Ring(Ring&& other) noexcept { steal(other); }
+  Ring& operator=(Ring&& other) noexcept {
+    if (this != &other) {
+      close();
+      steal(other);
+    }
+    return *this;
+  }
+
+  /// Create the kernel ring. `sq_entries` rounds up to a power of two;
+  /// `cq_entries` sizes the completion ring (IORING_SETUP_CQSIZE) — multishot
+  /// recv wants it much deeper than the SQ. Returns false (with *err set)
+  /// when the kernel lacks io_uring or EXT_ARG timed waits.
+  bool init(unsigned sq_entries, unsigned cq_entries, std::string* err);
+
+  /// Set up the receive buffer group (kRecvBufGroup): `entries` slots
+  /// (power of two), each `slot_bytes` long, provisioned per `mode`. The
+  /// arena lives inside this Ring. All slots start kernel-owned.
+  bool init_buf_ring(unsigned entries, std::uint32_t slot_bytes, BufMode mode,
+                     std::string* err);
+
+  BufMode buf_mode() const { return buf_mode_; }
+
+  /// Tear everything down (unmaps rings, frees the arena, closes the fd).
+  void close();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  unsigned sq_entries() const { return sq_entries_; }
+  unsigned buf_entries() const { return buf_entries_; }
+  std::uint32_t buf_slot_bytes() const { return buf_slot_bytes_; }
+
+  // -- submission ---------------------------------------------------------
+
+  /// Grab the next free SQE (zeroed), or nullptr when the SQ is full. The
+  /// entry is not visible to the kernel until enter() publishes the tail.
+  JANUS_HOT_PATH_IO io_uring_sqe* next_sqe();
+
+  /// Number of appended SQEs the kernel has not consumed yet.
+  JANUS_HOT_PATH_IO unsigned sq_pending() const;
+
+  /// Publish pending SQEs and call io_uring_enter(2). `min_complete` > 0
+  /// waits for that many completions; `timeout_ns` >= 0 bounds the wait via
+  /// IORING_ENTER_EXT_ARG (pass -1 for no bound). Returns the syscall result
+  /// (submitted count, or -errno).
+  JANUS_HOT_PATH_IO int enter(unsigned min_complete, long long timeout_ns);
+
+  // -- completion ---------------------------------------------------------
+
+  /// Completions ready to reap (acquire-loads the kernel tail).
+  JANUS_HOT_PATH_IO unsigned cq_ready() const;
+
+  /// i-th unreaped CQE (i < cq_ready()). Valid until cq_advance passes it.
+  JANUS_HOT_PATH_IO const io_uring_cqe* cq_at(unsigned i) const {
+    return &cqes_[(cq_head_local_ + i) & cq_mask_];
+  }
+
+  /// Hand `n` reaped CQEs back to the kernel (release-stores the head).
+  JANUS_HOT_PATH_IO void cq_advance(unsigned n);
+
+  // -- provided-buffer ring -----------------------------------------------
+
+  /// Raw storage of provided-buffer slot `bid`.
+  JANUS_HOT_PATH_IO unsigned char* buf_slot(unsigned bid) {
+    return buf_arena_.data() +
+           static_cast<std::size_t>(bid) * buf_slot_bytes_;
+  }
+
+  /// Queue slot `bid` for return to the kernel. Not visible until
+  /// buf_publish().
+  JANUS_HOT_PATH_IO void buf_recycle(unsigned bid);
+
+  /// Hand all recycled slots back: a release store of the ring tail
+  /// (kBufRing) or PROVIDE_BUFFERS SQEs that ride the next enter()
+  /// (kLegacy — coalesced over contiguous bid runs).
+  JANUS_HOT_PATH_IO void buf_publish();
+
+ private:
+  void steal(Ring& other);
+
+  int fd_ = -1;
+  unsigned sq_entries_ = 0;
+  // SQ ring (mmap region 1) -- raw pointers into kernel-shared memory.
+  void* sq_ring_ptr_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  // SQE array (mmap region 2).
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+  unsigned sq_tail_ = 0;  // local tail: appended, maybe unpublished
+  // CQ ring (same mmap as SQ under IORING_FEAT_SINGLE_MMAP).
+  void* cq_ring_ptr_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned cq_head_local_ = 0;
+  // Receive buffer group + arena.
+  BufMode buf_mode_ = BufMode::kBufRing;
+  io_uring_buf_ring* buf_ring_ = nullptr;  // kBufRing only
+  std::size_t buf_ring_bytes_ = 0;
+  unsigned buf_entries_ = 0;
+  unsigned buf_mask_ = 0;
+  unsigned buf_tail_ = 0;
+  std::uint32_t buf_slot_bytes_ = 0;
+  std::vector<unsigned char> buf_arena_;
+  std::vector<unsigned> pending_bids_;  // kLegacy: recycled, not yet provided
+
+};
+
+}  // namespace janus::net::uring
+
+#endif  // JANUS_HAVE_URING

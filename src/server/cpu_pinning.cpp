@@ -1,0 +1,126 @@
+#include "server/cpu_pinning.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace janus::server {
+
+namespace {
+
+/// Parse a kernel cpulist ("0-3,8,10-11") into CPU ids. Malformed chunks
+/// are skipped — the file format is kernel-controlled, so anything odd
+/// means we are reading the wrong file and should trust what did parse.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string chunk = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (chunk.empty() || chunk == "\n") continue;
+    const std::size_t dash = chunk.find('-');
+    char* endp = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(chunk.c_str(), &endp, 10);
+      if (endp != chunk.c_str() && v >= 0) cpus.push_back(static_cast<int>(v));
+    } else {
+      const long lo = std::strtol(chunk.c_str(), &endp, 10);
+      const long hi = std::strtol(chunk.c_str() + dash + 1, &endp, 10);
+      for (long v = lo; v >= 0 && v <= hi; ++v) {
+        cpus.push_back(static_cast<int>(v));
+      }
+    }
+  }
+  return cpus;
+}
+
+std::string read_small_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+/// Per-NUMA-node CPU lists from /sys, restricted to this process's
+/// affinity mask. Empty when the topology directory is hidden.
+std::vector<std::vector<int>> numa_nodes(const cpu_set_t& allowed) {
+  std::vector<std::vector<int>> nodes;
+  for (int node = 0; node < 1024; ++node) {
+    char path[96];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", node);
+    const std::string text = read_small_file(path);
+    if (text.empty()) {
+      if (node == 0) continue;  // node0 can be absent on odd topologies
+      break;
+    }
+    std::vector<int> cpus;
+    for (int cpu : parse_cpulist(text)) {
+      if (cpu < CPU_SETSIZE && CPU_ISSET(cpu, &allowed)) cpus.push_back(cpu);
+    }
+    if (!cpus.empty()) nodes.push_back(std::move(cpus));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<CpuSlot> plan_worker_cpus(std::size_t count) {
+  std::vector<CpuSlot> plan;
+  if (count == 0) return plan;
+
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+    // No visibility into the mask at all: plan everything onto CPU 0.
+    plan.assign(count, CpuSlot{0, -1});
+    return plan;
+  }
+
+  const std::vector<std::vector<int>> nodes = numa_nodes(allowed);
+  if (nodes.size() > 1) {
+    // Round-robin across nodes, then across each node's CPUs, so worker i
+    // lands on node i % nodes and consecutive workers on one node take
+    // distinct cores.
+    std::vector<std::size_t> cursor(nodes.size(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t node = i % nodes.size();
+      const std::vector<int>& cpus = nodes[node];
+      plan.push_back(
+          {cpus[cursor[node] % cpus.size()], static_cast<int>(node)});
+      ++cursor[node];
+    }
+    return plan;
+  }
+
+  // Single node (or topology hidden): sequential online CPUs, wrapping.
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed)) cpus.push_back(cpu);
+  }
+  if (cpus.empty()) cpus.push_back(0);
+  const int node = nodes.size() == 1 ? 0 : -1;
+  for (std::size_t i = 0; i < count; ++i) {
+    plan.push_back({cpus[i % cpus.size()], node});
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return ::sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+}  // namespace janus::server

@@ -1,0 +1,39 @@
+// Worker -> CPU placement for the run-to-completion server mode
+// (DESIGN.md §13). With `janusd --pin-workers` every shard-per-worker
+// thread (and the fused listener) is pinned to its own core so the
+// busy-poll loop never migrates and the shard's table slice stays warm in
+// that core's cache.
+//
+// Placement is NUMA-aware when the topology is visible: CPUs are taken
+// round-robin ACROSS nodes (worker i lands on node i % nodes) so a node
+// whose NIC interrupts land on node 0 still spreads decision work, and
+// co-located workers on one node sit on distinct cores. Without
+// /sys/devices/system/node (containers commonly hide it) the plan degrades
+// to sequential online CPU ids. Pinning is advisory: a failed
+// sched_setaffinity (cpuset-restricted container) is reported, not fatal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace janus::server {
+
+/// One planned placement: the CPU id and the NUMA node it belongs to
+/// (node -1 when topology is unavailable).
+struct CpuSlot {
+  int cpu = -1;
+  int node = -1;
+};
+
+/// Plan placements for `count` threads over the CPUs this process may run
+/// on, NUMA round-robin as described above. More threads than CPUs wraps
+/// around (two workers share a core rather than floating). Never empty as
+/// long as count > 0 — the degenerate single-CPU box plans every worker
+/// onto CPU 0.
+std::vector<CpuSlot> plan_worker_cpus(std::size_t count);
+
+/// Pin the calling thread to `cpu`. False when the kernel refused
+/// (cpuset-restricted container, offline CPU) — callers log and continue.
+bool pin_current_thread(int cpu);
+
+}  // namespace janus::server

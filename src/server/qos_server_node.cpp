@@ -9,6 +9,7 @@
 
 #include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
+#include "server/cpu_pinning.hpp"
 #include "testing/fault_injector.hpp"
 #include "wire/codec.hpp"
 
@@ -80,6 +81,14 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
       recv_batch_size_(metrics_.histogram("server.recv_batch")),
       send_batch_size_(metrics_.histogram("server.send_batch")),
       threading_mode_(metrics_.gauge("server.threading_mode")),
+      data_path_gauge_(metrics_.gauge("server.data_path")),
+      uring_recv_batches_(metrics_.counter("server.uring_recv_batches")),
+      uring_recv_datagrams_(metrics_.counter("server.uring_recv_datagrams")),
+      uring_send_batches_(metrics_.counter("server.uring_send_batches")),
+      uring_send_datagrams_(metrics_.counter("server.uring_send_datagrams")),
+      uring_rearms_(metrics_.counter("server.uring_rearms")),
+      uring_buf_recycles_(metrics_.counter("server.uring_buf_recycles")),
+      uring_send_errors_(metrics_.counter("server.uring_send_errors")),
       stale_nacks_(metrics_.counter("server.stale_epoch_nacks")),
       cluster_deferred_(metrics_.counter("server.cluster_deferred")),
       migrated_in_(metrics_.counter("server.migrated_in")),
@@ -91,6 +100,25 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
   threading_mode_.set(sharded ? 1 : 0);
   queue_wait_exemplar_.set_threshold(config_.slow_exemplar_us);
   service_exemplar_.set_threshold(config_.slow_exemplar_us);
+
+  // Provider selection happens before any I/O thread exists (the uring
+  // switch is not safe under concurrent recv/send). A refused kUring means
+  // the kernel failed the end-to-end capability probe: degrade to the kAuto
+  // rules and say so once — server.data_path carries the outcome forever.
+  if (!socket_.set_data_path(config_.data_path)) {
+    JLOG_WARN("server: data-path '%s' unavailable on this kernel; using '%s'",
+              net::UdpSocket::data_path_name(config_.data_path),
+              net::UdpSocket::data_path_name(socket_.resolved_data_path()));
+  }
+  data_path_gauge_.set(
+      static_cast<std::int64_t>(socket_.resolved_data_path()));
+  fused_ = sharded &&
+           socket_.resolved_data_path() == net::UdpSocket::DataPath::kUring;
+  if (config_.pin_workers && sharded) {
+    for (const CpuSlot& slot : plan_worker_cpus(n)) {
+      pin_cpus_.push_back(slot.cpu);
+    }
+  }
 
   if (sharded) {
     // Each worker's SPSC ring takes an equal slice of the configured FIFO
@@ -108,8 +136,14 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
     }
   }
 
-  listener_ = std::thread([this] { listener_loop(); });
-  for (std::size_t i = 0; i < n; ++i) {
+  // Fused mode folds worker 0 into the listener thread: spawn the fused
+  // loop in its place and only workers 1..N-1 as standalone threads.
+  if (fused_) {
+    listener_ = std::thread([this] { listener_loop_fused(); });
+  } else {
+    listener_ = std::thread([this] { listener_loop(); });
+  }
+  for (std::size_t i = fused_ ? 1 : 0; i < n; ++i) {
     if (sharded) {
       workers_.emplace_back([this, i] { worker_loop_sharded(i); });
     } else {
@@ -136,6 +170,7 @@ QosServerNode::QosServerNode(net::UdpSocket socket, net::SockAddr addr,
   }
   if (config_.watchdog_interval.count() > 0) {
     watchdog_last_progress_.assign(n, 0);
+    watchdog_strikes_.assign(n, 0);
     maintenance_.push_back(std::make_unique<PeriodicTask>(
         config_.watchdog_interval, [this] { watchdog_pass(); }));
   }
@@ -238,6 +273,7 @@ std::string QosServerNode::render_hot_key_statusz() const {
 
 void QosServerNode::watchdog_pass() {
   if (stopping_.load(std::memory_order_acquire)) return;
+  publish_uring_stats();
   const bool sharded =
       config_.threading == core::ThreadingMode::kShardPerWorker;
   const std::uint64_t ts =
@@ -250,15 +286,23 @@ void QosServerNode::watchdog_pass() {
           w.progress.load(std::memory_order_acquire);
       const bool backlog = !w.jobs.empty() || w.maint.size_approx() > 0;
       if (backlog && progress == watchdog_last_progress_[i]) {
-        watchdog_stalls_.inc();
-        FlightRecorder::record(TraceEventType::kWatchdogStall,
-                               TraceStage::kWatchdog, /*trace=*/0,
-                               /*arg=*/i, ts);
-        JLOG_WARN(
-            "server: watchdog: worker %zu has backlog but made no progress "
-            "for a full tick (ring=%zu)",
-            i, w.jobs.size_approx());
-        FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+        // Two-strike rule: the fused listener's bounded park (§13) can hold
+        // a just-pushed maintenance command for up to 5 ms, so one sampled
+        // tick is not a stall — the same backlog across two ticks is.
+        if (watchdog_strikes_[i] < 2) ++watchdog_strikes_[i];
+        if (watchdog_strikes_[i] >= 2) {
+          watchdog_stalls_.inc();
+          FlightRecorder::record(TraceEventType::kWatchdogStall,
+                                 TraceStage::kWatchdog, /*trace=*/0,
+                                 /*arg=*/i, ts);
+          JLOG_WARN(
+              "server: watchdog: worker %zu has backlog but made no "
+              "progress for two full ticks (ring=%zu)",
+              i, w.jobs.size_approx());
+          FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+        }
+      } else {
+        watchdog_strikes_[i] = 0;
       }
       watchdog_last_progress_[i] = progress;
     }
@@ -269,15 +313,20 @@ void QosServerNode::watchdog_pass() {
       static_cast<std::uint64_t>(answered_.value());
   const bool backlog = fifo_.size() > 0;
   if (backlog && answered == watchdog_last_answered_) {
-    watchdog_stalls_.inc();
-    FlightRecorder::record(TraceEventType::kWatchdogStall,
-                           TraceStage::kWatchdog, /*trace=*/0,
-                           /*arg=*/0, ts);
-    JLOG_WARN(
-        "server: watchdog: shared FIFO has backlog (%zu) but no request "
-        "completed for a full tick",
-        fifo_.size());
-    FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+    if (watchdog_answered_strikes_ < 2) ++watchdog_answered_strikes_;
+    if (watchdog_answered_strikes_ >= 2) {
+      watchdog_stalls_.inc();
+      FlightRecorder::record(TraceEventType::kWatchdogStall,
+                             TraceStage::kWatchdog, /*trace=*/0,
+                             /*arg=*/0, ts);
+      JLOG_WARN(
+          "server: watchdog: shared FIFO has backlog (%zu) but no request "
+          "completed for two full ticks",
+          fifo_.size());
+      FlightRecorder::instance().trigger_auto_dump("watchdog stall");
+    }
+  } else {
+    watchdog_answered_strikes_ = 0;
   }
   watchdog_last_answered_ = answered;
 }
@@ -315,6 +364,9 @@ void QosServerNode::stop() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // Final uring-counter delta: the watchdog (now joined) can no longer
+  // race this, and the I/O threads are gone, so the snapshot is exact.
+  publish_uring_stats();
   if (admin_) admin_->stop();
 }
 
@@ -458,20 +510,22 @@ QosServerNode::ReplyBuffers::ReplyBuffers(std::size_t batch)
   replies.reserve(batch);
 }
 
-void QosServerNode::run_jobs(std::vector<Job>& jobs,
+void QosServerNode::run_jobs(std::span<const JobView> jobs,
                              const core::ShardOwnerToken* token,
                              ReplyBuffers& buf) {
-  // Decisions are zero-copy: decode_request_view aliases the datagram
-  // buffer and the admission check takes the key as a string_view, so a
-  // warm-key request allocates nothing (tests/perf/test_hotpath_allocs.cpp)
-  // — in shard-per-worker mode it also locks nothing (owner-token path,
-  // reusing the hash the listener computed).
+  // Decisions are zero-copy: each JobView (and decode_request_view below)
+  // aliases the datagram bytes — a popped Job's owning buffer, or in fused
+  // mode the socket's registered receive slot directly — and the admission
+  // check takes the key as a string_view, so a warm-key request allocates
+  // nothing (tests/perf/test_hotpath_allocs.cpp) — in shard-per-worker
+  // mode it also locks nothing (owner-token path, reusing the hash the
+  // listener computed).
   buf.replies.clear();
   send_batch_size_.record(static_cast<std::int64_t>(jobs.size()));
   auto& faults = testing::FaultInjector::instance();
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    Job& job = jobs[i];
+    const JobView& job = jobs[i];
     if (faults.should_fire(testing::FaultPoint::kServerSlowService)) {
       // Service-time inflation (§V's overload knee, provoked on demand):
       // the worker stalls param µs before touching the request. Fires per
@@ -489,7 +543,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
       queue_wait_us_.record(buf.wait_us[i]);
     }
 
-    auto req = wire::decode_request_view(job.dg.data);
+    auto req = wire::decode_request_view(job.data);
     wire::QosResponse resp;
     buf.keys[i] = {};
     buf.traces[i] = {};
@@ -498,7 +552,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
       resp.status = wire::ResponseStatus::kMalformed;
       wire::encode_to(resp, buf.outs[i]);
       // purity-ok: amortized growth into the reserved reply descriptor list
-      buf.replies.push_back({job.dg.from, buf.outs[i]});
+      buf.replies.push_back({*job.from, buf.outs[i]});
       continue;
     }
     const wire::QosRequestView& r = req.value();
@@ -523,7 +577,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
         wire::encode_to(resp, buf.outs[i]);
         answered_.inc();
         // purity-ok: amortized growth into the reserved reply descriptor list
-        buf.replies.push_back({job.dg.from, buf.outs[i]});
+        buf.replies.push_back({*job.from, buf.outs[i]});
         continue;
       }
       resp.epoch = current;
@@ -592,7 +646,7 @@ void QosServerNode::run_jobs(std::vector<Job>& jobs,
     // and operators the moment a reply lands).
     answered_.inc();
     // purity-ok: amortized growth into the reserved reply descriptor list
-    buf.replies.push_back({job.dg.from, buf.outs[i]});
+    buf.replies.push_back({*job.from, buf.outs[i]});
 
     if (!r.trace_id.empty()) {
       // wait_us is -1 when this request was not in the 1-in-8 timing
@@ -632,14 +686,22 @@ void QosServerNode::worker_loop() {
   FlightRecorder::label_current_thread("server.worker");
   const std::size_t batch = config_.send_batch;
   std::vector<Job> jobs;
+  std::vector<JobView> views;
   // purity-ok: loop-start setup — sized once per thread, before any traffic
   jobs.reserve(batch);
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
+  views.reserve(batch);
   ReplyBuffers buf(batch);
 
   while (true) {
     jobs.clear();
     if (fifo_.pop_many(jobs, batch) == 0) break;  // shutdown + drained
-    run_jobs(jobs, /*token=*/nullptr, buf);
+    views.clear();
+    for (const Job& j : jobs) {
+      // purity-ok: amortized growth into the reserved views scratch vector
+      views.push_back(JobView{j.dg.data, &j.dg.from, j.enqueued, j.key_hash});
+    }
+    run_jobs(views, /*token=*/nullptr, buf);
   }
 }
 
@@ -656,9 +718,17 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
                                        // purity-ok: one-time thread labeling
                                        std::to_string(index));
   const std::size_t batch = config_.send_batch;
+  if (index < pin_cpus_.size() && !pin_current_thread(pin_cpus_[index])) {
+    // purity-ok: one-time startup warning, before any traffic
+    JLOG_WARN("server: worker %zu: pin to cpu %d refused; running unpinned",
+              index, pin_cpus_[index]);
+  }
   std::vector<Job> jobs;
+  std::vector<JobView> views;
   // purity-ok: loop-start setup — sized once per thread, before any traffic
   jobs.reserve(batch);
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
+  views.reserve(batch);
   ReplyBuffers buf(batch);
   int idle_spins = 0;
 
@@ -673,34 +743,18 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
       jobs.push_back(std::move(*job));
     }
     if (!jobs.empty()) {
-      run_jobs(jobs, &st.token, buf);
+      views.clear();
+      for (const Job& j : jobs) {
+        // purity-ok: amortized growth into the reserved views scratch vector
+        views.push_back(
+            JobView{j.dg.data, &j.dg.from, j.enqueued, j.key_hash});
+      }
+      run_jobs(views, &st.token, buf);
       st.depth->set(static_cast<std::int64_t>(st.jobs.size_approx()));
       did_work = true;
     }
 
-    while (auto cmd = st.maint.try_pop()) {
-      switch (cmd->kind) {
-        case MaintCmd::Kind::kRefill:
-          // purity-ok: maintenance slice — command path, not per-request
-          admission_->refill_owned(st.token);
-          break;
-        case MaintCmd::Kind::kSync:
-          // purity-ok: maintenance slice — command path, not per-request
-          admission_->sync_owned(st.token);
-          break;
-        case MaintCmd::Kind::kCheckpoint:
-          // purity-ok: maintenance slice — command path, not per-request
-          admission_->checkpoint_owned(st.token, sink_);
-          break;
-        case MaintCmd::Kind::kClusterFn:
-          // Migration extract/install slice: the dispatcher blocks on the
-          // done latch, so *cmd->fn outlives this call.
-          if (cmd->fn) (*cmd->fn)(st.token);
-          break;
-      }
-      if (cmd->done) cmd->done->fetch_add(1, std::memory_order_release);
-      did_work = true;
-    }
+    if (drain_maintenance(st)) did_work = true;
 
     if (did_work) {
       st.progress.fetch_add(1, std::memory_order_release);
@@ -729,6 +783,162 @@ void QosServerNode::worker_loop_sharded(std::size_t index) {
     }
     st.parked.store(false, std::memory_order_release);
   }
+}
+
+bool QosServerNode::drain_maintenance(WorkerState& st) {
+  bool did_work = false;
+  while (auto cmd = st.maint.try_pop()) {
+    switch (cmd->kind) {
+      case MaintCmd::Kind::kRefill:
+        // purity-ok: maintenance slice — command path, not per-request
+        admission_->refill_owned(st.token);
+        break;
+      case MaintCmd::Kind::kSync:
+        // purity-ok: maintenance slice — command path, not per-request
+        admission_->sync_owned(st.token);
+        break;
+      case MaintCmd::Kind::kCheckpoint:
+        // purity-ok: maintenance slice — command path, not per-request
+        admission_->checkpoint_owned(st.token, sink_);
+        break;
+      case MaintCmd::Kind::kClusterFn:
+        // Migration extract/install slice: the dispatcher blocks on the
+        // done latch, so *cmd->fn outlives this call.
+        if (cmd->fn) (*cmd->fn)(st.token);
+        break;
+    }
+    if (cmd->done) cmd->done->fetch_add(1, std::memory_order_release);
+    did_work = true;
+  }
+  return did_work;
+}
+
+void QosServerNode::listener_loop_fused() {
+  // Run-to-completion (DESIGN.md §13): this thread is both the listener and
+  // worker 0. Datagrams whose shards it owns are decided as views straight
+  // over the socket's registered receive buffers — no SPSC hand-off, no
+  // per-datagram payload copy, no wake. Everything else is copied into a
+  // Job and fanned out exactly as the plain listener does. Between batches
+  // it drains worker 0's maintenance queue (it holds that owner token).
+  //
+  // Poll policy: while work keeps arriving, recv_many is called with a zero
+  // timeout — a pure CQ drain plus one non-waiting enter, i.e. busy
+  // polling. After kFusedIdleSpins consecutive empty polls the loop parks
+  // in a bounded 5 ms io_uring_enter wait instead — idle nodes burn no CPU,
+  // and the first datagram after a lull still lands within the multishot's
+  // kernel-side completion (no sleep/retry ladder to climb).
+  FlightRecorder::label_current_thread("server.listener");
+  WorkerState& self = *worker_state_[0];
+  if (!pin_cpus_.empty() && !pin_current_thread(pin_cpus_[0])) {
+    // purity-ok: one-time startup warning, before any traffic
+    JLOG_WARN("server: fused listener: pin to cpu %d refused; unpinned",
+              pin_cpus_[0]);
+  }
+  net::UdpSocket::RecvBatch batch(config_.recv_batch);
+  std::vector<JobView> inline_jobs;
+  // purity-ok: loop-start setup — sized once per thread, before any traffic
+  inline_jobs.reserve(batch.capacity());
+  ReplyBuffers buf(batch.capacity());
+  std::vector<bool> touched(worker_state_.size(), false);
+  const core::ShardedQosTable& table = admission_->table();
+  const std::size_t workers = worker_state_.size();
+  int idle_spins = 0;
+
+  while (true) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Mirror worker shutdown: run any maintenance already accepted
+      // (run_on_owners blocks on its latch), then exit. Unread datagrams
+      // are abandoned exactly as the plain listener abandons its socket
+      // queue — the router's retry covers them.
+      drain_maintenance(self);
+      if (self.maint.size_approx() == 0) break;
+      continue;
+    }
+    const bool park = idle_spins >= kFusedIdleSpins;
+    auto got = socket_.recv_many(batch, park ? millis(5) : Duration{0});
+    if (!got.ok()) {
+      // purity-ok: recv-error path only — never taken for healthy traffic
+      JLOG_WARN("server: recv failed: %s", got.error().message.c_str());
+      ++idle_spins;
+      continue;
+    }
+    const std::size_t n = got.value();
+    bool did_work = false;
+
+    if (n > 0) {
+      received_.inc(static_cast<std::int64_t>(n));
+      recv_batch_size_.record(static_cast<std::int64_t>(n));
+      inline_jobs.clear();
+      std::fill(touched.begin(), touched.end(), false);
+      for (std::size_t i = 0; i < n; ++i) {
+        const TimePoint enqueued =
+            timing_sampled() ? SteadyClock::instance().now() : kTimeZero;
+        auto data = batch.data(i);
+        std::size_t hash = 0;
+        std::size_t target = 0;
+        if (auto req = wire::decode_request_view(data); req.ok()) {
+          hash = TransparentStringHash::hash_bytes(req.value().key);
+          target = table.shard_index_of(hash) % workers;
+        }
+        if (target == 0) {
+          // Own shard: decide inline, zero copy. The view aliases the
+          // receive slot, which stays app-owned until the next recv_many.
+          // purity-ok: amortized growth into the reserved inline scratch
+          inline_jobs.push_back(JobView{data, &batch.from(i), enqueued, hash});
+          continue;
+        }
+        WorkerState& w = *worker_state_[target];
+        // purity-ok: per-datagram owning copy — cross-worker hand-off only
+        std::vector<std::uint8_t> payload(data.begin(), data.end());
+        if (!w.jobs.try_push(Job{net::UdpSocket::Datagram{std::move(payload),
+                                                          batch.from(i)},
+                                 enqueued, hash})) {
+          dropped_.inc();
+          w.rejects->inc();
+          continue;
+        }
+        touched[target] = true;
+      }
+      for (std::size_t wi = 1; wi < workers; ++wi) {
+        if (!touched[wi]) continue;
+        WorkerState& w = *worker_state_[wi];
+        w.depth->set(static_cast<std::int64_t>(w.jobs.size_approx()));
+        wake_worker(w);
+      }
+      if (!inline_jobs.empty()) {
+        run_jobs(inline_jobs, &self.token, buf);
+      }
+      did_work = true;
+    }
+
+    if (drain_maintenance(self)) did_work = true;
+
+    if (did_work) {
+      self.progress.fetch_add(1, std::memory_order_release);
+      idle_spins = 0;
+      continue;
+    }
+    ++idle_spins;
+  }
+}
+
+void QosServerNode::publish_uring_stats() {
+  const net::UdpSocket::UringStats cur = socket_.uring_stats();
+  uring_recv_batches_.inc(
+      static_cast<std::int64_t>(cur.recv_batches - uring_last_.recv_batches));
+  uring_recv_datagrams_.inc(static_cast<std::int64_t>(
+      cur.recv_datagrams - uring_last_.recv_datagrams));
+  uring_send_batches_.inc(
+      static_cast<std::int64_t>(cur.send_batches - uring_last_.send_batches));
+  uring_send_datagrams_.inc(static_cast<std::int64_t>(
+      cur.send_datagrams - uring_last_.send_datagrams));
+  uring_rearms_.inc(
+      static_cast<std::int64_t>(cur.rearms - uring_last_.rearms));
+  uring_buf_recycles_.inc(
+      static_cast<std::int64_t>(cur.buf_recycles - uring_last_.buf_recycles));
+  uring_send_errors_.inc(
+      static_cast<std::int64_t>(cur.send_errors - uring_last_.send_errors));
+  uring_last_ = cur;
 }
 
 void QosServerNode::set_cluster_epoch(std::uint64_t epoch) {

@@ -75,13 +75,27 @@ struct QosServerConfig {
   Duration sync_interval = seconds(5);       // "configurable update interval"
   Duration checkpoint_interval = seconds(5); // "configurable update interval"
   /// Stalled-worker watchdog tick; <= 0 disables it. A worker with queued
-  /// work and no progress across one full tick counts a
+  /// work and no progress across two consecutive ticks counts a
   /// server.watchdog_stalls, records a flight-recorder event, and fires the
-  /// one-shot trace auto-dump (if armed).
+  /// one-shot trace auto-dump (if armed). Two ticks, not one: the fused
+  /// listener's bounded park (§13) can hold a just-pushed maintenance
+  /// command for up to 5 ms without that being a stall.
   Duration watchdog_interval = seconds(1);
   /// Slow-request exemplar threshold (µs) for the server's queue-wait and
   /// service histograms; < 0 disables exemplar capture.
   std::int64_t slow_exemplar_us = 5000;
+  /// Batched-I/O provider for the listen socket (janusd --data-path,
+  /// DESIGN.md §13). kUring combined with kShardPerWorker activates the
+  /// fused run-to-completion listener: the listener thread doubles as
+  /// worker 0, deciding its own shards straight out of the receive batch
+  /// (no SPSC hand-off, no per-datagram payload copy). When the kernel
+  /// capability probe fails the node silently degrades to the kAuto rules;
+  /// server.data_path reports what actually runs.
+  net::UdpSocket::DataPath data_path = net::UdpSocket::DataPath::kAuto;
+  /// Pin shard-per-worker threads (and the fused listener) each to its own
+  /// CPU, NUMA round-robin (cpu_pinning.hpp). Advisory: a refused
+  /// sched_setaffinity logs and continues unpinned.
+  bool pin_workers = false;
 };
 
 class QosServerNode {
@@ -105,6 +119,12 @@ class QosServerNode {
   QosServerNode& operator=(const QosServerNode&) = delete;
 
   net::SockAddr addr() const { return addr_; }
+  /// Provider the listen socket actually runs (post-probe; DESIGN.md §13).
+  net::UdpSocket::DataPath resolved_data_path() const {
+    return socket_.resolved_data_path();
+  }
+  /// True when the fused run-to-completion listener is active.
+  bool fused() const { return fused_; }
   core::AdmissionController& admission() { return *admission_; }
   MetricsRegistry& metrics() { return metrics_; }
   const QosServerConfig& config() const { return config_; }
@@ -191,6 +211,18 @@ class QosServerNode {
   };
   static constexpr std::uint64_t kTimingSampleShift = 3;  // 1-in-8
 
+  /// What run_jobs actually consumes: a borrowed view of one request. The
+  /// queued paths build views over popped Jobs (whose owning buffers
+  /// outlive the run_jobs call); the fused run-to-completion path builds
+  /// them straight over the RecvBatch slots — the decision never touches a
+  /// per-datagram heap copy at all.
+  struct JobView {
+    std::span<const std::uint8_t> data;
+    const net::SockAddr* from = nullptr;
+    TimePoint enqueued{kTimeZero};
+    std::size_t key_hash = 0;
+  };
+
   /// Maintenance command delivered on a worker's queue (shard-per-worker):
   /// the worker runs the pass over its own shards, then increments `done`
   /// so dispatchers can wait for the whole fleet. kClusterFn carries an
@@ -243,16 +275,26 @@ class QosServerNode {
   };
 
   JANUS_HOT_PATH_IO void listener_loop();
+  /// Run-to-completion mode (uring + shard-per-worker, DESIGN.md §13): the
+  /// listener thread IS worker 0. It drains the uring receive batch,
+  /// decides the datagrams whose shards it owns inline (views over the
+  /// registered buffers — zero copy, zero hand-off), fans the rest out to
+  /// workers 1..N-1, and drains its own maintenance queue between batches.
+  /// Busy-polls while traffic flows; after kFusedIdleSpins empty polls it
+  /// parks in a bounded io_uring_enter wait instead of spinning.
+  JANUS_HOT_PATH_IO void listener_loop_fused();
   JANUS_HOT_PATH_IO void worker_loop();  // kSharedQueue
   JANUS_HOT_PATH_IO void worker_loop_sharded(std::size_t index);
 
-  /// Process one popped batch: decode, decide (mode-appropriate), flush all
-  /// replies in one sendmmsg, record timings. Shared by both worker loops;
-  /// `token` is null in shared-queue mode (locked decisions) and the
-  /// worker's ShardOwnerToken in shard-per-worker mode (mutex-free).
-  JANUS_HOT_PATH_LOCKS void run_jobs(std::vector<Job>& jobs,
+  /// Process one batch of request views: decode, decide (mode-appropriate),
+  /// flush all replies in one batched send, record timings. Shared by both
+  /// worker loops and the fused listener; `token` is null in shared-queue
+  /// mode (locked decisions) and the owner's ShardOwnerToken in
+  /// shard-per-worker mode (mutex-free).
+  JANUS_HOT_PATH_LOCKS void run_jobs(std::span<const JobView> jobs,
                                      const core::ShardOwnerToken* token,
                                      ReplyBuffers& buf);
+  static constexpr int kFusedIdleSpins = 64;
 
   /// 1-in-2^kTimingSampleShift decimation with a thread-local counter — no
   /// shared cache line bounces between the listener and anything else.
@@ -278,6 +320,13 @@ class QosServerNode {
   /// One watchdog tick (PeriodicTask): flags workers with queued work but
   /// no progress since the previous tick.
   void watchdog_pass();
+  /// Pull the socket's monotonic uring counters and publish the delta into
+  /// the server.uring_* metrics. Runs on the watchdog tick and once at
+  /// stop() (no tick races stop(): the periodic tasks are joined first).
+  void publish_uring_stats();
+  /// Drain + execute every command on worker 0's maintenance queue; the
+  /// fused listener calls this between batches (it owns worker 0's shards).
+  bool drain_maintenance(WorkerState& st);
   /// Hot-key top-k rendered as extra Prometheus families for /metrics.
   std::string render_hot_key_metrics(const std::string& node) const;
   /// Hot-key top-k rendered as a ",\"hot_keys\":..." /statusz fragment.
@@ -309,6 +358,18 @@ class QosServerNode {
   HistogramMetric& recv_batch_size_;
   HistogramMetric& send_batch_size_;
   Gauge& threading_mode_;  // 0 = shared-queue, 1 = shard-per-worker
+  /// Resolved provider (UdpSocket::DataPath numeric): 1 fallback, 2 mmsg,
+  /// 3 uring — operators see degraded-probe outcomes here, not in logs.
+  Gauge& data_path_gauge_;
+  // server.uring_*: deltas of the socket's monotonic uring counters,
+  // published by publish_uring_stats() (all flat when the provider is off).
+  Counter& uring_recv_batches_;
+  Counter& uring_recv_datagrams_;
+  Counter& uring_send_batches_;
+  Counter& uring_send_datagrams_;
+  Counter& uring_rearms_;
+  Counter& uring_buf_recycles_;
+  Counter& uring_send_errors_;
   Counter& stale_nacks_;       // server.stale_epoch_nacks
   Counter& cluster_deferred_;  // server.cluster_deferred (migration window)
   Counter& migrated_in_;       // server.migrated_in (entries)
@@ -316,9 +377,26 @@ class QosServerNode {
   Gauge& cluster_epoch_gauge_; // server.cluster_epoch
 
   // Watchdog bookkeeping; touched only from the watchdog's PeriodicTask
-  // thread, so plain fields suffice.
+  // thread, so plain fields suffice. A worker is flagged only after TWO
+  // consecutive no-progress-with-backlog ticks (strikes): the fused
+  // listener parks in a bounded io_uring_enter wait that maintenance
+  // pushes do not interrupt, so a command can legitimately sit queued for
+  // up to the 5 ms park — one tick could sample that transient, two
+  // consecutive ticks cannot.
   std::vector<std::uint64_t> watchdog_last_progress_;
+  std::vector<std::uint8_t> watchdog_strikes_;
   std::uint64_t watchdog_last_answered_ = 0;
+  std::uint8_t watchdog_answered_strikes_ = 0;
+  /// Last-published uring counter snapshot (watchdog thread + stop() only,
+  /// which never overlap — the periodic tasks are joined before stop()
+  /// publishes the final delta).
+  net::UdpSocket::UringStats uring_last_;
+  /// True when this node runs the fused run-to-completion listener (uring
+  /// provider active + shard-per-worker). Set once in the constructor.
+  bool fused_ = false;
+  /// Planned worker CPU placements when pin_workers is on (index = worker;
+  /// the fused listener uses slot 0). Empty = unpinned.
+  std::vector<int> pin_cpus_;
 
   /// 0 = cluster mode off (every epoch check short-circuits on the first
   /// operand). Set only by the ClusterAgent under its own serialization.

@@ -12,6 +12,7 @@ constexpr std::string_view kNames[kFaultPointCount] = {
     "router.udp.drop_attempt", "db.wal.partial_write",
     "db.wal.corrupt_crc",     "db.wal.sync_fail", "server.slow_service",
     "cluster.bfd.drop",       "cluster.migrate.stall",
+    "net.udp.eintr",
 };
 
 constexpr std::uint64_t kDefaultSeed = 0x6A616E7573'F417ull;  // "janus"+fault

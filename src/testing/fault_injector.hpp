@@ -44,6 +44,8 @@ enum class FaultPoint : std::size_t {
                           // (partition simulation for the BFD session)
   kClusterMigrateStall,   // cluster.migrate.stall: sleep param µs before a
                           // migration batch is sent (slow hand-off)
+  kNetUdpEintr,           // net.udp.eintr: batched receive syscall reports
+                          // EINTR (signal mid-drain) before touching data
   kCount,
 };
 

@@ -34,6 +34,7 @@ class ChaosStackTest : public ::testing::Test {
     server::QosServerConfig scfg;
     scfg.worker_threads = 2;
     scfg.threading = threading_;
+    scfg.data_path = data_path_;
     scfg.sync_interval = Duration{0};
     scfg.checkpoint_interval = Duration{0};
     auto server = server::QosServerNode::start({"127.0.0.1", 0}, *store_, scfg);
@@ -93,6 +94,10 @@ class ChaosStackTest : public ::testing::Test {
   /// before ChaosStackTest::SetUp() runs (it is baked into the server at
   /// start); every invariant in the suite must hold in either mode.
   core::ThreadingMode threading_ = core::ThreadingMode::kSharedQueue;
+  /// Batched-I/O provider for the QoS server's listener socket; subclasses
+  /// set before SetUp() (baked into the server at start, like threading_).
+  /// Skip uring instantiations when UdpSocket::uring_supported() is false.
+  net::UdpSocket::DataPath data_path_ = net::UdpSocket::DataPath::kAuto;
   /// Routing topology; subclasses set before SetUp(), like threading_.
   Topology topology_ = Topology::kSingleProcess;
   cluster::ShardMapHolder holder_;

@@ -2,10 +2,9 @@
 // the per-datagram pipeline guaranteed must hold verbatim when datagrams move
 // in recvmmsg/sendmmsg bursts — drops are still consulted once per datagram,
 // retry accounting still counts attempts not syscalls, and quota is still
-// never over-admitted under loss. The whole suite runs twice: once on the
-// batched syscall fast path and once with it force-disabled
-// (UdpSocket::set_batch_syscalls_enabled(false)), proving the fallback loop
-// is observably identical.
+// never over-admitted under loss. The whole suite runs once per data-path
+// provider (fallback loops, recvmmsg/sendmmsg, io_uring when the kernel
+// supports it), proving every provider is observably identical.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -24,24 +23,27 @@ using testing::FaultInjector;
 using testing::FaultPoint;
 using testing::ScopedFault;
 
-/// Value-parameterized over (syscall mode, server threading mode): true =
-/// recvmmsg/sendmmsg, false = per-datagram fallback loops; the server comes
-/// up in kSharedQueue or kShardPerWorker. All four combinations must be
-/// observably identical — batching changes syscall counts, the threading
-/// mode changes scheduling and locking, neither may change fault semantics.
+/// Value-parameterized over (data-path provider, server threading mode): the
+/// server's listener socket runs the fallback loops, recvmmsg/sendmmsg, or
+/// io_uring; the server comes up in kSharedQueue or kShardPerWorker (uring +
+/// kShardPerWorker is the fused run-to-completion mode, DESIGN.md §13). All
+/// combinations must be observably identical — the provider changes syscall
+/// counts and buffer ownership, the threading mode changes scheduling and
+/// locking, neither may change fault semantics. The uring instantiations
+/// skip cleanly when the kernel capability probe fails.
 class BatchedChaosTest
     : public ChaosStackTest,
       public ::testing::WithParamInterface<
-          std::tuple<bool, core::ThreadingMode>> {
+          std::tuple<net::UdpSocket::DataPath, core::ThreadingMode>> {
  protected:
   void SetUp() override {
-    net::UdpSocket::set_batch_syscalls_enabled(std::get<0>(GetParam()));
+    data_path_ = std::get<0>(GetParam());
+    if (data_path_ == net::UdpSocket::DataPath::kUring &&
+        !net::UdpSocket::uring_supported()) {
+      GTEST_SKIP() << "kernel lacks usable io_uring (capability probe failed)";
+    }
     threading_ = std::get<1>(GetParam());
     ChaosStackTest::SetUp();
-  }
-  void TearDown() override {
-    ChaosStackTest::TearDown();
-    net::UdpSocket::set_batch_syscalls_enabled(true);
   }
 };
 
@@ -215,15 +217,22 @@ TEST_P(BatchedChaosTest, CallManyQuotaBoundHoldsUnderPartialLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    SyscallAndThreadingModes, BatchedChaosTest,
+    ProviderAndThreadingModes, BatchedChaosTest,
     ::testing::Combine(
-        ::testing::Bool(),
+        ::testing::Values(net::UdpSocket::DataPath::kFallback,
+                          net::UdpSocket::DataPath::kMmsg,
+                          net::UdpSocket::DataPath::kUring),
         ::testing::Values(core::ThreadingMode::kSharedQueue,
                           core::ThreadingMode::kShardPerWorker)),
-    [](const ::testing::TestParamInfo<std::tuple<bool, core::ThreadingMode>>&
-           tpi) {
-      std::string name =
-          std::get<0>(tpi.param) ? "BatchedSyscalls" : "FallbackLoops";
+    [](const ::testing::TestParamInfo<
+        std::tuple<net::UdpSocket::DataPath, core::ThreadingMode>>& tpi) {
+      std::string name;
+      switch (std::get<0>(tpi.param)) {
+        case net::UdpSocket::DataPath::kFallback: name = "FallbackLoops"; break;
+        case net::UdpSocket::DataPath::kMmsg: name = "BatchedSyscalls"; break;
+        case net::UdpSocket::DataPath::kUring: name = "IoUring"; break;
+        default: name = "Auto"; break;
+      }
       name += std::get<1>(tpi.param) == core::ThreadingMode::kShardPerWorker
                   ? "ShardPerWorker"
                   : "SharedQueue";

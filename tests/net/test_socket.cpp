@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "testing/fault_injector.hpp"
+
 namespace janus::net {
 namespace {
 
@@ -113,10 +115,45 @@ std::multiset<std::string> recv_all(UdpSocket& sock, std::size_t expect) {
   return got;
 }
 
-TEST(UdpSocketBatchTest, RecvManyDrainsMultipleDatagrams) {
-  auto server = UdpSocket::bind({"127.0.0.1", 0});
-  ASSERT_TRUE(server.ok());
-  auto addr = server.value().local_addr().value();
+// ---------------------------------------------------------------------------
+// Provider-parameterized batch suite: every batched-I/O behavior below runs
+// once per data-path provider (fallback loop, recvmmsg/sendmmsg, io_uring).
+// The uring instance skips cleanly when the end-to-end capability probe says
+// the kernel cannot run it (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+class UdpSocketProviderTest
+    : public ::testing::TestWithParam<UdpSocket::DataPath> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == UdpSocket::DataPath::kUring &&
+        !UdpSocket::uring_supported()) {
+      GTEST_SKIP() << "kernel lacks usable io_uring (capability probe failed)";
+    }
+  }
+
+  /// Bound socket running this instance's provider.
+  UdpSocket make_server() {
+    auto sock = UdpSocket::bind({"127.0.0.1", 0});
+    EXPECT_TRUE(sock.ok());
+    UdpSocket server = std::move(sock).take();
+    EXPECT_TRUE(server.set_data_path(GetParam()));
+    EXPECT_EQ(server.resolved_data_path(), GetParam());
+    return server;
+  }
+
+  /// Unbound sender running this instance's provider (exercises send_many).
+  UdpSocket make_client() {
+    auto sock = UdpSocket::create();
+    EXPECT_TRUE(sock.ok());
+    UdpSocket client = std::move(sock).take();
+    EXPECT_TRUE(client.set_data_path(GetParam()));
+    return client;
+  }
+};
+
+TEST_P(UdpSocketProviderTest, RecvManyDrainsMultipleDatagrams) {
+  UdpSocket server = make_server();
+  auto addr = server.local_addr().value();
   auto client = UdpSocket::create();
   ASSERT_TRUE(client.ok());
   const std::multiset<std::string> sent = {"a", "bb", "ccc", "dddd", "eeeee"};
@@ -127,7 +164,7 @@ TEST(UdpSocketBatchTest, RecvManyDrainsMultipleDatagrams) {
   // queued before this single recv_many — one call must drain the lot
   // (the "batch >= 2 under load" acceptance shape, deterministically).
   UdpSocket::RecvBatch batch(8);
-  auto n = server.value().recv_many(batch, millis(500));
+  auto n = server.recv_many(batch, millis(500));
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(n.value(), sent.size());
   std::multiset<std::string> got;
@@ -138,21 +175,113 @@ TEST(UdpSocketBatchTest, RecvManyDrainsMultipleDatagrams) {
   EXPECT_EQ(got, sent);
 }
 
-TEST(UdpSocketBatchTest, SendManyDeliversEveryDatagram) {
-  auto server = UdpSocket::bind({"127.0.0.1", 0});
-  ASSERT_TRUE(server.ok());
-  auto addr = server.value().local_addr().value();
-  auto client = UdpSocket::create();
-  ASSERT_TRUE(client.ok());
+TEST_P(UdpSocketProviderTest, SendManyDeliversEveryDatagram) {
+  UdpSocket server = make_server();
+  auto addr = server.local_addr().value();
+  UdpSocket client = make_client();
 
   const std::multiset<std::string> payloads = {"one", "two", "three", "four"};
   std::vector<std::string> frames(payloads.begin(), payloads.end());
   std::vector<UdpSocket::OutDatagram> burst;
   for (const auto& f : frames) burst.push_back({addr, bytes(f)});
-  ASSERT_TRUE(client.value().send_many(burst).ok());
+  ASSERT_TRUE(client.send_many(burst).ok());
 
-  EXPECT_EQ(recv_all(server.value(), payloads.size()), payloads);
+  EXPECT_EQ(recv_all(server, payloads.size()), payloads);
 }
+
+TEST_P(UdpSocketProviderTest, RecvManyTimesOutWithZero) {
+  UdpSocket server = make_server();
+  UdpSocket::RecvBatch batch(4);
+  auto n = server.recv_many(batch, millis(20));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST_P(UdpSocketProviderTest, SingleRecvRoutesThroughProvider) {
+  // recv() must keep working whatever provider the socket runs — the uring
+  // provider routes it through a one-slot batch internally.
+  UdpSocket server = make_server();
+  auto addr = server.local_addr().value();
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().send_to(addr, bytes("solo")).ok());
+  auto dg = server.recv(millis(500));
+  ASSERT_TRUE(dg.ok());
+  ASSERT_TRUE(dg.value().has_value());
+  EXPECT_EQ(std::string(dg.value()->data.begin(), dg.value()->data.end()),
+            "solo");
+}
+
+TEST_P(UdpSocketProviderTest, EintrMidBatchReturnsDrainedDatagrams) {
+  // Regression (PR 9): a signal interrupting the batched receive used to
+  // surface as an Error even when datagrams had already been drained. The
+  // injected EINTR fires before data is touched; recv_many must retry and
+  // deliver every queued datagram without reporting an error.
+  UdpSocket server = make_server();
+  auto addr = server.local_addr().value();
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+  const std::multiset<std::string> sent = {"sig", "nal", "safe"};
+  for (const auto& p : sent) {
+    ASSERT_TRUE(client.value().send_to(addr, bytes(p)).ok());
+  }
+
+  auto& inj = testing::FaultInjector::instance();
+  inj.seed(42);
+  {
+    testing::ScopedFault eintr(testing::FaultPoint::kNetUdpEintr,
+                               {.probability = 1.0, .max_fires = 2});
+    UdpSocket::RecvBatch batch(8);
+    std::multiset<std::string> got;
+    for (int spins = 0; got.size() < sent.size() && spins < 50; ++spins) {
+      auto n = server.recv_many(batch, millis(200));
+      ASSERT_TRUE(n.ok()) << "EINTR mid-batch must not surface as an error";
+      for (std::size_t i = 0; i < n.value(); ++i) {
+        auto d = batch.data(i);
+        got.emplace(reinterpret_cast<const char*>(d.data()), d.size());
+      }
+    }
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(inj.fires(testing::FaultPoint::kNetUdpEintr), 2u)
+        << "fault was armed but the provider never consulted it";
+  }
+}
+
+TEST_P(UdpSocketProviderTest, SmallSlotBatchIsRevalidatedOrTruncates) {
+  // A batch built with tiny slots reused against a provider whose
+  // per-datagram payload capacity is larger: the uring provider grows the
+  // batch geometry in place (its results alias kRecvSlotBytes registered
+  // buffers), while the copying providers keep the caller's slot size and
+  // drop oversized datagrams as truncated.
+  UdpSocket server = make_server();
+  auto addr = server.local_addr().value();
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+  const std::string big(128, 'x');
+  ASSERT_TRUE(client.value().send_to(addr, bytes(big)).ok());
+
+  UdpSocket::RecvBatch batch(4, 16);
+  ASSERT_EQ(batch.slot_bytes(), 16u);
+  auto n = server.recv_many(batch, millis(300));
+  ASSERT_TRUE(n.ok());
+  if (GetParam() == UdpSocket::DataPath::kUring) {
+    EXPECT_EQ(batch.slot_bytes(), UdpSocket::kRecvSlotBytes);
+    ASSERT_EQ(n.value(), 1u);
+    EXPECT_EQ(batch.data(0).size(), big.size());
+  } else {
+    EXPECT_EQ(batch.slot_bytes(), 16u);
+    EXPECT_EQ(n.value(), 0u);  // truncated datagram dropped
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DataPaths, UdpSocketProviderTest,
+    ::testing::Values(UdpSocket::DataPath::kFallback,
+                      UdpSocket::DataPath::kMmsg,
+                      UdpSocket::DataPath::kUring),
+    [](const ::testing::TestParamInfo<UdpSocket::DataPath>& info) {
+      return UdpSocket::data_path_name(info.param);
+    });
 
 TEST(UdpSocketBatchTest, FallbackPathMatchesBatchSyscalls) {
   // Same exchange as above, with recvmmsg/sendmmsg force-disabled: the
@@ -173,15 +302,6 @@ TEST(UdpSocketBatchTest, FallbackPathMatchesBatchSyscalls) {
   EXPECT_EQ(recv_all(server.value(), payloads.size()), payloads);
 }
 
-TEST(UdpSocketBatchTest, RecvManyTimesOutWithZero) {
-  auto sock = UdpSocket::bind({"127.0.0.1", 0});
-  ASSERT_TRUE(sock.ok());
-  UdpSocket::RecvBatch batch(4);
-  auto n = sock.value().recv_many(batch, millis(20));
-  ASSERT_TRUE(n.ok());
-  EXPECT_EQ(n.value(), 0u);
-}
-
 TEST(UdpSocketBatchTest, RecvBatchCapacityIsClamped) {
   UdpSocket::RecvBatch tiny(0);
   EXPECT_EQ(tiny.capacity(), 1u);
@@ -193,6 +313,38 @@ TEST(UdpSocketBatchTest, SendManyEmptyBatchIsNoop) {
   auto sock = UdpSocket::create();
   ASSERT_TRUE(sock.ok());
   EXPECT_TRUE(sock.value().send_many({}).ok());
+}
+
+TEST(UdpSocketBatchTest, EnsureSlotBytesGrowsOneWay) {
+  UdpSocket::RecvBatch batch(4, 64);
+  EXPECT_EQ(batch.slot_bytes(), 64u);
+  batch.ensure_slot_bytes(256);
+  EXPECT_EQ(batch.slot_bytes(), 256u);
+  // Shrinking is never applied — geometry grows one-way.
+  batch.ensure_slot_bytes(32);
+  EXPECT_EQ(batch.slot_bytes(), 256u);
+  // No-op when already large enough.
+  batch.ensure_slot_bytes(256);
+  EXPECT_EQ(batch.slot_bytes(), 256u);
+}
+
+TEST(UdpSocketBatchTest, EnsureSlotBytesPreservesBatchUsability) {
+  // After a grow, the batch must still receive correctly — the arena and
+  // result vectors are re-derived from the new geometry.
+  auto server = UdpSocket::bind({"127.0.0.1", 0});
+  ASSERT_TRUE(server.ok());
+  auto addr = server.value().local_addr().value();
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client.ok());
+
+  UdpSocket::RecvBatch batch(4, 16);
+  batch.ensure_slot_bytes(512);
+  const std::string payload(200, 'p');
+  ASSERT_TRUE(client.value().send_to(addr, bytes(payload)).ok());
+  auto n = server.value().recv_many(batch, millis(300));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), 1u);
+  EXPECT_EQ(batch.data(0).size(), payload.size());
 }
 
 TEST(TcpTest, ListenConnectExchange) {

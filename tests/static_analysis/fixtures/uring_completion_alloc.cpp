@@ -1,0 +1,41 @@
+// Fixture: the io_uring submission path. A completion handler that runs for
+// every reaped CQE smuggles in an allocation (std::to_string on the buffer
+// id); the analyzer must walk submit_and_reap -> on_completion and report
+// it, and must also flag the raw io_uring_enter syscall as blocking under a
+// locks-strict root. The setup-time registration below is waived — mmap and
+// ring registration happen once before the hot loop starts.
+//
+// EXPECT-FINDING: alloc
+// EXPECT-FINDING: blocking
+#include <cstdint>
+#include <string>
+
+#include "common/hot_path.hpp"
+
+extern "C" int io_uring_enter(int fd, unsigned to_submit,
+                              unsigned min_complete, unsigned flags,
+                              void* arg, std::size_t argsz);
+
+namespace fixture {
+
+std::string g_last_bid_label;
+
+void on_completion(std::uint32_t cqe_flags) {
+  // The smuggled allocation: builds a label per reaped completion.
+  g_last_bid_label = std::to_string(cqe_flags >> 16);
+}
+
+int setup_rings(int ring_fd) {
+  // purity-ok: setup-time registration, runs once before the hot loop
+  return io_uring_enter(ring_fd, 0, 0, 0, nullptr, 0);
+}
+
+JANUS_HOT_PATH_LOCKS int submit_and_reap(int ring_fd, unsigned pending) {
+  int rc = io_uring_enter(ring_fd, pending, pending, 0, nullptr, 0);
+  for (unsigned i = 0; i < pending; ++i) {
+    on_completion(i << 16);
+  }
+  return rc;
+}
+
+}  // namespace fixture

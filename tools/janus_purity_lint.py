@@ -91,7 +91,7 @@ PRIMITIVES = [
     ("blocking", re.compile(r"\bsleep_(?:for|until)\s*\("), "sleep"),
     ("blocking",
      re.compile(r"\b(?:recvfrom|recvmsg|recvmmsg|sendmmsg|epoll_wait|accept4?|connect|"
-                r"select|ppoll|nanosleep|usleep)\s*\("),
+                r"select|ppoll|nanosleep|usleep|io_uring_enter)\s*\("),
      "blocking syscall"),
     ("blocking", re.compile(r"(?<![\w.])poll\s*\("), "poll()"),
     ("throw", re.compile(r"\bthrow\b"), "throw"),
@@ -208,6 +208,13 @@ def strip_code(text):
                     out[k] = " "
             i = end
         elif c == "'":
+            # C++14 digit separator (1'000'000): an apostrophe sandwiched
+            # between alphanumerics is part of a pp-number, not a char
+            # literal open. Mis-reading it as one swallows code up to the
+            # next real apostrophe and derails the brace walker.
+            if 0 < i < n - 1 and text[i - 1].isalnum() and text[i + 1].isalnum():
+                i += 1
+                continue
             j = i + 1
             while j < n and text[j] != "'":
                 if text[j] == "\\":

@@ -3,6 +3,7 @@
 //   janusd server --listen 127.0.0.1:9100 --rules rules.conf
 //                 [--wal janus.wal] [--workers 4] [--shards 16]
 //                 [--threading shared-queue|shard-per-worker]
+//                 [--data-path auto|fallback|mmsg|uring] [--pin-workers]
 //                 [--sync-ms 5000] [--checkpoint-ms 5000]
 //                 [--snapshot janus.snap --compact-ms 60000]
 //                 [--default-rate R --default-capacity C]
@@ -81,7 +82,8 @@ bool parse_flags(int argc, char** argv, int first,
       out[name.substr(0, eq)] = name.substr(eq + 1);
       continue;
     }
-    if (name == "default-allow" || name == "cluster") {  // boolean flags
+    if (name == "default-allow" || name == "cluster" ||
+        name == "pin-workers") {  // boolean flags
       out[name] = "true";
       continue;
     }
@@ -287,6 +289,18 @@ int run_server(const std::map<std::string, std::string>& flags) {
       return 2;
     }
   }
+  if (auto it = flags.find("data-path"); it != flags.end()) {
+    auto path = net::UdpSocket::data_path_from_name(it->second);
+    if (!path) {
+      std::fprintf(stderr,
+                   "janusd: --data-path must be auto, fallback, mmsg, or "
+                   "uring (got '%s')\n",
+                   it->second.c_str());
+      return 2;
+    }
+    cfg.data_path = *path;
+  }
+  cfg.pin_workers = flags.count("pin-workers") > 0;
   cfg.sync_interval = millis(get_int("sync-ms", 5000));
   cfg.checkpoint_interval = millis(get_int("checkpoint-ms", 5000));
   const double default_rate = get_double("default-rate", 0.0);
@@ -299,12 +313,15 @@ int run_server(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "janusd: %s\n", node.error().message.c_str());
     return 1;
   }
-  std::printf("janusd: QoS server on %s (%zu rules, %zu workers, %s)\n",
+  std::printf("janusd: QoS server on %s (%zu rules, %zu workers, %s, "
+              "data-path %s)\n",
               node.value()->addr().to_string().c_str(), store.size(),
               cfg.worker_threads,
               cfg.threading == core::ThreadingMode::kShardPerWorker
                   ? "shard-per-worker"
-                  : "shared-queue");
+                  : "shared-queue",
+              net::UdpSocket::data_path_name(
+                  node.value()->resolved_data_path()));
   // Flushed line-by-line: cluster test fixtures parse bound ports from a
   // pipe, where stdout is block-buffered by default.
   std::fflush(stdout);

@@ -58,6 +58,10 @@ cxx=${CXX:-c++}
 # Static-analysis doc guard: §12 must match the analyzer and fixtures.
 "$repo_root/tools/check_purity_doc.sh"
 
+# Data-path doc guard: the chaos suites run parameterized over all three
+# providers, so the §13 probe/degrade contract must match the code first.
+"$repo_root/tools/check_datapath_doc.sh"
+
 # Full mode also runs the hot-path purity analyzer itself (plus its fixture
 # self-test) up front: it needs only python3, and a purity regression should
 # fail fast here rather than surface minutes later via run_static_analysis.
