@@ -1,0 +1,137 @@
+// PR 10 acceptance bench (DESIGN.md §14): client-visible P99 of the three
+// gateway routing policies over an intentionally lopsided fleet — six
+// routers of which two are 2x-slow stragglers and one of those is also
+// fighting a CPU antagonist, the Prequal paper's setting. Round-robin keeps
+// feeding the cripples a proportional share; least-connections reacts only
+// after queueing is already visible at the gateway; Prequal's probes (RIF +
+// latency EWMA through the real lb::PrequalPicker on virtual time) route
+// around them before the tail inflates.
+//
+// Emits JSON on stdout for tools/run_bench_suite.sh -> BENCH_PR10.json.
+// Each policy runs the identical seeded scenario five times (seeds vary the
+// closed-loop arrival jitter and key mix); the derived speedups are ratios
+// of median P99s, so one lucky or unlucky window cannot decide acceptance.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "figlib.hpp"
+
+using namespace janus;
+
+namespace {
+
+constexpr int kSeeds = 5;
+constexpr int kRouters = 6;
+constexpr int kServers = 4;
+constexpr int kClients = 48;
+constexpr double kAntagonistCores = 3.0;
+
+struct Run {
+  double p99_us = 0;
+  double mean_us = 0;
+  double throughput = 0;
+};
+
+Run run_policy(lb::RoutingPolicy policy, std::uint64_t seed) {
+  sim::DeploymentConfig cfg;
+  cfg.router_nodes = kRouters;
+  cfg.server_nodes = kServers;
+  cfg.gateway_policy = policy;
+  cfg.router_speed_factors = {2.0, 2.0};  // two stragglers
+  cfg.seed = seed;
+  // Size the probe plane to the offered load (the paper ties probe rate to
+  // request rate): at ~17 krps a 5 ms round with the default budget of 16
+  // yields fewer steered picks per round than requests, and the overflow
+  // falls back to round-robin — exactly the blindness Prequal is meant to
+  // remove. 1 ms rounds x 64 reuses x 6 routers covers the window.
+  cfg.prequal.probe_interval = millis(1);
+  cfg.prequal.probe_reuse_budget = 64;
+
+  sim::Simulation sim;
+  sim::SimDeployment dep(sim, cfg);
+
+  bench::CorpusWorkload workload(64);
+  workload.provision(dep.rules());
+  workload.warm(dep);
+
+  // Straggler 0 additionally loses kAntagonistCores of its vCPUs to a
+  // co-located antagonist: slow AND congested, the worst replica to pick.
+  dep.start_router_antagonist(0, kAntagonistCores);
+
+  sim::ClosedLoopDriver driver(dep, kClients, /*client_nodes=*/4,
+                               workload.picker(), seed);
+  driver.start();
+  sim.run_until(seconds(1));  // warm-up: probes filled, queues steady
+  dep.mark_window();
+  sim.run_until(seconds(1) + seconds(4));
+  sim::WindowMetrics m = dep.mark_window();
+  driver.stop();
+
+  Run r;
+  r.p99_us = static_cast<double>(m.latency.percentile(0.99)) / 1000.0;
+  r.mean_us = m.latency.mean() / 1000.0;
+  r.throughput = m.completed_throughput();
+  return r;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+void emit_policy(const char* key, lb::RoutingPolicy policy, bool last,
+                 double* p99_median_out) {
+  std::vector<double> p99s, means, rps;
+  for (int s = 0; s < kSeeds; ++s) {
+    Run r = run_policy(policy, 100 + static_cast<std::uint64_t>(s));
+    p99s.push_back(r.p99_us);
+    means.push_back(r.mean_us);
+    rps.push_back(r.throughput);
+    std::fprintf(stderr, "bench_pr10: %s seed %d p99=%.0fus mean=%.0fus "
+                 "rps=%.0f\n", key, s, r.p99_us, r.mean_us, r.throughput);
+  }
+  *p99_median_out = median(p99s);
+  std::printf("    \"%s\": {\n      \"p99_us_runs\": [", key);
+  for (int s = 0; s < kSeeds; ++s) {
+    std::printf("%s%.1f", s ? ", " : "", p99s[static_cast<std::size_t>(s)]);
+  }
+  std::printf("],\n      \"p99_us_median\": %.1f,\n", median(p99s));
+  std::printf("      \"mean_us_median\": %.1f,\n", median(means));
+  std::printf("      \"throughput_rps_median\": %.0f\n    }%s\n",
+              median(rps), last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("{\n");
+  std::printf("  \"scenario\": {\n");
+  std::printf("    \"router_nodes\": %d,\n", kRouters);
+  std::printf("    \"server_nodes\": %d,\n", kServers);
+  std::printf("    \"router_speed_factors\": [2.0, 2.0],\n");
+  std::printf("    \"antagonist\": {\"router\": 0, \"cores\": %.1f},\n",
+              kAntagonistCores);
+  std::printf("    \"closed_loop_clients\": %d,\n", kClients);
+  std::printf("    \"seeds\": %d,\n", kSeeds);
+  std::printf("    \"measure_seconds\": 4\n");
+  std::printf("  },\n");
+  std::printf("  \"policies\": {\n");
+
+  double rr = 0;
+  double lc = 0;
+  double pq = 0;
+  emit_policy("round_robin", lb::RoutingPolicy::kRoundRobin, false, &rr);
+  emit_policy("least_connections", lb::RoutingPolicy::kLeastConnections,
+              false, &lc);
+  emit_policy("prequal", lb::RoutingPolicy::kPrequal, true, &pq);
+
+  std::printf("  },\n");
+  std::printf("  \"prequal_vs_roundrobin_p99_speedup\": %.2f,\n",
+              pq > 0 ? rr / pq : 0.0);
+  std::printf("  \"prequal_vs_leastconn_p99_speedup\": %.2f\n",
+              pq > 0 ? lc / pq : 0.0);
+  std::printf("}\n");
+  return 0;
+}

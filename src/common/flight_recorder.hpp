@@ -63,6 +63,8 @@ enum class TraceStage : std::uint8_t {
   kFault,           // testing::FaultInjector fires
   kClusterMigrate,  // cluster resharding: extract/stream/install spans
   kClusterBfd,      // BFD liveness session state changes
+  kGatewayProbe,    // lb::GatewayBalancer probe pool: one round-trip per
+                    // backend (arg: published RIF, or ~0 on probe failure)
   kStageCount,
 };
 
@@ -82,7 +84,7 @@ inline std::string_view trace_stage_name(TraceStage s) {
   static constexpr std::string_view kNames[] = {
       "gateway",   "router",    "router.udp", "server.listener",
       "server.worker", "admission", "watchdog",   "fault",
-      "cluster.migrate", "cluster.bfd",
+      "cluster.migrate", "cluster.bfd", "gateway.probe",
   };
   const auto i = static_cast<std::size_t>(s);
   return i < static_cast<std::size_t>(TraceStage::kStageCount) ? kNames[i]

@@ -96,6 +96,10 @@ enum class LockRank : int {
   kClusterMap = 58,       // cluster::ShardMapHolder::mu_ (snapshot swap only)
   kDnsBalancer = 60,      // lb::DnsBalancer::mu_ (leaf)
   kDnsCache = 65,         // lb::CachingResolver::mu_ (leaf; never nests kDnsBalancer)
+  kLbProbePool = 66,      // lb::GatewayBalancer probe-pool mu_ (guards the
+                          // probe HTTP clients only; held while a probe RPC
+                          // runs, which acquires kQueue inside HttpClient —
+                          // hence below kQueue. Never touched by pick())
   kQueue = 70,            // BlockingQueue::mu_ (fifo, http, pool, replication)
   kWorkerPark = 72,       // QosServerNode per-worker park mu (leaf; guards
                           // only the parked flag, never held over work)

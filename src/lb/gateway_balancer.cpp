@@ -1,11 +1,47 @@
 #include "lb/gateway_balancer.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string_view>
 
 #include "common/flight_recorder.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace janus::lb {
+
+namespace {
+
+/// Extract the integer following `"<field>":` in a /probez body. Returns
+/// -1 when the field is missing or malformed (treated as a failed probe).
+std::int64_t probe_field(std::string_view body, std::string_view field) {
+  std::string needle = "\"" + std::string(field) + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string_view::npos) return -1;
+  const char* begin = body.data() + at + needle.size();
+  char* end = nullptr;
+  const long long v = std::strtoll(begin, &end, 10);
+  if (end == begin || v < 0) return -1;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::string_view routing_policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin: return "round-robin";
+    case RoutingPolicy::kLeastConnections: return "least-connections";
+    case RoutingPolicy::kPrequal: return "prequal";
+  }
+  return "?";
+}
+
+std::optional<RoutingPolicy> routing_policy_from_name(std::string_view name) {
+  if (name == "round-robin") return RoutingPolicy::kRoundRobin;
+  if (name == "least-connections") return RoutingPolicy::kLeastConnections;
+  if (name == "prequal") return RoutingPolicy::kPrequal;
+  return std::nullopt;
+}
 
 Result<std::unique_ptr<GatewayBalancer>> GatewayBalancer::start(
     const net::SockAddr& listen, std::vector<net::SockAddr> backends,
@@ -19,6 +55,14 @@ Result<std::unique_ptr<GatewayBalancer>> GatewayBalancer::start(
       config.http_workers);
   if (!server.ok()) return Error(server.error().message);
   lb->server_ = std::move(server).take();
+  if (config.policy == RoutingPolicy::kPrequal) {
+    // The pool starts probing immediately; backends that are not up yet
+    // just count probe failures until they are.
+    lb->probe_task_ = std::make_unique<PeriodicTask>(
+        lb->config_.prequal.probe_interval, [raw = lb.get()] {
+          raw->probe_round();
+        });
+  }
   return lb;
 }
 
@@ -28,6 +72,19 @@ GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
       config_(config),
       requests_(metrics_.counter("gateway.requests")),
       backend_errors_(metrics_.counter("gateway.backend_errors")),
+      prequal_probes_(metrics_.counter("gateway.prequal_probes")),
+      prequal_probe_failures_(
+          metrics_.counter("gateway.prequal_probe_failures")),
+      prequal_cold_picks_(metrics_.counter("gateway.prequal_cold_picks")),
+      prequal_hot_picks_(metrics_.counter("gateway.prequal_hot_picks")),
+      prequal_fallback_rr_(metrics_.counter("gateway.prequal_fallback_rr")),
+      prequal_reuse_evictions_(
+          metrics_.counter("gateway.prequal_reuse_evictions")),
+      prequal_stale_evictions_(
+          metrics_.counter("gateway.prequal_stale_evictions")),
+      prequal_hot_threshold_(
+          metrics_.gauge("gateway.prequal_hot_rif_threshold")),
+      prequal_valid_probes_(metrics_.gauge("gateway.prequal_valid_probes")),
       proxy_us_(metrics_.histogram("gateway.proxy_us")),
       proxy_exemplar_(metrics_.exemplar("gateway.proxy_us")) {
   proxy_exemplar_.set_threshold(config_.slow_exemplar_us);
@@ -35,9 +92,17 @@ GatewayBalancer::GatewayBalancer(std::vector<net::SockAddr> backends,
     outstanding_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
     forwarded_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
   }
+  if (config_.policy == RoutingPolicy::kPrequal) {
+    picker_ = std::make_unique<PrequalPicker>(backends_.size(),
+                                              config_.prequal);
+    prequal_hot_threshold_.set(-1);  // unset until the first refresh
+    MutexLock lock(probe_mu_);
+    probe_clients_.resize(backends_.size());
+  }
 }
 
 GatewayBalancer::~GatewayBalancer() {
+  if (probe_task_) probe_task_->stop();
   if (server_) server_->stop();
   if (admin_) admin_->stop();
 }
@@ -46,6 +111,9 @@ Result<net::SockAddr> GatewayBalancer::start_admin(const net::SockAddr& addr,
                                                    std::string node_name) {
   net::AdminOptions opts;
   opts.node_name = std::move(node_name);
+  if (config_.policy == RoutingPolicy::kPrequal) {
+    opts.extra_statusz = [this] { return render_prequal_statusz(); };
+  }
   auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
   if (!admin.ok()) return Error(admin.error().message);
   admin_ = std::move(admin).take();
@@ -53,22 +121,151 @@ Result<net::SockAddr> GatewayBalancer::start_admin(const net::SockAddr& addr,
 }
 
 std::size_t GatewayBalancer::pick_backend() {
-  if (config_.policy == RoutingPolicy::kRoundRobin || backends_.size() == 1) {
-    return next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+  if (backends_.size() == 1) return 0;
+  switch (config_.policy) {
+    case RoutingPolicy::kPrequal: return pick_prequal();
+    case RoutingPolicy::kLeastConnections: return pick_least_connections();
+    case RoutingPolicy::kRoundRobin: break;
   }
-  // Least connections; round-robin order breaks ties fairly.
-  std::size_t start = next_.fetch_add(1, std::memory_order_relaxed);
+  return pick_round_robin();
+}
+
+std::size_t GatewayBalancer::pick_round_robin() {
+  return next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+}
+
+std::size_t GatewayBalancer::pick_least_connections() {
+  // The scan starts at the round-robin cursor and only a strictly lower
+  // count displaces the incumbent, so ties rotate across backends instead
+  // of collapsing onto index 0 (the cold-start skew regression in
+  // tests/lb/test_gateway_balancer.cpp pins this down).
+  const std::size_t start = next_.fetch_add(1, std::memory_order_relaxed);
   std::size_t best = start % backends_.size();
   std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
   for (std::size_t i = 0; i < backends_.size(); ++i) {
-    std::size_t idx = (start + i) % backends_.size();
-    std::int64_t load = outstanding_[idx]->load(std::memory_order_relaxed);
+    const std::size_t idx = (start + i) % backends_.size();
+    const std::int64_t load = outstanding_[idx]->load(std::memory_order_relaxed);
     if (load < best_load) {
       best_load = load;
       best = idx;
     }
   }
   return best;
+}
+
+std::size_t GatewayBalancer::pick_prequal() {
+  PrequalPickKind kind = PrequalPickKind::kFallback;
+  const std::size_t idx =
+      picker_->pick(SteadyClock::instance().now(), &kind);
+  switch (kind) {
+    case PrequalPickKind::kCold: prequal_cold_picks_.inc(); break;
+    case PrequalPickKind::kHot: prequal_hot_picks_.inc(); break;
+    case PrequalPickKind::kFallback: prequal_fallback_rr_.inc(); break;
+  }
+  // No usable probe (pool just started, probes lost, everything stale or
+  // reuse-exhausted): degrade to round-robin — a request never waits on
+  // the probe plane.
+  if (idx == PrequalPicker::kNoPick) return pick_round_robin();
+  return idx;
+}
+
+void GatewayBalancer::probe_round() {
+  FlightRecorder::label_current_thread("gateway.probe");
+  auto& faults = testing::FaultInjector::instance();
+  MutexLock lock(probe_mu_);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (faults.should_fire(testing::FaultPoint::kLbProbeDelay)) {
+      SteadyClock::instance().sleep_for(
+          micros(faults.param(testing::FaultPoint::kLbProbeDelay)));
+    }
+    const TimePoint start = SteadyClock::instance().now();
+    const bool record = FlightRecorder::enabled();
+    if (record) {
+      FlightRecorder::instance().record(TraceEventType::kStageEnter,
+                                        TraceStage::kGatewayProbe, i + 1, 0,
+                                        start.count());
+    }
+    prequal_probes_.inc();
+    Result<net::HttpResponse> resp = Error("lb.probe.drop armed");
+    if (!faults.should_fire(testing::FaultPoint::kLbProbeDrop)) {
+      if (!probe_clients_[i]) {
+        probe_clients_[i] = std::make_unique<net::HttpClient>(
+            backends_[i], config_.prequal.probe_timeout);
+      }
+      resp = probe_clients_[i]->get("/probez");
+    }
+    std::int64_t rif = -1;
+    std::int64_t lat_us = -1;
+    if (resp.ok() && resp.value().status == 200) {
+      rif = probe_field(resp.value().body, "rif");
+      lat_us = probe_field(resp.value().body, "lat_us");
+    }
+    const TimePoint end = SteadyClock::instance().now();
+    if (rif < 0 || lat_us < 0) {
+      // Probe lost or malformed: keep the previous probe (stale reuse is
+      // the graceful degradation; sweep() below evicts it once it ages
+      // past max_probe_age) but drop the connection so the next round
+      // reconnects from scratch.
+      prequal_probe_failures_.inc();
+      probe_clients_[i].reset();
+      if (record) {
+        FlightRecorder::instance().record(
+            TraceEventType::kStageExit, TraceStage::kGatewayProbe, i + 1,
+            ~std::uint64_t{0}, end.count());
+      }
+      continue;
+    }
+    picker_->publish(i, rif, lat_us, end);
+    if (record) {
+      FlightRecorder::instance().record(TraceEventType::kStageExit,
+                                        TraceStage::kGatewayProbe, i + 1,
+                                        static_cast<std::uint64_t>(rif),
+                                        end.count());
+    }
+  }
+  const TimePoint now = SteadyClock::instance().now();
+  const std::size_t stale = picker_->sweep(now);
+  if (stale > 0) {
+    prequal_stale_evictions_.inc(static_cast<std::int64_t>(stale));
+  }
+  picker_->refresh_threshold(now);
+  const std::int64_t spent = picker_->take_reuse_evictions();
+  if (spent > 0) prequal_reuse_evictions_.inc(spent);
+  const std::int64_t threshold = picker_->hot_rif_threshold();
+  prequal_hot_threshold_.set(
+      threshold == std::numeric_limits<std::int64_t>::max() ? -1 : threshold);
+  prequal_valid_probes_.set(picker_->valid_probes(now));
+}
+
+void GatewayBalancer::probe_now() {
+  if (picker_) probe_round();
+}
+
+std::string GatewayBalancer::render_prequal_statusz() const {
+  const TimePoint now = SteadyClock::instance().now();
+  const std::int64_t threshold = picker_->hot_rif_threshold();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"prequal\":{\"policy\":\"prequal\","
+                "\"hot_rif_threshold\":%lld,\"probes\":[",
+                threshold == std::numeric_limits<std::int64_t>::max()
+                    ? -1LL
+                    : static_cast<long long>(threshold));
+  std::string out = buf;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const PrequalPicker::Probe p = picker_->snapshot(i, now);
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"backend\":\"%s\",\"rif\":%lld,\"lat_us\":%lld,"
+                  "\"age_ms\":%lld,\"uses\":%lld,\"valid\":%s}",
+                  i == 0 ? "" : ",", backends_[i].to_string().c_str(),
+                  static_cast<long long>(p.rif),
+                  static_cast<long long>(p.lat_us),
+                  static_cast<long long>(p.age_ns / 1000000),
+                  static_cast<long long>(p.uses), p.valid ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 net::HttpResponse GatewayBalancer::handle(const net::HttpRequest& req) {

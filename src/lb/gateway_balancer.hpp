@@ -4,16 +4,32 @@
 // routing policy, and relays the response. That extra TCP hop is precisely
 // the +500 µs Fig. 5 measures against DNS load balancing.
 //
-// Concurrency (DESIGN.md §8): the balancer adds no locks of its own — the
-// round-robin cursor and health flags are atomics, connection reuse is
-// per-worker, and the HTTP dispatch rides HttpServer's `common.queue` rank.
+// Routing policies: the paper's round-robin and least-connections, plus the
+// Prequal hot/cold power-of-d policy (DESIGN.md §14): an async probe pool
+// (PeriodicTask) samples each backend's `GET /probez` for requests-in-flight
+// and estimated latency, and the pick path routes through the seqlocked
+// PrequalPicker probe cache — bounded staleness, reuse budgets, hot/cold
+// classification by RIF quantile — falling back to round-robin whenever no
+// probe is usable, so a dead probe plane degrades instead of stalling.
+//
+// Concurrency (DESIGN.md §8): the pick path adds no locks — the round-robin
+// cursor and health counters are atomics and the probe cache is a seqlock.
+// The probe pool's HTTP clients are guarded by `lb.probe_pool` (rank 66,
+// held across a probe round-trip, which nests HttpServer's `common.queue`);
+// pick_backend() never touches it.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/metrics.hpp"
+#include "common/periodic.hpp"
+#include "common/sync.hpp"
+#include "lb/prequal.hpp"
 #include "net/admin_server.hpp"
 #include "net/http.hpp"
 
@@ -22,7 +38,12 @@ namespace janus::lb {
 enum class RoutingPolicy {
   kRoundRobin,        // "distributes requests to the back end nodes one by one"
   kLeastConnections,  // "to the node with the least outstanding requests"
+  kPrequal,           // probe-based hot/cold power-of-d (DESIGN.md §14)
 };
+
+/// Stable flag/CLI name ("round-robin", "least-connections", "prequal").
+std::string_view routing_policy_name(RoutingPolicy policy);
+std::optional<RoutingPolicy> routing_policy_from_name(std::string_view name);
 
 struct GatewayConfig {
   RoutingPolicy policy = RoutingPolicy::kRoundRobin;
@@ -32,6 +53,8 @@ struct GatewayConfig {
   /// disables exemplar capture. The exemplar's "key" is the backend
   /// address, the most useful attribution at this hop.
   std::int64_t slow_exemplar_us = 20000;
+  /// Probe pool knobs; consulted only under RoutingPolicy::kPrequal.
+  PrequalConfig prequal;
 };
 
 class GatewayBalancer {
@@ -44,6 +67,7 @@ class GatewayBalancer {
 
   net::SockAddr addr() const { return server_->addr(); }
   MetricsRegistry& metrics() { return metrics_; }
+  const GatewayConfig& config() const { return config_; }
 
   /// Mount the admin/observability endpoint (/metrics, /healthz, /statusz).
   Result<net::SockAddr> start_admin(const net::SockAddr& addr,
@@ -53,7 +77,16 @@ class GatewayBalancer {
   /// measurements in the Fig. 5 discussion read these.
   std::vector<std::int64_t> per_backend_counts() const;
 
+  /// Run one synchronous probe round (kPrequal only; no-op otherwise).
+  /// Tests use this instead of waiting out the probe interval.
+  void probe_now();
+
+  /// The probe cache, for tests and the /statusz renderer (kPrequal only;
+  /// nullptr under the other policies).
+  const PrequalPicker* prequal_picker() const { return picker_.get(); }
+
   void stop() {
+    if (probe_task_) probe_task_->stop();
     server_->stop();
     if (admin_) admin_->stop();
   }
@@ -61,7 +94,20 @@ class GatewayBalancer {
  private:
   GatewayBalancer(std::vector<net::SockAddr> backends, GatewayConfig config);
   net::HttpResponse handle(const net::HttpRequest& req);
-  std::size_t pick_backend();
+
+  /// Request-path policy dispatch. Lock-free and allocation-free under
+  /// every policy: atomics only for RR/LC, a seqlocked probe-cache read for
+  /// Prequal (tools/janus_purity_lint.py verifies the whole call graph).
+  JANUS_HOT_PATH std::size_t pick_backend();
+  JANUS_HOT_PATH std::size_t pick_round_robin();
+  JANUS_HOT_PATH std::size_t pick_least_connections();
+  JANUS_HOT_PATH std::size_t pick_prequal();
+
+  /// Probe pool body: one /probez round-trip per backend, then the
+  /// sweep/threshold/metric bookkeeping. Runs on the PeriodicTask thread
+  /// (and synchronously from probe_now()); serialized by probe_mu_.
+  void probe_round();
+  std::string render_prequal_statusz() const;
 
   std::vector<net::SockAddr> backends_;
   GatewayConfig config_;
@@ -71,10 +117,28 @@ class GatewayBalancer {
   MetricsRegistry metrics_;
   Counter& requests_;
   Counter& backend_errors_;
+  Counter& prequal_probes_;           // gateway.prequal_probes
+  Counter& prequal_probe_failures_;   // gateway.prequal_probe_failures
+  Counter& prequal_cold_picks_;       // gateway.prequal_cold_picks
+  Counter& prequal_hot_picks_;        // gateway.prequal_hot_picks
+  Counter& prequal_fallback_rr_;      // gateway.prequal_fallback_rr
+  Counter& prequal_reuse_evictions_;  // gateway.prequal_reuse_evictions
+  Counter& prequal_stale_evictions_;  // gateway.prequal_stale_evictions
+  Gauge& prequal_hot_threshold_;      // gateway.prequal_hot_rif_threshold
+  Gauge& prequal_valid_probes_;       // gateway.prequal_valid_probes
   HistogramMetric& proxy_us_;
   Exemplar& proxy_exemplar_;  // slowest-sample trace/backend, /statusz
+  std::unique_ptr<PrequalPicker> picker_;  // kPrequal only
+  /// Guards the probe pool's per-backend keep-alive HTTP clients. Held
+  /// across a probe round (I/O under lock is fine here: rank 66 sits below
+  /// the kQueue rank HttpClient machinery may take, and the request path
+  /// never touches this mutex).
+  mutable Mutex probe_mu_{LockRank::kLbProbePool, "lb.probe_pool"};
+  std::vector<std::unique_ptr<net::HttpClient>> probe_clients_
+      JANUS_GUARDED_BY(probe_mu_);
   std::unique_ptr<net::HttpServer> server_;
   std::unique_ptr<net::AdminServer> admin_;
+  std::unique_ptr<PeriodicTask> probe_task_;  // declared last: stops first
 };
 
 }  // namespace janus::lb

@@ -1,0 +1,317 @@
+// Prequal-style probe cache + hot/cold power-of-d picker ("Load is not what
+// you should balance: Introducing Prequal", PAPERS.md; DESIGN.md §14).
+//
+// An async probe pool (GatewayBalancer's PeriodicTask, or a recurring sim
+// event) publishes each backend's requests-in-flight (RIF) and estimated
+// latency into a per-backend ProbeSlot. The request hot path samples d
+// backends, classifies them hot/cold against the published RIF-quantile
+// threshold, and routes to the cold replica with the lowest estimated
+// latency — falling back to hottest-avoidance (min RIF) when every sampled
+// replica is hot, and to kNoPick (caller does round-robin) when no probe is
+// usable. Probes are bounded-staleness: each is reused at most
+// `probe_reuse_budget` times and at most `max_probe_age` old, then evicted.
+//
+// Memory model: identical discipline to FlightRecorder's rings. Exactly one
+// writer thread calls publish()/sweep()/refresh_threshold(); it publishes a
+// slot by storing seq = odd (claim), payload fields relaxed, then seq = even
+// (release). Readers (pick/snapshot) load seq (acquire), payload (relaxed),
+// fence (acquire), re-read seq, and accept only a matching even value. The
+// reuse counter is the one reader-written field: a relaxed fetch_add outside
+// the seqlock window — an overshoot under contention only retires a probe a
+// hair early, never resurrects one. pick() is JANUS_HOT_PATH: no allocation,
+// no janus::Mutex, no blocking — the probe pool owns all the slow work.
+//
+// Header-only and clock-agnostic on purpose: janus::sim drives the same
+// picker on ManualClock virtual time, so the bench reproduces the paper's
+// tail-latency claim with the exact production pick logic.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/hot_path.hpp"
+
+namespace janus::lb {
+
+struct PrequalConfig {
+  /// Probe pool period: how often every backend is re-probed.
+  Duration probe_interval = millis(5);
+  /// T: a probe older than this is dead — readers skip it, sweep() evicts it.
+  Duration max_probe_age = millis(250);
+  /// R: a probe steers at most this many picks before it is retired.
+  std::int64_t probe_reuse_budget = 16;
+  /// d: distinct backends sampled per pick (clamped to kMaxChoices and to
+  /// the backend count).
+  std::size_t d_choices = 3;
+  /// Replicas with RIF above this quantile of the probed fleet are "hot"
+  /// and only chosen when every sampled replica is hot.
+  double hot_quantile = 0.75;
+  /// Per-probe HTTP timeout (probe pool side; the picker itself never
+  /// blocks).
+  Duration probe_timeout = millis(50);
+};
+
+/// Why pick() chose (or declined to choose) a backend — the caller maps
+/// these onto the gateway.prequal_{cold,hot}_picks / prequal_fallback_rr
+/// counters.
+enum class PrequalPickKind : std::uint8_t {
+  kCold,      // cold replica, lowest estimated latency among sampled
+  kHot,       // every sampled replica hot: least-RIF damage control
+  kFallback,  // no usable probe — caller falls back to round-robin
+};
+
+class PrequalPicker {
+ public:
+  static constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMaxChoices = 8;
+
+  /// A decoded probe, as seen by snapshot() (statusz rows, tests).
+  struct Probe {
+    std::int64_t rif = -1;
+    std::int64_t lat_us = 0;
+    std::int64_t age_ns = 0;
+    std::int64_t uses = 0;
+    bool valid = false;  // published, fresh, and under the reuse budget
+  };
+
+  explicit PrequalPicker(std::size_t backends, PrequalConfig config = {})
+      : config_(config), slots_(backends) {
+    if (config_.d_choices < 1) config_.d_choices = 1;
+    if (config_.d_choices > kMaxChoices) config_.d_choices = kMaxChoices;
+    if (config_.probe_reuse_budget < 1) config_.probe_reuse_budget = 1;
+  }
+
+  PrequalPicker(const PrequalPicker&) = delete;
+  PrequalPicker& operator=(const PrequalPicker&) = delete;
+
+  std::size_t size() const { return slots_.size(); }
+  const PrequalConfig& config() const { return config_; }
+
+  // ---- writer side (probe pool thread only) ------------------------------
+
+  /// Publish a fresh probe for `backend`; resets its reuse budget. Passing
+  /// rif < 0 invalidates the slot (probe failed / backend unreachable).
+  void publish(std::size_t backend, std::int64_t rif, std::int64_t lat_us,
+               TimePoint now) {
+    ProbeSlot& s = slots_[backend];
+    const std::uint64_t sq = s.seq_.load(std::memory_order_relaxed);
+    s.seq_.store(sq + 1, std::memory_order_relaxed);  // odd: mid-write
+    s.rif_.store(rif, std::memory_order_relaxed);
+    s.lat_us_.store(lat_us, std::memory_order_relaxed);
+    s.ts_ns_.store(now.count(), std::memory_order_relaxed);
+    s.uses_.store(0, std::memory_order_relaxed);
+    s.seq_.store(sq + 2, std::memory_order_release);  // even: published
+  }
+
+  /// Drop a backend's probe immediately (probe failure path).
+  void invalidate(std::size_t backend) { publish(backend, -1, 0, kTimeZero); }
+
+  /// Evict every probe older than max_probe_age; returns how many were
+  /// evicted (the gateway.prequal_stale_evictions counter). Called by the
+  /// probe pool each round, so a backend whose probes keep failing ages out
+  /// instead of steering picks forever.
+  std::size_t sweep(TimePoint now) {
+    std::size_t evicted = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Probe p = snapshot(i, now);
+      if (p.rif >= 0 && p.age_ns > config_.max_probe_age.count()) {
+        invalidate(i);
+        ++evicted;
+      }
+    }
+    return evicted;
+  }
+
+  /// Recompute the hot/cold RIF threshold from the currently valid probes
+  /// (the `hot_quantile` order statistic). Probe pool calls this after each
+  /// publish round; readers see the new threshold via one relaxed load.
+  void refresh_threshold(TimePoint now) {
+    std::vector<std::int64_t> rifs;
+    rifs.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Probe p = snapshot(i, now);
+      if (p.valid) rifs.push_back(p.rif);
+    }
+    if (rifs.empty()) return;  // keep the previous threshold
+    std::size_t k = static_cast<std::size_t>(
+        config_.hot_quantile * static_cast<double>(rifs.size() - 1) + 0.5);
+    if (k >= rifs.size()) k = rifs.size() - 1;
+    std::nth_element(rifs.begin(),
+                     rifs.begin() + static_cast<std::ptrdiff_t>(k),
+                     rifs.end());
+    hot_rif_threshold_.store(rifs[static_cast<std::ptrdiff_t>(k)],
+                             std::memory_order_relaxed);
+  }
+
+  /// Picks whose probe crossed the reuse budget since the last call
+  /// (drained by the probe pool into gateway.prequal_reuse_evictions).
+  std::int64_t take_reuse_evictions() {
+    return reuse_evictions_.exchange(0, std::memory_order_relaxed);
+  }
+
+  // ---- reader side (request hot path) ------------------------------------
+
+  /// Choose a backend: sample d distinct indices, read their probes through
+  /// the seqlock, route cold-min-latency (hot-min-RIF when all sampled are
+  /// hot). Returns kNoPick when no sampled probe is usable — the caller
+  /// falls back to round-robin, so a dead probe pool degrades, never stalls.
+  JANUS_HOT_PATH std::size_t pick(TimePoint now,
+                                  PrequalPickKind* kind = nullptr) {
+    const std::size_t n = slots_.size();
+    std::size_t d = config_.d_choices < n ? config_.d_choices : n;
+    std::array<std::uint32_t, kMaxChoices> cand;
+    std::size_t cn = 0;
+    // Rejection-sample d distinct indices; d ≤ 8 keeps the dup scan trivial.
+    for (std::size_t attempt = 0; attempt < 4 * kMaxChoices && cn < d;
+         ++attempt) {
+      const auto i = static_cast<std::uint32_t>(next_rand() % n);
+      bool dup = false;
+      for (std::size_t j = 0; j < cn; ++j) dup = dup || cand[j] == i;
+      if (!dup) cand[cn++] = i;
+    }
+    const std::int64_t threshold =
+        hot_rif_threshold_.load(std::memory_order_relaxed);
+    std::size_t best_cold = kNoPick;
+    std::int64_t best_cold_lat = 0;
+    std::size_t best_hot = kNoPick;
+    std::int64_t best_hot_rif = 0;
+    for (std::size_t j = 0; j < cn; ++j) {
+      std::int64_t rif = 0;
+      std::int64_t lat = 0;
+      if (!read_slot(cand[j], now, &rif, &lat)) continue;
+      if (rif <= threshold) {
+        if (best_cold == kNoPick || lat < best_cold_lat) {
+          best_cold = cand[j];
+          best_cold_lat = lat;
+        }
+      } else if (best_hot == kNoPick || rif < best_hot_rif) {
+        best_hot = cand[j];
+        best_hot_rif = rif;
+      }
+    }
+    const std::size_t chosen = best_cold != kNoPick ? best_cold : best_hot;
+    if (chosen == kNoPick) {
+      if (kind != nullptr) *kind = PrequalPickKind::kFallback;
+      return kNoPick;
+    }
+    if (kind != nullptr) {
+      *kind = best_cold != kNoPick ? PrequalPickKind::kCold
+                                   : PrequalPickKind::kHot;
+    }
+    // Consume one reuse; exactly one pick observes the crossing, so the
+    // eviction counter stays exact even under concurrent picks.
+    const std::int64_t prev =
+        slots_[chosen].uses_.fetch_add(1, std::memory_order_relaxed);
+    if (prev + 1 == config_.probe_reuse_budget) {
+      reuse_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return chosen;
+  }
+
+  // ---- introspection ------------------------------------------------------
+
+  /// Seqlock-consistent copy of one backend's probe (statusz, tests).
+  Probe snapshot(std::size_t backend, TimePoint now) const {
+    Probe p;
+    std::int64_t rif = 0;
+    std::int64_t lat = 0;
+    const ProbeSlot& s = slots_[backend];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t s0 = s.seq_.load(std::memory_order_acquire);
+      if (s0 == 0) return p;            // never published
+      if ((s0 & 1) != 0) continue;      // mid-write
+      rif = s.rif_.load(std::memory_order_relaxed);
+      lat = s.lat_us_.load(std::memory_order_relaxed);
+      const std::int64_t ts = s.ts_ns_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq_.load(std::memory_order_relaxed) != s0) continue;  // torn
+      p.rif = rif;
+      p.lat_us = lat;
+      p.uses = s.uses_.load(std::memory_order_relaxed);
+      p.age_ns = now.count() - ts;
+      p.valid = rif >= 0 &&
+                now.count() - ts <= config_.max_probe_age.count() &&
+                p.uses < config_.probe_reuse_budget;
+      return p;
+    }
+    return p;
+  }
+
+  /// Backends with a currently usable probe (gateway.prequal_valid_probes).
+  std::int64_t valid_probes(TimePoint now) const {
+    std::int64_t n = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (snapshot(i, now).valid) ++n;
+    }
+    return n;
+  }
+
+  std::int64_t hot_rif_threshold() const {
+    return hot_rif_threshold_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One cache line per backend: the probe pool's writes never false-share
+  // with a neighbouring slot's hot-path reads.
+  struct alignas(64) ProbeSlot {
+    std::atomic<std::uint64_t> seq_{0};   // 0 never written; odd mid-write
+    std::atomic<std::int64_t> rif_{-1};   // requests-in-flight; <0 invalid
+    std::atomic<std::int64_t> lat_us_{0};
+    std::atomic<std::int64_t> ts_ns_{0};  // publish time (clock-agnostic)
+    std::atomic<std::int64_t> uses_{0};   // picks steered by this probe
+  };
+
+  /// Hot-path slot read: double-load seqlock, then the freshness and reuse
+  /// gates. Returns false for unusable probes (caller skips the candidate).
+  JANUS_HOT_PATH bool read_slot(std::size_t backend, TimePoint now,
+                                std::int64_t* rif, std::int64_t* lat) const {
+    const ProbeSlot& s = slots_[backend];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t s0 = s.seq_.load(std::memory_order_acquire);
+      if (s0 == 0) return false;        // never published
+      if ((s0 & 1) != 0) continue;      // mid-write, retry
+      const std::int64_t r = s.rif_.load(std::memory_order_relaxed);
+      const std::int64_t l = s.lat_us_.load(std::memory_order_relaxed);
+      const std::int64_t ts = s.ts_ns_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq_.load(std::memory_order_relaxed) != s0) continue;  // torn
+      if (r < 0) return false;  // invalidated
+      if (now.count() - ts > config_.max_probe_age.count()) return false;
+      if (s.uses_.load(std::memory_order_relaxed) >=
+          config_.probe_reuse_budget) {
+        return false;  // reuse budget spent — wait for the next probe
+      }
+      *rif = r;
+      *lat = l;
+      return true;
+    }
+    return false;
+  }
+
+  /// Per-thread xorshift64*: no shared state, no lock, good enough spread
+  /// for d-of-n sampling. Seeded from the thread id via the TLS address.
+  JANUS_HOT_PATH static std::uint64_t next_rand() {
+    thread_local std::uint64_t state = 0;
+    if (state == 0) {
+      state = 0x9e3779b97f4a7c15ull ^
+              reinterpret_cast<std::uintptr_t>(&state);
+    }
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+
+  PrequalConfig config_;
+  std::vector<ProbeSlot> slots_;
+  std::atomic<std::int64_t> hot_rif_threshold_{
+      std::numeric_limits<std::int64_t>::max()};  // all-cold until refreshed
+  std::atomic<std::int64_t> reuse_evictions_{0};
+};
+
+}  // namespace janus::lb

@@ -1,5 +1,7 @@
 #include "router/router_node.hpp"
 
+#include <cstdio>
+
 #include "common/flight_recorder.hpp"
 #include "common/logging.hpp"
 #include "wire/http_codec.hpp"
@@ -44,6 +46,8 @@ RouterNode::RouterNode(std::vector<std::string> backends,
       retries_(metrics_.counter("router.udp_retries")),
       bad_requests_(metrics_.counter("router.bad_requests")),
       stale_reroutes_(metrics_.counter("router.stale_epoch_reroutes")),
+      probes_(metrics_.counter("router.probes")),
+      inflight_(metrics_.gauge("router.inflight")),
       e2e_us_(metrics_.histogram("router.e2e_us")),
       udp_rtt_us_(metrics_.histogram("router.udp_rtt_us")),
       e2e_exemplar_(metrics_.exemplar("router.e2e_us")) {
@@ -59,16 +63,38 @@ Result<net::SockAddr> RouterNode::start_admin(const net::SockAddr& addr,
                                               std::string node_name) {
   net::AdminOptions opts;
   opts.node_name = std::move(node_name);
+  // Mirror the data-plane /probez signal on /statusz so operators can see
+  // exactly what the Prequal probe pool sees.
+  opts.extra_statusz = [this] {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"probe\":{\"rif\":%lld,\"lat_us\":%lld}",
+                  static_cast<long long>(requests_in_flight()),
+                  static_cast<long long>(est_latency_us()));
+    return std::string(buf);
+  };
   auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
   if (!admin.ok()) return Error(admin.error().message);
   admin_ = std::move(admin).take();
   return admin_->addr();
 }
 
+net::HttpResponse RouterNode::probez_response() const {
+  probes_.inc();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"rif\":%lld,\"lat_us\":%lld}",
+                static_cast<long long>(requests_in_flight()),
+                static_cast<long long>(est_latency_us()));
+  return net::HttpResponse::text(200, buf);
+}
+
 net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
   FlightRecorder::label_current_thread("router.http");
+  // Prequal probe plane (DESIGN.md §14): answered before any accounting so
+  // the probe itself never inflates the RIF it reports.
+  if (req.target == "/probez") return probez_response();
   const TimePoint start = SteadyClock::instance().now();
   requests_.inc();
+  inflight_.add(1);
 
   std::string trace;
   if (auto h = req.header("X-Janus-Trace")) trace = std::string(*h);
@@ -87,9 +113,16 @@ net::HttpResponse RouterNode::handle(const net::HttpRequest& req) {
   net::HttpResponse resp = dispatch(req, trace, &key);
   if (!trace.empty()) resp.headers.push_back({"X-Janus-Trace", trace});
 
+  inflight_.add(-1);
   const std::int64_t e2e = us_since(start);
   e2e_us_.record(e2e);
   e2e_exemplar_.record(e2e, trace, key);
+  // EWMA (α=1/8) of e2e latency — the probe's load-adjusted latency
+  // estimate. Load/compute/store race between workers only loses one
+  // sample's worth of smoothing; it is an estimate either way.
+  const std::int64_t prev = lat_ewma_us_.load(std::memory_order_relaxed);
+  lat_ewma_us_.store(prev == 0 ? e2e : prev + (e2e - prev) / 8,
+                     std::memory_order_relaxed);
   if (trace_hash != 0) {
     FlightRecorder::instance().record(
         TraceEventType::kStageExit, TraceStage::kRouter, trace_hash,

@@ -88,10 +88,21 @@ class RouterNode {
     if (admin_) admin_->stop();
   }
 
+  /// Prequal probe signal (DESIGN.md §14): HTTP requests currently inside
+  /// handle() and an EWMA (α=1/8) of recent e2e latency. Served on the
+  /// data plane as `GET /probez` and mirrored on the admin /statusz.
+  std::int64_t requests_in_flight() const {
+    return inflight_.value();
+  }
+  std::int64_t est_latency_us() const {
+    return lat_ewma_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   RouterNode(std::vector<std::string> backends,
              std::shared_ptr<Resolver> resolver, RouterConfig config);
   net::HttpResponse handle(const net::HttpRequest& req);
+  net::HttpResponse probez_response() const;
   /// `key_out` receives the parsed QoS key (empty on malformed requests) so
   /// handle() can attribute the e2e exemplar without re-parsing the target.
   net::HttpResponse dispatch(const net::HttpRequest& req,
@@ -109,6 +120,9 @@ class RouterNode {
   Counter& retries_;
   Counter& bad_requests_;
   Counter& stale_reroutes_;  // router.stale_epoch_reroutes
+  Counter& probes_;          // router.probes (served /probez snapshots)
+  Gauge& inflight_;          // router.inflight (the probed RIF)
+  std::atomic<std::int64_t> lat_ewma_us_{0};
   HistogramMetric& e2e_us_;
   HistogramMetric& udp_rtt_us_;
   Exemplar& e2e_exemplar_;  // slowest-sample trace/key, /statusz

@@ -187,12 +187,26 @@ Result<net::SockAddr> QosServerNode::start_admin(const net::SockAddr& addr,
     return render_hot_key_metrics(node);
   };
   opts.extra_statusz = [this] {
-    return render_hot_key_statusz() + render_cluster_statusz();
+    char probe[48];
+    std::snprintf(probe, sizeof(probe), ",\"probe\":{\"rif\":%lld}",
+                  static_cast<long long>(requests_in_flight()));
+    return probe + render_hot_key_statusz() + render_cluster_statusz();
   };
   auto admin = net::AdminServer::start(addr, metrics_, std::move(opts));
   if (!admin.ok()) return Error(admin.error().message);
   admin_ = std::move(admin).take();
   return admin_->addr();
+}
+
+std::int64_t QosServerNode::requests_in_flight() const {
+  // Accepted minus retired (answered, malformed replies are counted
+  // separately, fifo drops never reach a worker). Counters are sampled
+  // independently so a burst can transiently skew the difference — clamp
+  // instead of asserting.
+  const std::int64_t retired =
+      answered_.value() + malformed_.value() + dropped_.value();
+  const std::int64_t in = received_.value();
+  return in > retired ? in - retired : 0;
 }
 
 namespace {

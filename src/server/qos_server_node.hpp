@@ -135,6 +135,12 @@ class QosServerNode {
   Result<net::SockAddr> start_admin(const net::SockAddr& addr,
                                     std::string node_name = "server");
 
+  /// Prequal probe mirror (DESIGN.md §14): datagrams accepted but not yet
+  /// answered — the UDP tier's requests-in-flight, served as a
+  /// `"probe"` row on /statusz. Derived from the existing counters so the
+  /// decision path pays nothing for the probe surface.
+  std::int64_t requests_in_flight() const;
+
   /// Force one maintenance pass (tests; avoids waiting on wall-clock).
   /// In shard-per-worker mode this enqueues the command to every worker
   /// and waits for all of them to execute their slice.

@@ -1,15 +1,30 @@
 #include "sim/janus_model.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "core/db_rule_adapter.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace janus::sim {
 
 struct SimDeployment::SimRouter {
   std::unique_ptr<SimNode> node;
   net::SockAddr addr;
+  double speed = 1.0;              // CPU-cost multiplier (heterogeneity)
+  std::int64_t outstanding = 0;    // gateway-visible in-flight (LC policy)
+  std::int64_t lat_ewma_us = 0;    // EWMA of e2e latency (probe signal)
+  std::uint64_t requests_window = 0;  // per-window routing-skew counter
 };
+
+namespace {
+
+Duration scale_cost(Duration d, double factor) {
+  return Duration{static_cast<std::int64_t>(
+      static_cast<double>(d.count()) * factor)};
+}
+
+}  // namespace
 
 struct SimDeployment::SimServer {
   std::unique_ptr<SimNode> node;
@@ -71,8 +86,19 @@ SimDeployment::SimDeployment(Simulation& sim, DeploymentConfig config)
                          .background_cores = c.router_background_cores,
                          .queue_limit = 0});
     r->addr = net::SockAddr{"10.0.0." + std::to_string(i + 1), 80};
+    if (static_cast<std::size_t>(i) < config_.router_speed_factors.size() &&
+        config_.router_speed_factors[i] > 0) {
+      r->speed = config_.router_speed_factors[i];
+    }
     router_by_addr_[r->addr.to_string()] = routers_.size();
     routers_.push_back(std::move(r));
+  }
+
+  if (config_.lb_mode == LbMode::kGateway &&
+      config_.gateway_policy == lb::RoutingPolicy::kPrequal) {
+    picker_ = std::make_unique<lb::PrequalPicker>(routers_.size(),
+                                                  config_.prequal);
+    schedule_probe_round();
   }
 
   for (int i = 0; i < config_.server_nodes; ++i) {
@@ -101,11 +127,83 @@ SimDeployment::SimDeployment(Simulation& sim, DeploymentConfig config)
 SimDeployment::~SimDeployment() = default;
 
 SimDeployment::SimRouter& SimDeployment::pick_router_gateway() {
+  switch (config_.gateway_policy) {
+    case lb::RoutingPolicy::kPrequal: {
+      // The real picker on virtual time: cold-min-latency among d sampled
+      // probes, kNoPick (no usable probe yet) degrades to round-robin.
+      const std::size_t idx = picker_->pick(sim_.now());
+      if (idx != lb::PrequalPicker::kNoPick) return *routers_[idx];
+      break;
+    }
+    case lb::RoutingPolicy::kLeastConnections: {
+      // Fewest gateway-visible outstanding requests; ties rotate on the
+      // round-robin cursor exactly like GatewayBalancer (DESIGN.md §14).
+      const std::size_t start = rr_next_++;
+      std::size_t best = start % routers_.size();
+      std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t i = 0; i < routers_.size(); ++i) {
+        const std::size_t idx = (start + i) % routers_.size();
+        if (routers_[idx]->outstanding < best_load) {
+          best_load = routers_[idx]->outstanding;
+          best = idx;
+        }
+      }
+      return *routers_[best];
+    }
+    case lb::RoutingPolicy::kRoundRobin:
+      break;
+  }
   // ELB round robin (§V-A: "uniform distribution of workload across all
   // request router nodes").
   SimRouter& r = *routers_[rr_next_ % routers_.size()];
   ++rr_next_;
   return r;
+}
+
+void SimDeployment::schedule_probe_round() {
+  sim_.schedule_after(config_.prequal.probe_interval, [this] {
+    probe_round();
+    schedule_probe_round();
+  });
+}
+
+void SimDeployment::probe_round() {
+  const TimePoint now = sim_.now();
+  auto& faults = testing::FaultInjector::instance();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    // lb.probe.drop models a lost probe round-trip in the sim too: the
+    // previous probe stays (stale reuse) until sweep() ages it out.
+    if (faults.should_fire(testing::FaultPoint::kLbProbeDrop)) continue;
+    // RIF = jobs queued or running on the router node (requests and any
+    // antagonist work); latency estimate = the router's e2e EWMA.
+    picker_->publish(i,
+                     static_cast<std::int64_t>(routers_[i]->node->in_flight()),
+                     routers_[i]->lat_ewma_us, now);
+  }
+  picker_->sweep(now);
+  picker_->refresh_threshold(now);
+  picker_->take_reuse_evictions();
+}
+
+void SimDeployment::start_router_antagonist(std::size_t index, double cores,
+                                            Duration period) {
+  if (index >= routers_.size() || cores <= 0 || period.count() <= 0) return;
+  SimNode* node = routers_[index]->node.get();
+  // `cores` vCPUs' worth of work per period: floor(cores) full-period jobs
+  // plus one fractional job, re-submitted every period forever.
+  const auto whole = static_cast<std::size_t>(cores);
+  const double frac = cores - static_cast<double>(whole);
+  sim_.schedule_after(period, [this, index, cores, period, node, whole,
+                              frac] {
+    for (std::size_t j = 0; j < whole; ++j) {
+      node->submit(period, Duration{0}, std::function<void()>{});
+    }
+    if (frac > 0) {
+      node->submit(scale_cost(period, frac), Duration{0},
+                   std::function<void()>{});
+    }
+    start_router_antagonist(index, cores, period);
+  });
 }
 
 SimDeployment::SimRouter& SimDeployment::pick_router_dns(int client_id) {
@@ -134,6 +232,7 @@ void SimDeployment::submit(int client_id, const std::string& key,
     // client -> ELB -> router: extra hop plus ELB forwarding work (§V-A).
     inbound += c.lb_cpu + c.lb_hop.sample(rng_);
     ex->router = &pick_router_gateway();
+    ++ex->router->outstanding;  // gateway-visible in-flight (LC policy)
   } else {
     ex->router = &pick_router_dns(client_id);
   }
@@ -143,7 +242,9 @@ void SimDeployment::submit(int client_id, const std::string& key,
 void SimDeployment::router_receive(SimRouter& router,
                                    std::shared_ptr<Exchange> ex) {
   m_requests_.inc();
-  router.node->submit(config_.costs.router_cpu_pre, [this, ex] {
+  ++router.requests_window;
+  router.node->submit(scale_cost(config_.costs.router_cpu_pre, router.speed),
+                      [this, ex] {
     ex->server = servers_[key_router_->index_for(ex->key)].get();
     start_attempt(ex);
   });
@@ -230,7 +331,8 @@ void SimDeployment::deliver_response(std::shared_ptr<Exchange> ex,
                                      bool allowed, std::int64_t /*credits*/,
                                      wire::ResponseStatus status) {
   // HTTP reply work on the router, then the network back to the client.
-  ex->router->node->submit(config_.costs.router_cpu_post,
+  ex->router->node->submit(scale_cost(config_.costs.router_cpu_post,
+                                      ex->router->speed),
                            [this, ex, allowed, status] {
                              Duration back = config_.costs.client_net.sample(rng_);
                              if (config_.lb_mode == LbMode::kGateway) {
@@ -246,6 +348,17 @@ void SimDeployment::deliver_response(std::shared_ptr<Exchange> ex,
 void SimDeployment::finish(std::shared_ptr<Exchange> ex, bool allowed,
                            wire::ResponseStatus status) {
   ++window_.completed;
+  if (config_.lb_mode == LbMode::kGateway) {
+    if (ex->router->outstanding > 0) --ex->router->outstanding;
+    // Per-router e2e EWMA (α=1/8) — the virtual-time mirror of
+    // RouterNode::est_latency_us, read by the Prequal probe round.
+    const std::int64_t e2e_us = (sim_.now() - ex->t0).count() / 1000;
+    ex->router->lat_ewma_us =
+        ex->router->lat_ewma_us == 0
+            ? e2e_us
+            : ex->router->lat_ewma_us +
+                  (e2e_us - ex->router->lat_ewma_us) / 8;
+  }
   if (status == wire::ResponseStatus::kOk) {
     ++window_.decided;
     m_forwarded_.inc();
@@ -277,6 +390,8 @@ WindowMetrics SimDeployment::mark_window() {
     NodeStats st = r->node->mark_window();
     double util = st.cpu_utilization(r->node->vcpus());
     out.router_cpu_per_node.push_back(util);
+    out.router_requests_per_node.push_back(r->requests_window);
+    r->requests_window = 0;
     router_total += util;
   }
   out.router_cpu = router_total / static_cast<double>(routers_.size());

@@ -24,6 +24,8 @@
 #include "core/key_router.hpp"
 #include "db/rule_store.hpp"
 #include "lb/dns_balancer.hpp"
+#include "lb/gateway_balancer.hpp"
+#include "lb/prequal.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
@@ -86,6 +88,18 @@ struct DeploymentConfig {
   /// the serial term drops to zero.
   core::ThreadingMode threading = core::ThreadingMode::kSharedQueue;
   std::uint64_t seed = 42;
+  /// Gateway-mode routing policy, mirroring lb::GatewayConfig::policy
+  /// (ignored in kDns mode). kPrequal runs the *real* lb::PrequalPicker on
+  /// virtual time: a recurring probe event publishes each router's
+  /// requests-in-flight and latency EWMA, and pick_router_gateway() routes
+  /// through the same seqlocked probe cache janusd uses (DESIGN.md §14).
+  lb::RoutingPolicy gateway_policy = lb::RoutingPolicy::kRoundRobin;
+  lb::PrequalConfig prequal;
+  /// Per-router service-speed multipliers (heterogeneous fleets, the
+  /// Prequal paper's setting): router i's CPU costs are scaled by
+  /// router_speed_factors[i] (1.0 = calibrated; 2.0 = twice as slow).
+  /// Routers beyond the vector's length run at 1.0.
+  std::vector<double> router_speed_factors;
 };
 
 /// What a client observes for one QoS request.
@@ -110,6 +124,7 @@ struct WindowMetrics {
   double server_cpu = 0.0;
   std::vector<double> router_cpu_per_node;
   std::vector<double> server_cpu_per_node;
+  std::vector<std::uint64_t> router_requests_per_node;  // routing-skew view
   std::vector<std::uint64_t> server_requests_per_node;  // key-pressure view
   Histogram latency{seconds(60).count(), 7};
 
@@ -169,6 +184,17 @@ class SimDeployment {
   std::size_t router_count() const { return routers_.size(); }
   std::size_t server_count() const { return servers_.size(); }
 
+  /// Start a CPU antagonist on router `index`: every `period` of virtual
+  /// time it submits `cores` vCPUs' worth of interfering work into the
+  /// router's run queue — the Prequal paper's noisy-neighbour scenario.
+  /// Runs until the simulation ends.
+  void start_router_antagonist(std::size_t index, double cores,
+                               Duration period = millis(1));
+
+  /// The Prequal probe cache (gateway_policy == kPrequal only; nullptr
+  /// otherwise). Exposed for tests and scenario drivers.
+  const lb::PrequalPicker* prequal_picker() const { return picker_.get(); }
+
  private:
   struct SimRouter;
   struct SimServer;
@@ -176,6 +202,8 @@ class SimDeployment {
 
   SimRouter& pick_router_gateway();
   SimRouter& pick_router_dns(int client_id);
+  void schedule_probe_round();
+  void probe_round();
   void router_receive(SimRouter& router, std::shared_ptr<Exchange> ex);
   void start_attempt(std::shared_ptr<Exchange> ex);
   void server_receive(SimServer& server, std::shared_ptr<Exchange> ex);
@@ -200,7 +228,8 @@ class SimDeployment {
   std::vector<std::unique_ptr<lb::CachingResolver>> client_resolvers_;
   std::map<std::string, std::size_t> router_by_addr_;
 
-  std::size_t rr_next_ = 0;  // gateway round robin
+  std::size_t rr_next_ = 0;  // gateway round robin / tie-break cursor
+  std::unique_ptr<lb::PrequalPicker> picker_;  // kPrequal only
 
   // Window counters.
   WindowMetrics window_;

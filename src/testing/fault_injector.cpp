@@ -13,6 +13,8 @@ constexpr std::string_view kNames[kFaultPointCount] = {
     "db.wal.corrupt_crc",     "db.wal.sync_fail", "server.slow_service",
     "cluster.bfd.drop",       "cluster.migrate.stall",
     "net.udp.eintr",
+    "lb.probe.drop",
+    "lb.probe.delay",
 };
 
 constexpr std::uint64_t kDefaultSeed = 0x6A616E7573'F417ull;  // "janus"+fault

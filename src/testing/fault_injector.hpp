@@ -46,6 +46,10 @@ enum class FaultPoint : std::size_t {
                           // migration batch is sent (slow hand-off)
   kNetUdpEintr,           // net.udp.eintr: batched receive syscall reports
                           // EINTR (signal mid-drain) before touching data
+  kLbProbeDrop,           // lb.probe.drop: one Prequal probe round-trip lost
+                          // (balancer must degrade to stale probes / RR)
+  kLbProbeDelay,          // lb.probe.delay: sleep param µs before a probe is
+                          // sent (slow probe plane, stale-probe pressure)
   kCount,
 };
 

@@ -64,6 +64,8 @@ class ChaosStackTest : public ::testing::Test {
 
     lb::GatewayConfig gcfg;
     gcfg.http_workers = 2;
+    gcfg.policy = gateway_policy_;
+    gcfg.prequal.probe_interval = millis(5);
     auto gateway =
         lb::GatewayBalancer::start({"127.0.0.1", 0}, {router_->addr()}, gcfg);
     ASSERT_TRUE(gateway.ok()) << gateway.error().message;
@@ -100,6 +102,10 @@ class ChaosStackTest : public ::testing::Test {
   net::UdpSocket::DataPath data_path_ = net::UdpSocket::DataPath::kAuto;
   /// Routing topology; subclasses set before SetUp(), like threading_.
   Topology topology_ = Topology::kSingleProcess;
+  /// Gateway routing policy; subclasses set before SetUp(). Every chaos
+  /// invariant — including PR 2's per-request fault semantics — must hold
+  /// under RR, least-connections, and Prequal alike (DESIGN.md §14).
+  lb::RoutingPolicy gateway_policy_ = lb::RoutingPolicy::kRoundRobin;
   cluster::ShardMapHolder holder_;
 
   db::Database db_;

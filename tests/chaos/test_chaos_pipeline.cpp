@@ -20,16 +20,19 @@ using testing::ScopedFault;
 
 /// The paper's robustness invariants must hold regardless of how the QoS
 /// server schedules decisions AND regardless of topology — the cluster's
-/// epoch-stamped v3 path must not change a single verdict — so the core
-/// ones run across {threading mode} x {single-process, cluster}.
+/// epoch-stamped v3 path must not change a single verdict — AND regardless
+/// of the gateway's routing policy (RR, least-connections, Prequal), so
+/// the core ones run across the full
+/// {threading mode} x {topology} x {routing policy} cube.
 class ChaosModeTest
     : public ChaosStackTest,
       public ::testing::WithParamInterface<
-          std::tuple<core::ThreadingMode, Topology>> {
+          std::tuple<core::ThreadingMode, Topology, lb::RoutingPolicy>> {
  protected:
   void SetUp() override {
     threading_ = std::get<0>(GetParam());
     topology_ = std::get<1>(GetParam());
+    gateway_policy_ = std::get<2>(GetParam());
     ChaosStackTest::SetUp();
   }
 };
@@ -175,15 +178,25 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(core::ThreadingMode::kSharedQueue,
                           core::ThreadingMode::kShardPerWorker),
-        ::testing::Values(Topology::kSingleProcess, Topology::kCluster)),
+        ::testing::Values(Topology::kSingleProcess, Topology::kCluster),
+        ::testing::Values(lb::RoutingPolicy::kRoundRobin,
+                          lb::RoutingPolicy::kLeastConnections,
+                          lb::RoutingPolicy::kPrequal)),
     [](const ::testing::TestParamInfo<
-        std::tuple<core::ThreadingMode, Topology>>& tpi) {
+        std::tuple<core::ThreadingMode, Topology, lb::RoutingPolicy>>& tpi) {
       std::string name =
           std::get<0>(tpi.param) == core::ThreadingMode::kShardPerWorker
               ? "ShardPerWorker"
               : "SharedQueue";
       name += std::get<1>(tpi.param) == Topology::kCluster ? "Cluster"
                                                            : "SingleProcess";
+      switch (std::get<2>(tpi.param)) {
+        case lb::RoutingPolicy::kRoundRobin: name += "RoundRobin"; break;
+        case lb::RoutingPolicy::kLeastConnections:
+          name += "LeastConnections";
+          break;
+        case lb::RoutingPolicy::kPrequal: name += "Prequal"; break;
+      }
       return name;
     });
 

@@ -90,14 +90,7 @@ class ClusterFixture : public ::testing::Test {
                               std::vector<std::string> extra = {},
                               bool with_cluster_port = true) {
     ServerProcess proc;
-    proc.name = name;
-    proc.log_path =
-        std::string(JANUS_CLUSTER_LOG_DIR) + "/" + test_tag_ + "-" + name +
-        ".log";
-    // Remove any previous run's log BEFORE forking: wait_for_addr polls the
-    // file and must never parse a stale run's ports (the child's O_TRUNC
-    // races the parent's first poll).
-    std::remove(proc.log_path.c_str());
+    init_proc(proc, name);
     std::vector<std::string> args = {JANUS_JANUSD_BIN, "server",
                                      "--listen", "127.0.0.1:0",
                                      "--rules", rules_path_};
@@ -106,10 +99,53 @@ class ClusterFixture : public ::testing::Test {
       args.push_back("127.0.0.1:0");
     }
     for (auto& a : extra) args.push_back(std::move(a));
+    fork_child(proc, args);
 
+    proc.udp = wait_for_addr(proc, "QoS server on ");
+    if (with_cluster_port) proc.cluster = wait_for_addr(proc, "cluster agent on ");
+    if (flag_present(args, "--bfd-listen")) {
+      proc.bfd = wait_for_addr(proc, "bfd responder on ");
+    }
+    if (flag_present(args, "--ha-listen")) {
+      proc.ha = wait_for_addr(proc, "ha snapshot server on ");
+    }
+    procs_.push_back(std::move(proc));
+    return procs_.back();
+  }
+
+  /// Fork+exec janusd with an arbitrary role argv (router and gateway roles
+  /// for the §14 end-to-end suite) and parse the role's flushed banner for
+  /// the bound data-plane address (stored in `udp` regardless of
+  /// transport). Asserts on any spawn failure.
+  ServerProcess& spawn_janusd(const std::string& name,
+                              std::vector<std::string> role_args,
+                              const std::string& banner_marker) {
+    ServerProcess proc;
+    init_proc(proc, name);
+    std::vector<std::string> args = {JANUS_JANUSD_BIN};
+    for (auto& a : role_args) args.push_back(std::move(a));
+    fork_child(proc, args);
+    proc.udp = wait_for_addr(proc, banner_marker);
+    procs_.push_back(std::move(proc));
+    return procs_.back();
+  }
+
+  /// Set the process name and per-test log path, and remove any previous
+  /// run's log BEFORE forking: wait_for_addr polls the file and must never
+  /// parse a stale run's ports (the child's O_TRUNC races the parent's
+  /// first poll).
+  void init_proc(ServerProcess& proc, const std::string& name) {
+    proc.name = name;
+    proc.log_path =
+        std::string(JANUS_CLUSTER_LOG_DIR) + "/" + test_tag_ + "-" + name +
+        ".log";
+    std::remove(proc.log_path.c_str());
+  }
+
+  /// Fork; in the child redirect stdout+stderr to the log and exec `args`.
+  void fork_child(ServerProcess& proc, std::vector<std::string>& args) {
     const pid_t pid = ::fork();
     if (pid == 0) {
-      // Child: stdout+stderr -> log file, then exec janusd.
       const int fd = ::open(proc.log_path.c_str(),
                             O_CREAT | O_WRONLY | O_TRUNC, 0644);
       if (fd >= 0) {
@@ -125,19 +161,8 @@ class ClusterFixture : public ::testing::Test {
       std::perror("execv janusd");
       ::_exit(127);
     }
-    EXPECT_GT(pid, 0) << "fork failed for " << name;
+    EXPECT_GT(pid, 0) << "fork failed for " << proc.name;
     proc.pid = pid;
-
-    proc.udp = wait_for_addr(proc, "QoS server on ");
-    if (with_cluster_port) proc.cluster = wait_for_addr(proc, "cluster agent on ");
-    if (flag_present(args, "--bfd-listen")) {
-      proc.bfd = wait_for_addr(proc, "bfd responder on ");
-    }
-    if (flag_present(args, "--ha-listen")) {
-      proc.ha = wait_for_addr(proc, "ha snapshot server on ");
-    }
-    procs_.push_back(std::move(proc));
-    return procs_.back();
   }
 
   /// SIGKILL — the chaos rounds' "process dies mid-load" primitive.

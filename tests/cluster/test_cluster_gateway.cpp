@@ -1,0 +1,140 @@
+// Process-level gateway end-to-end (DESIGN.md §14): REAL janusd binaries —
+// one QoS server, two request routers, and a Prequal gateway — wired over
+// loopback exactly as EXPERIMENTS.md's PR10 recipe runs them by hand. The
+// suite proves the flag surface (gateway role, --policy, --probe-ms,
+// --admin), the flushed banners the tooling parses, the live /probez loop
+// filling the probe cache, and probe-steered routing of real HTTP traffic.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.hpp"
+#include "net/http.hpp"
+
+namespace janus::cluster_test {
+namespace {
+
+class ClusterGatewayTest : public ClusterFixture {
+ protected:
+  void SetUp() override {
+    ClusterFixture::SetUp();
+    write_rules("alice = 1000000 1000000\n");
+  }
+
+  /// Parse one metric value out of a Prometheus /metrics body: the sample
+  /// line is "<name> <value>" (HELP/TYPE comment lines also carry the name
+  /// and must be skipped). Returns -1 when the metric is absent.
+  static double metric_value(const std::string& body,
+                             const std::string& name) {
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t eol = body.find('\n', pos);
+      if (eol == std::string::npos) eol = body.size();
+      const std::string line = body.substr(pos, eol - pos);
+      // Samples are "name{labels} value" (or "name value"); skip the HELP /
+      // TYPE comments and longer names sharing the prefix.
+      if (line.rfind(name, 0) == 0 && line.size() > name.size() &&
+          (line[name.size()] == '{' || line[name.size()] == ' ')) {
+        const std::size_t sp = line.rfind(' ');
+        return std::stod(line.substr(sp + 1));
+      }
+      pos = eol + 1;
+    }
+    return -1;
+  }
+};
+
+TEST_F(ClusterGatewayTest, PrequalGatewayServesLiveTrafficAcrossRealRouters) {
+  ServerProcess& qos = spawn_server("qos-0", {}, /*with_cluster_port=*/false);
+  ASSERT_NE(qos.udp.port, 0);
+
+  ServerProcess& r0 = spawn_janusd(
+      "router-0",
+      {"router", "--listen", "127.0.0.1:0", "--backends",
+       qos.udp.to_string()},
+      "request router on ");
+  ServerProcess& r1 = spawn_janusd(
+      "router-1",
+      {"router", "--listen", "127.0.0.1:0", "--backends",
+       qos.udp.to_string()},
+      "request router on ");
+  ASSERT_NE(r0.udp.port, 0);
+  ASSERT_NE(r1.udp.port, 0);
+
+  ServerProcess& gw = spawn_janusd(
+      "gateway",
+      {"gateway", "--listen", "127.0.0.1:0", "--backends",
+       r0.udp.to_string() + "," + r1.udp.to_string(), "--policy", "prequal",
+       "--probe-ms", "5", "--admin", "127.0.0.1:0"},
+      "gateway balancer on ");
+  ASSERT_NE(gw.udp.port, 0);
+  const net::SockAddr admin =
+      wait_for_addr(gw, "gateway admin endpoint on ");
+  ASSERT_NE(admin.port, 0);
+
+  // The async probe pool must discover both routers via live /probez
+  // round-trips before we judge routing.
+  net::HttpClient admin_client(admin, millis(2000));
+  const TimePoint deadline = SteadyClock::instance().now() + seconds(10);
+  double valid = 0;
+  while (SteadyClock::instance().now() < deadline) {
+    auto metrics = admin_client.get("/metrics");
+    if (metrics.ok()) {
+      valid = metric_value(metrics.value().body,
+                           "janus_gateway_prequal_valid_probes");
+      if (valid >= 2) break;
+    }
+    ::usleep(10000);
+  }
+  EXPECT_EQ(valid, 2) << "probe pool never filled against live routers";
+
+  // Live traffic through gateway -> router -> UDP QoS server and back.
+  net::HttpClient client(gw.udp, millis(2000));
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.get("/qos?key=alice");
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_EQ(resp.value().status, 200);
+    EXPECT_EQ(resp.value().body, "TRUE");
+  }
+
+  // With a healthy probe cache every pick is probe-steered, none fall back.
+  auto metrics = admin_client.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& body = metrics.value().body;
+  EXPECT_GE(metric_value(body, "janus_gateway_prequal_probes"), 2);
+  EXPECT_GE(metric_value(body, "janus_gateway_requests"), 20);
+  EXPECT_GE(metric_value(body, "janus_gateway_prequal_cold_picks") +
+                metric_value(body, "janus_gateway_prequal_hot_picks"),
+            20);
+  EXPECT_EQ(metric_value(body, "janus_gateway_prequal_fallback_rr"), 0);
+
+  for (ServerProcess* p : {&gw, &r0, &r1, &qos}) terminate(*p);
+}
+
+TEST_F(ClusterGatewayTest, GatewayBannerReportsConfiguredPolicy) {
+  ServerProcess& qos = spawn_server("qos-0", {}, /*with_cluster_port=*/false);
+  ServerProcess& r0 = spawn_janusd(
+      "router-0",
+      {"router", "--listen", "127.0.0.1:0", "--backends",
+       qos.udp.to_string()},
+      "request router on ");
+  ServerProcess& gw = spawn_janusd(
+      "gateway",
+      {"gateway", "--listen", "127.0.0.1:0", "--backends",
+       r0.udp.to_string(), "--policy", "least-connections"},
+      "gateway balancer on ");
+  ASSERT_NE(gw.udp.port, 0);
+  EXPECT_NE(slurp(gw.log_path).find("policy least-connections"),
+            std::string::npos);
+
+  net::HttpClient client(gw.udp, millis(2000));
+  auto resp = client.get("/qos?key=alice");
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().body, "TRUE");
+
+  for (ServerProcess* p : {&gw, &r0, &qos}) terminate(*p);
+}
+
+}  // namespace
+}  // namespace janus::cluster_test

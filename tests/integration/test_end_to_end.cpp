@@ -13,7 +13,11 @@
 namespace janus {
 namespace {
 
-class EndToEndTest : public ::testing::Test {
+/// The whole stack must behave identically under every gateway routing
+/// policy — RR, least-connections, and Prequal (whose probe pool runs
+/// against the routers' real /probez endpoints here) — so the full suite
+/// is value-parameterized over the policy (DESIGN.md §14).
+class EndToEndTest : public ::testing::TestWithParam<lb::RoutingPolicy> {
  protected:
   void SetUp() override {
     store_ = std::make_unique<db::RuleStore>(db_);
@@ -51,6 +55,8 @@ class EndToEndTest : public ::testing::Test {
     // Gateway balancer in front (the paper's ELB).
     lb::GatewayConfig gcfg;
     gcfg.http_workers = 2;
+    gcfg.policy = GetParam();
+    gcfg.prequal.probe_interval = millis(5);
     auto gateway = lb::GatewayBalancer::start(
         {"127.0.0.1", 0}, {routers_[0]->addr(), routers_[1]->addr()}, gcfg);
     ASSERT_TRUE(gateway.ok()) << gateway.error().message;
@@ -64,7 +70,7 @@ class EndToEndTest : public ::testing::Test {
   std::unique_ptr<lb::GatewayBalancer> gateway_;
 };
 
-TEST_F(EndToEndTest, QuotaEnforcedThroughFullStack) {
+TEST_P(EndToEndTest, QuotaEnforcedThroughFullStack) {
   ASSERT_TRUE(store_->put({.key = "alice", .refill_per_sec = 0,
                            .capacity = 10, .credit = 10}).ok());
   net::HttpClient client(gateway_->addr());
@@ -78,7 +84,7 @@ TEST_F(EndToEndTest, QuotaEnforcedThroughFullStack) {
   EXPECT_EQ(denied, 10);
 }
 
-TEST_F(EndToEndTest, QuotaSharedAcrossRouterNodes) {
+TEST_P(EndToEndTest, QuotaSharedAcrossRouterNodes) {
   // The same key through *different* routers hits the same bucket — the
   // architecture's central consistency property (§II-B).
   ASSERT_TRUE(store_->put({.key = "shared", .refill_per_sec = 0,
@@ -95,7 +101,7 @@ TEST_F(EndToEndTest, QuotaSharedAcrossRouterNodes) {
   EXPECT_EQ(allowed, 6);
 }
 
-TEST_F(EndToEndTest, AbWorkloadDrivesTheStack) {
+TEST_P(EndToEndTest, AbWorkloadDrivesTheStack) {
   workload::RuleCorpusConfig corpus;
   corpus.rule_count = 200;
   workload::SequentialKeys keys;
@@ -115,7 +121,7 @@ TEST_F(EndToEndTest, AbWorkloadDrivesTheStack) {
   EXPECT_GT(report.latency.percentile(0.90), 0);
 }
 
-TEST_F(EndToEndTest, PhpStyleWrapperIntegration) {
+TEST_P(EndToEndTest, PhpStyleWrapperIntegration) {
   // The §IV use case: wrap an existing app with qos_check(REMOTE_ADDR).
   ASSERT_TRUE(store_->put({.key = "198.51.100.7", .refill_per_sec = 0,
                            .capacity = 3, .credit = 3}).ok());
@@ -133,7 +139,7 @@ TEST_F(EndToEndTest, PhpStyleWrapperIntegration) {
   EXPECT_EQ(qos.transport_errors(), 0u);
 }
 
-TEST_F(EndToEndTest, RuleChangesPropagateViaSync) {
+TEST_P(EndToEndTest, RuleChangesPropagateViaSync) {
   ASSERT_TRUE(store_->put({.key = "upgraded", .refill_per_sec = 0,
                            .capacity = 1, .credit = 1}).ok());
   net::HttpClient client(gateway_->addr());
@@ -151,7 +157,7 @@ TEST_F(EndToEndTest, RuleChangesPropagateViaSync) {
   EXPECT_EQ(after.value().body, "TRUE");
 }
 
-TEST_F(EndToEndTest, CheckpointPersistsCreditsToDatabase) {
+TEST_P(EndToEndTest, CheckpointPersistsCreditsToDatabase) {
   ASSERT_TRUE(store_->put({.key = "ckpt", .refill_per_sec = 0,
                            .capacity = 10, .credit = 10}).ok());
   net::HttpClient client(gateway_->addr());
@@ -160,7 +166,7 @@ TEST_F(EndToEndTest, CheckpointPersistsCreditsToDatabase) {
   EXPECT_DOUBLE_EQ(store_->get("ckpt")->credit, 6.0);
 }
 
-TEST_F(EndToEndTest, BurstCreditSemanticsEndToEnd) {
+TEST_P(EndToEndTest, BurstCreditSemanticsEndToEnd) {
   // §II-C's burst example scaled down: rate 5/s, capacity 20.
   ASSERT_TRUE(store_->put({.key = "burst", .refill_per_sec = 5,
                            .capacity = 20, .credit = 20}).ok());
@@ -175,6 +181,21 @@ TEST_F(EndToEndTest, BurstCreditSemanticsEndToEnd) {
   EXPECT_GE(initial_burst, 20);
   EXPECT_LE(initial_burst, 23);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EndToEndTest,
+    ::testing::Values(lb::RoutingPolicy::kRoundRobin,
+                      lb::RoutingPolicy::kLeastConnections,
+                      lb::RoutingPolicy::kPrequal),
+    [](const ::testing::TestParamInfo<lb::RoutingPolicy>& tpi) {
+      switch (tpi.param) {
+        case lb::RoutingPolicy::kRoundRobin: return std::string("RoundRobin");
+        case lb::RoutingPolicy::kLeastConnections:
+          return std::string("LeastConnections");
+        case lb::RoutingPolicy::kPrequal: return std::string("Prequal");
+      }
+      return std::string("Unknown");
+    });
 
 }  // namespace
 }  // namespace janus

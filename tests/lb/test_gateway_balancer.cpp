@@ -136,5 +136,149 @@ TEST(GatewayBalancerTest, ConcurrentTrafficThroughOneBalancer) {
   EXPECT_EQ(ok.load(), 80);
 }
 
+TEST(GatewayBalancerTest, LeastConnectionsRotatesTiesAcrossIdleBackends) {
+  // Regression (DESIGN.md §14 satellite): with every backend idle, each
+  // serial pick is an all-zeros tie. The tie-break must rotate — a
+  // lowest-index tie-break would send 100% of an idle fleet's trickle
+  // traffic to backend 0 (per_backend_counts() skew).
+  auto b0 = backend("b0");
+  auto b1 = backend("b1");
+  auto b2 = backend("b2");
+  GatewayConfig cfg;
+  cfg.policy = RoutingPolicy::kLeastConnections;
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {b0->addr(), b1->addr(), b2->addr()}, cfg);
+  ASSERT_TRUE(lb.ok());
+  net::HttpClient client(lb.value()->addr());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(client.get("/").ok());
+  auto counts = lb.value()->per_backend_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (auto c : counts) EXPECT_EQ(c, 10) << "tie-break skew";
+}
+
+/// Backend that answers /probez like a router node (fixed rif/lat payload)
+/// and anything else with its id.
+std::unique_ptr<net::HttpServer> probe_backend(const std::string& id,
+                                               std::int64_t rif,
+                                               std::int64_t lat_us) {
+  auto server = net::HttpServer::start(
+      {"127.0.0.1", 0},
+      [id, rif, lat_us](const net::HttpRequest& req) {
+        if (req.target == "/probez") {
+          return net::HttpResponse::text(
+              200, "{\"rif\":" + std::to_string(rif) +
+                       ",\"lat_us\":" + std::to_string(lat_us) + "}");
+        }
+        return net::HttpResponse::text(200, id);
+      },
+      2);
+  EXPECT_TRUE(server.ok());
+  return std::move(server).take();
+}
+
+GatewayConfig prequal_config() {
+  GatewayConfig cfg;
+  cfg.policy = RoutingPolicy::kPrequal;
+  // Rounds are driven synchronously via probe_now() in these tests, so give
+  // each probe enough reuse budget to steer a whole test's worth of picks
+  // (the reuse-budget test overrides this with a tight budget on purpose).
+  cfg.prequal.probe_interval = seconds(3600);
+  cfg.prequal.probe_reuse_budget = 1 << 20;
+  return cfg;
+}
+
+TEST(GatewayBalancerTest, PrequalRoutesToLowestLatencyColdBackend) {
+  auto fast = probe_backend("fast", 0, 120);
+  auto slow = probe_backend("slow", 0, 50000);
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {slow->addr(), fast->addr()},
+                                   prequal_config());
+  ASSERT_TRUE(lb.ok()) << lb.error().message;
+  lb.value()->probe_now();
+  ASSERT_EQ(lb.value()->prequal_picker()->valid_probes(
+                SteadyClock::instance().now()),
+            2);
+
+  net::HttpClient client(lb.value()->addr());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.get("/");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.value().body, "fast");
+  }
+  auto snap = lb.value()->metrics().snapshot();
+  EXPECT_EQ(snap.at("gateway.prequal_cold_picks"), 20);
+  EXPECT_EQ(snap.at("gateway.prequal_fallback_rr"), 0);
+  EXPECT_EQ(snap.at("gateway.prequal_probes"), 2);
+  EXPECT_EQ(snap.at("gateway.prequal_probe_failures"), 0);
+  EXPECT_EQ(snap.at("gateway.prequal_valid_probes"), 2);
+}
+
+TEST(GatewayBalancerTest, PrequalReuseBudgetForcesRefresh) {
+  auto b0 = probe_backend("b0", 0, 100);
+  auto b1 = probe_backend("b1", 0, 100);
+  GatewayConfig cfg = prequal_config();
+  cfg.prequal.probe_reuse_budget = 4;
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0}, {b0->addr(), b1->addr()},
+                                   cfg);
+  ASSERT_TRUE(lb.ok());
+  lb.value()->probe_now();
+  net::HttpClient client(lb.value()->addr());
+  // 2 backends x budget 4 = at most 8 probe-steered picks; the rest must
+  // fall back to round-robin, never fail.
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(client.get("/").ok());
+  auto snap = lb.value()->metrics().snapshot();
+  EXPECT_EQ(snap.at("gateway.prequal_cold_picks") +
+                snap.at("gateway.prequal_fallback_rr"),
+            16);
+  EXPECT_GE(snap.at("gateway.prequal_fallback_rr"), 8);
+  // The next round drains the reuse-eviction count.
+  lb.value()->probe_now();
+  EXPECT_GE(lb.value()->metrics().snapshot().at(
+                "gateway.prequal_reuse_evictions"),
+            1);
+}
+
+TEST(GatewayBalancerTest, PrequalProbeFailureFallsBackAndRecovers) {
+  // One backend with no /probez support: its probes fail (unparsable), so
+  // picks steer to the probed backend; requests still flow either way.
+  auto plain = backend("plain");
+  auto probed = probe_backend("probed", 0, 100);
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {plain->addr(), probed->addr()},
+                                   prequal_config());
+  ASSERT_TRUE(lb.ok());
+  lb.value()->probe_now();
+  auto snap = lb.value()->metrics().snapshot();
+  EXPECT_EQ(snap.at("gateway.prequal_probe_failures"), 1);
+  EXPECT_EQ(snap.at("gateway.prequal_valid_probes"), 1);
+  net::HttpClient client(lb.value()->addr());
+  for (int i = 0; i < 10; ++i) {
+    auto resp = client.get("/");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.value().body, "probed");
+  }
+}
+
+TEST(GatewayBalancerTest, PrequalStatuszRendersProbeRows) {
+  auto b0 = probe_backend("b0", 2, 340);
+  auto lb = GatewayBalancer::start({"127.0.0.1", 0},
+                                   {b0->addr(), b0->addr()},
+                                   prequal_config());
+  ASSERT_TRUE(lb.ok());
+  lb.value()->probe_now();
+  auto admin = lb.value()->start_admin({"127.0.0.1", 0});
+  ASSERT_TRUE(admin.ok());
+  net::HttpClient client(admin.value());
+  auto statusz = client.get("/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_NE(statusz.value().body.find("\"prequal\""), std::string::npos);
+  EXPECT_NE(statusz.value().body.find("\"rif\":2"), std::string::npos);
+  EXPECT_NE(statusz.value().body.find("\"lat_us\":340"), std::string::npos);
+  auto metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().body.find("janus_gateway_prequal_probes"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace janus::lb

@@ -1,0 +1,227 @@
+// PrequalPicker unit suite (DESIGN.md §14): the probe cache's bounded
+// staleness, reuse budgets, hot/cold classification, fallback contract, and
+// seqlock consistency — all on manual timestamps (the picker is
+// clock-agnostic; the sim drives the same code on virtual time).
+#include "lb/prequal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lb/gateway_balancer.hpp"
+
+namespace janus::lb {
+namespace {
+
+constexpr TimePoint t(std::int64_t ms) { return TimePoint{millis(ms)}; }
+
+TEST(PrequalPickerTest, UnpublishedCacheYieldsFallback) {
+  PrequalPicker picker(4);
+  PrequalPickKind kind = PrequalPickKind::kCold;
+  EXPECT_EQ(picker.pick(t(0), &kind), PrequalPicker::kNoPick);
+  EXPECT_EQ(kind, PrequalPickKind::kFallback);
+  EXPECT_EQ(picker.valid_probes(t(0)), 0);
+}
+
+TEST(PrequalPickerTest, PublishedProbeSteersPick) {
+  PrequalConfig cfg;
+  cfg.d_choices = 4;
+  PrequalPicker picker(4, cfg);
+  picker.publish(2, 3, 500, t(0));
+  PrequalPickKind kind = PrequalPickKind::kFallback;
+  EXPECT_EQ(picker.pick(t(1), &kind), 2u);
+  EXPECT_EQ(kind, PrequalPickKind::kCold);
+  EXPECT_EQ(picker.valid_probes(t(1)), 1);
+  auto p = picker.snapshot(2, t(1));
+  EXPECT_TRUE(p.valid);
+  EXPECT_EQ(p.rif, 3);
+  EXPECT_EQ(p.lat_us, 500);
+  EXPECT_EQ(p.uses, 1);
+  EXPECT_EQ(p.age_ns, millis(1).count());
+}
+
+TEST(PrequalPickerTest, StalenessBoundRejectsOldProbe) {
+  PrequalConfig cfg;
+  cfg.max_probe_age = millis(250);
+  cfg.d_choices = 2;
+  PrequalPicker picker(2, cfg);
+  picker.publish(0, 1, 100, t(0));
+  picker.publish(1, 1, 100, t(0));
+
+  // Inside T: usable. One nanosecond past T: dead.
+  EXPECT_NE(picker.pick(t(250)), PrequalPicker::kNoPick);
+  PrequalPickKind kind = PrequalPickKind::kCold;
+  EXPECT_EQ(picker.pick(TimePoint{millis(250) + nanos(1)}, &kind),
+            PrequalPicker::kNoPick);
+  EXPECT_EQ(kind, PrequalPickKind::kFallback);
+  EXPECT_FALSE(picker.snapshot(0, t(251)).valid);
+
+  // sweep() evicts both expired probes, exactly once.
+  EXPECT_EQ(picker.sweep(t(251)), 2u);
+  EXPECT_EQ(picker.sweep(t(251)), 0u);
+}
+
+TEST(PrequalPickerTest, ReuseBudgetRetiresProbeUntilRepublished) {
+  PrequalConfig cfg;
+  cfg.probe_reuse_budget = 3;
+  cfg.d_choices = 1;
+  PrequalPicker picker(1, cfg);
+  picker.publish(0, 0, 100, t(0));
+
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(picker.pick(t(1)), 0u);
+  // Budget spent: the probe no longer steers picks.
+  EXPECT_EQ(picker.pick(t(1)), PrequalPicker::kNoPick);
+  EXPECT_FALSE(picker.snapshot(0, t(1)).valid);
+  // Exactly one crossing is recorded, and the drain resets it.
+  EXPECT_EQ(picker.take_reuse_evictions(), 1);
+  EXPECT_EQ(picker.take_reuse_evictions(), 0);
+
+  // A fresh publish resets the budget.
+  picker.publish(0, 0, 100, t(2));
+  EXPECT_EQ(picker.pick(t(2)), 0u);
+}
+
+TEST(PrequalPickerTest, ColdPickRoutesByLowestLatency) {
+  PrequalConfig cfg;
+  cfg.d_choices = 4;  // sample the whole fleet: deterministic
+  PrequalPicker picker(4, cfg);
+  picker.publish(0, 1, 900, t(0));
+  picker.publish(1, 2, 300, t(0));  // lowest latency among the cold
+  picker.publish(2, 3, 700, t(0));
+  picker.publish(3, 10, 50, t(0));  // fastest but hot
+  picker.refresh_threshold(t(0));
+  // hot_quantile 0.75 over {1,2,3,10}: threshold = 3 — backend 3 is hot.
+  EXPECT_EQ(picker.hot_rif_threshold(), 3);
+
+  PrequalPickKind kind = PrequalPickKind::kFallback;
+  EXPECT_EQ(picker.pick(t(1), &kind), 1u);
+  EXPECT_EQ(kind, PrequalPickKind::kCold);
+}
+
+TEST(PrequalPickerTest, AllHotRoutesByLowestRif) {
+  PrequalConfig cfg;
+  cfg.d_choices = 3;
+  PrequalPicker picker(3, cfg);
+  picker.publish(0, 1, 100, t(0));
+  picker.publish(1, 1, 100, t(0));
+  picker.publish(2, 1, 100, t(0));
+  picker.refresh_threshold(t(0));  // threshold = 1
+  // The fleet heats up past the (stale) threshold before the next refresh:
+  // every sampled replica is hot, so the pick is least-RIF damage control.
+  picker.publish(0, 8, 50, t(1));
+  picker.publish(1, 5, 900, t(1));
+  picker.publish(2, 9, 10, t(1));
+  PrequalPickKind kind = PrequalPickKind::kFallback;
+  EXPECT_EQ(picker.pick(t(1), &kind), 1u);
+  EXPECT_EQ(kind, PrequalPickKind::kHot);
+}
+
+TEST(PrequalPickerTest, ThresholdKeepsPreviousValueWhenNoProbesValid) {
+  PrequalPicker picker(2);
+  picker.publish(0, 4, 100, t(0));
+  picker.publish(1, 6, 100, t(0));
+  picker.refresh_threshold(t(0));
+  const std::int64_t before = picker.hot_rif_threshold();
+  EXPECT_EQ(before, 6);
+  // All probes aged out: the threshold must not collapse to a bogus value.
+  picker.refresh_threshold(t(10000));
+  EXPECT_EQ(picker.hot_rif_threshold(), before);
+}
+
+TEST(PrequalPickerTest, InvalidateDropsProbeImmediately) {
+  PrequalConfig cfg;
+  cfg.d_choices = 1;
+  PrequalPicker picker(1, cfg);
+  picker.publish(0, 2, 100, t(0));
+  EXPECT_EQ(picker.pick(t(0)), 0u);
+  picker.invalidate(0);
+  EXPECT_EQ(picker.pick(t(0)), PrequalPicker::kNoPick);
+  EXPECT_FALSE(picker.snapshot(0, t(0)).valid);
+}
+
+TEST(PrequalPickerTest, ConfigClampsDegenerateValues) {
+  PrequalConfig cfg;
+  cfg.d_choices = 100;
+  cfg.probe_reuse_budget = 0;
+  PrequalPicker picker(2, cfg);
+  EXPECT_EQ(picker.config().d_choices, PrequalPicker::kMaxChoices);
+  EXPECT_EQ(picker.config().probe_reuse_budget, 1);
+}
+
+TEST(PrequalPickerTest, PickSpreadsAcrossEquivalentColdReplicas) {
+  // Power-of-d sampling with d < n: over many picks every replica of an
+  // identical fleet must be chosen at least once (no systematic bias
+  // toward one index), and the reuse budget must retire probes along the
+  // way without ever leaving the fleet unpickable while budget remains.
+  PrequalConfig cfg;
+  cfg.d_choices = 2;
+  cfg.probe_reuse_budget = 1000;
+  PrequalPicker picker(8, cfg);
+  for (std::size_t b = 0; b < 8; ++b) picker.publish(b, 1, 100, t(0));
+  picker.refresh_threshold(t(0));
+  std::array<int, 8> hits{};
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t got = picker.pick(t(1));
+    ASSERT_LT(got, 8u);
+    hits[got]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(PrequalPickerTest, SeqlockNeverYieldsTornProbes) {
+  // Writer republishes with rif and lat in lockstep (lat == rif + 1000);
+  // concurrent readers must never observe a mixed pair, and picks must
+  // always return a legal index or kNoPick.
+  PrequalConfig cfg;
+  cfg.d_choices = 2;
+  cfg.probe_reuse_budget = 1 << 30;
+  PrequalPicker picker(2, cfg);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread writer([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++v;
+      picker.publish(v & 1, v, v + 1000, t(5));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (std::size_t b = 0; b < 2; ++b) {
+          auto p = picker.snapshot(b, t(6));
+          if (p.valid && p.lat_us != p.rif + 1000) torn.fetch_add(1);
+        }
+        const std::size_t got = picker.pick(t(6));
+        if (got != PrequalPicker::kNoPick && got >= 2) torn.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(RoutingPolicyNameTest, RoundTripsAllPolicies) {
+  for (auto policy :
+       {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastConnections,
+        RoutingPolicy::kPrequal}) {
+    auto name = routing_policy_name(policy);
+    auto parsed = routing_policy_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(routing_policy_name(RoutingPolicy::kPrequal), "prequal");
+  EXPECT_FALSE(routing_policy_from_name("power-of-two").has_value());
+  EXPECT_FALSE(routing_policy_from_name("").has_value());
+}
+
+}  // namespace
+}  // namespace janus::lb

@@ -24,6 +24,7 @@
 #include "common/metrics.hpp"
 #include "core/admission.hpp"
 #include "core/qos_table.hpp"
+#include "lb/prequal.hpp"
 #include "net/socket.hpp"
 #include "wire/codec.hpp"
 #include "wire/message.hpp"
@@ -468,6 +469,43 @@ TEST(HotpathAllocTest, MmsgBatchIoIsAllocationFree) {
   ASSERT_NE(allocs, ~0ull) << "mmsg batch I/O cycle failed";
   EXPECT_EQ(allocs, 0u)
       << "warm mmsg send_many/recv_many allocated; batch path regressed";
+}
+
+TEST(HotpathAllocTest, PrequalPickIsAllocationFree) {
+  // PR 10's acceptance bullet (DESIGN.md §14): the gateway pick path —
+  // d-of-n sampling, seqlocked probe reads, reuse accounting — never
+  // touches the heap. The picker's only allocations are construction
+  // (slot vector) and the probe pool's refresh_threshold scratch, both off
+  // the request path.
+  lb::PrequalConfig cfg;
+  cfg.d_choices = 3;
+  cfg.probe_reuse_budget = 1 << 20;
+  lb::PrequalPicker picker(8, cfg);
+  for (std::size_t b = 0; b < 8; ++b) {
+    picker.publish(b, static_cast<std::int64_t>(b), 100, TimePoint{millis(1)});
+  }
+  picker.refresh_threshold(TimePoint{millis(1)});
+  (void)picker.pick(TimePoint{millis(1)});  // warm the thread-local RNG
+
+  {
+    AllocGuard guard;
+    for (int i = 0; i < 256; ++i) {
+      lb::PrequalPickKind kind;
+      const std::size_t got = picker.pick(TimePoint{millis(2)}, &kind);
+      ASSERT_LT(got, 8u);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "PrequalPicker::pick allocated; probe-cache read path regressed";
+  }
+  {
+    // The fallback path (empty cache) is on the same request path.
+    lb::PrequalPicker empty(8, cfg);
+    AllocGuard guard;
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(empty.pick(TimePoint{millis(2)}), lb::PrequalPicker::kNoPick);
+    }
+    EXPECT_EQ(guard.count(), 0u) << "PrequalPicker::pick fallback allocated";
+  }
 }
 
 TEST(HotpathAllocTest, ColdKeyStillAllocatesExactlyOnFirstTouch) {

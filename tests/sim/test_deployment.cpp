@@ -210,6 +210,132 @@ TEST(SimDeploymentTest, GatewayModeSpreadsAcrossRouters) {
   EXPECT_EQ(routers_busy, 2);
 }
 
+TEST(SimPrequalTest, RouterAntagonistConsumesCpuOnOneNode) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  dep.start_router_antagonist(0, 2.0);  // 2 of the node's 4 vCPUs
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  ASSERT_EQ(m.router_cpu_per_node.size(), 2u);
+  EXPECT_GT(m.router_cpu_per_node[0], 0.35);
+  EXPECT_LT(m.router_cpu_per_node[1], 0.10);
+}
+
+TEST(SimPrequalTest, WindowCountsPerRouterRequests) {
+  Simulation sim;
+  SimDeployment dep(sim, small_config());
+  provision(dep.rules(), "alice", 1e9, 0);
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(millis(i * 10), [&] { dep.submit(0, "alice", nullptr); });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  ASSERT_EQ(m.router_requests_per_node.size(), 2u);
+  EXPECT_EQ(m.router_requests_per_node[0] + m.router_requests_per_node[1],
+            20u);
+  // Round-robin default: an even split.
+  EXPECT_EQ(m.router_requests_per_node[0], 10u);
+}
+
+TEST(SimPrequalTest, LeastConnectionsSpreadsIdleFleetEvenly) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.gateway_policy = lb::RoutingPolicy::kLeastConnections;
+  SimDeployment dep(sim, cfg);
+  provision(dep.rules(), "alice", 1e9, 0);
+  // Serial trickle: every pick is an all-idle tie — the rotating tie-break
+  // must not pile the fleet's traffic onto router 0 (the same regression
+  // the live GatewayBalancer test pins).
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(millis(i * 10), [&] { dep.submit(0, "alice", nullptr); });
+  }
+  sim.run_until(seconds(1));
+  WindowMetrics m = dep.mark_window();
+  EXPECT_EQ(m.router_requests_per_node[0], 10u);
+  EXPECT_EQ(m.router_requests_per_node[1], 10u);
+}
+
+TEST(SimPrequalTest, ProbeCacheFillsOnVirtualTime) {
+  Simulation sim;
+  DeploymentConfig cfg = small_config();
+  cfg.gateway_policy = lb::RoutingPolicy::kPrequal;
+  SimDeployment dep(sim, cfg);
+  ASSERT_NE(dep.prequal_picker(), nullptr);
+  EXPECT_EQ(dep.prequal_picker()->valid_probes(sim.now()), 0);
+  sim.run_until(millis(20));  // a few probe rounds at the 5 ms default
+  EXPECT_EQ(dep.prequal_picker()->valid_probes(sim.now()), 2);
+}
+
+TEST(SimPrequalTest, PrequalSteersAwayFromCrippledRouter) {
+  // The Prequal paper's setting reproduced in miniature: one replica twice
+  // as slow AND fighting a CPU antagonist. Round-robin keeps feeding it a
+  // quarter of the fleet's traffic; Prequal's probes (RIF + latency EWMA)
+  // see the congestion and route around it.
+  auto requests_to_router0 = [](lb::RoutingPolicy policy) {
+    Simulation sim;
+    DeploymentConfig cfg = small_config();
+    cfg.router_nodes = 4;
+    cfg.gateway_policy = policy;
+    cfg.router_speed_factors = {2.0};  // router 0: twice the CPU per request
+    SimDeployment dep(sim, cfg);
+    provision(dep.rules(), "hot", 1e12, 1e9);
+    dep.start_router_antagonist(0, 3.0);
+    ClosedLoopDriver driver(dep, /*clients=*/16, /*client_nodes=*/4,
+                            [](Rng&) { return std::string("hot"); });
+    driver.start();
+    sim.run_until(millis(500));
+    dep.mark_window();
+    sim.run_until(seconds(2));
+    WindowMetrics m = dep.mark_window();
+    driver.stop();
+    double total = 0;
+    for (auto r : m.router_requests_per_node) {
+      total += static_cast<double>(r);
+    }
+    return static_cast<double>(m.router_requests_per_node[0]) / total;
+  };
+
+  const double rr_share = requests_to_router0(lb::RoutingPolicy::kRoundRobin);
+  const double pq_share = requests_to_router0(lb::RoutingPolicy::kPrequal);
+  EXPECT_NEAR(rr_share, 0.25, 0.03);  // RR is blind to the antagonist
+  EXPECT_LT(pq_share, 0.15) << "prequal kept feeding the crippled router";
+}
+
+TEST(SimPrequalTest, PrequalBeatsRoundRobinTailUnderHeterogeneity) {
+  // The PR 10 acceptance shape (bench_pr10_prequal measures the full
+  // version): with a crippled replica in the fleet, Prequal's client-visible
+  // P99 must undercut round-robin's.
+  auto p99_ns = [](lb::RoutingPolicy policy) {
+    Simulation sim;
+    DeploymentConfig cfg = small_config();
+    cfg.router_nodes = 4;
+    cfg.server_nodes = 2;
+    cfg.gateway_policy = policy;
+    cfg.router_speed_factors = {2.0};
+    SimDeployment dep(sim, cfg);
+    for (int k = 0; k < 16; ++k) {
+      provision(dep.rules(), "k" + std::to_string(k), 1e12, 1e9);
+    }
+    dep.start_router_antagonist(0, 3.0);
+    ClosedLoopDriver driver(dep, /*clients=*/16, /*client_nodes=*/4,
+                            [](Rng& rng) {
+                              return "k" +
+                                     std::to_string(rng.uniform_int(0, 15));
+                            });
+    driver.start();
+    sim.run_until(millis(500));
+    dep.mark_window();
+    sim.run_until(seconds(2));
+    WindowMetrics m = dep.mark_window();
+    driver.stop();
+    return m.latency.percentile(0.99);
+  };
+
+  const auto rr = p99_ns(lb::RoutingPolicy::kRoundRobin);
+  const auto pq = p99_ns(lb::RoutingPolicy::kPrequal);
+  EXPECT_LT(pq, rr) << "rr_p99=" << rr << "ns pq_p99=" << pq << "ns";
+}
+
 TEST(ClosedLoopDriverTest, SaturatesAndMeasures) {
   Simulation sim;
   SimDeployment dep(sim, small_config());

@@ -1,0 +1,38 @@
+// Fixture: a synchronous probe round-trip smuggled onto the balancer's
+// pick path. The real GatewayBalancer keeps probing strictly off the
+// request path (an async PeriodicTask publishes into the seqlocked
+// PrequalPicker cache; DESIGN.md §14) — this fixture models the tempting
+// bug where a stale probe makes pick() "just refresh it quickly": the
+// analyzer must walk pick_backend -> probe_backend_sync and report both
+// the blocking sleep (standing in for the HTTP round-trip) and the
+// probe-pool mutex acquired on a strict JANUS_HOT_PATH root.
+//
+// EXPECT-FINDING: blocking
+// EXPECT-FINDING: lock
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "common/hot_path.hpp"
+#include "common/sync.hpp"
+
+namespace fixture {
+
+class InlineProbingPicker {
+ public:
+  std::size_t probe_backend_sync(std::size_t backend) {
+    janus::MutexLock lock(probe_mu_);  // probe pool lock on the pick path
+    // Stand-in for HttpClient::get("/probez"): a blocking round-trip.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return backend;
+  }
+
+  JANUS_HOT_PATH std::size_t pick_backend() {
+    return probe_backend_sync(0);  // refreshing a stale probe inline
+  }
+
+ private:
+  janus::Mutex probe_mu_{janus::LockRank::kLbProbePool, "lb.probe_pool"};
+};
+
+}  // namespace fixture

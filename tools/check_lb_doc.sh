@@ -1,0 +1,60 @@
+#!/bin/bash
+# Doc-drift guard for the Prequal routing section (DESIGN.md §14).
+# The probe-based picker's contract lives in a small surface — the policy
+# enum and its flag names, the probe cache's seqlock entry points, the
+# bounded-staleness knobs, and the probe pool's fault points. If one of
+# those symbols is renamed or removed the section must follow; if the
+# section loses one, the hot/cold routing story is rotting. Two directions
+# (dg_symbol_sync), plus the companion artifacts: BENCH_PR10.json must
+# exist, carry the prequal-vs-round-robin P99 speedup on the
+# straggler-plus-antagonist fleet, and meet the 1.3x acceptance floor.
+source "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/lib/doc_guard.sh"
+dg_init check_lb_doc
+
+dg_require_section '^## 14\. Prequal routing'
+
+# symbol -> file that must define it. Keep in lock-step with DESIGN.md §14.
+dg_symbol_sync "§14" \
+  "kPrequal:$src/lb/gateway_balancer.hpp" \
+  "routing_policy_name:$src/lb/gateway_balancer.hpp" \
+  "routing_policy_from_name:$src/lb/gateway_balancer.hpp" \
+  "pick_prequal:$src/lb/gateway_balancer.hpp" \
+  "pick_least_connections:$src/lb/gateway_balancer.hpp" \
+  "probe_round:$src/lb/gateway_balancer.hpp" \
+  "probe_now:$src/lb/gateway_balancer.hpp" \
+  "PrequalPicker:$src/lb/prequal.hpp" \
+  "PrequalConfig:$src/lb/prequal.hpp" \
+  "PrequalPickKind:$src/lb/prequal.hpp" \
+  "probe_reuse_budget:$src/lb/prequal.hpp" \
+  "max_probe_age:$src/lb/prequal.hpp" \
+  "hot_quantile:$src/lb/prequal.hpp" \
+  "d_choices:$src/lb/prequal.hpp" \
+  "refresh_threshold:$src/lb/prequal.hpp" \
+  "take_reuse_evictions:$src/lb/prequal.hpp" \
+  "kNoPick:$src/lb/prequal.hpp" \
+  "probez_response:$src/router/router_node.hpp" \
+  "kGatewayProbe:$src/common/flight_recorder.hpp"
+
+# The metric table must carry the prequal counters and gauges (§6), the
+# fault table the probe-plane injection points (§7), and the lock-rank
+# table the probe pool mutex (§8).
+dg_require_backticked "§6/§7/§8" \
+  gateway.prequal_probes gateway.prequal_probe_failures \
+  gateway.prequal_cold_picks gateway.prequal_hot_picks \
+  gateway.prequal_fallback_rr gateway.prequal_reuse_evictions \
+  gateway.prequal_stale_evictions gateway.prequal_hot_rif_threshold \
+  gateway.prequal_valid_probes router.probes \
+  lb.probe.drop lb.probe.delay lb.probe_pool
+
+dg_require_artifacts "§14" \
+  "$repo_root/BENCH_PR10.json" \
+  "$repo_root/bench/bench_pr10_prequal.cpp" \
+  "$repo_root/tools/run_bench_suite.sh" \
+  "$repo_root/tests/lb/test_prequal.cpp" \
+  "$repo_root/tests/chaos/test_chaos_probe.cpp" \
+  "$repo_root/tests/static_analysis/fixtures/blocking_probe_on_pick.cpp"
+
+dg_bench_bound "$repo_root/BENCH_PR10.json" \
+  derived.prequal_vs_roundrobin_p99_speedup floor 1.3
+
+dg_finish

@@ -4,6 +4,9 @@
 //   janus-cli probe <ip:port> <key> [cost]       non-consuming check
 //   janus-cli bench <ip:port> [-c threads] [-n requests] [-k keyspace]
 //                                                the modified-ab workload
+//   janus-cli probez <ip:port>                   one load-balancer probe:
+//                                                prints the node's {rif,
+//                                                lat_us} probe payload
 //
 // A `--log-level {debug,info,warn,error,off}` flag (any position) sets the
 // logger verbosity; with `debug`, a check/probe emits its X-Janus-Trace span.
@@ -69,6 +72,34 @@ int run_check(int argc, char** argv, bool probe) {
               static_cast<int>(status.size()), status.data(),
               static_cast<int>(credits.size()), credits.data());
   return r.body == "TRUE" ? 0 : 1;
+}
+
+// One /probez round-trip against a router node — the same payload the
+// Prequal probe pool consumes (DESIGN.md §14). Exit 0 on a parseable
+// answer, 2 on transport/usage errors.
+int run_probez(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: janus-cli probez <ip:port>\n");
+    return 2;
+  }
+  auto addr = parse_addr(argv[2]);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "janus-cli: %s\n", addr.error().message.c_str());
+    return 2;
+  }
+  net::HttpClient client(addr.value(), millis(2000));
+  auto resp = client.get("/probez");
+  if (!resp.ok()) {
+    std::fprintf(stderr, "janus-cli: %s\n", resp.error().message.c_str());
+    return 2;
+  }
+  if (resp.value().status != 200) {
+    std::fprintf(stderr, "janus-cli: /probez returned %d\n",
+                 resp.value().status);
+    return 2;
+  }
+  std::printf("%s\n", resp.value().body.c_str());
+  return 0;
 }
 
 int run_bench(int argc, char** argv) {
@@ -145,13 +176,15 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.size());
   if (n < 2) {
     std::fprintf(stderr,
-                 "usage: janus-cli [--log-level L] <check|probe|bench> ...\n");
+                 "usage: janus-cli [--log-level L] "
+                 "<check|probe|probez|bench> ...\n");
     return 2;
   }
   if (std::strcmp(args[1], "check") == 0) {
     return run_check(n, args.data(), false);
   }
   if (std::strcmp(args[1], "probe") == 0) return run_check(n, args.data(), true);
+  if (std::strcmp(args[1], "probez") == 0) return run_probez(n, args.data());
   if (std::strcmp(args[1], "bench") == 0) return run_bench(n, args.data());
   std::fprintf(stderr, "janus-cli: unknown command '%s'\n", args[1]);
   return 2;

@@ -108,11 +108,12 @@ KEYWORDS = {
 
 # Seqlock discipline (DESIGN.md §10 / §12): the only functions allowed to
 # store to a seq/version word, and the only callers of HotKeySketch::note.
-SEQLOCK_FILES = re.compile(r"(flight_recorder|hotkey_sketch)\.(hpp|h)$")
+SEQLOCK_FILES = re.compile(r"(flight_recorder|hotkey_sketch|prequal)\.(hpp|h)$")
 SEQLOCK_WRITERS = {
     "FlightRecorder::record",
     "FlightRecorder::reset",
     "HotKeySketch::note",
+    "PrequalPicker::publish",
 }
 NOTE_CALLERS = {
     "ShardedQosTable::note_decision",

@@ -17,6 +17,17 @@
 //                 --members udp:port/cluster:port/bfd:port,...
 //                 [--standbys udp:port/cluster:port/bfd:port|-,...]
 //                 [--bfd-ms 50] [--bfd-mult 3]
+//   janusd gateway --listen 127.0.0.1:8000
+//                 --backends 127.0.0.1:8080,127.0.0.1:8081
+//                 [--policy round-robin|least-connections|prequal]
+//                 [--timeout-ms 1000] [--workers 4]
+//                 [--probe-ms 5] [--probe-age-ms 250] [--probe-reuse 16]
+//                 [--probe-d 3] [--probe-timeout-ms 50]
+//
+// The gateway role is the paper's ELB tier: an L7 balancer in front of
+// router nodes. Under `--policy prequal` the probe flags tune the async
+// probe pool (interval, staleness bound T, reuse budget R, power-of-d) —
+// see DESIGN.md §14.
 //
 // Cluster mode (DESIGN.md §11): `--cluster-listen` starts the server's
 // control-plane agent (EpochUpdate / MigrationBatch over TCP) and
@@ -55,6 +66,7 @@
 #include "common/periodic.hpp"
 #include "common/string_util.hpp"
 #include "db/rule_store.hpp"
+#include "lb/gateway_balancer.hpp"
 #include "net/bfd.hpp"
 #include "router/router_node.hpp"
 #include "server/cluster_agent.hpp"
@@ -138,6 +150,9 @@ bool setup_observability(
     }
     std::printf("janusd: %s admin endpoint on %s\n", role,
                 bound.value().to_string().c_str());
+    // Fixtures and scripts poll redirected logs for this banner; a
+    // block-buffered stdout would hold it back indefinitely.
+    std::fflush(stdout);
   }
   if (auto it = flags.find("stats-ms"); it != flags.end()) {
     const auto interval = parse_i64(it->second).value_or(0);
@@ -609,6 +624,89 @@ int run_router(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int run_gateway(const std::map<std::string, std::string>& flags) {
+  auto listen_it = flags.find("listen");
+  auto backends_it = flags.find("backends");
+  if (listen_it == flags.end() || backends_it == flags.end()) {
+    std::fprintf(stderr,
+                 "janusd gateway: --listen and --backends required\n");
+    return 2;
+  }
+  auto listen = parse_addr(listen_it->second);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", listen.error().message.c_str());
+    return 2;
+  }
+  std::vector<net::SockAddr> backends;
+  for (auto part : split(backends_it->second, ',')) {
+    auto addr = parse_addr(std::string(part));
+    if (!addr.ok()) {
+      std::fprintf(stderr, "janusd: %s\n", addr.error().message.c_str());
+      return 2;
+    }
+    backends.push_back(addr.value());
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr, "janusd gateway: --backends is empty\n");
+    return 2;
+  }
+
+  auto get_int = [&](const char* name, std::int64_t fallback) {
+    auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    return parse_i64(it->second).value_or(fallback);
+  };
+
+  lb::GatewayConfig cfg;
+  if (auto it = flags.find("policy"); it != flags.end()) {
+    auto policy = lb::routing_policy_from_name(it->second);
+    if (!policy) {
+      std::fprintf(stderr, "janusd: bad --policy '%s'\n", it->second.c_str());
+      return 2;
+    }
+    cfg.policy = *policy;
+  }
+  cfg.backend_timeout = millis(get_int("timeout-ms", 1000));
+  cfg.http_workers = static_cast<std::size_t>(get_int("workers", 4));
+  cfg.prequal.probe_interval = millis(get_int("probe-ms", 5));
+  cfg.prequal.max_probe_age = millis(get_int("probe-age-ms", 250));
+  cfg.prequal.probe_reuse_budget =
+      static_cast<std::size_t>(get_int("probe-reuse", 16));
+  cfg.prequal.d_choices = static_cast<std::size_t>(get_int("probe-d", 3));
+  cfg.prequal.probe_timeout = millis(get_int("probe-timeout-ms", 50));
+
+  auto gw = lb::GatewayBalancer::start(listen.value(), std::move(backends),
+                                       cfg);
+  if (!gw.ok()) {
+    std::fprintf(stderr, "janusd: %s\n", gw.error().message.c_str());
+    return 1;
+  }
+  lb::GatewayBalancer& g = *gw.value();
+  std::printf("janusd: gateway balancer on %s (%zu backends, policy %s)\n",
+              g.addr().to_string().c_str(), g.per_backend_counts().size(),
+              std::string(lb::routing_policy_name(g.config().policy))
+                  .c_str());
+  std::fflush(stdout);
+
+  std::unique_ptr<PeriodicTask> stats_task;
+  if (!setup_observability(
+          flags, "gateway", g.metrics(),
+          [&g](const net::SockAddr& a) {
+            return g.start_admin(a, "gateway@" + g.addr().to_string());
+          },
+          stats_task)) {
+    return 2;
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("janusd: stopping\n");
+  if (stats_task) stats_task->stop();
+  g.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -617,7 +715,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   if (argc < 2) {
-    std::fprintf(stderr, "usage: janusd <server|router> --flags...\n");
+    std::fprintf(stderr, "usage: janusd <server|router|gateway> --flags...\n");
     return 2;
   }
   std::map<std::string, std::string> flags;
@@ -625,6 +723,7 @@ int main(int argc, char** argv) {
 
   if (std::strcmp(argv[1], "server") == 0) return run_server(flags);
   if (std::strcmp(argv[1], "router") == 0) return run_router(flags);
+  if (std::strcmp(argv[1], "gateway") == 0) return run_gateway(flags);
   std::fprintf(stderr, "janusd: unknown role '%s'\n", argv[1]);
   return 2;
 }

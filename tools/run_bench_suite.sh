@@ -23,6 +23,11 @@
 #     uring_vs_mmsg_decision_speedup (real_time mmsg / uring, medians)
 #     must be >= 1.3. Skipped with a notice when the kernel's io_uring
 #     fails the capability probe (the checked-in JSON is the evidence).
+#   BENCH_PR10.json — PR 10 routing acceptance: bench_pr10_prequal drives
+#     the three gateway policies over a lopsided simulated fleet (six
+#     routers, two 2x-slow stragglers, a CPU antagonist on one) with the
+#     real lb::PrequalPicker on virtual time; five seeds per policy,
+#     medians compared. prequal_vs_roundrobin_p99_speedup must be >= 1.3.
 #
 # The PR 5 ratio is derived from *real time*, never items_per_second or CPU
 # time: google-benchmark attributes only the main thread's CPU to the run,
@@ -46,8 +51,10 @@ out5=${OUT5:-"$repo_root/BENCH_PR5.json"}
 out6=${OUT6:-"$repo_root/BENCH_PR6.json"}
 out7=${OUT7:-"$repo_root/BENCH_PR7.json"}
 out9=${OUT9:-"$repo_root/BENCH_PR9.json"}
+out10=${OUT10:-"$repo_root/BENCH_PR10.json"}
 bin="$build_dir/bench/bench_micro_hotpath"
 cluster_bin="$build_dir/bench/bench_cluster_failover"
+prequal_bin="$build_dir/bench/bench_pr10_prequal"
 
 if [ ! -x "$bin" ]; then
   echo "run_bench_suite: $bin not built." >&2
@@ -59,6 +66,11 @@ if [ ! -x "$cluster_bin" ]; then
   echo "  cmake --build $build_dir --target bench_cluster_failover" >&2
   exit 1
 fi
+if [ ! -x "$prequal_bin" ]; then
+  echo "run_bench_suite: $prequal_bin not built." >&2
+  echo "  cmake --build $build_dir --target bench_pr10_prequal" >&2
+  exit 1
+fi
 
 filter='BM_Crc32Scalar|BM_Crc32Slice8|BM_TableLookup|BM_WireDecodeRequest|BM_UdpBatchRoundTrip'
 raw=$(mktemp)
@@ -66,7 +78,8 @@ raw5=$(mktemp)
 raw6=$(mktemp)
 raw7=$(mktemp)
 raw9=$(mktemp)
-trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7" "$raw9"' EXIT
+raw10=$(mktemp)
+trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7" "$raw9" "$raw10"' EXIT
 
 "$bin" --benchmark_filter="$filter" \
        --benchmark_format=json \
@@ -118,6 +131,10 @@ done
        --benchmark_format=json \
        --benchmark_min_time=0.5 \
        --benchmark_repetitions=5 > "$raw9"
+
+# PR 10 routing comparison: deterministic virtual-time sim, five seeds per
+# policy baked into the binary (per-seed progress rides stderr).
+"$prequal_bin" > "$raw10"
 
 python3 - "$raw" "$out" <<'PY'
 import json, sys
@@ -431,4 +448,45 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"run_bench_suite: wrote {out_path} "
       f"(uring end-to-end speedup {speedup}x)")
+PY
+
+python3 - "$raw10" "$out10" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+rr_speedup = raw.get("prequal_vs_roundrobin_p99_speedup")
+lc_speedup = raw.get("prequal_vs_leastconn_p99_speedup")
+if rr_speedup is None:
+    print("run_bench_suite: bench_pr10_prequal emitted no "
+          "prequal_vs_roundrobin_p99_speedup", file=sys.stderr)
+    sys.exit(1)
+
+doc = {
+    "generated_by": "tools/run_bench_suite.sh",
+    "benchmark_binary": "bench/bench_pr10_prequal",
+    "derived": {
+        # PR 10 tentpole acceptance: median-of-5-seeds P99 ratio on the
+        # straggler-plus-antagonist fleet must clear 1.3 vs round-robin.
+        # The least-connections ratio is recorded as evidence that the
+        # probe signal beats queue-length-only balancing, not gated (LC is
+        # already adaptive, so its margin is scenario-dependent).
+        "prequal_vs_roundrobin_p99_speedup": rr_speedup,
+        "prequal_vs_leastconn_p99_speedup": lc_speedup,
+    },
+    "raw": raw,
+}
+
+if rr_speedup < 1.3:
+    print(f"run_bench_suite: prequal vs round-robin P99 speedup is "
+          f"{rr_speedup}x, below the 1.3x acceptance floor", file=sys.stderr)
+    sys.exit(1)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"run_bench_suite: wrote {out_path} "
+      f"(prequal vs round-robin P99 speedup {rr_speedup}x)")
 PY

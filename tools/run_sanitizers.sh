@@ -62,6 +62,11 @@ cxx=${CXX:-c++}
 # providers, so the §13 probe/degrade contract must match the code first.
 "$repo_root/tools/check_datapath_doc.sh"
 
+# Load-balancer doc guard: the gateway e2e and chaos suites run
+# parameterized over all three routing policies, so the §14 probe/fallback
+# contract (and the BENCH_PR10 acceptance floor) must match the code first.
+"$repo_root/tools/check_lb_doc.sh"
+
 # Full mode also runs the hot-path purity analyzer itself (plus its fixture
 # self-test) up front: it needs only python3, and a purity regression should
 # fail fast here rather than surface minutes later via run_static_analysis.
